@@ -1,0 +1,114 @@
+#ifndef FNPROXY_BENCH_BENCH_COMMON_H_
+#define FNPROXY_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/proxy.h"
+#include "workload/experiment.h"
+
+namespace fnproxy::bench {
+
+/// The paper-scale experiment: 11,323-query Radial trace over the synthetic
+/// SkyServer. Shared by the Table 1 / Figure 5 / Figure 6 benches so their
+/// numbers are directly comparable. `num_queries` can be reduced for the
+/// parameter-sweep ablations.
+inline workload::SkyExperiment::Options PaperOptions(
+    size_t num_queries = 11323) {
+  workload::SkyExperiment::Options options;
+  options.trace.num_queries = num_queries;
+  return options;
+}
+
+inline core::ProxyConfig MakeProxyConfig(core::CachingMode mode,
+                                         bool rtree = false,
+                                         size_t max_bytes = 0) {
+  core::ProxyConfig config;
+  config.mode = mode;
+  config.use_rtree_description = rtree;
+  config.max_cache_bytes = max_bytes;
+  return config;
+}
+
+/// Prints the achieved relationship mix of the trace (compare with the
+/// paper's 17% exact / 34% containment / ~9% overlap).
+inline void PrintTraceMix(const workload::Trace& trace) {
+  using geometry::RegionRelation;
+  std::printf(
+      "Trace: %zu queries | intended mix: exact %.1f%%  containment %.1f%%  "
+      "region-containment %.1f%%  overlap %.1f%%  disjoint %.1f%%\n",
+      trace.queries.size(),
+      100 * trace.IntendedFraction(RegionRelation::kEqual),
+      100 * trace.IntendedFraction(RegionRelation::kContainedBy),
+      100 * trace.IntendedFraction(RegionRelation::kContains),
+      100 * trace.IntendedFraction(RegionRelation::kOverlap),
+      100 * trace.IntendedFraction(RegionRelation::kDisjoint));
+}
+
+/// One row of a response-time/efficiency report.
+struct RunSummary {
+  std::string label;
+  double avg_response_ms_first_10000 = 0;
+  double avg_response_ms_all = 0;
+  double avg_cache_efficiency = 0;
+  uint64_t origin_requests = 0;
+  uint64_t origin_mb_received = 0;
+  size_t cache_entries_final = 0;
+};
+
+inline RunSummary Summarize(const std::string& label,
+                            const workload::SkyExperiment::RunResult& result) {
+  RunSummary summary;
+  summary.label = label;
+  summary.avg_response_ms_first_10000 =
+      result.rbe.AverageResponseMillis(10000);
+  summary.avg_response_ms_all = result.rbe.AverageResponseMillis();
+  summary.avg_cache_efficiency = result.proxy_stats.AverageCacheEfficiency();
+  summary.origin_requests = result.origin_requests;
+  summary.origin_mb_received = result.origin_bytes_received / (1024 * 1024);
+  summary.cache_entries_final = result.cache_entries_final;
+  return summary;
+}
+
+inline void PrintSummaryTable(const std::vector<RunSummary>& rows) {
+  std::printf("%-28s %14s %12s %12s %10s %10s %9s\n", "config",
+              "avg ms (10k)", "avg ms (all)", "cache eff.", "origin rq",
+              "origin MB", "entries");
+  for (const RunSummary& row : rows) {
+    std::printf("%-28s %14.0f %12.0f %12.3f %10lu %10lu %9zu\n",
+                row.label.c_str(), row.avg_response_ms_first_10000,
+                row.avg_response_ms_all, row.avg_cache_efficiency,
+                static_cast<unsigned long>(row.origin_requests),
+                static_cast<unsigned long>(row.origin_mb_received),
+                row.cache_entries_final);
+  }
+}
+
+/// Per-relationship-status response-time breakdown (diagnostic aid).
+inline void PrintStatusBreakdown(
+    const workload::SkyExperiment::RunResult& result) {
+  using geometry::RegionRelation;
+  const auto& records = result.proxy_stats.records;
+  const auto& times = result.rbe.response_micros;
+  for (RegionRelation status :
+       {RegionRelation::kEqual, RegionRelation::kContainedBy,
+        RegionRelation::kContains, RegionRelation::kOverlap,
+        RegionRelation::kDisjoint}) {
+    double sum = 0;
+    size_t count = 0;
+    for (size_t i = 0; i < records.size() && i < times.size(); ++i) {
+      if (records[i].status == status && records[i].handled_by_template) {
+        sum += static_cast<double>(times[i]);
+        ++count;
+      }
+    }
+    std::printf("    %-14s n=%6zu  avg=%8.0f ms\n",
+                geometry::RegionRelationName(status), count,
+                count ? sum / static_cast<double>(count) / 1000.0 : 0.0);
+  }
+}
+
+}  // namespace fnproxy::bench
+
+#endif  // FNPROXY_BENCH_BENCH_COMMON_H_

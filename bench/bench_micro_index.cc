@@ -1,0 +1,61 @@
+// Micro-benchmarks for the cache-description structures (array vs R-tree),
+// underlying the paper's ACR/ACNR comparison in Figure 5.
+
+#include <benchmark/benchmark.h>
+
+#include "geometry/celestial.h"
+#include "index/array_index.h"
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace fnproxy::index {
+namespace {
+
+geometry::Hyperrectangle RandomBox(util::Random& rng) {
+  return geometry::ConeToHypersphere(rng.NextDouble(130, 230),
+                                     rng.NextDouble(0, 60),
+                                     rng.NextDouble(4, 30))
+      .BoundingBox();
+}
+
+template <typename Index>
+void BM_Search(benchmark::State& state) {
+  util::Random rng(1);
+  Index index;
+  for (EntryId id = 0; id < static_cast<EntryId>(state.range(0)); ++id) {
+    index.Insert(id, RandomBox(rng));
+  }
+  std::vector<geometry::Hyperrectangle> probes;
+  for (int i = 0; i < 256; ++i) probes.push_back(RandomBox(rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.SearchIntersecting(probes[i & 255]));
+    ++i;
+  }
+}
+BENCHMARK_TEMPLATE(BM_Search, ArrayRegionIndex)->Arg(1000)->Arg(10000);
+BENCHMARK_TEMPLATE(BM_Search, RTreeIndex)->Arg(1000)->Arg(10000);
+
+template <typename Index>
+void BM_InsertRemoveCycle(benchmark::State& state) {
+  util::Random rng(2);
+  Index index;
+  std::vector<geometry::Hyperrectangle> boxes;
+  for (EntryId id = 0; id < static_cast<EntryId>(state.range(0)); ++id) {
+    boxes.push_back(RandomBox(rng));
+    index.Insert(id, boxes.back());
+  }
+  EntryId next = static_cast<EntryId>(state.range(0));
+  size_t victim = 0;
+  for (auto _ : state) {
+    index.Remove(victim % boxes.size());
+    index.Insert(victim % boxes.size(), boxes[victim % boxes.size()]);
+    ++victim;
+    benchmark::DoNotOptimize(next);
+  }
+}
+BENCHMARK_TEMPLATE(BM_InsertRemoveCycle, ArrayRegionIndex)->Arg(1000)->Arg(10000);
+BENCHMARK_TEMPLATE(BM_InsertRemoveCycle, RTreeIndex)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace fnproxy::index

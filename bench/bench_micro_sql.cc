@@ -1,0 +1,106 @@
+// Micro-benchmarks for the SQL substrate: parsing the paper's Radial query
+// template, printing remainder queries, parameter substitution, predicate
+// evaluation and XML (de)serialization of result tables.
+
+#include <benchmark/benchmark.h>
+
+#include "sql/eval.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "sql/table_xml.h"
+#include "util/random.h"
+#include "workload/experiment.h"
+
+namespace fnproxy::sql {
+namespace {
+
+void BM_ParseRadialTemplate(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = ParseSelect(workload::kRadialTemplateSql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseRadialTemplate);
+
+void BM_PrintStatement(benchmark::State& state) {
+  auto stmt = ParseSelect(workload::kRadialTemplateSql);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectToSql(*stmt));
+  }
+}
+BENCHMARK(BM_PrintStatement);
+
+void BM_SubstituteParameters(benchmark::State& state) {
+  auto stmt = ParseSelect(workload::kRadialTemplateSql);
+  std::map<std::string, Value> params = {{"ra", Value::Double(195.1)},
+                                         {"dec", Value::Double(2.5)},
+                                         {"radius", Value::Double(10.0)}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SubstituteParameters(*stmt, params));
+  }
+}
+BENCHMARK(BM_SubstituteParameters);
+
+void BM_EvalPredicate(benchmark::State& state) {
+  ScalarFunctionRegistry registry = ScalarFunctionRegistry::WithBuiltins();
+  ExprEvaluator evaluator(&registry);
+  auto expr = ParseExpression(
+      "((cx - 0.5) * (cx - 0.5) + (cy - 0.5) * (cy - 0.5)) <= 0.04 AND "
+      "(flags & 64) = 0");
+  Schema schema({{"cx", ValueType::kDouble},
+                 {"cy", ValueType::kDouble},
+                 {"flags", ValueType::kInt}});
+  util::Random rng(1);
+  std::vector<Row> rows;
+  for (int i = 0; i < 256; ++i) {
+    rows.push_back({Value::Double(rng.NextDouble()), Value::Double(rng.NextDouble()),
+                    Value::Int(static_cast<int64_t>(rng.NextUint64(256)))});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    RowBinding binding;
+    binding.AddSource("t", &schema, &rows[i & 255]);
+    benchmark::DoNotOptimize(evaluator.EvalPredicate(**expr, binding));
+    ++i;
+  }
+}
+BENCHMARK(BM_EvalPredicate);
+
+Table MakeTable(size_t rows) {
+  Table table(Schema({{"objID", ValueType::kInt},
+                      {"ra", ValueType::kDouble},
+                      {"dec", ValueType::kDouble},
+                      {"cx", ValueType::kDouble},
+                      {"cy", ValueType::kDouble},
+                      {"cz", ValueType::kDouble}}));
+  util::Random rng(2);
+  for (size_t i = 0; i < rows; ++i) {
+    table.AddRow({Value::Int(static_cast<int64_t>(i)),
+                  Value::Double(rng.NextDouble(130, 230)),
+                  Value::Double(rng.NextDouble(0, 60)),
+                  Value::Double(rng.NextDouble()), Value::Double(rng.NextDouble()),
+                  Value::Double(rng.NextDouble())});
+  }
+  return table;
+}
+
+void BM_TableToXml(benchmark::State& state) {
+  Table table = MakeTable(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TableToXml(table));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableToXml)->Arg(50)->Arg(500);
+
+void BM_TableFromXml(benchmark::State& state) {
+  std::string xml_text = TableToXml(MakeTable(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TableFromXml(xml_text));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableFromXml)->Arg(50)->Arg(500);
+
+}  // namespace
+}  // namespace fnproxy::sql

@@ -1,0 +1,116 @@
+// Live deployment over real loopback sockets: the synthetic SkyServer runs
+// behind one HTTP server, the function proxy behind another, and this
+// program (acting as the browser) issues real HTTP GETs to the proxy. With
+// the proxy running you can also query it from another terminal:
+//
+//   ./build/examples/live_proxy          # prints the ports it bound
+//   curl 'http://127.0.0.1:<port>/radial?ra=185.0&dec=33.0&radius=20.0'
+//
+// The program serves a short demo session and exits (pass --serve to keep
+// the servers up for manual curl until Enter is pressed).
+
+#include <cstdio>
+#include <cstring>
+
+#include "catalog/sky_catalog.h"
+#include "core/proxy.h"
+#include "net/http_server.h"
+#include "net/network.h"
+#include "server/sky_functions.h"
+#include "server/web_app.h"
+#include "sql/table_xml.h"
+#include "workload/experiment.h"
+
+using namespace fnproxy;
+
+int main(int argc, char** argv) {
+  bool serve = argc > 1 && std::strcmp(argv[1], "--serve") == 0;
+
+  // Origin site.
+  catalog::SkyCatalogConfig config;
+  config.num_objects = 60000;
+  config.ra_min = 175.0;
+  config.ra_max = 200.0;
+  config.dec_min = 22.0;
+  config.dec_max = 45.0;
+  server::Database db;
+  db.AddTable("PhotoPrimary", catalog::GenerateSkyCatalog(config));
+  server::SkyGrid grid(db.FindTable("PhotoPrimary"));
+  db.RegisterTableFunction(server::MakeGetNearbyObjEq(&grid));
+  db.scalar_functions()->Register(
+      "fPhotoFlags",
+      [](const std::vector<sql::Value>& args)
+          -> util::StatusOr<sql::Value> {
+        FNPROXY_ASSIGN_OR_RETURN(int64_t bit,
+                                 catalog::PhotoFlagValue(args.at(0).AsString()));
+        return sql::Value::Int(bit);
+      });
+
+  util::SimulatedClock clock;  // Virtual time still accounts origin costs.
+  server::OriginWebApp origin(&db, &clock);
+  if (!origin.RegisterForm("/radial", workload::kRadialTemplateSql).ok()) {
+    return 1;
+  }
+  net::HttpServer origin_server(&origin);
+  if (auto s = origin_server.Start(0); !s.ok()) {
+    std::fprintf(stderr, "origin: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Proxy reaching the origin over a real socket.
+  core::TemplateRegistry templates;
+  (void)templates.RegisterFunctionTemplateXml(workload::kNearbyObjEqTemplateXml);
+  auto qt = core::QueryTemplate::Create("radial", "/radial",
+                                        workload::kRadialTemplateSql);
+  if (!qt.ok()) return 1;
+  (void)templates.RegisterQueryTemplate(std::move(*qt));
+  net::RemoteHostHandler origin_remote(origin_server.port());
+  net::SimulatedChannel origin_channel(&origin_remote, net::LinkConfig{0, 1e9},
+                                       &clock);
+  core::FunctionProxy proxy(core::ProxyConfig{}, &templates, &origin_channel,
+                            &clock);
+  net::HttpServer proxy_server(&proxy);
+  if (auto s = proxy_server.Start(0); !s.ok()) {
+    std::fprintf(stderr, "proxy: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("origin (synthetic SkyServer): http://127.0.0.1:%u\n",
+              origin_server.port());
+  std::printf("function proxy:               http://127.0.0.1:%u\n\n",
+              proxy_server.port());
+
+  auto ask = [&](const std::string& url) {
+    auto response = net::HttpGet(proxy_server.port(), url);
+    if (!response.ok() || !response->ok()) {
+      std::printf("GET %s -> error\n", url.c_str());
+      return;
+    }
+    auto table = sql::TableFromXml(response->body);
+    std::printf("GET %-48s -> %4zu tuples [%s]\n", url.c_str(),
+                table.ok() ? table->num_rows() : 0,
+                geometry::RegionRelationName(
+                    proxy.stats().records.back().status));
+  };
+
+  ask("/radial?ra=185.0&dec=33.0&radius=25.0");
+  ask("/radial?ra=185.0&dec=33.0&radius=25.0");
+  ask("/radial?ra=185.1&dec=33.0&radius=10.0");
+  ask("/radial?ra=185.0&dec=33.0&radius=45.0");
+  ask("/radial?ra=190.0&dec=40.0&radius=15.0");
+
+  std::printf("\nproxy stats: exact %lu, containment %lu, region-containment "
+              "%lu, misses %lu\n",
+              static_cast<unsigned long>(proxy.stats().exact_hits),
+              static_cast<unsigned long>(proxy.stats().containment_hits),
+              static_cast<unsigned long>(proxy.stats().region_containments),
+              static_cast<unsigned long>(proxy.stats().misses));
+
+  if (serve) {
+    std::printf("\nServing; press Enter to stop...\n");
+    (void)std::getchar();
+  }
+  proxy_server.Stop();
+  origin_server.Stop();
+  return 0;
+}

@@ -1,0 +1,33 @@
+#ifndef FNPROXY_CATALOG_BOOK_CATALOG_H_
+#define FNPROXY_CATALOG_BOOK_CATALOG_H_
+
+#include <cstdint>
+
+#include "sql/schema.h"
+
+namespace fnproxy::catalog {
+
+/// Configuration of the synthetic bookstore catalog used by the
+/// similarity-search example: the paper (§3.1, property 2) notes that a
+/// "books similar to a given book" function with a distance metric over
+/// several parameters is a hypersphere selection query — the same machinery
+/// as sky cones, in a non-spatial domain.
+struct BookCatalogConfig {
+  size_t num_books = 20000;
+  size_t num_genres = 12;
+  uint64_t seed = 7;
+};
+
+/// Schema of the generated Books table:
+///   bookID INT, title STRING, genre INT, price DOUBLE, pages INT,
+///   year INT, rating DOUBLE, f1 DOUBLE, f2 DOUBLE, f3 DOUBLE
+/// (f1, f2, f3) are normalized similarity-space coordinates derived from
+/// (price, pages, rating); fGetSimilarBooks selects within a sphere there.
+sql::Schema BookCatalogSchema();
+
+/// Generates the catalog; deterministic in the seed.
+sql::Table GenerateBookCatalog(const BookCatalogConfig& config);
+
+}  // namespace fnproxy::catalog
+
+#endif  // FNPROXY_CATALOG_BOOK_CATALOG_H_

@@ -1,0 +1,235 @@
+#include "core/cache_snapshot.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "geometry/hyperrectangle.h"
+#include "geometry/hypersphere.h"
+#include "geometry/polytope.h"
+#include "sql/table_xml.h"
+#include "util/string_util.h"
+#include "xml/xml.h"
+
+namespace fnproxy::core {
+
+using geometry::Region;
+using geometry::ShapeKind;
+using util::Status;
+using util::StatusOr;
+
+namespace {
+
+std::string PointToText(const geometry::Point& p) {
+  std::string out;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += util::FormatDouble(p[i]);
+  }
+  return out;
+}
+
+StatusOr<geometry::Point> PointFromText(std::string_view text, size_t dims) {
+  std::vector<std::string> parts;
+  for (const std::string& part : util::Split(std::string(text), ' ')) {
+    if (!util::Trim(part).empty()) parts.push_back(part);
+  }
+  if (parts.size() != dims) {
+    return Status::ParseError("expected " + std::to_string(dims) +
+                              " coordinates, got " +
+                              std::to_string(parts.size()));
+  }
+  geometry::Point point(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    FNPROXY_ASSIGN_OR_RETURN(point[i], util::ParseDouble(parts[i]));
+  }
+  return point;
+}
+
+}  // namespace
+
+std::string RegionToXml(const Region& region) {
+  std::string out = "<Region shape=\"";
+  out += geometry::ShapeKindName(region.kind());
+  out += "\" dims=\"" + std::to_string(region.dimensions()) + "\">";
+  switch (region.kind()) {
+    case ShapeKind::kHypersphere: {
+      const auto& sphere = static_cast<const geometry::Hypersphere&>(region);
+      out += "<Center>" + PointToText(sphere.center()) + "</Center>";
+      out += "<Radius>" + util::FormatDouble(sphere.radius()) + "</Radius>";
+      break;
+    }
+    case ShapeKind::kHyperrectangle: {
+      const auto& rect = static_cast<const geometry::Hyperrectangle&>(region);
+      out += "<Lo>" + PointToText(rect.lo()) + "</Lo>";
+      out += "<Hi>" + PointToText(rect.hi()) + "</Hi>";
+      break;
+    }
+    case ShapeKind::kPolytope: {
+      const auto& poly = static_cast<const geometry::Polytope&>(region);
+      out += "<Halfspaces>";
+      for (const geometry::Halfspace& h : poly.halfspaces()) {
+        out += "<H><Normal>" + PointToText(h.normal) + "</Normal><Offset>" +
+               util::FormatDouble(h.offset) + "</Offset></H>";
+      }
+      out += "</Halfspaces><Vertices>";
+      for (const geometry::Point& v : poly.vertices()) {
+        out += "<V>" + PointToText(v) + "</V>";
+      }
+      out += "</Vertices>";
+      break;
+    }
+  }
+  out += "</Region>";
+  return out;
+}
+
+StatusOr<std::unique_ptr<Region>> RegionFromXml(std::string_view xml_text) {
+  FNPROXY_ASSIGN_OR_RETURN(auto root, xml::ParseXml(xml_text));
+  if (root->name() != "Region") {
+    return Status::ParseError("expected <Region> root");
+  }
+  const std::string* shape = root->FindAttribute("shape");
+  const std::string* dims_text = root->FindAttribute("dims");
+  if (shape == nullptr || dims_text == nullptr) {
+    return Status::ParseError("<Region> needs shape and dims attributes");
+  }
+  FNPROXY_ASSIGN_OR_RETURN(int64_t dims_value, util::ParseInt64(*dims_text));
+  if (dims_value <= 0 || dims_value > 16) {
+    return Status::ParseError("bad region dimensionality");
+  }
+  size_t dims = static_cast<size_t>(dims_value);
+
+  if (*shape == "hypersphere") {
+    FNPROXY_ASSIGN_OR_RETURN(std::string center_text, root->ChildText("Center"));
+    FNPROXY_ASSIGN_OR_RETURN(std::string radius_text, root->ChildText("Radius"));
+    FNPROXY_ASSIGN_OR_RETURN(geometry::Point center,
+                             PointFromText(center_text, dims));
+    FNPROXY_ASSIGN_OR_RETURN(double radius, util::ParseDouble(radius_text));
+    if (radius < 0) return Status::ParseError("negative radius");
+    return std::unique_ptr<Region>(
+        std::make_unique<geometry::Hypersphere>(std::move(center), radius));
+  }
+  if (*shape == "hyperrectangle") {
+    FNPROXY_ASSIGN_OR_RETURN(std::string lo_text, root->ChildText("Lo"));
+    FNPROXY_ASSIGN_OR_RETURN(std::string hi_text, root->ChildText("Hi"));
+    FNPROXY_ASSIGN_OR_RETURN(geometry::Point lo, PointFromText(lo_text, dims));
+    FNPROXY_ASSIGN_OR_RETURN(geometry::Point hi, PointFromText(hi_text, dims));
+    for (size_t i = 0; i < dims; ++i) {
+      if (lo[i] > hi[i]) return Status::ParseError("rectangle lo > hi");
+    }
+    return std::unique_ptr<Region>(std::make_unique<geometry::Hyperrectangle>(
+        std::move(lo), std::move(hi)));
+  }
+  if (*shape == "polytope") {
+    const xml::XmlElement* halfspaces = root->FindChild("Halfspaces");
+    const xml::XmlElement* vertices = root->FindChild("Vertices");
+    if (halfspaces == nullptr || vertices == nullptr) {
+      return Status::ParseError("polytope region needs halfspaces + vertices");
+    }
+    std::vector<geometry::Halfspace> hs;
+    for (const xml::XmlElement* h : halfspaces->FindChildren("H")) {
+      FNPROXY_ASSIGN_OR_RETURN(std::string normal_text, h->ChildText("Normal"));
+      FNPROXY_ASSIGN_OR_RETURN(std::string offset_text, h->ChildText("Offset"));
+      geometry::Halfspace halfspace;
+      FNPROXY_ASSIGN_OR_RETURN(halfspace.normal,
+                               PointFromText(normal_text, dims));
+      FNPROXY_ASSIGN_OR_RETURN(halfspace.offset,
+                               util::ParseDouble(offset_text));
+      hs.push_back(std::move(halfspace));
+    }
+    std::vector<geometry::Point> vs;
+    for (const xml::XmlElement* v : vertices->FindChildren("V")) {
+      FNPROXY_ASSIGN_OR_RETURN(geometry::Point vertex,
+                               PointFromText(v->text(), dims));
+      vs.push_back(std::move(vertex));
+    }
+    if (hs.empty() || vs.empty()) {
+      return Status::ParseError("empty polytope geometry");
+    }
+    auto poly = std::make_unique<geometry::Polytope>(std::move(hs), std::move(vs));
+    FNPROXY_RETURN_NOT_OK(poly->Validate());
+    return std::unique_ptr<Region>(std::move(poly));
+  }
+  return Status::ParseError("unknown region shape '" + *shape + "'");
+}
+
+namespace {
+
+Status WriteFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+Status SaveCacheSnapshot(const CacheStore& cache, const std::string& directory) {
+  std::string manifest = "<CacheSnapshot>\n";
+  for (uint64_t id : cache.AllIds()) {
+    const CacheEntry* entry = cache.Find(id);
+    std::string file_name = "entry-" + std::to_string(id) + ".xml";
+    FNPROXY_RETURN_NOT_OK(
+        WriteFile(directory + "/" + file_name, sql::TableToXml(entry->result)));
+    manifest += "  <Entry file=\"" + file_name + "\" template=\"" +
+                xml::EscapeXml(entry->template_id) + "\" nonspatial=\"" +
+                xml::EscapeXml(entry->nonspatial_fingerprint) + "\" params=\"" +
+                xml::EscapeXml(entry->param_fingerprint) + "\" truncated=\"" +
+                (entry->truncated ? "1" : "0") + "\">" +
+                RegionToXml(*entry->region) + "</Entry>\n";
+  }
+  manifest += "</CacheSnapshot>\n";
+  return WriteFile(directory + "/manifest.xml", manifest);
+}
+
+StatusOr<size_t> LoadCacheSnapshot(const std::string& directory,
+                                   CacheStore* cache) {
+  FNPROXY_ASSIGN_OR_RETURN(std::string manifest_text,
+                           ReadFile(directory + "/manifest.xml"));
+  FNPROXY_ASSIGN_OR_RETURN(auto root, xml::ParseXml(manifest_text));
+  if (root->name() != "CacheSnapshot") {
+    return Status::ParseError("expected <CacheSnapshot> manifest root");
+  }
+  size_t restored = 0;
+  for (const xml::XmlElement* element : root->FindChildren("Entry")) {
+    const std::string* file_name = element->FindAttribute("file");
+    const std::string* template_id = element->FindAttribute("template");
+    if (file_name == nullptr || template_id == nullptr) {
+      return Status::ParseError("<Entry> needs file and template attributes");
+    }
+    const xml::XmlElement* region_element = element->FindChild("Region");
+    if (region_element == nullptr) {
+      return Status::ParseError("<Entry> missing <Region>");
+    }
+    FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Region> region,
+                             RegionFromXml(region_element->ToString()));
+    FNPROXY_ASSIGN_OR_RETURN(std::string table_text,
+                             ReadFile(directory + "/" + *file_name));
+    FNPROXY_ASSIGN_OR_RETURN(sql::Table result,
+                             sql::TableFromXml(table_text));
+
+    CacheEntry entry;
+    entry.template_id = *template_id;
+    const std::string* nonspatial = element->FindAttribute("nonspatial");
+    const std::string* params = element->FindAttribute("params");
+    const std::string* truncated = element->FindAttribute("truncated");
+    entry.nonspatial_fingerprint = nonspatial ? *nonspatial : "";
+    entry.param_fingerprint = params ? *params : "";
+    entry.truncated = truncated != nullptr && *truncated == "1";
+    entry.region = std::move(region);
+    entry.result = std::move(result);
+    if (cache->Insert(std::move(entry)) != 0) ++restored;
+  }
+  return restored;
+}
+
+}  // namespace fnproxy::core

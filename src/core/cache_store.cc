@@ -1,0 +1,107 @@
+#include "core/cache_store.h"
+
+#include <cassert>
+#include <limits>
+
+namespace fnproxy::core {
+
+const char* ReplacementPolicyName(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kLru:
+      return "LRU";
+    case ReplacementPolicy::kLfu:
+      return "LFU";
+    case ReplacementPolicy::kSizeAdjusted:
+      return "size-adjusted";
+  }
+  return "?";
+}
+
+CacheStore::CacheStore(std::unique_ptr<index::RegionIndex> description,
+                       size_t max_bytes, ReplacementPolicy policy)
+    : description_(std::move(description)),
+      max_bytes_(max_bytes),
+      policy_(policy) {}
+
+uint64_t CacheStore::PickVictim() const {
+  uint64_t victim = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& [id, entry] : entries_) {
+    double score = 0;
+    switch (policy_) {
+      case ReplacementPolicy::kLru:
+        score = static_cast<double>(entry.last_access_micros);
+        break;
+      case ReplacementPolicy::kLfu:
+        score = static_cast<double>(entry.access_count);
+        break;
+      case ReplacementPolicy::kSizeAdjusted:
+        // Benefit per byte: recently-used small entries are kept; large cold
+        // entries go first.
+        score = static_cast<double>(entry.access_count + 1) /
+                static_cast<double>(entry.bytes + 1);
+        break;
+    }
+    if (score < best_score) {
+      best_score = score;
+      victim = id;
+    }
+  }
+  return victim;
+}
+
+uint64_t CacheStore::Insert(CacheEntry entry) {
+  assert(entry.region != nullptr);
+  entry.bytes = entry.result.ByteSize() + 256;  // Entry metadata overhead.
+  if (max_bytes_ != 0 && entry.bytes > max_bytes_) {
+    return 0;  // Larger than the whole cache; not cacheable.
+  }
+  while (max_bytes_ != 0 && bytes_used_ + entry.bytes > max_bytes_ &&
+         !entries_.empty()) {
+    uint64_t victim = PickVictim();
+    if (victim == 0) break;
+    Remove(victim);
+    ++evictions_;
+  }
+  entry.id = next_id_++;
+  description_->Insert(entry.id, entry.region->BoundingBox());
+  bytes_used_ += entry.bytes;
+  uint64_t id = entry.id;
+  entries_.emplace(id, std::move(entry));
+  return id;
+}
+
+bool CacheStore::Remove(uint64_t id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  bytes_used_ -= it->second.bytes;
+  description_->Remove(id);
+  entries_.erase(it);
+  return true;
+}
+
+const CacheEntry* CacheStore::Find(uint64_t id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void CacheStore::Touch(uint64_t id, int64_t now_micros) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  it->second.last_access_micros = now_micros;
+  ++it->second.access_count;
+}
+
+std::vector<uint64_t> CacheStore::Candidates(
+    const geometry::Hyperrectangle& bbox) const {
+  return description_->SearchIntersecting(bbox);
+}
+
+std::vector<uint64_t> CacheStore::AllIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace fnproxy::core

@@ -1,0 +1,101 @@
+#ifndef FNPROXY_CORE_CACHE_STORE_H_
+#define FNPROXY_CORE_CACHE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/region.h"
+#include "index/region_index.h"
+#include "sql/schema.h"
+#include "util/status.h"
+
+namespace fnproxy::core {
+
+/// One cached query: its identifying template + parameters, the region its
+/// embedded function selected, and the result tuples (the paper's "query
+/// result file", kept as an in-memory table with byte accounting).
+struct CacheEntry {
+  uint64_t id = 0;
+  std::string template_id;
+  /// Fingerprint of the non-spatial parameters; entries are only comparable
+  /// to queries with an equal fingerprint.
+  std::string nonspatial_fingerprint;
+  /// Canonical string of the full parameter binding (exact-match key for
+  /// passive caching).
+  std::string param_fingerprint;
+  std::unique_ptr<geometry::Region> region;
+  sql::Table result;
+  /// True when the origin applied a TOP cutoff, so `result` may be missing
+  /// in-region tuples: such entries may serve exact matches only.
+  bool truncated = false;
+  size_t bytes = 0;
+  int64_t last_access_micros = 0;
+  uint64_t access_count = 0;
+};
+
+/// Cache replacement policies (Ablation C). The paper runs with fractional
+/// cache sizes but does not name its policy; LRU is the default.
+enum class ReplacementPolicy { kLru, kLfu, kSizeAdjusted };
+
+const char* ReplacementPolicyName(ReplacementPolicy policy);
+
+/// The proxy's Cache Manager: owns the entries, keeps the cache description
+/// (a RegionIndex over entry bounding boxes) in sync, enforces the byte
+/// budget by evicting per the policy, and tracks statistics.
+class CacheStore {
+ public:
+  /// `max_bytes == 0` means unlimited.
+  CacheStore(std::unique_ptr<index::RegionIndex> description, size_t max_bytes,
+             ReplacementPolicy policy);
+
+  /// Inserts a new entry (fields other than id/bytes filled by the caller);
+  /// returns its id. May evict other entries to fit; an entry larger than
+  /// the whole budget is not cached (returns 0).
+  uint64_t Insert(CacheEntry entry);
+
+  /// Removes an entry by id.
+  bool Remove(uint64_t id);
+
+  const CacheEntry* Find(uint64_t id) const;
+
+  /// Marks an access for replacement bookkeeping.
+  void Touch(uint64_t id, int64_t now_micros);
+
+  /// Ids of entries whose region bounding box intersects `bbox` — the cache
+  /// description probe. Box comparisons performed are reported through
+  /// description_comparisons().
+  std::vector<uint64_t> Candidates(const geometry::Hyperrectangle& bbox) const;
+
+  /// Box comparisons performed by the most recent Candidates / Insert /
+  /// Remove call on the description structure.
+  size_t description_comparisons() const {
+    return description_->last_op_comparisons();
+  }
+
+  size_t num_entries() const { return entries_.size(); }
+  size_t bytes_used() const { return bytes_used_; }
+  size_t max_bytes() const { return max_bytes_; }
+  uint64_t evictions() const { return evictions_; }
+
+  /// All entry ids (for iteration in tests/tools).
+  std::vector<uint64_t> AllIds() const;
+
+ private:
+  /// Picks the eviction victim per the policy; 0 when empty.
+  uint64_t PickVictim() const;
+
+  std::unique_ptr<index::RegionIndex> description_;
+  size_t max_bytes_;
+  ReplacementPolicy policy_;
+  std::map<uint64_t, CacheEntry> entries_;
+  size_t bytes_used_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace fnproxy::core
+
+#endif  // FNPROXY_CORE_CACHE_STORE_H_

@@ -1,0 +1,134 @@
+#include "core/local_eval.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sql/eval.h"
+
+namespace fnproxy::core {
+
+using sql::Row;
+using sql::Table;
+using sql::Value;
+using util::Status;
+using util::StatusOr;
+
+StatusOr<LocalEvalResult> SelectInRegion(
+    const Table& cached, const geometry::Region& region,
+    const std::vector<std::string>& coordinate_columns) {
+  std::vector<size_t> coord_indexes;
+  coord_indexes.reserve(coordinate_columns.size());
+  for (const std::string& name : coordinate_columns) {
+    auto idx = cached.schema().FindColumn(name);
+    if (!idx.has_value()) {
+      return Status::InvalidArgument(
+          "cached result lacks coordinate column '" + name +
+          "' (violates the result-attribute-availability property)");
+    }
+    coord_indexes.push_back(*idx);
+  }
+
+  LocalEvalResult out;
+  out.table = Table(cached.schema());
+  out.tuples_scanned = cached.num_rows();
+  geometry::Point point(coord_indexes.size());
+  for (const Row& row : cached.rows()) {
+    bool valid = true;
+    for (size_t i = 0; i < coord_indexes.size(); ++i) {
+      const Value& v = row[coord_indexes[i]];
+      auto numeric = v.ToNumeric();
+      if (!numeric.ok()) {
+        valid = false;
+        break;
+      }
+      point[i] = *numeric;
+    }
+    if (valid && region.ContainsPoint(point)) {
+      out.table.AddRow(row);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Canonical row key for duplicate elimination.
+std::string RowKey(const Row& row) {
+  std::string key;
+  for (const Value& v : row) {
+    key += v.ToSqlLiteral();
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+StatusOr<Table> MergeDistinct(const std::vector<const Table*>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("nothing to merge");
+  }
+  const sql::Schema& schema = parts[0]->schema();
+  for (const Table* part : parts) {
+    if (!part->schema().SameColumns(schema)) {
+      return Status::InvalidArgument(
+          "cannot merge results with different schemas: " +
+          part->schema().ToString() + " vs " + schema.ToString());
+    }
+  }
+  Table merged(schema);
+  std::unordered_set<std::string> seen;
+  for (const Table* part : parts) {
+    for (const Row& row : part->rows()) {
+      if (seen.insert(RowKey(row)).second) {
+        merged.AddRow(row);
+      }
+    }
+  }
+  return merged;
+}
+
+StatusOr<Table> ApplyOrderAndTop(const Table& input,
+                                 const sql::SelectStatement& stmt) {
+  std::vector<size_t> order(input.num_rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  if (!stmt.order_by.empty()) {
+    // Order keys must be projected columns at this point: resolve each
+    // ORDER BY expression as a column name in the result schema.
+    std::vector<std::pair<size_t, bool>> keys;  // (column, descending)
+    for (const sql::OrderItem& item : stmt.order_by) {
+      if (item.expr->kind != sql::Expr::Kind::kColumnRef) {
+        return Status::Unsupported(
+            "local ORDER BY supports projected column references only");
+      }
+      auto idx = input.schema().FindColumn(item.expr->name);
+      if (!idx.has_value()) {
+        return Status::InvalidArgument("ORDER BY column '" + item.expr->name +
+                                       "' is not in the projected result");
+      }
+      keys.emplace_back(*idx, item.descending);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (const auto& [col, desc] : keys) {
+        auto cmp = input.row(a)[col].Compare(input.row(b)[col]);
+        int c = cmp.ok() ? *cmp : 0;
+        if (c != 0) return desc ? c > 0 : c < 0;
+      }
+      return false;
+    });
+  }
+
+  size_t limit = order.size();
+  if (stmt.top_n.has_value()) {
+    limit = std::min(limit, static_cast<size_t>(*stmt.top_n));
+  }
+  Table out(input.schema());
+  out.Reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    out.AddRow(input.row(order[i]));
+  }
+  return out;
+}
+
+}  // namespace fnproxy::core

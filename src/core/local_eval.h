@@ -1,0 +1,42 @@
+#ifndef FNPROXY_CORE_LOCAL_EVAL_H_
+#define FNPROXY_CORE_LOCAL_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/region.h"
+#include "sql/ast.h"
+#include "sql/schema.h"
+#include "util/status.h"
+
+namespace fnproxy::core {
+
+/// The proxy's local Query Processor for subsumed queries (paper §3.2 case
+/// b): "the evaluation of a subsumed query becomes that of a spatial region
+/// selection query over cached results". Given cached result tuples and the
+/// new query's region, selects the tuples whose coordinate columns fall in
+/// the region. `tuples_scanned` reports the work done (feeds the proxy cost
+/// model).
+struct LocalEvalResult {
+  sql::Table table;
+  size_t tuples_scanned = 0;
+};
+
+util::StatusOr<LocalEvalResult> SelectInRegion(
+    const sql::Table& cached, const geometry::Region& region,
+    const std::vector<std::string>& coordinate_columns);
+
+/// Merges result tables with identical schemas, removing duplicate rows
+/// (tuples appear in several cached results when regions overlapped).
+/// Row identity is whole-row value equality.
+util::StatusOr<sql::Table> MergeDistinct(
+    const std::vector<const sql::Table*>& parts);
+
+/// Applies the new query's ORDER BY / TOP to a merged table (the remainder
+/// query is shipped without them; see BuildRemainderQuery).
+util::StatusOr<sql::Table> ApplyOrderAndTop(const sql::Table& input,
+                                            const sql::SelectStatement& stmt);
+
+}  // namespace fnproxy::core
+
+#endif  // FNPROXY_CORE_LOCAL_EVAL_H_

@@ -1,0 +1,510 @@
+#include "core/proxy.h"
+
+#include <algorithm>
+
+#include "core/cache_snapshot.h"
+#include "core/local_eval.h"
+#include "core/region_predicate.h"
+#include "core/relationship.h"
+#include "index/array_index.h"
+#include "index/rtree.h"
+#include "sql/printer.h"
+#include "sql/table_xml.h"
+#include "util/logging.h"
+
+namespace fnproxy::core {
+
+using geometry::RegionRelation;
+using net::HttpRequest;
+using net::HttpResponse;
+using sql::Table;
+using sql::Value;
+using util::Status;
+using util::StatusOr;
+
+const char* CachingModeName(CachingMode mode) {
+  switch (mode) {
+    case CachingMode::kNoCache:
+      return "NC";
+    case CachingMode::kPassive:
+      return "PC";
+    case CachingMode::kActiveFull:
+      return "AC-full";
+    case CachingMode::kActiveRegionContainment:
+      return "AC-region-containment";
+    case CachingMode::kActiveContainmentOnly:
+      return "AC-containment-only";
+  }
+  return "?";
+}
+
+std::string ProxyStats::ToXml() const {
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "<ProxyStats requests=\"%llu\" templateRequests=\"%llu\">\n"
+      "  <Hits exact=\"%llu\" containment=\"%llu\" regionContainment=\"%llu\""
+      " overlap=\"%llu\"/>\n"
+      "  <Misses count=\"%llu\"/>\n"
+      "  <Origin formRequests=\"%llu\" sqlRequests=\"%llu\"/>\n"
+      "  <TimingMicros check=\"%lld\" localEval=\"%lld\" merge=\"%lld\"/>\n"
+      "  <AverageCacheEfficiency>%.4f</AverageCacheEfficiency>\n"
+      "</ProxyStats>\n",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(template_requests),
+      static_cast<unsigned long long>(exact_hits),
+      static_cast<unsigned long long>(containment_hits),
+      static_cast<unsigned long long>(region_containments),
+      static_cast<unsigned long long>(overlaps_handled),
+      static_cast<unsigned long long>(misses),
+      static_cast<unsigned long long>(origin_form_requests),
+      static_cast<unsigned long long>(origin_sql_requests),
+      static_cast<long long>(check_micros),
+      static_cast<long long>(local_eval_micros),
+      static_cast<long long>(merge_micros), AverageCacheEfficiency());
+  return buffer;
+}
+
+double ProxyStats::AverageCacheEfficiency() const {
+  if (records.empty()) return 0.0;
+  double sum = 0.0;
+  for (const QueryRecord& record : records) {
+    sum += record.CacheEfficiency();
+  }
+  return sum / static_cast<double>(records.size());
+}
+
+namespace {
+
+/// Cheaply extracts the rows="N" attribute from a result document without a
+/// full XML parse (used for pass-through responses where the proxy only
+/// needs the tuple count for statistics).
+size_t ExtractRowCount(const std::string& body) {
+  size_t pos = body.find("rows=\"");
+  if (pos == std::string::npos) return 0;
+  pos += 6;
+  size_t end = body.find('"', pos);
+  if (end == std::string::npos) return 0;
+  size_t rows = 0;
+  for (size_t i = pos; i < end; ++i) {
+    if (body[i] < '0' || body[i] > '9') return 0;
+    rows = rows * 10 + static_cast<size_t>(body[i] - '0');
+  }
+  return rows;
+}
+
+std::string FullParamFingerprint(
+    const std::map<std::string, std::string>& params) {
+  std::string fingerprint;
+  for (const auto& [key, value] : params) {
+    fingerprint += key;
+    fingerprint += '=';
+    fingerprint += value;
+    fingerprint += ';';
+  }
+  return fingerprint;
+}
+
+}  // namespace
+
+FunctionProxy::FunctionProxy(ProxyConfig config,
+                             const TemplateRegistry* templates,
+                             net::SimulatedChannel* origin,
+                             util::SimulatedClock* clock)
+    : config_(config), templates_(templates), origin_(origin), clock_(clock) {
+  std::unique_ptr<index::RegionIndex> description;
+  if (config_.use_rtree_description) {
+    description = std::make_unique<index::RTreeIndex>();
+  } else {
+    description = std::make_unique<index::ArrayRegionIndex>();
+  }
+  cache_ = std::make_unique<CacheStore>(std::move(description),
+                                        config_.max_cache_bytes,
+                                        config_.replacement);
+}
+
+HttpResponse FunctionProxy::Forward(const HttpRequest& request,
+                                    QueryRecord* record) {
+  record->contacted_origin = true;
+  ++stats_.origin_form_requests;
+  HttpResponse response = origin_->RoundTrip(request);
+  if (response.ok()) {
+    record->tuples_total = ExtractRowCount(response.body);
+  }
+  return response;
+}
+
+StatusOr<Table> FunctionProxy::FetchFromOrigin(const HttpRequest& request,
+                                               QueryRecord* record) {
+  record->contacted_origin = true;
+  ++stats_.origin_form_requests;
+  HttpResponse response = origin_->RoundTrip(request);
+  if (!response.ok()) {
+    return Status::Internal("origin error " +
+                            std::to_string(response.status_code) + ": " +
+                            response.body);
+  }
+  FNPROXY_ASSIGN_OR_RETURN(Table table, sql::TableFromXml(response.body));
+  ChargeMicros(config_.costs.per_origin_response_tuple_us *
+               static_cast<double>(table.num_rows()));
+  return table;
+}
+
+StatusOr<Table> FunctionProxy::FetchRemainder(const sql::SelectStatement& stmt,
+                                              QueryRecord* record) {
+  record->contacted_origin = true;
+  ++stats_.origin_sql_requests;
+  HttpRequest request;
+  request.path = "/sql";
+  request.query_params["q"] = sql::SelectToSql(stmt);
+  HttpResponse response = origin_->RoundTrip(request);
+  if (!response.ok()) {
+    return Status::Internal("origin /sql error " +
+                            std::to_string(response.status_code) + ": " +
+                            response.body);
+  }
+  FNPROXY_ASSIGN_OR_RETURN(Table table, sql::TableFromXml(response.body));
+  ChargeMicros(config_.costs.per_origin_response_tuple_us *
+               static_cast<double>(table.num_rows()));
+  return table;
+}
+
+HttpResponse FunctionProxy::Respond(const Table& table) {
+  ChargeMicros(config_.costs.per_response_tuple_us *
+               static_cast<double>(table.num_rows()));
+  HttpResponse response;
+  response.body = sql::TableToXml(table);
+  return response;
+}
+
+double FunctionProxy::DescriptionCostMicros(size_t comparisons) const {
+  double factor = config_.use_rtree_description
+                      ? config_.costs.rtree_comparison_factor
+                      : 1.0;
+  return config_.costs.per_description_comparison_us * factor *
+         static_cast<double>(comparisons);
+}
+
+void FunctionProxy::CacheResult(const QueryTemplate& qt,
+                                const std::string& nonspatial_fp,
+                                const std::string& param_fp,
+                                const geometry::Region& region, Table result,
+                                bool truncated) {
+  CacheEntry entry;
+  entry.template_id = qt.id();
+  entry.nonspatial_fingerprint = nonspatial_fp;
+  entry.param_fingerprint = param_fp;
+  entry.region = region.Clone();
+  entry.result = std::move(result);
+  entry.truncated = truncated;
+  entry.last_access_micros = clock_->NowMicros();
+  entry.access_count = 1;
+  cache_->Insert(std::move(entry));
+  ChargeMicros(DescriptionCostMicros(cache_->description_comparisons()));
+}
+
+HttpResponse FunctionProxy::HandlePassive(const HttpRequest& request,
+                                          QueryRecord* record) {
+  std::string key = request.path + "?" + FullParamFingerprint(request.query_params);
+  auto it = passive_items_.find(key);
+  if (it != passive_items_.end()) {
+    it->second.last_access = clock_->NowMicros();
+    record->tuples_total = it->second.rows;
+    record->tuples_from_cache = it->second.rows;
+    ++stats_.exact_hits;
+    ChargeMicros(config_.costs.per_response_tuple_us *
+                 static_cast<double>(it->second.rows));
+    HttpResponse response;
+    response.body = it->second.body;
+    return response;
+  }
+  ++stats_.misses;
+  HttpResponse response = Forward(request, record);
+  if (response.ok()) {
+    PassiveItem item;
+    item.body = response.body;
+    item.rows = record->tuples_total;
+    item.bytes = response.body.size() + 128;
+    item.last_access = clock_->NowMicros();
+    if (config_.max_cache_bytes == 0 || item.bytes <= config_.max_cache_bytes) {
+      while (config_.max_cache_bytes != 0 &&
+             passive_bytes_ + item.bytes > config_.max_cache_bytes &&
+             !passive_items_.empty()) {
+        auto victim = passive_items_.begin();
+        for (auto iter = passive_items_.begin(); iter != passive_items_.end();
+             ++iter) {
+          if (iter->second.last_access < victim->second.last_access) {
+            victim = iter;
+          }
+        }
+        passive_bytes_ -= victim->second.bytes;
+        passive_items_.erase(victim);
+      }
+      passive_bytes_ += item.bytes;
+      passive_items_.emplace(std::move(key), std::move(item));
+    }
+  }
+  return response;
+}
+
+HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
+                                         const QueryTemplate& qt,
+                                         const FunctionTemplate& ft,
+                                         QueryRecord* record) {
+  // --- Instantiate: parameters, region, fingerprints. ---
+  std::map<std::string, Value> params;
+  for (const auto& [key, text] : request.query_params) {
+    params[key] = sql::ParseValueFromText(text);
+  }
+  auto args = qt.FunctionArgs(params);
+  if (!args.ok()) {
+    return Forward(request, record);
+  }
+  auto region_or = ft.BuildRegion(*args);
+  if (!region_or.ok()) {
+    return Forward(request, record);
+  }
+  std::unique_ptr<geometry::Region> region = std::move(*region_or);
+  auto nonspatial_fp = qt.NonSpatialFingerprint(params);
+  if (!nonspatial_fp.ok()) {
+    return Forward(request, record);
+  }
+  std::string param_fp = FullParamFingerprint(request.query_params);
+
+  // --- Relationship check against the cache description. ---
+  RelationshipResult rel =
+      CheckRelationship(*cache_, qt.id(), *nonspatial_fp, *region);
+  double check_micros =
+      DescriptionCostMicros(rel.description_comparisons) +
+      config_.costs.per_relation_check_us *
+          static_cast<double>(rel.regions_checked);
+  stats_.check_micros += static_cast<int64_t>(check_micros);
+  ChargeMicros(check_micros);
+  record->status = rel.status;
+
+  // Templates whose projection carries function-computed values (e.g. a
+  // distance to the query point) cannot reuse cached tuples for a different
+  // query region: those values would be stale. Exact matches remain safe.
+  const bool exact_only = qt.function_dependent_projection();
+  const bool handle_region_containment =
+      !exact_only && (config_.mode == CachingMode::kActiveFull ||
+                      config_.mode == CachingMode::kActiveRegionContainment);
+  const bool handle_overlap =
+      !exact_only && config_.mode == CachingMode::kActiveFull;
+
+  switch (rel.status) {
+    case RegionRelation::kEqual: {
+      // Case (a): serve the cached result directly.
+      ++stats_.exact_hits;
+      const CacheEntry* entry = cache_->Find(rel.matched_entry);
+      cache_->Touch(rel.matched_entry, clock_->NowMicros());
+      record->tuples_total = entry->result.num_rows();
+      record->tuples_from_cache = entry->result.num_rows();
+      return Respond(entry->result);
+    }
+
+    case RegionRelation::kContainedBy: {
+      if (exact_only) break;  // Stale function-computed values; miss path.
+      // Case (b): local spatial selection over the containing entry.
+      ++stats_.containment_hits;
+      const CacheEntry* entry = cache_->Find(rel.matched_entry);
+      cache_->Touch(rel.matched_entry, clock_->NowMicros());
+      auto selected =
+          SelectInRegion(entry->result, *region, ft.coordinate_columns());
+      if (!selected.ok()) {
+        FNPROXY_LOG(kWarning) << "local evaluation failed: "
+                              << selected.status().ToString();
+        return Forward(request, record);
+      }
+      double eval_micros = config_.costs.per_cached_tuple_scan_us *
+                           static_cast<double>(selected->tuples_scanned);
+      stats_.local_eval_micros += static_cast<int64_t>(eval_micros);
+      ChargeMicros(eval_micros);
+      auto stmt = qt.Instantiate(params);
+      if (!stmt.ok()) return Forward(request, record);
+      auto final_table = ApplyOrderAndTop(selected->table, *stmt);
+      if (!final_table.ok()) return Forward(request, record);
+      record->tuples_total = final_table->num_rows();
+      record->tuples_from_cache = final_table->num_rows();
+      // Not cached: the result is already covered by the container (§3.2).
+      return Respond(*final_table);
+    }
+
+    case RegionRelation::kContains:
+    case RegionRelation::kOverlap: {
+      bool is_region_containment = rel.status == RegionRelation::kContains;
+      bool handled = is_region_containment ? handle_region_containment
+                                           : handle_overlap;
+      if (!handled) break;  // Fall through to miss handling below.
+
+      // Cases (c) and the region-containment special case: assemble the
+      // probe from cached entries, ship a remainder query, merge.
+      std::vector<uint64_t> used_ids = rel.contained_ids;
+      std::vector<Table> probe_parts;
+      size_t scanned = 0;
+      for (uint64_t id : rel.contained_ids) {
+        const CacheEntry* entry = cache_->Find(id);
+        cache_->Touch(id, clock_->NowMicros());
+        // Contained regions lie fully inside the query: their result files
+        // are merged wholesale, with no per-tuple spatial filtering.
+        probe_parts.push_back(entry->result);
+      }
+      if (handle_overlap) {
+        for (uint64_t id : rel.overlapping_ids) {
+          const CacheEntry* entry = cache_->Find(id);
+          cache_->Touch(id, clock_->NowMicros());
+          auto selected =
+              SelectInRegion(entry->result, *region, ft.coordinate_columns());
+          if (!selected.ok()) continue;
+          scanned += selected->tuples_scanned;
+          probe_parts.push_back(std::move(selected->table));
+          used_ids.push_back(id);
+        }
+      }
+      double eval_micros = config_.costs.per_cached_tuple_scan_us *
+                           static_cast<double>(scanned);
+      stats_.local_eval_micros += static_cast<int64_t>(eval_micros);
+      ChargeMicros(eval_micros);
+
+      // Remainder query excludes every region whose tuples the probe holds.
+      std::vector<const geometry::Region*> excluded;
+      for (uint64_t id : used_ids) {
+        excluded.push_back(cache_->Find(id)->region.get());
+      }
+      auto stmt = qt.Instantiate(params);
+      if (!stmt.ok()) return Forward(request, record);
+      auto remainder_stmt =
+          BuildRemainderQuery(*stmt, excluded, ft.coordinate_columns());
+      if (!remainder_stmt.ok()) return Forward(request, record);
+      auto remainder_table = FetchRemainder(*remainder_stmt, record);
+      if (!remainder_table.ok()) {
+        // Origin without a remainder facility: fall back to the original
+        // query (paper §3.2: "the proxy has no choice but always sends the
+        // original query").
+        auto full = FetchFromOrigin(request, record);
+        if (!full.ok()) {
+          return HttpResponse::MakeError(502, full.status().ToString());
+        }
+        record->tuples_total = full->num_rows();
+        CacheResult(qt, *nonspatial_fp, param_fp, *region, *full,
+                    qt.has_top() && stmt->top_n.has_value() &&
+                        full->num_rows() ==
+                            static_cast<size_t>(*stmt->top_n));
+        ++stats_.misses;
+        return Respond(*full);
+      }
+
+      if (is_region_containment) {
+        ++stats_.region_containments;
+      } else {
+        ++stats_.overlaps_handled;
+      }
+
+      // Merge probe parts and the remainder.
+      std::vector<const Table*> probe_ptrs;
+      for (const Table& part : probe_parts) probe_ptrs.push_back(&part);
+      auto probe = MergeDistinct(probe_ptrs);
+      if (!probe.ok()) return Forward(request, record);
+      auto merged = MergeDistinct({&*probe, &*remainder_table});
+      if (!merged.ok()) return Forward(request, record);
+      double merge_micros = config_.costs.per_merge_tuple_us *
+                            static_cast<double>(merged->num_rows());
+      stats_.merge_micros += static_cast<int64_t>(merge_micros);
+      ChargeMicros(merge_micros);
+
+      record->tuples_total = merged->num_rows();
+      record->tuples_from_cache = probe->num_rows();
+
+      // Region containment housekeeping (§3.2): the merged result covers the
+      // new, larger region — cache it and drop the subsumed entries.
+      if (is_region_containment) {
+        for (uint64_t id : rel.contained_ids) {
+          cache_->Remove(id);
+          ChargeMicros(DescriptionCostMicros(cache_->description_comparisons()));
+        }
+        CacheResult(qt, *nonspatial_fp, param_fp, *region, *merged,
+                    /*truncated=*/false);
+      } else {
+        // General overlap: cache the new query's full result; overlapped
+        // entries remain (they are not subsumed).
+        CacheResult(qt, *nonspatial_fp, param_fp, *region, *merged,
+                    /*truncated=*/false);
+      }
+
+      auto final_table = ApplyOrderAndTop(*merged, *stmt);
+      if (!final_table.ok()) return Forward(request, record);
+      return Respond(*final_table);
+    }
+
+    case RegionRelation::kDisjoint:
+      break;
+  }
+
+  // Case (d) or a case this scheme does not handle: fetch the original
+  // query from the origin and cache the result.
+  ++stats_.misses;
+  auto table = FetchFromOrigin(request, record);
+  if (!table.ok()) {
+    return HttpResponse::MakeError(502, table.status().ToString());
+  }
+  record->tuples_total = table->num_rows();
+  record->tuples_from_cache = 0;
+  bool truncated = false;
+  if (qt.has_top()) {
+    auto stmt = qt.Instantiate(params);
+    truncated = stmt.ok() && stmt->top_n.has_value() &&
+                table->num_rows() == static_cast<size_t>(*stmt->top_n);
+  }
+  CacheResult(qt, *nonspatial_fp, param_fp, *region, *table, truncated);
+  return Respond(*table);
+}
+
+util::Status FunctionProxy::SaveCache(const std::string& directory) const {
+  return SaveCacheSnapshot(*cache_, directory);
+}
+
+util::StatusOr<size_t> FunctionProxy::LoadCache(const std::string& directory) {
+  return LoadCacheSnapshot(directory, cache_.get());
+}
+
+HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
+  if (request.path == "/proxy/stats") {
+    // Admin endpoint: live statistics and cache state, served locally.
+    HttpResponse response;
+    response.body = stats_.ToXml();
+    response.body += "<Cache entries=\"" +
+                     std::to_string(cache_->num_entries()) + "\" bytes=\"" +
+                     std::to_string(cache_->bytes_used()) + "\" evictions=\"" +
+                     std::to_string(cache_->evictions()) + "\" description=\"" +
+                     (config_.use_rtree_description ? "rtree" : "array") +
+                     "\" mode=\"" + CachingModeName(config_.mode) + "\"/>\n";
+    return response;
+  }
+
+  ++stats_.requests;
+  ChargeMicros(config_.costs.request_parse_ms * 1000.0);
+
+  QueryRecord record;
+  const QueryTemplate* qt = templates_->FindByPath(request.path);
+  const FunctionTemplate* ft =
+      qt == nullptr ? nullptr
+                    : templates_->FindFunctionTemplate(qt->function_name());
+
+  HttpResponse response;
+  if (config_.mode == CachingMode::kNoCache || qt == nullptr ||
+      ft == nullptr) {
+    response = Forward(request, &record);
+  } else {
+    ++stats_.template_requests;
+    record.handled_by_template = true;
+    if (config_.mode == CachingMode::kPassive) {
+      response = HandlePassive(request, &record);
+    } else {
+      response = HandleActive(request, *qt, *ft, &record);
+    }
+  }
+  stats_.records.push_back(record);
+  return response;
+}
+
+}  // namespace fnproxy::core

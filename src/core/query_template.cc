@@ -1,0 +1,141 @@
+#include "core/query_template.h"
+
+#include "sql/eval.h"
+#include "sql/parser.h"
+#include "util/string_util.h"
+
+namespace fnproxy::core {
+
+using sql::Expr;
+using sql::SelectStatement;
+using sql::Value;
+using util::Status;
+using util::StatusOr;
+
+namespace {
+
+void CollectParams(const Expr& expr, std::set<std::string>* out) {
+  if (expr.kind == Expr::Kind::kParameter) out->insert(expr.name);
+  for (const auto& child : expr.children) CollectParams(*child, out);
+}
+
+void CollectStatementParams(const SelectStatement& stmt,
+                            std::set<std::string>* out) {
+  for (const auto& item : stmt.items) {
+    if (item.expr) CollectParams(*item.expr, out);
+  }
+  for (const auto& arg : stmt.from.args) CollectParams(*arg, out);
+  for (const auto& join : stmt.joins) {
+    for (const auto& arg : join.table.args) CollectParams(*arg, out);
+    if (join.condition) CollectParams(*join.condition, out);
+  }
+  if (stmt.where) CollectParams(*stmt.where, out);
+  for (const auto& item : stmt.order_by) {
+    if (item.expr) CollectParams(*item.expr, out);
+  }
+}
+
+/// True when `expr` contains a column reference that may resolve to the
+/// function source: qualified with the function's effective name, or
+/// unqualified (conservatively assumed function-sourced).
+bool ReferencesFunctionSource(const Expr& expr,
+                              const std::string& fn_qualifier) {
+  if (expr.kind == Expr::Kind::kColumnRef) {
+    if (expr.qualifier.empty()) return true;
+    if (util::EqualsIgnoreCase(expr.qualifier, fn_qualifier)) return true;
+  }
+  for (const auto& child : expr.children) {
+    if (ReferencesFunctionSource(*child, fn_qualifier)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<QueryTemplate> QueryTemplate::Create(std::string id,
+                                              std::string form_path,
+                                              std::string sql_text) {
+  FNPROXY_ASSIGN_OR_RETURN(SelectStatement stmt, sql::ParseSelect(sql_text));
+  if (stmt.from.kind != sql::TableRef::Kind::kFunctionCall) {
+    return Status::InvalidArgument(
+        "query template FROM clause must call a table-valued function");
+  }
+  QueryTemplate tmpl;
+  tmpl.id_ = std::move(id);
+  tmpl.form_path_ = std::move(form_path);
+  tmpl.sql_text_ = std::move(sql_text);
+  tmpl.stmt_ = std::move(stmt);
+  CollectStatementParams(tmpl.stmt_, &tmpl.all_params_);
+  for (const auto& arg : tmpl.stmt_.from.args) {
+    CollectParams(*arg, &tmpl.spatial_params_);
+  }
+  for (const std::string& p : tmpl.all_params_) {
+    if (tmpl.spatial_params_.find(p) == tmpl.spatial_params_.end()) {
+      tmpl.nonspatial_params_.insert(p);
+    }
+  }
+
+  // Parameter-dependent projections (values computed by the function from
+  // its arguments, like fGetNearbyObjEq's distance) restrict cache reuse to
+  // exact matches; detect references to the function source in the SELECT
+  // list and ORDER BY.
+  const std::string& fn_qualifier = tmpl.stmt_.from.EffectiveName();
+  for (const sql::SelectItem& item : tmpl.stmt_.items) {
+    if (item.star) {
+      if (item.star_qualifier.empty() ||
+          util::EqualsIgnoreCase(item.star_qualifier, fn_qualifier)) {
+        tmpl.function_dependent_projection_ = true;
+      }
+      continue;
+    }
+    if (item.expr && ReferencesFunctionSource(*item.expr, fn_qualifier)) {
+      tmpl.function_dependent_projection_ = true;
+    }
+  }
+  for (const sql::OrderItem& item : tmpl.stmt_.order_by) {
+    if (item.expr && ReferencesFunctionSource(*item.expr, fn_qualifier)) {
+      tmpl.function_dependent_projection_ = true;
+    }
+  }
+  return tmpl;
+}
+
+StatusOr<std::vector<Value>> QueryTemplate::FunctionArgs(
+    const std::map<std::string, Value>& params) const {
+  sql::ScalarFunctionRegistry registry =
+      sql::ScalarFunctionRegistry::WithBuiltins();
+  sql::ExprEvaluator evaluator(&registry);
+  sql::RowBinding no_rows;
+  std::vector<Value> args;
+  args.reserve(stmt_.from.args.size());
+  for (const auto& arg : stmt_.from.args) {
+    FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> bound,
+                             sql::SubstituteParameters(*arg, params));
+    FNPROXY_ASSIGN_OR_RETURN(Value v, evaluator.Eval(*bound, no_rows));
+    args.push_back(std::move(v));
+  }
+  return args;
+}
+
+StatusOr<SelectStatement> QueryTemplate::Instantiate(
+    const std::map<std::string, Value>& params) const {
+  return sql::SubstituteParameters(stmt_, params);
+}
+
+StatusOr<std::string> QueryTemplate::NonSpatialFingerprint(
+    const std::map<std::string, Value>& params) const {
+  std::string fingerprint;
+  for (const std::string& name : nonspatial_params_) {
+    auto it = params.find(name);
+    if (it == params.end()) {
+      return Status::InvalidArgument("missing parameter $" + name);
+    }
+    fingerprint += name;
+    fingerprint += '=';
+    fingerprint += it->second.ToSqlLiteral();
+    fingerprint += ';';
+  }
+  return fingerprint;
+}
+
+}  // namespace fnproxy::core

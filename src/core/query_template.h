@@ -1,0 +1,93 @@
+#ifndef FNPROXY_CORE_QUERY_TEMPLATE_H_
+#define FNPROXY_CORE_QUERY_TEMPLATE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/value.h"
+#include "util/status.h"
+
+namespace fnproxy::core {
+
+/// A function-embedded query template (paper Fig. 2): parameterized SQL tied
+/// to an HTML search form, whose FROM clause calls a table-valued function.
+/// Parameters are split into *spatial* ones (those feeding the function call
+/// and thus the region) and *non-spatial* ones (the optional
+/// "other_predicates" constants). Cached queries are comparable — for
+/// containment/overlap reasoning — only when their non-spatial parameters
+/// match; the spatial relationship then decides everything else.
+class QueryTemplate {
+ public:
+  /// Parses and validates `sql_text`. The FROM source must be a function
+  /// call; every FROM argument must be an expression over $parameters and
+  /// literals.
+  static util::StatusOr<QueryTemplate> Create(std::string id,
+                                              std::string form_path,
+                                              std::string sql_text);
+
+  const std::string& id() const { return id_; }
+  const std::string& form_path() const { return form_path_; }
+  const std::string& sql_text() const { return sql_text_; }
+  const sql::SelectStatement& statement() const { return stmt_; }
+  /// Name of the table-valued function in the FROM clause (as written,
+  /// e.g. "dbo.fGetNearbyObjEq").
+  const std::string& function_name() const { return stmt_.from.name; }
+
+  const std::set<std::string>& all_params() const { return all_params_; }
+  const std::set<std::string>& spatial_params() const { return spatial_params_; }
+  const std::set<std::string>& nonspatial_params() const {
+    return nonspatial_params_;
+  }
+
+  /// True when the statement has a TOP clause (results may be truncated at
+  /// the origin; see CacheEntry::truncated).
+  bool has_top() const { return stmt_.top_n.has_value(); }
+
+  /// True when the SELECT list or ORDER BY references columns of the
+  /// table-valued function's own output (e.g. `n.distance`). Such values
+  /// depend on the function's *arguments*, not just on the tuple, so cached
+  /// results cannot answer a different (merely contained/overlapping) query
+  /// — the proxy restricts these templates to exact-match reuse. Detection
+  /// is conservative: a function-qualified or unqualified column reference,
+  /// or a star covering the function source, marks the template dependent.
+  bool function_dependent_projection() const {
+    return function_dependent_projection_;
+  }
+
+  /// Evaluates the FROM-clause argument expressions under `params`,
+  /// producing the concrete function-call argument values (these feed
+  /// FunctionTemplate::BuildRegion).
+  util::StatusOr<std::vector<sql::Value>> FunctionArgs(
+      const std::map<std::string, sql::Value>& params) const;
+
+  /// Substitutes all parameters, yielding the executable statement.
+  util::StatusOr<sql::SelectStatement> Instantiate(
+      const std::map<std::string, sql::Value>& params) const;
+
+  /// Canonical string over the non-spatial parameter values; two requests
+  /// are cache-comparable iff their fingerprints are equal.
+  util::StatusOr<std::string> NonSpatialFingerprint(
+      const std::map<std::string, sql::Value>& params) const;
+
+  QueryTemplate(QueryTemplate&&) = default;
+  QueryTemplate& operator=(QueryTemplate&&) = default;
+
+ private:
+  QueryTemplate() = default;
+
+  std::string id_;
+  std::string form_path_;
+  std::string sql_text_;
+  sql::SelectStatement stmt_;
+  std::set<std::string> all_params_;
+  std::set<std::string> spatial_params_;
+  std::set<std::string> nonspatial_params_;
+  bool function_dependent_projection_ = false;
+};
+
+}  // namespace fnproxy::core
+
+#endif  // FNPROXY_CORE_QUERY_TEMPLATE_H_

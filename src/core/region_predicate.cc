@@ -1,0 +1,106 @@
+#include "core/region_predicate.h"
+
+#include "geometry/hyperrectangle.h"
+#include "geometry/hypersphere.h"
+#include "geometry/polytope.h"
+
+namespace fnproxy::core {
+
+using geometry::Region;
+using geometry::ShapeKind;
+using sql::BinaryOp;
+using sql::Expr;
+using sql::Value;
+using util::Status;
+using util::StatusOr;
+
+namespace {
+
+std::unique_ptr<Expr> Col(const std::string& name) {
+  return Expr::ColumnRef("", name);
+}
+
+std::unique_ptr<Expr> Lit(double v) { return Expr::Literal(Value::Double(v)); }
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Expr>> RegionToPredicate(
+    const Region& region, const std::vector<std::string>& coordinate_columns) {
+  if (coordinate_columns.size() != region.dimensions()) {
+    return Status::InvalidArgument(
+        "coordinate column count does not match region dimensionality");
+  }
+  switch (region.kind()) {
+    case ShapeKind::kHypersphere: {
+      const auto& sphere = static_cast<const geometry::Hypersphere&>(region);
+      std::unique_ptr<Expr> sum;
+      for (size_t i = 0; i < coordinate_columns.size(); ++i) {
+        auto diff = Expr::Binary(BinaryOp::kSub, Col(coordinate_columns[i]),
+                                 Lit(sphere.center()[i]));
+        auto diff_copy = diff->Clone();
+        auto square =
+            Expr::Binary(BinaryOp::kMul, std::move(diff_copy), std::move(diff));
+        sum = sum == nullptr
+                  ? std::move(square)
+                  : Expr::Binary(BinaryOp::kAdd, std::move(sum),
+                                 std::move(square));
+      }
+      return Expr::Binary(BinaryOp::kLe, std::move(sum),
+                          Lit(sphere.radius() * sphere.radius()));
+    }
+    case ShapeKind::kHyperrectangle: {
+      const auto& rect = static_cast<const geometry::Hyperrectangle&>(region);
+      std::vector<std::unique_ptr<Expr>> conjuncts;
+      for (size_t i = 0; i < coordinate_columns.size(); ++i) {
+        conjuncts.push_back(Expr::Binary(
+            BinaryOp::kGe, Col(coordinate_columns[i]), Lit(rect.lo()[i])));
+        conjuncts.push_back(Expr::Binary(
+            BinaryOp::kLe, Col(coordinate_columns[i]), Lit(rect.hi()[i])));
+      }
+      return sql::ConjoinAll(std::move(conjuncts));
+    }
+    case ShapeKind::kPolytope: {
+      const auto& poly = static_cast<const geometry::Polytope&>(region);
+      std::vector<std::unique_ptr<Expr>> conjuncts;
+      for (const geometry::Halfspace& h : poly.halfspaces()) {
+        std::unique_ptr<Expr> sum;
+        for (size_t i = 0; i < coordinate_columns.size(); ++i) {
+          auto term = Expr::Binary(BinaryOp::kMul, Lit(h.normal[i]),
+                                   Col(coordinate_columns[i]));
+          sum = sum == nullptr ? std::move(term)
+                               : Expr::Binary(BinaryOp::kAdd, std::move(sum),
+                                              std::move(term));
+        }
+        conjuncts.push_back(
+            Expr::Binary(BinaryOp::kLe, std::move(sum), Lit(h.offset)));
+      }
+      return sql::ConjoinAll(std::move(conjuncts));
+    }
+  }
+  return Status::Internal("bad region kind");
+}
+
+StatusOr<sql::SelectStatement> BuildRemainderQuery(
+    const sql::SelectStatement& base,
+    const std::vector<const Region*>& excluded_regions,
+    const std::vector<std::string>& coordinate_columns) {
+  sql::SelectStatement remainder = base.Clone();
+  // The proxy applies TOP / ORDER BY locally over the merged result; the
+  // remainder must return every remaining in-region tuple.
+  remainder.top_n.reset();
+  remainder.order_by.clear();
+
+  std::vector<std::unique_ptr<Expr>> conjuncts;
+  if (remainder.where != nullptr) {
+    conjuncts.push_back(std::move(remainder.where));
+  }
+  for (const Region* region : excluded_regions) {
+    FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> in_region,
+                             RegionToPredicate(*region, coordinate_columns));
+    conjuncts.push_back(Expr::Unary(sql::UnaryOp::kNot, std::move(in_region)));
+  }
+  remainder.where = sql::ConjoinAll(std::move(conjuncts));
+  return remainder;
+}
+
+}  // namespace fnproxy::core

@@ -1,0 +1,37 @@
+#ifndef FNPROXY_CORE_REGION_PREDICATE_H_
+#define FNPROXY_CORE_REGION_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/region.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace fnproxy::core {
+
+/// Builds a SQL predicate equivalent to "the tuple's point lies in
+/// `region`", over the named coordinate columns:
+///   hypersphere: (x1-c1)*(x1-c1) + ... <= r*r
+///   hyperrectangle: x1 >= lo1 AND x1 <= hi1 AND ...
+///   polytope: n11*x1 + ... <= b1 AND ... (one conjunct per halfspace)
+/// These predicates appear negated in remainder queries shipped to the
+/// origin's SQL facility.
+util::StatusOr<std::unique_ptr<sql::Expr>> RegionToPredicate(
+    const geometry::Region& region,
+    const std::vector<std::string>& coordinate_columns);
+
+/// Builds the remainder query (paper §3.2): the instantiated original
+/// statement with "AND NOT(in region_i)" conjuncts appended for every cached
+/// region already answered from the cache, and TOP/ORDER BY stripped (the
+/// proxy applies them locally after merging). `base` must be fully
+/// instantiated.
+util::StatusOr<sql::SelectStatement> BuildRemainderQuery(
+    const sql::SelectStatement& base,
+    const std::vector<const geometry::Region*>& excluded_regions,
+    const std::vector<std::string>& coordinate_columns);
+
+}  // namespace fnproxy::core
+
+#endif  // FNPROXY_CORE_REGION_PREDICATE_H_

@@ -1,0 +1,64 @@
+#include "core/relationship.h"
+
+namespace fnproxy::core {
+
+using geometry::RegionRelation;
+
+RelationshipResult CheckRelationship(const CacheStore& cache,
+                                     const std::string& template_id,
+                                     const std::string& nonspatial_fingerprint,
+                                     const geometry::Region& region) {
+  RelationshipResult result;
+  std::vector<uint64_t> candidates = cache.Candidates(region.BoundingBox());
+  result.description_comparisons = cache.description_comparisons();
+
+  for (uint64_t id : candidates) {
+    const CacheEntry* entry = cache.Find(id);
+    if (entry == nullptr) continue;
+    if (entry->template_id != template_id ||
+        entry->nonspatial_fingerprint != nonspatial_fingerprint) {
+      continue;
+    }
+    ++result.regions_checked;
+    RegionRelation relation = geometry::Relate(region, *entry->region);
+    switch (relation) {
+      case RegionRelation::kEqual:
+        // Exact match: same region, same non-spatial constants — the result
+        // is identical even for truncated (TOP-cut) entries because the
+        // origin is deterministic.
+        result.status = RegionRelation::kEqual;
+        result.matched_entry = id;
+        result.contained_ids.clear();
+        result.overlapping_ids.clear();
+        return result;
+      case RegionRelation::kContainedBy:
+        if (entry->truncated) break;  // Unusable: may miss in-region tuples.
+        result.status = RegionRelation::kContainedBy;
+        result.matched_entry = id;
+        result.contained_ids.clear();
+        result.overlapping_ids.clear();
+        return result;
+      case RegionRelation::kContains:
+        if (entry->truncated) break;
+        result.contained_ids.push_back(id);
+        break;
+      case RegionRelation::kOverlap:
+        if (entry->truncated) break;
+        result.overlapping_ids.push_back(id);
+        break;
+      case RegionRelation::kDisjoint:
+        break;
+    }
+  }
+
+  if (!result.contained_ids.empty()) {
+    result.status = RegionRelation::kContains;
+  } else if (!result.overlapping_ids.empty()) {
+    result.status = RegionRelation::kOverlap;
+  } else {
+    result.status = RegionRelation::kDisjoint;
+  }
+  return result;
+}
+
+}  // namespace fnproxy::core

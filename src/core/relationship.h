@@ -1,0 +1,44 @@
+#ifndef FNPROXY_CORE_RELATIONSHIP_H_
+#define FNPROXY_CORE_RELATIONSHIP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cache_store.h"
+#include "geometry/region.h"
+
+namespace fnproxy::core {
+
+/// Outcome of checking a new query against the cache (paper §3.2 cases a-d
+/// plus the region-containment special case). Also reports the work done so
+/// the proxy can charge virtual time for it.
+struct RelationshipResult {
+  geometry::RegionRelation status = geometry::RegionRelation::kDisjoint;
+  /// Entry serving an exact match or containing the new query.
+  uint64_t matched_entry = 0;
+  /// Cached entries whose regions the new query contains (non-truncated).
+  std::vector<uint64_t> contained_ids;
+  /// Cached entries partially overlapping the new query (non-truncated).
+  std::vector<uint64_t> overlapping_ids;
+  /// Number of Relate() region checks performed.
+  size_t regions_checked = 0;
+  /// Box comparisons inside the cache description structure.
+  size_t description_comparisons = 0;
+};
+
+/// Probes the cache description, then classifies the new query's region
+/// against every comparable candidate (same template, equal non-spatial
+/// fingerprint). Resolution order: exact match wins, then containment in a
+/// cached query; otherwise contained/overlapping candidate lists are
+/// gathered and the overall status is kContains when any cached region is
+/// inside the new query, kOverlap when only partial overlaps exist, else
+/// kDisjoint. Truncated entries participate in exact matches only.
+RelationshipResult CheckRelationship(const CacheStore& cache,
+                                     const std::string& template_id,
+                                     const std::string& nonspatial_fingerprint,
+                                     const geometry::Region& region);
+
+}  // namespace fnproxy::core
+
+#endif  // FNPROXY_CORE_RELATIONSHIP_H_

@@ -1,0 +1,70 @@
+#include "core/template_registry.h"
+
+#include "util/string_util.h"
+#include "xml/xml.h"
+
+namespace fnproxy::core {
+
+using util::Status;
+
+std::string TemplateRegistry::NormalizeName(std::string_view name) {
+  std::string lower = util::ToLower(name);
+  if (util::StartsWith(lower, "dbo.")) lower = lower.substr(4);
+  return lower;
+}
+
+Status TemplateRegistry::RegisterFunctionTemplate(FunctionTemplate tmpl) {
+  std::string key = NormalizeName(tmpl.name());
+  function_templates_.insert_or_assign(std::move(key), std::move(tmpl));
+  return Status::Ok();
+}
+
+Status TemplateRegistry::RegisterFunctionTemplateXml(std::string_view xml_text) {
+  FNPROXY_ASSIGN_OR_RETURN(FunctionTemplate tmpl,
+                           FunctionTemplate::FromXml(xml_text));
+  return RegisterFunctionTemplate(std::move(tmpl));
+}
+
+Status TemplateRegistry::RegisterQueryTemplate(QueryTemplate tmpl) {
+  if (by_id_.count(tmpl.id()) > 0) {
+    return Status::AlreadyExists("query template '" + tmpl.id() +
+                                 "' already registered");
+  }
+  path_to_id_[tmpl.form_path()] = tmpl.id();
+  std::string id = tmpl.id();
+  by_id_.emplace(std::move(id), std::move(tmpl));
+  return Status::Ok();
+}
+
+Status TemplateRegistry::RegisterInfoXml(std::string_view xml_text) {
+  FNPROXY_ASSIGN_OR_RETURN(auto root, xml::ParseXml(xml_text));
+  if (root->name() != "TemplateInfo") {
+    return Status::ParseError("expected <TemplateInfo> root");
+  }
+  FNPROXY_ASSIGN_OR_RETURN(std::string id, root->ChildText("Id"));
+  FNPROXY_ASSIGN_OR_RETURN(std::string path, root->ChildText("FormPath"));
+  FNPROXY_ASSIGN_OR_RETURN(std::string sql, root->ChildText("QueryTemplate"));
+  FNPROXY_ASSIGN_OR_RETURN(
+      QueryTemplate tmpl,
+      QueryTemplate::Create(std::move(id), std::move(path), std::move(sql)));
+  return RegisterQueryTemplate(std::move(tmpl));
+}
+
+const QueryTemplate* TemplateRegistry::FindByPath(std::string_view path) const {
+  auto it = path_to_id_.find(std::string(path));
+  if (it == path_to_id_.end()) return nullptr;
+  return FindById(it->second);
+}
+
+const QueryTemplate* TemplateRegistry::FindById(std::string_view id) const {
+  auto it = by_id_.find(std::string(id));
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+const FunctionTemplate* TemplateRegistry::FindFunctionTemplate(
+    std::string_view name) const {
+  auto it = function_templates_.find(NormalizeName(name));
+  return it == function_templates_.end() ? nullptr : &it->second;
+}
+
+}  // namespace fnproxy::core

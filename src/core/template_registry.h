@@ -1,0 +1,60 @@
+#ifndef FNPROXY_CORE_TEMPLATE_REGISTRY_H_
+#define FNPROXY_CORE_TEMPLATE_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/function_template.h"
+#include "core/query_template.h"
+#include "util/status.h"
+
+namespace fnproxy::core {
+
+/// The proxy's Template Manager (paper Fig. 4): holds registered function
+/// templates, function-embedded query templates, and the information files
+/// that associate an HTML search form (a request path) with its query
+/// template. A query template is servable once the function template of the
+/// TVF it calls is also registered.
+class TemplateRegistry {
+ public:
+  /// Registers a function template (keyed case-insensitively by name,
+  /// ignoring a "dbo." prefix).
+  util::Status RegisterFunctionTemplate(FunctionTemplate tmpl);
+  util::Status RegisterFunctionTemplateXml(std::string_view xml_text);
+
+  util::Status RegisterQueryTemplate(QueryTemplate tmpl);
+
+  /// Information file: associates a form path with a query template
+  /// (paper §2: "we use information files to associate an HTML search form
+  /// with a function-embedded query template").
+  ///
+  ///   <TemplateInfo>
+  ///     <Id>radial</Id>
+  ///     <FormPath>/radial</FormPath>
+  ///     <QueryTemplate>SELECT ... FROM fGetNearbyObjEq($ra,$dec,$radius) ...
+  ///     </QueryTemplate>
+  ///   </TemplateInfo>
+  util::Status RegisterInfoXml(std::string_view xml_text);
+
+  /// Query template serving `path`, or nullptr.
+  const QueryTemplate* FindByPath(std::string_view path) const;
+  /// Query template by id, or nullptr.
+  const QueryTemplate* FindById(std::string_view id) const;
+  /// Function template by (normalized) function name, or nullptr.
+  const FunctionTemplate* FindFunctionTemplate(std::string_view name) const;
+
+  size_t num_query_templates() const { return by_id_.size(); }
+  size_t num_function_templates() const { return function_templates_.size(); }
+
+ private:
+  static std::string NormalizeName(std::string_view name);
+
+  std::map<std::string, FunctionTemplate> function_templates_;
+  std::map<std::string, QueryTemplate> by_id_;
+  std::map<std::string, std::string> path_to_id_;
+};
+
+}  // namespace fnproxy::core
+
+#endif  // FNPROXY_CORE_TEMPLATE_REGISTRY_H_

@@ -1,0 +1,169 @@
+#include "geometry/gjk.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace fnproxy::geometry {
+
+namespace {
+
+constexpr int kMaxIterations = 128;
+constexpr double kDistanceTolerance = 1e-10;
+
+/// Solves the k x k linear system `m * x = rhs` by Gaussian elimination with
+/// partial pivoting. Returns false when (numerically) singular.
+bool SolveLinearSystem(std::vector<std::vector<double>> m,
+                       std::vector<double> rhs, std::vector<double>* out) {
+  size_t k = rhs.size();
+  for (size_t col = 0; col < k; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < k; ++row) {
+      if (std::abs(m[row][col]) > std::abs(m[pivot][col])) pivot = row;
+    }
+    if (std::abs(m[pivot][col]) < 1e-14) return false;
+    std::swap(m[pivot], m[col]);
+    std::swap(rhs[pivot], rhs[col]);
+    for (size_t row = col + 1; row < k; ++row) {
+      double factor = m[row][col] / m[col][col];
+      for (size_t j = col; j < k; ++j) m[row][j] -= factor * m[col][j];
+      rhs[row] -= factor * rhs[col];
+    }
+  }
+  out->assign(k, 0.0);
+  for (size_t col = k; col-- > 0;) {
+    double sum = rhs[col];
+    for (size_t j = col + 1; j < k; ++j) sum -= m[col][j] * (*out)[j];
+    (*out)[col] = sum / m[col][col];
+  }
+  return true;
+}
+
+}  // namespace
+
+Point ClosestPointOnHull(const std::vector<Point>& points,
+                         std::vector<size_t>* support_indices) {
+  assert(!points.empty());
+  size_t n = points.size();
+  size_t d = points[0].size();
+
+  double best_norm_sq = std::numeric_limits<double>::infinity();
+  Point best_point(d, 0.0);
+  std::vector<size_t> best_support;
+
+  // Enumerate every nonempty subset of input points; for each, project the
+  // origin onto the subset's affine hull and keep it when the barycentric
+  // coordinates are all nonnegative (i.e. the projection lies in the convex
+  // hull of the subset).
+  for (size_t mask = 1; mask < (static_cast<size_t>(1) << n); ++mask) {
+    std::vector<size_t> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (static_cast<size_t>(1) << i)) subset.push_back(i);
+    }
+    size_t k = subset.size() - 1;  // Number of free barycentric coordinates.
+    const Point& p0 = points[subset[0]];
+
+    std::vector<double> lambda(k, 0.0);
+    if (k > 0) {
+      // Normal equations for min || p0 + sum lambda_i (p_i - p0) ||^2.
+      std::vector<std::vector<double>> gram(k, std::vector<double>(k, 0.0));
+      std::vector<double> rhs(k, 0.0);
+      for (size_t i = 0; i < k; ++i) {
+        const Point& pi = points[subset[i + 1]];
+        for (size_t j = 0; j < k; ++j) {
+          const Point& pj = points[subset[j + 1]];
+          double sum = 0.0;
+          for (size_t t = 0; t < d; ++t) {
+            sum += (pi[t] - p0[t]) * (pj[t] - p0[t]);
+          }
+          gram[i][j] = sum;
+        }
+        double b = 0.0;
+        for (size_t t = 0; t < d; ++t) b += (pi[t] - p0[t]) * p0[t];
+        rhs[i] = -b;
+      }
+      if (!SolveLinearSystem(std::move(gram), std::move(rhs), &lambda)) {
+        continue;  // Affinely dependent subset; a smaller subset covers it.
+      }
+    }
+    double lambda0 = 1.0;
+    bool feasible = true;
+    for (double l : lambda) {
+      lambda0 -= l;
+      if (l < -1e-12) feasible = false;
+    }
+    if (lambda0 < -1e-12) feasible = false;
+    if (!feasible) continue;
+
+    Point candidate(d, 0.0);
+    for (size_t t = 0; t < d; ++t) candidate[t] = lambda0 * p0[t];
+    for (size_t i = 0; i < k; ++i) {
+      const Point& pi = points[subset[i + 1]];
+      for (size_t t = 0; t < d; ++t) candidate[t] += lambda[i] * pi[t];
+    }
+    double norm_sq = Dot(candidate, candidate);
+    if (norm_sq < best_norm_sq) {
+      best_norm_sq = norm_sq;
+      best_point = std::move(candidate);
+      best_support = subset;
+    }
+  }
+  if (support_indices != nullptr) *support_indices = std::move(best_support);
+  return best_point;
+}
+
+double GjkDistance(const Region& a, const Region& b) {
+  assert(a.dimensions() == b.dimensions());
+  size_t d = a.dimensions();
+
+  // Support of the Minkowski difference A - B in direction dir.
+  auto minkowski_support = [&](const Point& dir) {
+    Point neg(d);
+    for (size_t i = 0; i < d; ++i) neg[i] = -dir[i];
+    Point sa = a.Support(dir);
+    Point sb = b.Support(neg);
+    Point out(d);
+    for (size_t i = 0; i < d; ++i) out[i] = sa[i] - sb[i];
+    return out;
+  };
+
+  Point dir(d, 0.0);
+  dir[0] = 1.0;
+  std::vector<Point> simplex = {minkowski_support(dir)};
+
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    std::vector<size_t> support;
+    Point v = ClosestPointOnHull(simplex, &support);
+    double v_norm = Norm(v);
+    if (v_norm <= kDistanceTolerance) return 0.0;  // Origin inside hull.
+    best_dist = std::min(best_dist, v_norm);
+
+    // Shrink the simplex to the supporting subset before extending it.
+    std::vector<Point> reduced;
+    reduced.reserve(support.size() + 1);
+    for (size_t idx : support) reduced.push_back(simplex[idx]);
+    simplex = std::move(reduced);
+
+    for (size_t i = 0; i < d; ++i) dir[i] = -v[i];
+    Point w = minkowski_support(dir);
+    // No progress towards the origin: v is the closest point.
+    double progress = Dot(v, v) + Dot(w, dir);  // = |v|^2 - w . v
+    if (progress <= kDistanceTolerance * (1.0 + Dot(v, v))) {
+      return v_norm;
+    }
+    simplex.push_back(std::move(w));
+    if (simplex.size() > d + 1) {
+      // Should not happen (supporting subset of a full simplex has <= d
+      // points when the origin is outside); guard against numeric stall.
+      simplex.erase(simplex.begin());
+    }
+  }
+  return best_dist;
+}
+
+bool GjkIntersects(const Region& a, const Region& b) {
+  return GjkDistance(a, b) <= 1e-8;
+}
+
+}  // namespace fnproxy::geometry

@@ -1,0 +1,28 @@
+#ifndef FNPROXY_GEOMETRY_GJK_H_
+#define FNPROXY_GEOMETRY_GJK_H_
+
+#include "geometry/point.h"
+#include "geometry/region.h"
+
+namespace fnproxy::geometry {
+
+/// Euclidean distance between two convex regions, computed with the
+/// Gilbert-Johnson-Keerthi algorithm over their support functions. Returns 0
+/// when the regions intersect. Works in any (small) dimension; the simplex
+/// sub-problem is solved by enumerating faces, which is exponential in d and
+/// intended for the d <= 6 regions function templates declare in practice.
+double GjkDistance(const Region& a, const Region& b);
+
+/// Convenience wrapper: true when GjkDistance(a, b) is zero within tolerance.
+bool GjkIntersects(const Region& a, const Region& b);
+
+/// Closest point to the origin in the convex hull of `points` (all of equal
+/// dimension, 1 <= points.size() <= d+1 in GJK use, but any small count
+/// works). Also reports which input points support the closest point via
+/// `support_indices`. Exposed for testing.
+Point ClosestPointOnHull(const std::vector<Point>& points,
+                         std::vector<size_t>* support_indices);
+
+}  // namespace fnproxy::geometry
+
+#endif  // FNPROXY_GEOMETRY_GJK_H_

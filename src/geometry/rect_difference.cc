@@ -1,0 +1,69 @@
+#include "geometry/rect_difference.h"
+
+#include <algorithm>
+
+namespace fnproxy::geometry {
+
+namespace {
+bool HasVolume(const Point& lo, const Point& hi) {
+  for (size_t i = 0; i < lo.size(); ++i) {
+    if (hi[i] - lo[i] <= kGeomEpsilon) return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::vector<Hyperrectangle> SubtractRect(const Hyperrectangle& base,
+                                         const Hyperrectangle& hole) {
+  std::vector<Hyperrectangle> pieces;
+  if (!base.IntersectsRect(hole)) {
+    pieces.push_back(base);
+    return pieces;
+  }
+  // Clip the hole to the base, then peel off slabs dimension by dimension:
+  // for each axis, the parts of the remaining box below and above the hole
+  // become output pieces, and the working box narrows to the hole's extent
+  // on that axis.
+  Point lo = base.lo();
+  Point hi = base.hi();
+  for (size_t axis = 0; axis < base.dimensions(); ++axis) {
+    double hole_lo = std::max(hole.lo()[axis], base.lo()[axis]);
+    double hole_hi = std::min(hole.hi()[axis], base.hi()[axis]);
+    if (hole_lo > lo[axis] + kGeomEpsilon) {
+      Point piece_hi = hi;
+      piece_hi[axis] = hole_lo;
+      Point piece_lo = lo;
+      if (HasVolume(piece_lo, piece_hi)) {
+        pieces.emplace_back(piece_lo, piece_hi);
+      }
+    }
+    if (hole_hi < hi[axis] - kGeomEpsilon) {
+      Point piece_lo = lo;
+      piece_lo[axis] = hole_hi;
+      Point piece_hi = hi;
+      if (HasVolume(piece_lo, piece_hi)) {
+        pieces.emplace_back(piece_lo, piece_hi);
+      }
+    }
+    lo[axis] = hole_lo;
+    hi[axis] = hole_hi;
+  }
+  return pieces;
+}
+
+std::vector<Hyperrectangle> SubtractRects(
+    const Hyperrectangle& base, const std::vector<Hyperrectangle>& holes) {
+  std::vector<Hyperrectangle> pieces = {base};
+  for (const Hyperrectangle& hole : holes) {
+    std::vector<Hyperrectangle> next;
+    for (const Hyperrectangle& piece : pieces) {
+      std::vector<Hyperrectangle> sub = SubtractRect(piece, hole);
+      next.insert(next.end(), std::make_move_iterator(sub.begin()),
+                  std::make_move_iterator(sub.end()));
+    }
+    pieces = std::move(next);
+  }
+  return pieces;
+}
+
+}  // namespace fnproxy::geometry

@@ -1,0 +1,27 @@
+#ifndef FNPROXY_GEOMETRY_RECT_DIFFERENCE_H_
+#define FNPROXY_GEOMETRY_RECT_DIFFERENCE_H_
+
+#include <vector>
+
+#include "geometry/hyperrectangle.h"
+
+namespace fnproxy::geometry {
+
+/// Decomposes `base` minus `hole` into at most 2*d disjoint axis-aligned
+/// boxes (slab decomposition). Boxes of zero volume are dropped. Used by the
+/// rectangular-workload remainder planner, which can express a remainder as
+/// a union of rectangle queries each mapping back onto the original
+/// table-valued function.
+std::vector<Hyperrectangle> SubtractRect(const Hyperrectangle& base,
+                                         const Hyperrectangle& hole);
+
+/// Decomposes `base` minus the union of `holes` into disjoint boxes by
+/// repeated slab decomposition. Output size can grow with the number of
+/// holes; callers bound `holes` (the proxy passes only the cache entries that
+/// actually intersect the query).
+std::vector<Hyperrectangle> SubtractRects(
+    const Hyperrectangle& base, const std::vector<Hyperrectangle>& holes);
+
+}  // namespace fnproxy::geometry
+
+#endif  // FNPROXY_GEOMETRY_RECT_DIFFERENCE_H_

@@ -1,0 +1,34 @@
+#include "index/array_index.h"
+
+namespace fnproxy::index {
+
+void ArrayRegionIndex::Insert(EntryId id, const geometry::Hyperrectangle& bbox) {
+  entries_.push_back({id, bbox});
+  last_op_comparisons_ = 0;
+}
+
+bool ArrayRegionIndex::Remove(EntryId id) {
+  size_t comparisons = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    ++comparisons;
+    if (entries_[i].id == id) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      last_op_comparisons_ = comparisons;
+      return true;
+    }
+  }
+  last_op_comparisons_ = comparisons;
+  return false;
+}
+
+std::vector<EntryId> ArrayRegionIndex::SearchIntersecting(
+    const geometry::Hyperrectangle& query) const {
+  std::vector<EntryId> result;
+  for (const Entry& entry : entries_) {
+    if (entry.bbox.IntersectsRect(query)) result.push_back(entry.id);
+  }
+  last_op_comparisons_ = entries_.size();
+  return result;
+}
+
+}  // namespace fnproxy::index

@@ -1,0 +1,35 @@
+#ifndef FNPROXY_INDEX_ARRAY_INDEX_H_
+#define FNPROXY_INDEX_ARRAY_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "index/region_index.h"
+
+namespace fnproxy::index {
+
+/// Linear-scan cache description (the paper's ACNR configuration). The paper
+/// finds this competitive with the R-tree because cache descriptions stay
+/// small and linear scans are cache-friendly.
+class ArrayRegionIndex final : public RegionIndex {
+ public:
+  void Insert(EntryId id, const geometry::Hyperrectangle& bbox) override;
+  bool Remove(EntryId id) override;
+  std::vector<EntryId> SearchIntersecting(
+      const geometry::Hyperrectangle& query) const override;
+  size_t size() const override { return entries_.size(); }
+  size_t last_op_comparisons() const override { return last_op_comparisons_; }
+  std::string name() const override { return "array"; }
+
+ private:
+  struct Entry {
+    EntryId id;
+    geometry::Hyperrectangle bbox;
+  };
+  std::vector<Entry> entries_;
+  mutable size_t last_op_comparisons_ = 0;
+};
+
+}  // namespace fnproxy::index
+
+#endif  // FNPROXY_INDEX_ARRAY_INDEX_H_

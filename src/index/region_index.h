@@ -1,0 +1,47 @@
+#ifndef FNPROXY_INDEX_REGION_INDEX_H_
+#define FNPROXY_INDEX_REGION_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/hyperrectangle.h"
+
+namespace fnproxy::index {
+
+/// Identifier of an indexed entry (the proxy uses cache-entry ids).
+using EntryId = uint64_t;
+
+/// Spatial index over bounding boxes, the "cache description" structure of
+/// the paper (§4.2): the proxy keeps one box per cached query and probes it
+/// with a new query's box to find candidate related entries. Two
+/// implementations are compared in Figure 5: a plain array (ACNR) and an
+/// R-tree (ACR).
+class RegionIndex {
+ public:
+  virtual ~RegionIndex() = default;
+
+  /// Adds an entry. Ids must be unique (not checked).
+  virtual void Insert(EntryId id, const geometry::Hyperrectangle& bbox) = 0;
+
+  /// Removes an entry; returns false if the id is unknown.
+  virtual bool Remove(EntryId id) = 0;
+
+  /// Ids of all entries whose box intersects `query`.
+  virtual std::vector<EntryId> SearchIntersecting(
+      const geometry::Hyperrectangle& query) const = 0;
+
+  virtual size_t size() const = 0;
+
+  /// Number of box-box comparisons performed by the most recent
+  /// Insert/Remove/SearchIntersecting call. The proxy's cost model charges
+  /// cache-description time proportional to this, which is what makes the
+  /// array-vs-R-tree comparison of Figure 5 observable.
+  virtual size_t last_op_comparisons() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace fnproxy::index
+
+#endif  // FNPROXY_INDEX_REGION_INDEX_H_

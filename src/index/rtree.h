@@ -1,0 +1,68 @@
+#ifndef FNPROXY_INDEX_RTREE_H_
+#define FNPROXY_INDEX_RTREE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/region_index.h"
+#include "util/status.h"
+
+namespace fnproxy::index {
+
+/// A Guttman R-tree (quadratic split) cache description — the paper's ACR
+/// configuration. Supports insert, delete (with orphan reinsertion) and
+/// window search. `Validate()` checks the structural invariants and is used
+/// by property tests.
+class RTreeIndex final : public RegionIndex {
+ public:
+  /// `max_entries` is the node capacity M; the minimum fill m is M*0.4
+  /// (at least 2). Requires max_entries >= 4.
+  explicit RTreeIndex(size_t max_entries = 8);
+  ~RTreeIndex() override;
+
+  RTreeIndex(const RTreeIndex&) = delete;
+  RTreeIndex& operator=(const RTreeIndex&) = delete;
+
+  void Insert(EntryId id, const geometry::Hyperrectangle& bbox) override;
+  bool Remove(EntryId id) override;
+  std::vector<EntryId> SearchIntersecting(
+      const geometry::Hyperrectangle& query) const override;
+  size_t size() const override { return size_; }
+  size_t last_op_comparisons() const override { return last_op_comparisons_; }
+  std::string name() const override { return "rtree"; }
+
+  /// Tree height (0 for an empty tree, 1 for a single leaf root).
+  size_t Height() const;
+
+  /// Checks structural invariants: uniform leaf depth, node bounding boxes
+  /// covering children exactly, fill factors within [m, M] (root exempt),
+  /// and the entry count matching size().
+  util::Status Validate() const;
+
+ private:
+  struct Node;
+  struct NodeEntry;
+
+  Node* ChooseLeaf(const geometry::Hyperrectangle& bbox);
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+  bool RemoveRecursive(Node* node, EntryId id,
+                       const geometry::Hyperrectangle& bbox,
+                       std::vector<NodeEntry>* orphans, size_t* comparisons);
+  void ReinsertOrphans(std::vector<NodeEntry> orphans);
+
+  std::unique_ptr<Node> root_;
+  size_t max_entries_;
+  size_t min_entries_;
+  size_t size_ = 0;
+  /// Side map for delete-by-id: the public interface removes by id alone,
+  /// and descending by the entry's stored box keeps deletion logarithmic.
+  std::unordered_map<EntryId, geometry::Hyperrectangle> boxes_;
+  mutable size_t last_op_comparisons_ = 0;
+};
+
+}  // namespace fnproxy::index
+
+#endif  // FNPROXY_INDEX_RTREE_H_

@@ -1,0 +1,65 @@
+#ifndef FNPROXY_NET_HTTP_H_
+#define FNPROXY_NET_HTTP_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace fnproxy::net {
+
+/// Percent-encodes `text` for use in a URL query component.
+std::string UrlEncode(std::string_view text);
+/// Decodes percent-encoding and '+'-as-space.
+util::StatusOr<std::string> UrlDecode(std::string_view text);
+
+/// Parses "a=1&b=two" into a map (keys and values URL-decoded).
+util::StatusOr<std::map<std::string, std::string>> ParseQueryString(
+    std::string_view query);
+/// Inverse of ParseQueryString (keys sorted, values URL-encoded).
+std::string BuildQueryString(const std::map<std::string, std::string>& params);
+
+/// An HTTP request in the simulated web stack. The search-form requests the
+/// browser emulator issues look like
+///   GET /radial?ra=195.1&dec=2.5&radius=1.0
+/// and the remainder-query facility like
+///   GET /sql?q=SELECT%20...
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path;
+  std::map<std::string, std::string> query_params;
+  std::string body;
+
+  /// Builds a GET request from "path?query".
+  static util::StatusOr<HttpRequest> Get(std::string_view url);
+
+  /// "path?encoded-query".
+  std::string ToUrl() const;
+
+  /// Approximate wire size, used by the simulated network's transfer cost.
+  size_t ByteSize() const;
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  std::string content_type = "text/xml";
+  std::string body;
+
+  static HttpResponse MakeError(int code, std::string message);
+
+  bool ok() const { return status_code >= 200 && status_code < 300; }
+  size_t ByteSize() const { return body.size() + 128; }
+};
+
+/// Anything that can serve simulated HTTP requests: the origin web
+/// application and the function proxy both implement this.
+class HttpHandler {
+ public:
+  virtual ~HttpHandler() = default;
+  virtual HttpResponse Handle(const HttpRequest& request) = 0;
+};
+
+}  // namespace fnproxy::net
+
+#endif  // FNPROXY_NET_HTTP_H_

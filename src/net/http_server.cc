@@ -1,0 +1,163 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/http_wire.h"
+#include "util/logging.h"
+
+namespace fnproxy::net {
+
+using util::Status;
+using util::StatusOr;
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Reads from `fd` until the buffer holds a complete HTTP message or the
+/// peer closes. Returns false on socket error.
+bool ReadMessage(int fd, std::string* buffer) {
+  char chunk[4096];
+  while (!IsCompleteMessage(*buffer)) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // Peer closed; parse whatever we have.
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+    if (buffer->size() > (64u << 20)) return false;  // 64 MB sanity cap.
+  }
+  return true;
+}
+
+bool WriteAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(uint16_t port) {
+  if (running_.load()) return Status::AlreadyExists("server already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return ErrnoStatus("socket");
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return ErrnoStatus("bind");
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return ErrnoStatus("listen");
+  }
+  socklen_t address_len = sizeof(address);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                    &address_len) == 0) {
+    port_ = ntohs(address.sin_port);
+  }
+  running_.store(true);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Shut the listening socket down to unblock accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    int connection_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (connection_fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Socket closed by Stop().
+    }
+    ServeConnection(connection_fd);
+    ::close(connection_fd);
+  }
+}
+
+void HttpServer::ServeConnection(int connection_fd) {
+  std::string buffer;
+  if (!ReadMessage(connection_fd, &buffer)) return;
+  HttpResponse response;
+  auto request = ParseWireRequest(buffer);
+  if (!request.ok()) {
+    response = HttpResponse::MakeError(400, request.status().ToString());
+  } else {
+    response = handler_->Handle(*request);
+  }
+  WriteAll(connection_fd, SerializeResponse(response));
+}
+
+StatusOr<HttpResponse> HttpGet(uint16_t port,
+                               const std::string& path_and_query) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) <
+      0) {
+    ::close(fd);
+    return ErrnoStatus("connect");
+  }
+  auto request = HttpRequest::Get(path_and_query);
+  if (!request.ok()) {
+    ::close(fd);
+    return request.status();
+  }
+  if (!WriteAll(fd, SerializeRequest(*request, "127.0.0.1"))) {
+    ::close(fd);
+    return Status::Internal("send failed");
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string buffer;
+  bool read_ok = ReadMessage(fd, &buffer);
+  ::close(fd);
+  if (!read_ok) return Status::Internal("recv failed");
+  return ParseWireResponse(buffer);
+}
+
+HttpResponse RemoteHostHandler::Handle(const HttpRequest& request) {
+  auto response = HttpGet(port_, request.ToUrl());
+  if (!response.ok()) {
+    return HttpResponse::MakeError(502, response.status().ToString());
+  }
+  return *response;
+}
+
+}  // namespace fnproxy::net

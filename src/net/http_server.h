@@ -1,0 +1,65 @@
+#ifndef FNPROXY_NET_HTTP_SERVER_H_
+#define FNPROXY_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "net/http.h"
+#include "util/status.h"
+
+namespace fnproxy::net {
+
+/// A small blocking HTTP/1.1 server over real POSIX sockets (loopback
+/// deployments — the paper's proxy ran as a servlet reachable over real
+/// HTTP). One accept thread, sequential connections, Connection: close.
+/// Intended for the live examples and loopback tests; the benchmark
+/// pipeline stays on the in-process simulated transport for determinism.
+class HttpServer {
+ public:
+  /// `handler` must outlive the server.
+  HttpServer(HttpHandler* handler) : handler_(handler) {}
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks a free port), starts the accept loop.
+  util::Status Start(uint16_t port);
+  /// Actual bound port (after Start with port 0).
+  uint16_t port() const { return port_; }
+  /// Stops accepting and joins the thread. Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int connection_fd);
+
+  HttpHandler* handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+/// Blocking HTTP GET against 127.0.0.1:`port`. `path_and_query` is e.g.
+/// "/radial?ra=1.5&dec=2". Used by the live examples and by proxies that
+/// reach their origin over a real socket.
+util::StatusOr<HttpResponse> HttpGet(uint16_t port,
+                                     const std::string& path_and_query);
+
+/// An HttpHandler that forwards every request to a real HTTP server on
+/// 127.0.0.1:`port` — plugs a socket-backed origin into components that
+/// expect an in-process handler (e.g. SimulatedChannel).
+class RemoteHostHandler final : public HttpHandler {
+ public:
+  explicit RemoteHostHandler(uint16_t port) : port_(port) {}
+  HttpResponse Handle(const HttpRequest& request) override;
+
+ private:
+  uint16_t port_;
+};
+
+}  // namespace fnproxy::net
+
+#endif  // FNPROXY_NET_HTTP_SERVER_H_

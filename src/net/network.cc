@@ -1,0 +1,38 @@
+#include "net/network.h"
+
+#include <cmath>
+
+namespace fnproxy::net {
+
+int64_t LinkConfig::TransferMicros(size_t bytes) const {
+  double micros = latency_ms * 1000.0;
+  if (bandwidth_kbps > 0) {
+    micros += static_cast<double>(bytes) / bandwidth_kbps * 1000.0;
+  }
+  return static_cast<int64_t>(std::llround(micros));
+}
+
+LinkConfig LanLink() {
+  // 0.5 ms one-way, ~10 MB/s.
+  return LinkConfig{0.5, 10000.0};
+}
+
+LinkConfig WanLink() {
+  // 2004-era trans-Pacific path to skyserver.sdss.org: ~150 ms one-way,
+  // ~10 KB/s sustained to a loaded public server.
+  return LinkConfig{150.0, 6.0};
+}
+
+HttpResponse SimulatedChannel::RoundTrip(const HttpRequest& request) {
+  ++total_requests_;
+  size_t request_bytes = request.ByteSize();
+  total_bytes_sent_ += request_bytes;
+  clock_->Advance(link_.TransferMicros(request_bytes));
+  HttpResponse response = handler_->Handle(request);
+  size_t response_bytes = response.ByteSize();
+  total_bytes_received_ += response_bytes;
+  clock_->Advance(link_.TransferMicros(response_bytes));
+  return response;
+}
+
+}  // namespace fnproxy::net

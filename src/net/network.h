@@ -1,0 +1,55 @@
+#ifndef FNPROXY_NET_NETWORK_H_
+#define FNPROXY_NET_NETWORK_H_
+
+#include <cstdint>
+
+#include "net/http.h"
+#include "util/clock.h"
+
+namespace fnproxy::net {
+
+/// One-way characteristics of a simulated network link.
+struct LinkConfig {
+  /// One-way propagation latency.
+  double latency_ms = 0.0;
+  /// Sustained throughput in kilobytes per second.
+  double bandwidth_kbps = 1e9;
+
+  /// Time to push `bytes` through the link, including propagation.
+  int64_t TransferMicros(size_t bytes) const;
+};
+
+/// Paper-like defaults: browser emulator and proxy sit on the same LAN; the
+/// proxy reaches the origin site (skyserver.sdss.org) over a WAN.
+LinkConfig LanLink();
+LinkConfig WanLink();
+
+/// A request/response channel over a simulated link. A round trip advances
+/// the shared virtual clock by the request transfer, whatever time the
+/// handler itself charges, and the response transfer. Cumulative transfer
+/// statistics feed the bandwidth-consumption results.
+class SimulatedChannel {
+ public:
+  /// `handler` and `clock` must outlive the channel.
+  SimulatedChannel(HttpHandler* handler, LinkConfig link,
+                   util::SimulatedClock* clock)
+      : handler_(handler), link_(link), clock_(clock) {}
+
+  HttpResponse RoundTrip(const HttpRequest& request);
+
+  uint64_t total_requests() const { return total_requests_; }
+  uint64_t total_bytes_sent() const { return total_bytes_sent_; }
+  uint64_t total_bytes_received() const { return total_bytes_received_; }
+
+ private:
+  HttpHandler* handler_;
+  LinkConfig link_;
+  util::SimulatedClock* clock_;
+  uint64_t total_requests_ = 0;
+  uint64_t total_bytes_sent_ = 0;
+  uint64_t total_bytes_received_ = 0;
+};
+
+}  // namespace fnproxy::net
+
+#endif  // FNPROXY_NET_NETWORK_H_

@@ -1,0 +1,272 @@
+#include "server/sky_functions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "geometry/celestial.h"
+#include "geometry/point.h"
+
+namespace fnproxy::server {
+
+using sql::Row;
+using sql::Schema;
+using sql::Table;
+using sql::Value;
+using sql::ValueType;
+using util::Status;
+using util::StatusOr;
+
+SkyGrid::SkyGrid(const sql::Table* photo_primary, double cell_deg)
+    : table_(photo_primary), cell_deg_(cell_deg) {
+  auto ra_idx = table_->schema().FindColumn("ra");
+  auto dec_idx = table_->schema().FindColumn("dec");
+  assert(ra_idx.has_value() && dec_idx.has_value());
+  col_ra_ = *ra_idx;
+  col_dec_ = *dec_idx;
+  for (size_t i = 0; i < table_->num_rows(); ++i) {
+    double ra = table_->row(i)[col_ra_].AsDouble();
+    double dec = table_->row(i)[col_dec_].AsDouble();
+    auto key = std::make_pair(static_cast<int64_t>(std::floor(ra / cell_deg_)),
+                              static_cast<int64_t>(std::floor(dec / cell_deg_)));
+    cells_[key].push_back(i);
+  }
+}
+
+std::vector<size_t> SkyGrid::Candidates(double ra_min, double ra_max,
+                                        double dec_min, double dec_max) const {
+  std::vector<size_t> result;
+  int64_t cx0 = static_cast<int64_t>(std::floor(ra_min / cell_deg_));
+  int64_t cx1 = static_cast<int64_t>(std::floor(ra_max / cell_deg_));
+  int64_t cy0 = static_cast<int64_t>(std::floor(dec_min / cell_deg_));
+  int64_t cy1 = static_cast<int64_t>(std::floor(dec_max / cell_deg_));
+  for (int64_t cx = cx0; cx <= cx1; ++cx) {
+    for (int64_t cy = cy0; cy <= cy1; ++cy) {
+      auto it = cells_.find({cx, cy});
+      if (it == cells_.end()) continue;
+      result.insert(result.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return result;
+}
+
+namespace {
+
+StatusOr<double> NumericArg(const std::vector<Value>& args, size_t index,
+                            const char* fn_name) {
+  if (index >= args.size()) {
+    return Status::InvalidArgument(std::string(fn_name) +
+                                   ": missing argument " +
+                                   std::to_string(index + 1));
+  }
+  return args[index].ToNumeric();
+}
+
+/// fGetNearbyObjEq over the grid.
+class GetNearbyObjEq final : public TableValuedFunction {
+ public:
+  explicit GetNearbyObjEq(const SkyGrid* grid)
+      : grid_(grid),
+        schema_(Schema({{"objID", ValueType::kInt},
+                        {"distance", ValueType::kDouble}})) {
+    const Schema& cat = grid_->table().schema();
+    col_objid_ = *cat.FindColumn("objID");
+    col_cx_ = *cat.FindColumn("cx");
+    col_cy_ = *cat.FindColumn("cy");
+    col_cz_ = *cat.FindColumn("cz");
+    col_ra_ = *cat.FindColumn("ra");
+    col_dec_ = *cat.FindColumn("dec");
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t num_params() const override { return 3; }
+  const sql::Schema& schema() const override { return schema_; }
+
+  StatusOr<TvfResult> Execute(const std::vector<Value>& args) const override {
+    if (args.size() != 3) {
+      return Status::InvalidArgument("fGetNearbyObjEq expects 3 arguments");
+    }
+    FNPROXY_ASSIGN_OR_RETURN(double ra, NumericArg(args, 0, "fGetNearbyObjEq"));
+    FNPROXY_ASSIGN_OR_RETURN(double dec, NumericArg(args, 1, "fGetNearbyObjEq"));
+    FNPROXY_ASSIGN_OR_RETURN(double radius_arcmin,
+                             NumericArg(args, 2, "fGetNearbyObjEq"));
+    if (radius_arcmin < 0) {
+      return Status::InvalidArgument("fGetNearbyObjEq: negative radius");
+    }
+
+    geometry::Point center = geometry::RaDecToUnitVector(ra, dec);
+    double chord = geometry::ArcminToChord(radius_arcmin);
+    double chord_sq = chord * chord;
+
+    // Candidate window in ra/dec (the ra width grows with 1/cos(dec)).
+    double radius_deg = radius_arcmin / 60.0;
+    double cos_dec = std::max(0.05, std::cos(geometry::DegreesToRadians(dec)));
+    double ra_pad = radius_deg / cos_dec;
+    std::vector<size_t> candidates =
+        grid_->Candidates(ra - ra_pad, ra + ra_pad, dec - radius_deg,
+                          dec + radius_deg);
+
+    TvfResult result;
+    result.table = Table(schema_);
+    result.tuples_examined = candidates.size();
+    const Table& cat = grid_->table();
+    for (size_t idx : candidates) {
+      const Row& row = cat.row(idx);
+      double dx = row[col_cx_].AsDouble() - center[0];
+      double dy = row[col_cy_].AsDouble() - center[1];
+      double dz = row[col_cz_].AsDouble() - center[2];
+      double d_sq = dx * dx + dy * dy + dz * dz;
+      if (d_sq <= chord_sq) {
+        double sep_arcmin = geometry::AngularSeparationDeg(
+                                ra, dec, row[col_ra_].AsDouble(),
+                                row[col_dec_].AsDouble()) *
+                            60.0;
+        result.table.AddRow({row[col_objid_], Value::Double(sep_arcmin)});
+      }
+    }
+    return result;
+  }
+
+ private:
+  const SkyGrid* grid_;
+  std::string name_ = "fGetNearbyObjEq";
+  Schema schema_;
+  size_t col_objid_, col_cx_, col_cy_, col_cz_, col_ra_, col_dec_;
+};
+
+/// fGetObjFromRect over the grid.
+class GetObjFromRect final : public TableValuedFunction {
+ public:
+  explicit GetObjFromRect(const SkyGrid* grid)
+      : grid_(grid), schema_(Schema({{"objID", ValueType::kInt}})) {
+    const Schema& cat = grid_->table().schema();
+    col_objid_ = *cat.FindColumn("objID");
+    col_ra_ = *cat.FindColumn("ra");
+    col_dec_ = *cat.FindColumn("dec");
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t num_params() const override { return 4; }
+  const sql::Schema& schema() const override { return schema_; }
+
+  StatusOr<TvfResult> Execute(const std::vector<Value>& args) const override {
+    if (args.size() != 4) {
+      return Status::InvalidArgument("fGetObjFromRect expects 4 arguments");
+    }
+    FNPROXY_ASSIGN_OR_RETURN(double ra_min, NumericArg(args, 0, "fGetObjFromRect"));
+    FNPROXY_ASSIGN_OR_RETURN(double ra_max, NumericArg(args, 1, "fGetObjFromRect"));
+    FNPROXY_ASSIGN_OR_RETURN(double dec_min, NumericArg(args, 2, "fGetObjFromRect"));
+    FNPROXY_ASSIGN_OR_RETURN(double dec_max, NumericArg(args, 3, "fGetObjFromRect"));
+    if (ra_min > ra_max || dec_min > dec_max) {
+      return Status::InvalidArgument("fGetObjFromRect: empty window");
+    }
+
+    std::vector<size_t> candidates =
+        grid_->Candidates(ra_min, ra_max, dec_min, dec_max);
+    TvfResult result;
+    result.table = Table(schema_);
+    result.tuples_examined = candidates.size();
+    const Table& cat = grid_->table();
+    for (size_t idx : candidates) {
+      const Row& row = cat.row(idx);
+      double ra = row[col_ra_].AsDouble();
+      double dec = row[col_dec_].AsDouble();
+      if (ra >= ra_min && ra <= ra_max && dec >= dec_min && dec <= dec_max) {
+        result.table.AddRow({row[col_objid_]});
+      }
+    }
+    return result;
+  }
+
+ private:
+  const SkyGrid* grid_;
+  std::string name_ = "fGetObjFromRect";
+  Schema schema_;
+  size_t col_objid_, col_ra_, col_dec_;
+};
+
+/// fGetObjInTriangle over the grid.
+class GetObjInTriangle final : public TableValuedFunction {
+ public:
+  explicit GetObjInTriangle(const SkyGrid* grid)
+      : grid_(grid), schema_(Schema({{"objID", ValueType::kInt}})) {
+    const Schema& cat = grid_->table().schema();
+    col_objid_ = *cat.FindColumn("objID");
+    col_ra_ = *cat.FindColumn("ra");
+    col_dec_ = *cat.FindColumn("dec");
+  }
+
+  const std::string& name() const override { return name_; }
+  size_t num_params() const override { return 6; }
+  const sql::Schema& schema() const override { return schema_; }
+
+  StatusOr<TvfResult> Execute(const std::vector<Value>& args) const override {
+    if (args.size() != 6) {
+      return Status::InvalidArgument("fGetObjInTriangle expects 6 arguments");
+    }
+    double x[3], y[3];
+    for (int i = 0; i < 3; ++i) {
+      FNPROXY_ASSIGN_OR_RETURN(
+          x[i], NumericArg(args, static_cast<size_t>(2 * i), "fGetObjInTriangle"));
+      FNPROXY_ASSIGN_OR_RETURN(
+          y[i],
+          NumericArg(args, static_cast<size_t>(2 * i + 1), "fGetObjInTriangle"));
+    }
+    // Signed area > 0 means counterclockwise winding, which the inside test
+    // below (and the registered polytope template) assumes.
+    double signed_area = (x[1] - x[0]) * (y[2] - y[0]) -
+                         (y[1] - y[0]) * (x[2] - x[0]);
+    if (signed_area <= 0) {
+      return Status::InvalidArgument(
+          "fGetObjInTriangle: corners must be in counterclockwise order");
+    }
+
+    double ra_min = std::min({x[0], x[1], x[2]});
+    double ra_max = std::max({x[0], x[1], x[2]});
+    double dec_min = std::min({y[0], y[1], y[2]});
+    double dec_max = std::max({y[0], y[1], y[2]});
+    std::vector<size_t> candidates =
+        grid_->Candidates(ra_min, ra_max, dec_min, dec_max);
+
+    TvfResult result;
+    result.table = Table(schema_);
+    result.tuples_examined = candidates.size();
+    const Table& cat = grid_->table();
+    for (size_t idx : candidates) {
+      const Row& row = cat.row(idx);
+      double qx = row[col_ra_].AsDouble();
+      double qy = row[col_dec_].AsDouble();
+      bool inside = true;
+      for (int i = 0; i < 3 && inside; ++i) {
+        int j = (i + 1) % 3;
+        double cross =
+            (x[j] - x[i]) * (qy - y[i]) - (y[j] - y[i]) * (qx - x[i]);
+        inside = cross >= 0;
+      }
+      if (inside) result.table.AddRow({row[col_objid_]});
+    }
+    return result;
+  }
+
+ private:
+  const SkyGrid* grid_;
+  std::string name_ = "fGetObjInTriangle";
+  Schema schema_;
+  size_t col_objid_, col_ra_, col_dec_;
+};
+
+}  // namespace
+
+std::unique_ptr<TableValuedFunction> MakeGetObjInTriangle(const SkyGrid* grid) {
+  return std::make_unique<GetObjInTriangle>(grid);
+}
+
+std::unique_ptr<TableValuedFunction> MakeGetNearbyObjEq(const SkyGrid* grid) {
+  return std::make_unique<GetNearbyObjEq>(grid);
+}
+
+std::unique_ptr<TableValuedFunction> MakeGetObjFromRect(const SkyGrid* grid) {
+  return std::make_unique<GetObjFromRect>(grid);
+}
+
+}  // namespace fnproxy::server

@@ -1,0 +1,54 @@
+#ifndef FNPROXY_SERVER_SKY_FUNCTIONS_H_
+#define FNPROXY_SERVER_SKY_FUNCTIONS_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "server/table_function.h"
+#include "sql/schema.h"
+
+namespace fnproxy::server {
+
+/// Shared spatial access structure over the PhotoPrimary table: a uniform
+/// (ra, dec) grid used by the sky TVFs to prune candidates, standing in for
+/// the HTM index the real SkyServer uses. The referenced table must outlive
+/// this object and not change.
+class SkyGrid {
+ public:
+  /// `cell_deg` is the grid pitch in degrees.
+  explicit SkyGrid(const sql::Table* photo_primary, double cell_deg = 1.0);
+
+  /// Row indices of all objects in cells overlapping the ra/dec window.
+  /// The window must not wrap around ra=0/360 (survey footprints here don't).
+  std::vector<size_t> Candidates(double ra_min, double ra_max, double dec_min,
+                                 double dec_max) const;
+
+  const sql::Table& table() const { return *table_; }
+
+ private:
+  const sql::Table* table_;
+  double cell_deg_;
+  std::map<std::pair<int64_t, int64_t>, std::vector<size_t>> cells_;
+  size_t col_ra_ = 0, col_dec_ = 0;
+};
+
+/// fGetNearbyObjEq(ra, dec, radius_arcmin): objects within the angular
+/// radius of the position — SkyServer's Radial-search function. Returns
+/// (objID INT, distance DOUBLE) with distance in arcminutes.
+std::unique_ptr<TableValuedFunction> MakeGetNearbyObjEq(const SkyGrid* grid);
+
+/// fGetObjFromRect(ra_min, ra_max, dec_min, dec_max): objects inside the
+/// ra/dec rectangle. Returns (objID INT).
+std::unique_ptr<TableValuedFunction> MakeGetObjFromRect(const SkyGrid* grid);
+
+/// fGetObjInTriangle(ra1, dec1, ra2, dec2, ra3, dec3): objects inside the
+/// triangle with the given ra/dec corners, which must be in counterclockwise
+/// order (rejected otherwise). Returns (objID INT). Demonstrates the
+/// polytope-shaped function templates the paper lists as the "more complex"
+/// region class.
+std::unique_ptr<TableValuedFunction> MakeGetObjInTriangle(const SkyGrid* grid);
+
+}  // namespace fnproxy::server
+
+#endif  // FNPROXY_SERVER_SKY_FUNCTIONS_H_

@@ -1,0 +1,38 @@
+#ifndef FNPROXY_SERVER_TABLE_FUNCTION_H_
+#define FNPROXY_SERVER_TABLE_FUNCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/schema.h"
+#include "sql/value.h"
+#include "util/status.h"
+
+namespace fnproxy::server {
+
+/// Result of one table-valued function execution. `tuples_examined` counts
+/// the candidate tuples the function evaluated its predicate on; the origin
+/// site's cost model charges processing time proportional to it.
+struct TvfResult {
+  sql::Table table;
+  size_t tuples_examined = 0;
+};
+
+/// A deterministic table-valued function registered at the origin site
+/// (e.g. fGetNearbyObjEq). The proxy never executes these — their semantics
+/// reach the proxy only through function templates.
+class TableValuedFunction {
+ public:
+  virtual ~TableValuedFunction() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual size_t num_params() const = 0;
+  /// Output schema (independent of arguments).
+  virtual const sql::Schema& schema() const = 0;
+  virtual util::StatusOr<TvfResult> Execute(
+      const std::vector<sql::Value>& args) const = 0;
+};
+
+}  // namespace fnproxy::server
+
+#endif  // FNPROXY_SERVER_TABLE_FUNCTION_H_

@@ -1,0 +1,186 @@
+#include "sql/ast.h"
+
+namespace fnproxy::sql {
+
+const char* BinaryOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kBitAnd: return "&";
+    case BinaryOp::kBitOr: return "|";
+  }
+  return "?";
+}
+
+const char* UnaryOpSymbol(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg: return "-";
+    case UnaryOp::kNot: return "NOT";
+    case UnaryOp::kBitNot: return "~";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Literal(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Parameter(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kParameter;
+  e->name = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::ColumnRef(std::string qualifier, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->name = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Unary(UnaryOp op, std::unique_ptr<Expr> operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->uop = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                   std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::FunctionCall(
+    std::string name, std::vector<std::unique_ptr<Expr>> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kFunctionCall;
+  e->name = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->qualifier = qualifier;
+  e->name = name;
+  e->op = op;
+  e->uop = uop;
+  e->negated = negated;
+  e->children.reserve(children.size());
+  for (const auto& child : children) e->children.push_back(child->Clone());
+  return e;
+}
+
+bool Expr::HasParameters() const {
+  if (kind == Kind::kParameter) return true;
+  for (const auto& child : children) {
+    if (child->HasParameters()) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Expr> ConjoinAll(std::vector<std::unique_ptr<Expr>> predicates) {
+  std::unique_ptr<Expr> result;
+  for (auto& p : predicates) {
+    if (p == nullptr) continue;
+    if (result == nullptr) {
+      result = std::move(p);
+    } else {
+      result = Expr::Binary(BinaryOp::kAnd, std::move(result), std::move(p));
+    }
+  }
+  return result;
+}
+
+SelectItem SelectItem::Clone() const {
+  SelectItem item;
+  item.star = star;
+  item.star_qualifier = star_qualifier;
+  item.expr = expr ? expr->Clone() : nullptr;
+  item.alias = alias;
+  return item;
+}
+
+TableRef TableRef::Clone() const {
+  TableRef ref;
+  ref.kind = kind;
+  ref.name = name;
+  ref.alias = alias;
+  ref.args.reserve(args.size());
+  for (const auto& arg : args) ref.args.push_back(arg->Clone());
+  return ref;
+}
+
+JoinClause JoinClause::Clone() const {
+  JoinClause join;
+  join.table = table.Clone();
+  join.condition = condition ? condition->Clone() : nullptr;
+  return join;
+}
+
+OrderItem OrderItem::Clone() const {
+  OrderItem item;
+  item.expr = expr ? expr->Clone() : nullptr;
+  item.descending = descending;
+  return item;
+}
+
+SelectStatement SelectStatement::Clone() const {
+  SelectStatement stmt;
+  stmt.top_n = top_n;
+  stmt.items.reserve(items.size());
+  for (const auto& item : items) stmt.items.push_back(item.Clone());
+  stmt.from = from.Clone();
+  stmt.joins.reserve(joins.size());
+  for (const auto& join : joins) stmt.joins.push_back(join.Clone());
+  stmt.where = where ? where->Clone() : nullptr;
+  stmt.order_by.reserve(order_by.size());
+  for (const auto& item : order_by) stmt.order_by.push_back(item.Clone());
+  return stmt;
+}
+
+bool SelectStatement::HasParameters() const {
+  for (const auto& item : items) {
+    if (item.expr && item.expr->HasParameters()) return true;
+  }
+  for (const auto& arg : from.args) {
+    if (arg->HasParameters()) return true;
+  }
+  for (const auto& join : joins) {
+    for (const auto& arg : join.table.args) {
+      if (arg->HasParameters()) return true;
+    }
+    if (join.condition && join.condition->HasParameters()) return true;
+  }
+  if (where && where->HasParameters()) return true;
+  for (const auto& item : order_by) {
+    if (item.expr && item.expr->HasParameters()) return true;
+  }
+  return false;
+}
+
+}  // namespace fnproxy::sql

@@ -1,0 +1,128 @@
+#ifndef FNPROXY_SQL_AST_H_
+#define FNPROXY_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace fnproxy::sql {
+
+/// Binary operators in the expression grammar.
+enum class BinaryOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,          // Comparisons.
+  kAdd, kSub, kMul, kDiv, kMod,          // Arithmetic.
+  kAnd, kOr,                             // Logical.
+  kBitAnd, kBitOr,                       // Bitwise (flag predicates).
+};
+
+enum class UnaryOp { kNeg, kNot, kBitNot };
+
+const char* BinaryOpSymbol(BinaryOp op);
+const char* UnaryOpSymbol(UnaryOp op);
+
+/// An expression tree node. One tagged node type (rather than a class per
+/// kind) keeps cloning, printing and template substitution simple.
+class Expr {
+ public:
+  enum class Kind {
+    kLiteral,      ///< `literal`
+    kParameter,    ///< $name template placeholder; `name`
+    kColumnRef,    ///< [qualifier.]name; `qualifier`, `name`
+    kUnary,        ///< uop child0
+    kBinary,       ///< child0 op child1
+    kFunctionCall, ///< name(child...)
+    kBetween,      ///< child0 [NOT] BETWEEN child1 AND child2; `negated`
+    kInList,       ///< child0 [NOT] IN (child1..childN); `negated`
+    kIsNull,       ///< child0 IS [NOT] NULL; `negated`
+  };
+
+  Kind kind;
+  Value literal;                 // kLiteral.
+  std::string qualifier;         // kColumnRef (may be empty).
+  std::string name;              // kColumnRef / kFunctionCall / kParameter.
+  BinaryOp op = BinaryOp::kEq;   // kBinary.
+  UnaryOp uop = UnaryOp::kNeg;   // kUnary.
+  bool negated = false;          // kBetween / kInList / kIsNull.
+  std::vector<std::unique_ptr<Expr>> children;
+
+  // Factory helpers.
+  static std::unique_ptr<Expr> Literal(Value v);
+  static std::unique_ptr<Expr> Parameter(std::string name);
+  static std::unique_ptr<Expr> ColumnRef(std::string qualifier, std::string name);
+  static std::unique_ptr<Expr> Unary(UnaryOp op, std::unique_ptr<Expr> operand);
+  static std::unique_ptr<Expr> Binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                      std::unique_ptr<Expr> rhs);
+  static std::unique_ptr<Expr> FunctionCall(
+      std::string name, std::vector<std::unique_ptr<Expr>> args);
+
+  /// Deep copy.
+  std::unique_ptr<Expr> Clone() const;
+
+  /// True when the subtree contains a kParameter node.
+  bool HasParameters() const;
+};
+
+/// AND-combines a list of predicates (returns nullptr for an empty list).
+std::unique_ptr<Expr> ConjoinAll(std::vector<std::unique_ptr<Expr>> predicates);
+
+/// One item of a SELECT list: either `*`, `qualifier.*`, or an expression
+/// with an optional alias.
+struct SelectItem {
+  bool star = false;
+  std::string star_qualifier;       // For `T.*`; empty for bare `*`.
+  std::unique_ptr<Expr> expr;       // Null when star.
+  std::string alias;                // Optional.
+
+  SelectItem Clone() const;
+};
+
+/// A FROM-clause source: a base table or a table-valued function call.
+struct TableRef {
+  enum class Kind { kTable, kFunctionCall };
+  Kind kind = Kind::kTable;
+  std::string name;
+  std::string alias;                                 // Optional.
+  std::vector<std::unique_ptr<Expr>> args;           // kFunctionCall only.
+
+  TableRef Clone() const;
+  /// Alias if present, else the table/function name.
+  const std::string& EffectiveName() const { return alias.empty() ? name : alias; }
+};
+
+/// An INNER JOIN ... ON ... clause element.
+struct JoinClause {
+  TableRef table;
+  std::unique_ptr<Expr> condition;
+
+  JoinClause Clone() const;
+};
+
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool descending = false;
+
+  OrderItem Clone() const;
+};
+
+/// A parsed SELECT statement in the supported subset (paper Fig. 2 shape):
+///   SELECT [TOP n] items FROM source [JOIN t ON cond]* [WHERE pred]
+///   [ORDER BY e [ASC|DESC], ...]
+struct SelectStatement {
+  std::optional<int64_t> top_n;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  std::unique_ptr<Expr> where;      // May be null.
+  std::vector<OrderItem> order_by;
+
+  SelectStatement Clone() const;
+  /// True when any expression in the statement contains a $parameter.
+  bool HasParameters() const;
+};
+
+}  // namespace fnproxy::sql
+
+#endif  // FNPROXY_SQL_AST_H_

@@ -1,0 +1,380 @@
+#include "sql/eval.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace fnproxy::sql {
+
+using util::Status;
+using util::StatusOr;
+
+void ScalarFunctionRegistry::Register(std::string name, Fn fn) {
+  functions_[util::ToLower(name)] = std::move(fn);
+}
+
+const ScalarFunctionRegistry::Fn* ScalarFunctionRegistry::Find(
+    std::string_view name) const {
+  auto it = functions_.find(util::ToLower(name));
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+Status ArityError(const char* name, size_t expected, size_t got) {
+  return Status::InvalidArgument(std::string(name) + " expects " +
+                                 std::to_string(expected) + " arguments, got " +
+                                 std::to_string(got));
+}
+
+template <typename UnaryFn>
+ScalarFunctionRegistry::Fn MakeUnaryMath(const char* name, UnaryFn fn) {
+  return [name, fn](const std::vector<Value>& args) -> StatusOr<Value> {
+    if (args.size() != 1) return ArityError(name, 1, args.size());
+    if (args[0].is_null()) return Value::Null();
+    FNPROXY_ASSIGN_OR_RETURN(double x, args[0].ToNumeric());
+    return Value::Double(fn(x));
+  };
+}
+
+}  // namespace
+
+ScalarFunctionRegistry ScalarFunctionRegistry::WithBuiltins() {
+  ScalarFunctionRegistry registry;
+  registry.Register("abs", MakeUnaryMath("ABS", [](double x) { return std::abs(x); }));
+  registry.Register("sqrt", MakeUnaryMath("SQRT", [](double x) { return std::sqrt(x); }));
+  registry.Register("floor", MakeUnaryMath("FLOOR", [](double x) { return std::floor(x); }));
+  registry.Register("ceiling", MakeUnaryMath("CEILING", [](double x) { return std::ceil(x); }));
+  registry.Register("sin", MakeUnaryMath("SIN", [](double x) { return std::sin(x); }));
+  registry.Register("cos", MakeUnaryMath("COS", [](double x) { return std::cos(x); }));
+  registry.Register("ln", MakeUnaryMath("LN", [](double x) { return std::log(x); }));
+  registry.Register("log10", MakeUnaryMath("LOG10", [](double x) { return std::log10(x); }));
+  registry.Register("radians",
+                    MakeUnaryMath("RADIANS", [](double x) { return x * M_PI / 180.0; }));
+  registry.Register("degrees",
+                    MakeUnaryMath("DEGREES", [](double x) { return x * 180.0 / M_PI; }));
+  registry.Register("power", [](const std::vector<Value>& args) -> StatusOr<Value> {
+    if (args.size() != 2) return ArityError("POWER", 2, args.size());
+    if (args[0].is_null() || args[1].is_null()) return Value::Null();
+    FNPROXY_ASSIGN_OR_RETURN(double base, args[0].ToNumeric());
+    FNPROXY_ASSIGN_OR_RETURN(double exp, args[1].ToNumeric());
+    return Value::Double(std::pow(base, exp));
+  });
+  return registry;
+}
+
+void RowBinding::AddSource(std::string qualifier, const Schema* schema,
+                           const Row* row) {
+  sources_.push_back({std::move(qualifier), schema, row});
+}
+
+StatusOr<Value> RowBinding::Resolve(std::string_view qualifier,
+                                    std::string_view name) const {
+  if (!qualifier.empty()) {
+    for (const Source& source : sources_) {
+      if (util::EqualsIgnoreCase(source.qualifier, qualifier)) {
+        auto idx = source.schema->FindColumn(name);
+        if (!idx.has_value()) {
+          return Status::NotFound("no column '" + std::string(name) +
+                                  "' in source '" + source.qualifier + "'");
+        }
+        return (*source.row)[*idx];
+      }
+    }
+    return Status::NotFound("unknown source qualifier '" +
+                            std::string(qualifier) + "'");
+  }
+  const Source* found = nullptr;
+  size_t column_index = 0;
+  for (const Source& source : sources_) {
+    auto idx = source.schema->FindColumn(name);
+    if (idx.has_value()) {
+      if (found != nullptr) {
+        return Status::InvalidArgument("ambiguous column '" +
+                                       std::string(name) + "'");
+      }
+      found = &source;
+      column_index = *idx;
+    }
+  }
+  if (found == nullptr) {
+    return Status::NotFound("no column named '" + std::string(name) + "'");
+  }
+  return (*found->row)[column_index];
+}
+
+namespace {
+
+StatusOr<Value> EvalArithmetic(BinaryOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  if (op == BinaryOp::kBitAnd || op == BinaryOp::kBitOr) {
+    if (lhs.type() != ValueType::kInt || rhs.type() != ValueType::kInt) {
+      return Status::InvalidArgument("bitwise operators require integers");
+    }
+    int64_t result = op == BinaryOp::kBitAnd ? (lhs.AsInt() & rhs.AsInt())
+                                             : (lhs.AsInt() | rhs.AsInt());
+    return Value::Int(result);
+  }
+  bool both_int =
+      lhs.type() == ValueType::kInt && rhs.type() == ValueType::kInt;
+  FNPROXY_ASSIGN_OR_RETURN(double a, lhs.ToNumeric());
+  FNPROXY_ASSIGN_OR_RETURN(double b, rhs.ToNumeric());
+  switch (op) {
+    case BinaryOp::kAdd:
+      return both_int ? Value::Int(lhs.AsInt() + rhs.AsInt())
+                      : Value::Double(a + b);
+    case BinaryOp::kSub:
+      return both_int ? Value::Int(lhs.AsInt() - rhs.AsInt())
+                      : Value::Double(a - b);
+    case BinaryOp::kMul:
+      return both_int ? Value::Int(lhs.AsInt() * rhs.AsInt())
+                      : Value::Double(a * b);
+    case BinaryOp::kDiv:
+      if (b == 0.0) return Status::InvalidArgument("division by zero");
+      return Value::Double(a / b);
+    case BinaryOp::kMod:
+      if (!both_int || rhs.AsInt() == 0) {
+        return Status::InvalidArgument("modulo requires nonzero integers");
+      }
+      return Value::Int(lhs.AsInt() % rhs.AsInt());
+    default:
+      return Status::Internal("not an arithmetic operator");
+  }
+}
+
+StatusOr<Value> EvalComparison(BinaryOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  if (op == BinaryOp::kEq) return Value::Bool(lhs.EqualsValue(rhs));
+  if (op == BinaryOp::kNe) return Value::Bool(!lhs.EqualsValue(rhs));
+  FNPROXY_ASSIGN_OR_RETURN(int cmp, lhs.Compare(rhs));
+  switch (op) {
+    case BinaryOp::kLt:
+      return Value::Bool(cmp < 0);
+    case BinaryOp::kLe:
+      return Value::Bool(cmp <= 0);
+    case BinaryOp::kGt:
+      return Value::Bool(cmp > 0);
+    case BinaryOp::kGe:
+      return Value::Bool(cmp >= 0);
+    default:
+      return Status::Internal("not a comparison operator");
+  }
+}
+
+/// NULL-as-false coercion for logical contexts.
+StatusOr<bool> Truthy(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kBool) return v.AsBool();
+  auto numeric = v.ToNumeric();
+  if (numeric.ok()) return *numeric != 0.0;
+  return Status::InvalidArgument("value is not a valid predicate result");
+}
+
+}  // namespace
+
+StatusOr<Value> ExprEvaluator::Eval(const Expr& expr,
+                                    const RowBinding& binding) const {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kParameter:
+      return Status::InvalidArgument(
+          "unbound template parameter $" + expr.name +
+          " (templates must be instantiated before evaluation)");
+    case Expr::Kind::kColumnRef:
+      return binding.Resolve(expr.qualifier, expr.name);
+    case Expr::Kind::kUnary: {
+      FNPROXY_ASSIGN_OR_RETURN(Value operand, Eval(*expr.children[0], binding));
+      switch (expr.uop) {
+        case UnaryOp::kNeg: {
+          if (operand.is_null()) return Value::Null();
+          if (operand.type() == ValueType::kInt) {
+            return Value::Int(-operand.AsInt());
+          }
+          FNPROXY_ASSIGN_OR_RETURN(double x, operand.ToNumeric());
+          return Value::Double(-x);
+        }
+        case UnaryOp::kNot: {
+          if (operand.is_null()) return Value::Null();
+          FNPROXY_ASSIGN_OR_RETURN(bool b, Truthy(operand));
+          return Value::Bool(!b);
+        }
+        case UnaryOp::kBitNot: {
+          if (operand.is_null()) return Value::Null();
+          if (operand.type() != ValueType::kInt) {
+            return Status::InvalidArgument("~ requires an integer");
+          }
+          return Value::Int(~operand.AsInt());
+        }
+      }
+      return Status::Internal("bad unary op");
+    }
+    case Expr::Kind::kBinary: {
+      if (expr.op == BinaryOp::kAnd || expr.op == BinaryOp::kOr) {
+        FNPROXY_ASSIGN_OR_RETURN(Value lhs, Eval(*expr.children[0], binding));
+        FNPROXY_ASSIGN_OR_RETURN(bool lhs_true, Truthy(lhs));
+        if (expr.op == BinaryOp::kAnd && !lhs_true) return Value::Bool(false);
+        if (expr.op == BinaryOp::kOr && lhs_true) return Value::Bool(true);
+        FNPROXY_ASSIGN_OR_RETURN(Value rhs, Eval(*expr.children[1], binding));
+        FNPROXY_ASSIGN_OR_RETURN(bool rhs_true, Truthy(rhs));
+        return Value::Bool(rhs_true);
+      }
+      FNPROXY_ASSIGN_OR_RETURN(Value lhs, Eval(*expr.children[0], binding));
+      FNPROXY_ASSIGN_OR_RETURN(Value rhs, Eval(*expr.children[1], binding));
+      switch (expr.op) {
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return EvalComparison(expr.op, lhs, rhs);
+        default:
+          return EvalArithmetic(expr.op, lhs, rhs);
+      }
+    }
+    case Expr::Kind::kFunctionCall: {
+      if (registry_ == nullptr) {
+        return Status::Unsupported("no scalar function registry available");
+      }
+      const ScalarFunctionRegistry::Fn* fn = registry_->Find(expr.name);
+      if (fn == nullptr) {
+        return Status::NotFound("unknown scalar function " + expr.name);
+      }
+      std::vector<Value> args;
+      args.reserve(expr.children.size());
+      for (const auto& child : expr.children) {
+        FNPROXY_ASSIGN_OR_RETURN(Value arg, Eval(*child, binding));
+        args.push_back(std::move(arg));
+      }
+      return (*fn)(args);
+    }
+    case Expr::Kind::kBetween: {
+      FNPROXY_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], binding));
+      FNPROXY_ASSIGN_OR_RETURN(Value lo, Eval(*expr.children[1], binding));
+      FNPROXY_ASSIGN_OR_RETURN(Value hi, Eval(*expr.children[2], binding));
+      if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
+      FNPROXY_ASSIGN_OR_RETURN(int cmp_lo, v.Compare(lo));
+      FNPROXY_ASSIGN_OR_RETURN(int cmp_hi, v.Compare(hi));
+      bool inside = cmp_lo >= 0 && cmp_hi <= 0;
+      return Value::Bool(expr.negated ? !inside : inside);
+    }
+    case Expr::Kind::kInList: {
+      FNPROXY_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], binding));
+      if (v.is_null()) return Value::Null();
+      bool found = false;
+      for (size_t i = 1; i < expr.children.size(); ++i) {
+        FNPROXY_ASSIGN_OR_RETURN(Value item, Eval(*expr.children[i], binding));
+        if (v.EqualsValue(item)) {
+          found = true;
+          break;
+        }
+      }
+      return Value::Bool(expr.negated ? !found : found);
+    }
+    case Expr::Kind::kIsNull: {
+      FNPROXY_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], binding));
+      bool is_null = v.is_null();
+      return Value::Bool(expr.negated ? !is_null : is_null);
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+StatusOr<bool> ExprEvaluator::EvalPredicate(const Expr& expr,
+                                            const RowBinding& binding) const {
+  FNPROXY_ASSIGN_OR_RETURN(Value v, Eval(expr, binding));
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kBool) return v.AsBool();
+  auto numeric = v.ToNumeric();
+  if (numeric.ok()) return *numeric != 0.0;
+  return Status::InvalidArgument("WHERE clause did not evaluate to a boolean");
+}
+
+namespace {
+
+StatusOr<std::unique_ptr<Expr>> SubstituteExpr(
+    const Expr& expr, const std::map<std::string, Value>& params) {
+  if (expr.kind == Expr::Kind::kParameter) {
+    auto it = params.find(expr.name);
+    if (it == params.end()) {
+      return Status::InvalidArgument("missing binding for parameter $" +
+                                     expr.name);
+    }
+    return Expr::Literal(it->second);
+  }
+  auto clone = std::make_unique<Expr>();
+  clone->kind = expr.kind;
+  clone->literal = expr.literal;
+  clone->qualifier = expr.qualifier;
+  clone->name = expr.name;
+  clone->op = expr.op;
+  clone->uop = expr.uop;
+  clone->negated = expr.negated;
+  clone->children.reserve(expr.children.size());
+  for (const auto& child : expr.children) {
+    FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> sub,
+                             SubstituteExpr(*child, params));
+    clone->children.push_back(std::move(sub));
+  }
+  return clone;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Expr>> SubstituteParameters(
+    const Expr& expr, const std::map<std::string, Value>& params) {
+  return SubstituteExpr(expr, params);
+}
+
+StatusOr<SelectStatement> SubstituteParameters(
+    const SelectStatement& stmt, const std::map<std::string, Value>& params) {
+  SelectStatement out;
+  out.top_n = stmt.top_n;
+  for (const SelectItem& item : stmt.items) {
+    SelectItem copy;
+    copy.star = item.star;
+    copy.star_qualifier = item.star_qualifier;
+    copy.alias = item.alias;
+    if (item.expr != nullptr) {
+      FNPROXY_ASSIGN_OR_RETURN(copy.expr, SubstituteExpr(*item.expr, params));
+    }
+    out.items.push_back(std::move(copy));
+  }
+  out.from.kind = stmt.from.kind;
+  out.from.name = stmt.from.name;
+  out.from.alias = stmt.from.alias;
+  for (const auto& arg : stmt.from.args) {
+    FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> sub,
+                             SubstituteExpr(*arg, params));
+    out.from.args.push_back(std::move(sub));
+  }
+  for (const JoinClause& join : stmt.joins) {
+    JoinClause copy;
+    copy.table.kind = join.table.kind;
+    copy.table.name = join.table.name;
+    copy.table.alias = join.table.alias;
+    for (const auto& arg : join.table.args) {
+      FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> sub,
+                               SubstituteExpr(*arg, params));
+      copy.table.args.push_back(std::move(sub));
+    }
+    if (join.condition != nullptr) {
+      FNPROXY_ASSIGN_OR_RETURN(copy.condition,
+                               SubstituteExpr(*join.condition, params));
+    }
+    out.joins.push_back(std::move(copy));
+  }
+  if (stmt.where != nullptr) {
+    FNPROXY_ASSIGN_OR_RETURN(out.where, SubstituteExpr(*stmt.where, params));
+  }
+  for (const OrderItem& item : stmt.order_by) {
+    OrderItem copy;
+    copy.descending = item.descending;
+    FNPROXY_ASSIGN_OR_RETURN(copy.expr, SubstituteExpr(*item.expr, params));
+    out.order_by.push_back(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace fnproxy::sql

@@ -1,0 +1,90 @@
+#ifndef FNPROXY_SQL_EVAL_H_
+#define FNPROXY_SQL_EVAL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/schema.h"
+#include "util/status.h"
+
+namespace fnproxy::sql {
+
+/// Named scalar functions callable from expressions (ABS, SQRT, ... plus
+/// site-registered ones such as SkyServer's fPhotoFlags). Lookup is
+/// case-insensitive.
+class ScalarFunctionRegistry {
+ public:
+  using Fn = std::function<util::StatusOr<Value>(const std::vector<Value>&)>;
+
+  /// Registers or replaces a function.
+  void Register(std::string name, Fn fn);
+  /// Returns nullptr when unknown.
+  const Fn* Find(std::string_view name) const;
+
+  /// A registry preloaded with the math builtins: ABS, SQRT, POWER, FLOOR,
+  /// CEILING, SIN, COS, RADIANS, DEGREES, LN, LOG10.
+  static ScalarFunctionRegistry WithBuiltins();
+
+ private:
+  std::map<std::string, Fn> functions_;  // Keys stored lowercase.
+};
+
+/// Resolves column references against one or more named row sources (the
+/// FROM table and its joins). Unqualified names are searched across all
+/// sources and must be unambiguous.
+class RowBinding {
+ public:
+  /// `qualifier` is the table alias or name; `schema` and `row` must outlive
+  /// the binding.
+  void AddSource(std::string qualifier, const Schema* schema, const Row* row);
+
+  util::StatusOr<Value> Resolve(std::string_view qualifier,
+                                std::string_view name) const;
+
+ private:
+  struct Source {
+    std::string qualifier;
+    const Schema* schema;
+    const Row* row;
+  };
+  std::vector<Source> sources_;
+};
+
+/// Expression interpreter.
+///
+/// NULL semantics (simplified three-valued logic, documented contract):
+/// any comparison or arithmetic with NULL yields NULL, and a NULL predicate
+/// result is treated as "not satisfied" — matching how WHERE clauses behave
+/// in SQL for the supported operators.
+class ExprEvaluator {
+ public:
+  /// `registry` may be null (no function calls allowed then); must outlive
+  /// the evaluator.
+  explicit ExprEvaluator(const ScalarFunctionRegistry* registry)
+      : registry_(registry) {}
+
+  util::StatusOr<Value> Eval(const Expr& expr, const RowBinding& binding) const;
+
+  /// Evaluates `expr` and coerces to predicate truth: NULL is false, bools
+  /// are themselves, numerics are (value != 0); strings are an error.
+  util::StatusOr<bool> EvalPredicate(const Expr& expr,
+                                     const RowBinding& binding) const;
+
+ private:
+  const ScalarFunctionRegistry* registry_;
+};
+
+/// Parameter substitution: replaces every $name placeholder with the bound
+/// value, returning an error if a referenced parameter is missing. Extra
+/// bindings are ignored.
+util::StatusOr<std::unique_ptr<Expr>> SubstituteParameters(
+    const Expr& expr, const std::map<std::string, Value>& params);
+util::StatusOr<SelectStatement> SubstituteParameters(
+    const SelectStatement& stmt, const std::map<std::string, Value>& params);
+
+}  // namespace fnproxy::sql
+
+#endif  // FNPROXY_SQL_EVAL_H_

@@ -1,0 +1,40 @@
+#ifndef FNPROXY_SQL_LEXER_H_
+#define FNPROXY_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fnproxy::sql {
+
+/// Lexical token categories for the SQL subset.
+enum class TokenType {
+  kIdentifier,   ///< Bare name (keywords are identified at parse time).
+  kNumber,       ///< Integer or decimal literal (value in `text`).
+  kString,       ///< 'single quoted', quote-doubling for escapes.
+  kParameter,    ///< $name template parameter placeholder.
+  kOperator,     ///< One of = <> != < <= > >= + - * / % ( ) , . & | ~
+  kEnd,          ///< End of input.
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   ///< Identifier name, literal text, or operator spelling.
+  size_t offset;      ///< Byte offset in the input (for error messages).
+
+  bool IsOperator(std::string_view op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+  /// Case-insensitive keyword test against an identifier token.
+  bool IsKeyword(std::string_view keyword) const;
+};
+
+/// Tokenizes `input`; the result always ends with a kEnd token.
+util::StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace fnproxy::sql
+
+#endif  // FNPROXY_SQL_LEXER_H_

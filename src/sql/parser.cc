@@ -1,0 +1,446 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace fnproxy::sql {
+
+using util::Status;
+using util::StatusOr;
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<SelectStatement> ParseSelectStatement() {
+    if (!ConsumeKeyword("SELECT")) {
+      return Error("expected SELECT");
+    }
+    SelectStatement stmt;
+    if (ConsumeKeyword("TOP")) {
+      const Token& tok = Peek();
+      if (tok.type != TokenType::kNumber) {
+        return Error("expected a number after TOP");
+      }
+      FNPROXY_ASSIGN_OR_RETURN(int64_t n, util::ParseInt64(tok.text));
+      if (n < 0) return Error("TOP count must be nonnegative");
+      stmt.top_n = n;
+      Advance();
+    }
+    FNPROXY_ASSIGN_OR_RETURN(stmt.items, ParseSelectList());
+    if (!ConsumeKeyword("FROM")) {
+      return Error("expected FROM");
+    }
+    FNPROXY_ASSIGN_OR_RETURN(stmt.from, ParseTableRef());
+    while (true) {
+      bool inner = ConsumeKeyword("INNER");
+      if (!ConsumeKeyword("JOIN")) {
+        if (inner) return Error("expected JOIN after INNER");
+        break;
+      }
+      JoinClause join;
+      FNPROXY_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+      if (!ConsumeKeyword("ON")) {
+        return Error("expected ON in JOIN clause");
+      }
+      FNPROXY_ASSIGN_OR_RETURN(join.condition, ParseExpr());
+      stmt.joins.push_back(std::move(join));
+    }
+    if (ConsumeKeyword("WHERE")) {
+      FNPROXY_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (ConsumeKeyword("ORDER")) {
+      if (!ConsumeKeyword("BY")) return Error("expected BY after ORDER");
+      while (true) {
+        OrderItem item;
+        FNPROXY_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!ConsumeOperator(",")) break;
+      }
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing tokens");
+    }
+    return stmt;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseStandaloneExpression() {
+    FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr, ParseExpr());
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing tokens after expression");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool ConsumeKeyword(std::string_view keyword) {
+    if (Peek().IsKeyword(keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeOperator(std::string_view op) {
+    if (Peek().IsOperator(op)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Error(std::string_view message) const {
+    const Token& tok = Peek();
+    std::string got = tok.type == TokenType::kEnd
+                          ? "end of input"
+                          : "'" + tok.text + "'";
+    return Status::ParseError(std::string(message) + " (got " + got +
+                              " at offset " + std::to_string(tok.offset) + ")");
+  }
+
+  static bool IsReservedKeyword(const Token& tok) {
+    static constexpr std::string_view kReserved[] = {
+        "SELECT", "FROM", "WHERE", "JOIN",    "INNER", "ON",  "ORDER",
+        "BY",     "ASC",  "DESC",  "AND",     "OR",    "NOT", "BETWEEN",
+        "IN",     "IS",   "NULL",  "TOP",     "AS",    "TRUE", "FALSE"};
+    for (std::string_view kw : kReserved) {
+      if (tok.IsKeyword(kw)) return true;
+    }
+    return false;
+  }
+
+  StatusOr<std::vector<SelectItem>> ParseSelectList() {
+    std::vector<SelectItem> items;
+    while (true) {
+      SelectItem item;
+      if (ConsumeOperator("*")) {
+        item.star = true;
+      } else if (Peek().type == TokenType::kIdentifier &&
+                 Peek(1).IsOperator(".") && Peek(2).IsOperator("*")) {
+        item.star = true;
+        item.star_qualifier = Peek().text;
+        Advance();
+        Advance();
+        Advance();
+      } else {
+        FNPROXY_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("AS")) {
+          if (Peek().type != TokenType::kIdentifier) {
+            return Error("expected alias after AS");
+          }
+          item.alias = Peek().text;
+          Advance();
+        } else if (Peek().type == TokenType::kIdentifier &&
+                   !IsReservedKeyword(Peek())) {
+          item.alias = Peek().text;
+          Advance();
+        }
+      }
+      items.push_back(std::move(item));
+      if (!ConsumeOperator(",")) break;
+    }
+    return items;
+  }
+
+  /// Parses a possibly dot-qualified name (e.g. dbo.fGetNearbyObjEq); the
+  /// segments are rejoined with '.' for function names, while for column
+  /// references the last segment is the column and the prefix the qualifier.
+  StatusOr<std::vector<std::string>> ParseQualifiedName() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected identifier");
+    }
+    std::vector<std::string> parts = {Peek().text};
+    Advance();
+    while (Peek().IsOperator(".") && Peek(1).type == TokenType::kIdentifier) {
+      Advance();
+      parts.push_back(Peek().text);
+      Advance();
+    }
+    return parts;
+  }
+
+  StatusOr<TableRef> ParseTableRef() {
+    FNPROXY_ASSIGN_OR_RETURN(std::vector<std::string> parts,
+                             ParseQualifiedName());
+    TableRef ref;
+    ref.name = util::Join(parts, ".");
+    if (ConsumeOperator("(")) {
+      ref.kind = TableRef::Kind::kFunctionCall;
+      if (!Peek().IsOperator(")")) {
+        while (true) {
+          FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> arg, ParseExpr());
+          ref.args.push_back(std::move(arg));
+          if (!ConsumeOperator(",")) break;
+        }
+      }
+      if (!ConsumeOperator(")")) {
+        return Error("expected ')' after function arguments");
+      }
+    }
+    if (ConsumeKeyword("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected alias after AS");
+      }
+      ref.alias = Peek().text;
+      Advance();
+    } else if (Peek().type == TokenType::kIdentifier &&
+               !IsReservedKeyword(Peek())) {
+      ref.alias = Peek().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  // Expression grammar, lowest precedence first.
+  StatusOr<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  StatusOr<std::unique_ptr<Expr>> ParseOr() {
+    FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAnd());
+      lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseAnd() {
+    FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseNot());
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseNot());
+      lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> operand, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParsePredicate();
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParsePredicate() {
+    FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAdditive());
+    // Comparison operators.
+    struct OpMap {
+      std::string_view symbol;
+      BinaryOp op;
+    };
+    static constexpr OpMap kComparisons[] = {
+        {"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe}, {"!=", BinaryOp::kNe},
+        {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},
+        {">", BinaryOp::kGt},
+    };
+    for (const OpMap& m : kComparisons) {
+      if (Peek().IsOperator(m.symbol)) {
+        Advance();
+        FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAdditive());
+        return Expr::Binary(m.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("BETWEEN") || Peek(1).IsKeyword("IN"))) {
+      negated = true;
+      Advance();
+    }
+    if (ConsumeKeyword("BETWEEN")) {
+      FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lo, ParseAdditive());
+      if (!ConsumeKeyword("AND")) return Error("expected AND in BETWEEN");
+      FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> hi, ParseAdditive());
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kBetween;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(lo));
+      e->children.push_back(std::move(hi));
+      return e;
+    }
+    if (ConsumeKeyword("IN")) {
+      if (!ConsumeOperator("(")) return Error("expected '(' after IN");
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kInList;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      while (true) {
+        FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> item, ParseExpr());
+        e->children.push_back(std::move(item));
+        if (!ConsumeOperator(",")) break;
+      }
+      if (!ConsumeOperator(")")) return Error("expected ')' after IN list");
+      return e;
+    }
+    if (negated) return Error("expected BETWEEN or IN after NOT");
+    if (ConsumeKeyword("IS")) {
+      bool is_not = ConsumeKeyword("NOT");
+      if (!ConsumeKeyword("NULL")) return Error("expected NULL after IS");
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kIsNull;
+      e->negated = is_not;
+      e->children.push_back(std::move(lhs));
+      return e;
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseAdditive() {
+    FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Peek().IsOperator("+")) {
+        op = BinaryOp::kAdd;
+      } else if (Peek().IsOperator("-")) {
+        op = BinaryOp::kSub;
+      } else if (Peek().IsOperator("&")) {
+        op = BinaryOp::kBitAnd;
+      } else if (Peek().IsOperator("|")) {
+        op = BinaryOp::kBitOr;
+      } else {
+        break;
+      }
+      Advance();
+      FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseMultiplicative());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseMultiplicative() {
+    FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Peek().IsOperator("*")) {
+        op = BinaryOp::kMul;
+      } else if (Peek().IsOperator("/")) {
+        op = BinaryOp::kDiv;
+      } else if (Peek().IsOperator("%")) {
+        op = BinaryOp::kMod;
+      } else {
+        break;
+      }
+      Advance();
+      FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParseUnary() {
+    if (ConsumeOperator("-")) {
+      FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> operand, ParseUnary());
+      return Expr::Unary(UnaryOp::kNeg, std::move(operand));
+    }
+    if (ConsumeOperator("~")) {
+      FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> operand, ParseUnary());
+      return Expr::Unary(UnaryOp::kBitNot, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kNumber: {
+        std::string text = tok.text;
+        Advance();
+        if (text.find('.') != std::string::npos ||
+            text.find('e') != std::string::npos ||
+            text.find('E') != std::string::npos) {
+          FNPROXY_ASSIGN_OR_RETURN(double d, util::ParseDouble(text));
+          return Expr::Literal(Value::Double(d));
+        }
+        FNPROXY_ASSIGN_OR_RETURN(int64_t i, util::ParseInt64(text));
+        return Expr::Literal(Value::Int(i));
+      }
+      case TokenType::kString: {
+        std::string text = tok.text;
+        Advance();
+        return Expr::Literal(Value::String(std::move(text)));
+      }
+      case TokenType::kParameter: {
+        std::string name = tok.text;
+        Advance();
+        return Expr::Parameter(std::move(name));
+      }
+      case TokenType::kOperator:
+        if (tok.text == "(") {
+          Advance();
+          FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseExpr());
+          if (!ConsumeOperator(")")) return Error("expected ')'");
+          return inner;
+        }
+        return Error("unexpected token in expression");
+      case TokenType::kIdentifier: {
+        if (tok.IsKeyword("NULL")) {
+          Advance();
+          return Expr::Literal(Value::Null());
+        }
+        if (tok.IsKeyword("TRUE")) {
+          Advance();
+          return Expr::Literal(Value::Bool(true));
+        }
+        if (tok.IsKeyword("FALSE")) {
+          Advance();
+          return Expr::Literal(Value::Bool(false));
+        }
+        FNPROXY_ASSIGN_OR_RETURN(std::vector<std::string> parts,
+                                 ParseQualifiedName());
+        if (ConsumeOperator("(")) {
+          std::vector<std::unique_ptr<Expr>> args;
+          if (!Peek().IsOperator(")")) {
+            while (true) {
+              FNPROXY_ASSIGN_OR_RETURN(std::unique_ptr<Expr> arg, ParseExpr());
+              args.push_back(std::move(arg));
+              if (!ConsumeOperator(",")) break;
+            }
+          }
+          if (!ConsumeOperator(")")) {
+            return Error("expected ')' after function arguments");
+          }
+          return Expr::FunctionCall(util::Join(parts, "."), std::move(args));
+        }
+        std::string name = parts.back();
+        parts.pop_back();
+        return Expr::ColumnRef(util::Join(parts, "."), std::move(name));
+      }
+      case TokenType::kEnd:
+        return Error("unexpected end of input in expression");
+    }
+    return Error("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<SelectStatement> ParseSelect(std::string_view sql) {
+  FNPROXY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelectStatement();
+}
+
+StatusOr<std::unique_ptr<Expr>> ParseExpression(std::string_view text) {
+  FNPROXY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+}  // namespace fnproxy::sql

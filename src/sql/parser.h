@@ -1,0 +1,32 @@
+#ifndef FNPROXY_SQL_PARSER_H_
+#define FNPROXY_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace fnproxy::sql {
+
+/// Parses one SELECT statement of the supported subset:
+///
+///   SELECT [TOP n] item, ...
+///   FROM table_or_function [ [AS] alias ]
+///   [ [INNER] JOIN table [ [AS] alias ] ON expr ]*
+///   [ WHERE expr ]
+///   [ ORDER BY expr [ASC|DESC], ... ]
+///
+/// where a FROM source may be a table-valued function call such as
+/// `dbo.fGetNearbyObjEq(195.0, 2.5, 1.0)` and expressions support
+/// comparisons, arithmetic, AND/OR/NOT, BETWEEN, IN, IS [NOT] NULL, bitwise
+/// &/|/~ (flag tests) and scalar function calls. `$name` placeholders are
+/// parsed as template parameters, which is how query templates are stored.
+util::StatusOr<SelectStatement> ParseSelect(std::string_view sql);
+
+/// Parses a standalone expression (used for function-template coordinate
+/// expressions and for tests).
+util::StatusOr<std::unique_ptr<Expr>> ParseExpression(std::string_view text);
+
+}  // namespace fnproxy::sql
+
+#endif  // FNPROXY_SQL_PARSER_H_

@@ -1,0 +1,21 @@
+#ifndef FNPROXY_SQL_PRINTER_H_
+#define FNPROXY_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace fnproxy::sql {
+
+/// Renders an expression back to SQL text. Output is fully parenthesized at
+/// binary operations, so the printed text re-parses to an equivalent tree —
+/// the proxy relies on this when shipping remainder queries to the origin
+/// site's SQL facility.
+std::string ExprToSql(const Expr& expr);
+
+/// Renders a SELECT statement back to SQL text (single line).
+std::string SelectToSql(const SelectStatement& stmt);
+
+}  // namespace fnproxy::sql
+
+#endif  // FNPROXY_SQL_PRINTER_H_

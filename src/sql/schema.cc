@@ -1,0 +1,86 @@
+#include "sql/schema.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace fnproxy::sql {
+
+std::optional<size_t> Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (util::EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> columns = left.columns();
+  columns.insert(columns.end(), right.columns().begin(), right.columns().end());
+  return Schema(std::move(columns));
+}
+
+bool Schema::SameColumns(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!util::EqualsIgnoreCase(columns_[i].name, other.columns_[i].name) ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+void Table::AddRow(Row row) {
+  assert(row.size() == schema_.num_columns());
+  rows_.push_back(std::move(row));
+}
+
+size_t Table::ByteSize() const {
+  size_t total = 0;
+  for (const Row& row : rows_) {
+    total += 16;  // Row overhead.
+    for (const Value& v : row) total += v.ByteSize();
+  }
+  return total;
+}
+
+util::StatusOr<Value> Table::GetValue(size_t row_index,
+                                      std::string_view column) const {
+  auto idx = schema_.FindColumn(column);
+  if (!idx.has_value()) {
+    return util::Status::NotFound("no column named '" + std::string(column) +
+                                  "' in schema " + schema_.ToString());
+  }
+  return rows_[row_index][*idx];
+}
+
+std::string Table::ToDebugString(size_t max_rows) const {
+  std::ostringstream out;
+  out << schema_.ToString() << ", " << rows_.size() << " rows\n";
+  for (size_t i = 0; i < rows_.size() && i < max_rows; ++i) {
+    out << "  [";
+    for (size_t j = 0; j < rows_[i].size(); ++j) {
+      if (j > 0) out << ", ";
+      out << rows_[i][j].ToDisplayString();
+    }
+    out << "]\n";
+  }
+  if (rows_.size() > max_rows) out << "  ... (" << rows_.size() - max_rows
+                                   << " more)\n";
+  return out.str();
+}
+
+}  // namespace fnproxy::sql

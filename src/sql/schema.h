@@ -1,0 +1,82 @@
+#ifndef FNPROXY_SQL_SCHEMA_H_
+#define FNPROXY_SQL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+#include "util/status.h"
+
+namespace fnproxy::sql {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+/// An ordered list of columns. Column name lookup is case-insensitive, as in
+/// SQL Server (the SkyServer's host DBMS).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the column named `name` (case-insensitive), if present.
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// Concatenation of two schemas (join output).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  bool SameColumns(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// One tuple; values are positionally aligned with a Schema.
+using Row = std::vector<Value>;
+
+/// A row-oriented in-memory table: query results, catalog relations and
+/// cached result sets all use this representation.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a row; must match the schema width (asserted).
+  void AddRow(Row row);
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Approximate memory footprint in bytes (values + row overhead); the
+  /// proxy's cache-size accounting is based on this.
+  size_t ByteSize() const;
+
+  /// Value at (row, column-by-name); error if the column is unknown.
+  util::StatusOr<Value> GetValue(size_t row_index, std::string_view column) const;
+
+  /// Renders a bounded number of rows as an aligned text table (debugging).
+  std::string ToDebugString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace fnproxy::sql
+
+#endif  // FNPROXY_SQL_SCHEMA_H_

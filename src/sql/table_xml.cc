@@ -1,0 +1,113 @@
+#include "sql/table_xml.h"
+
+#include "util/string_util.h"
+#include "xml/xml.h"
+
+namespace fnproxy::sql {
+
+using util::Status;
+using util::StatusOr;
+
+std::string TableToXml(const Table& table) {
+  std::string out = "<Result rows=\"" + std::to_string(table.num_rows()) +
+                    "\">\n  <Schema>\n";
+  for (const Column& column : table.schema().columns()) {
+    out += "    <Column name=\"" + xml::EscapeXml(column.name) + "\" type=\"" +
+           ValueTypeName(column.type) + "\"/>\n";
+  }
+  out += "  </Schema>\n";
+  for (const Row& row : table.rows()) {
+    out += "  <Row>";
+    for (const Value& value : row) {
+      if (value.is_null()) {
+        out += "<V null=\"1\"/>";
+      } else {
+        out += "<V>" + xml::EscapeXml(value.ToDisplayString()) + "</V>";
+      }
+    }
+    out += "</Row>\n";
+  }
+  out += "</Result>\n";
+  return out;
+}
+
+namespace {
+
+StatusOr<ValueType> ParseValueType(std::string_view name) {
+  if (name == "NULL") return ValueType::kNull;
+  if (name == "INT") return ValueType::kInt;
+  if (name == "DOUBLE") return ValueType::kDouble;
+  if (name == "STRING") return ValueType::kString;
+  if (name == "BOOL") return ValueType::kBool;
+  return Status::ParseError("unknown value type '" + std::string(name) + "'");
+}
+
+StatusOr<Value> ParseTypedValue(ValueType type, const std::string& text) {
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt: {
+      FNPROXY_ASSIGN_OR_RETURN(int64_t v, util::ParseInt64(text));
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      FNPROXY_ASSIGN_OR_RETURN(double v, util::ParseDouble(text));
+      return Value::Double(v);
+    }
+    case ValueType::kBool:
+      if (util::EqualsIgnoreCase(text, "true")) return Value::Bool(true);
+      if (util::EqualsIgnoreCase(text, "false")) return Value::Bool(false);
+      return Status::ParseError("invalid bool '" + text + "'");
+    case ValueType::kString:
+      return Value::String(text);
+  }
+  return Status::ParseError("bad value type");
+}
+
+}  // namespace
+
+StatusOr<Table> TableFromXml(std::string_view xml_text) {
+  FNPROXY_ASSIGN_OR_RETURN(auto root, xml::ParseXml(xml_text));
+  if (root->name() != "Result") {
+    return Status::ParseError("expected <Result> root element");
+  }
+  const xml::XmlElement* schema_element = root->FindChild("Schema");
+  if (schema_element == nullptr) {
+    return Status::ParseError("missing <Schema> element");
+  }
+  Schema schema;
+  for (const xml::XmlElement* column : schema_element->FindChildren("Column")) {
+    const std::string* name = column->FindAttribute("name");
+    const std::string* type = column->FindAttribute("type");
+    if (name == nullptr || type == nullptr) {
+      return Status::ParseError("<Column> needs name and type attributes");
+    }
+    FNPROXY_ASSIGN_OR_RETURN(ValueType value_type, ParseValueType(*type));
+    schema.AddColumn({*name, value_type});
+  }
+  Table table(schema);
+  for (const xml::XmlElement* row_element : root->FindChildren("Row")) {
+    const auto& cells = row_element->children();
+    if (cells.size() != schema.num_columns()) {
+      return Status::ParseError("row width does not match schema");
+    }
+    Row row;
+    row.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i]->name() != "V") {
+        return Status::ParseError("expected <V> cells in <Row>");
+      }
+      if (cells[i]->FindAttribute("null") != nullptr) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      FNPROXY_ASSIGN_OR_RETURN(
+          Value value, ParseTypedValue(schema.column(i).type, cells[i]->text()));
+      row.push_back(std::move(value));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace fnproxy::sql

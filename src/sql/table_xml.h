@@ -1,0 +1,33 @@
+#ifndef FNPROXY_SQL_TABLE_XML_H_
+#define FNPROXY_SQL_TABLE_XML_H_
+
+#include <string>
+#include <string_view>
+
+#include "sql/schema.h"
+#include "util/status.h"
+
+namespace fnproxy::sql {
+
+/// Serializes a result table as an XML document — the wire format between
+/// the origin web site and the proxy, and the proxy's cached "query result
+/// file" format (the paper stores ~300 MB of XML result files):
+///
+///   <Result rows="2">
+///     <Schema>
+///       <Column name="objID" type="INT"/>
+///       ...
+///     </Schema>
+///     <Row><V>1000001</V><V>195.2</V>...</Row>
+///     <Row>...</Row>
+///   </Result>
+///
+/// NULL values are encoded as <V null="1"/>.
+std::string TableToXml(const Table& table);
+
+/// Parses a document produced by TableToXml.
+util::StatusOr<Table> TableFromXml(std::string_view xml_text);
+
+}  // namespace fnproxy::sql
+
+#endif  // FNPROXY_SQL_TABLE_XML_H_

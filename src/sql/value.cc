@@ -1,0 +1,152 @@
+#include "sql/value.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace fnproxy::sql {
+
+using util::Status;
+using util::StatusOr;
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBool:
+      return "BOOL";
+  }
+  return "?";
+}
+
+Value ParseValueFromText(const std::string& text) {
+  auto as_int = util::ParseInt64(text);
+  if (as_int.ok()) return Value::Int(*as_int);
+  auto as_double = util::ParseDouble(text);
+  if (as_double.ok()) return Value::Double(*as_double);
+  return Value::String(text);
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kDouble;
+    case 3:
+      return ValueType::kString;
+    case 4:
+      return ValueType::kBool;
+  }
+  return ValueType::kNull;
+}
+
+StatusOr<double> Value::ToNumeric() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    case ValueType::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    default:
+      return Status::InvalidArgument(std::string("value of type ") +
+                                     ValueTypeName(type()) + " is not numeric");
+  }
+}
+
+bool Value::EqualsValue(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (type() == other.type()) {
+    return data_ == other.data_;
+  }
+  // Numeric coercion across int/double/bool.
+  auto a = ToNumeric();
+  auto b = other.ToNumeric();
+  if (a.ok() && b.ok()) return *a == *b;
+  return false;
+}
+
+StatusOr<int> Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    return Status::InvalidArgument("cannot order NULL values");
+  }
+  if (type() == ValueType::kString && other.type() == ValueType::kString) {
+    int cmp = AsString().compare(other.AsString());
+    return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  auto a = ToNumeric();
+  auto b = other.ToNumeric();
+  if (a.ok() && b.ok()) {
+    if (*a < *b) return -1;
+    if (*a > *b) return 1;
+    return 0;
+  }
+  return Status::InvalidArgument(std::string("cannot compare ") +
+                                 ValueTypeName(type()) + " with " +
+                                 ValueTypeName(other.type()));
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble:
+      return util::FormatDouble(AsDouble());
+    case ValueType::kBool:
+      return AsBool() ? "TRUE" : "FALSE";
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "NULL";
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble:
+      return util::FormatDouble(AsDouble());
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kString:
+      return AsString();
+  }
+  return "NULL";
+}
+
+size_t Value::ByteSize() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kString:
+      return AsString().size() + 8;
+  }
+  return 1;
+}
+
+}  // namespace fnproxy::sql

@@ -1,0 +1,77 @@
+#ifndef FNPROXY_SQL_VALUE_H_
+#define FNPROXY_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/status.h"
+
+namespace fnproxy::sql {
+
+/// The SQL value types the engine supports. Covers the SkyServer attributes
+/// the paper's queries touch: identifiers (int), coordinates and magnitudes
+/// (double), names (string) and flags (int bitmasks).
+enum class ValueType { kNull, kInt, kDouble, kString, kBool };
+
+const char* ValueTypeName(ValueType type);
+
+class Value;
+
+/// Parses free-form text (e.g. an HTML form parameter) into a typed value:
+/// INT when it parses as an integer, DOUBLE when it parses as a number,
+/// STRING otherwise.
+Value ParseValueFromText(const std::string& text);
+
+/// A dynamically typed SQL value with SQL-flavored comparison semantics:
+/// ints and doubles compare numerically with coercion; any comparison
+/// involving NULL is unknown (surfaced as "not true").
+class Value {
+ public:
+  /// NULL.
+  Value() : data_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value String(std::string v) { return Value(Data(std::move(v))); }
+  static Value Bool(bool v) { return Value(Data(v)); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; calling the wrong one is a programming error (asserts).
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+
+  /// Numeric view: int/double/bool as double; error otherwise.
+  util::StatusOr<double> ToNumeric() const;
+
+  /// SQL equality (numeric coercion; NULL never equals anything).
+  bool EqualsValue(const Value& other) const;
+
+  /// Three-way comparison for ORDER BY and range predicates: returns
+  /// negative/zero/positive; error for incomparable types or NULLs.
+  util::StatusOr<int> Compare(const Value& other) const;
+
+  /// Literal rendering: strings quoted with '' escaping, suitable for
+  /// embedding in generated SQL (remainder queries).
+  std::string ToSqlLiteral() const;
+  /// Plain rendering for display and XML serialization.
+  std::string ToDisplayString() const;
+
+  /// Approximate in-memory footprint, used for cache byte accounting.
+  size_t ByteSize() const;
+
+  bool operator==(const Value& other) const { return EqualsValue(other); }
+
+ private:
+  using Data = std::variant<std::monostate, int64_t, double, std::string, bool>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+  Data data_;
+};
+
+}  // namespace fnproxy::sql
+
+#endif  // FNPROXY_SQL_VALUE_H_

@@ -1,0 +1,23 @@
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace fnproxy::util {
+
+namespace {
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Stopwatch::Stopwatch() : start_ns_(NowNanos()) {}
+
+void Stopwatch::Reset() { start_ns_ = NowNanos(); }
+
+int64_t Stopwatch::ElapsedMicros() const {
+  return (NowNanos() - start_ns_) / 1000;
+}
+
+}  // namespace fnproxy::util

@@ -1,0 +1,47 @@
+#ifndef FNPROXY_UTIL_CLOCK_H_
+#define FNPROXY_UTIL_CLOCK_H_
+
+#include <cstdint>
+
+namespace fnproxy::util {
+
+/// A virtual clock measured in simulated microseconds. All response-time
+/// experiments run against this clock: network transfers, server processing,
+/// and proxy processing advance it by modeled costs, which makes experiment
+/// results deterministic and independent of host hardware.
+class SimulatedClock {
+ public:
+  SimulatedClock() = default;
+
+  /// Current virtual time in microseconds since experiment start.
+  int64_t NowMicros() const { return now_micros_; }
+
+  /// Advances the clock by `micros` (>= 0).
+  void Advance(int64_t micros) {
+    if (micros > 0) now_micros_ += micros;
+  }
+
+  /// Resets to time zero.
+  void Reset() { now_micros_ = 0; }
+
+ private:
+  int64_t now_micros_ = 0;
+};
+
+/// Monotonic wall-clock stopwatch for measuring *real* elapsed time
+/// (used by micro-benchmarks and the proxy's per-step instrumentation).
+class Stopwatch {
+ public:
+  Stopwatch();
+  /// Restarts the stopwatch.
+  void Reset();
+  /// Elapsed real time since construction/Reset, in microseconds.
+  int64_t ElapsedMicros() const;
+
+ private:
+  int64_t start_ns_;
+};
+
+}  // namespace fnproxy::util
+
+#endif  // FNPROXY_UTIL_CLOCK_H_

@@ -1,0 +1,39 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace fnproxy::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+LogSink g_sink = nullptr;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+void SetLogSink(LogSink sink) { g_sink = sink; }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  if (g_sink != nullptr) {
+    g_sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace fnproxy::util

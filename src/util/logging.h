@@ -1,0 +1,46 @@
+#ifndef FNPROXY_UTIL_LOGGING_H_
+#define FNPROXY_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fnproxy::util {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr; exposed for testing via a hook.
+void LogMessage(LogLevel level, const std::string& message);
+
+/// Replaces the log sink (nullptr restores the default stderr sink).
+/// The sink receives (level, message).
+using LogSink = void (*)(LogLevel, const std::string&);
+void SetLogSink(LogSink sink);
+
+/// Stream-style logging helper:
+///   FNPROXY_LOG(kInfo) << "loaded " << n << " templates";
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace fnproxy::util
+
+#define FNPROXY_LOG(level)                                            \
+  if (::fnproxy::util::LogLevel::level >= ::fnproxy::util::GetLogLevel()) \
+  ::fnproxy::util::LogStream(::fnproxy::util::LogLevel::level)
+
+#endif  // FNPROXY_UTIL_LOGGING_H_

@@ -1,0 +1,54 @@
+#ifndef FNPROXY_UTIL_RANDOM_H_
+#define FNPROXY_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fnproxy::util {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**).
+/// Used everywhere randomness is needed so experiments are reproducible
+/// bit-for-bit across runs and platforms.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextUint64();
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+  /// Uniform in [0, 1).
+  double NextDouble();
+  /// Uniform in [lo, hi).
+  double NextDouble(double lo, double hi);
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+  /// True with probability `p`.
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_[4];
+  bool have_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Zipf-distributed integers over {0, ..., n-1} with exponent `theta`.
+/// Precomputes the CDF once; sampling is O(log n). Used by the trace
+/// generator to model hotspot popularity.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double theta);
+
+  /// Returns a rank in [0, n) with P(k) proportional to 1/(k+1)^theta.
+  size_t Sample(Random& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace fnproxy::util
+
+#endif  // FNPROXY_UTIL_RANDOM_H_

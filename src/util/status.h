@@ -1,0 +1,123 @@
+#ifndef FNPROXY_UTIL_STATUS_H_
+#define FNPROXY_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fnproxy::util {
+
+/// Error categories used across the library. Mirrors the coarse-grained
+/// classification used by database systems (Arrow/RocksDB style): the code
+/// selects the handling strategy, the message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,
+  kUnsupported,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result carrier. The library does not throw exceptions
+/// across public API boundaries; fallible operations return `Status` or
+/// `StatusOr<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Accessing the value of
+/// an errored StatusOr aborts (programming error), matching assert-style
+/// precondition handling used throughout the library.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from Status to keep call sites terse
+  /// (`return value;` / `return Status::...;`), mirroring absl::StatusOr.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fnproxy::util
+
+/// Propagates a non-OK Status from an expression, RocksDB/Arrow style.
+#define FNPROXY_RETURN_NOT_OK(expr)                      \
+  do {                                                   \
+    ::fnproxy::util::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                           \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors, else binds the value.
+#define FNPROXY_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto FNPROXY_CONCAT_(_statusor_, __LINE__) = (expr);   \
+  if (!FNPROXY_CONCAT_(_statusor_, __LINE__).ok())       \
+    return FNPROXY_CONCAT_(_statusor_, __LINE__).status(); \
+  lhs = std::move(FNPROXY_CONCAT_(_statusor_, __LINE__)).value()
+
+#define FNPROXY_CONCAT_IMPL_(a, b) a##b
+#define FNPROXY_CONCAT_(a, b) FNPROXY_CONCAT_IMPL_(a, b)
+
+#endif  // FNPROXY_UTIL_STATUS_H_

@@ -1,0 +1,121 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fnproxy::util {
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(input.substr(start));
+      break;
+    }
+    parts.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view Trim(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result.append(separator);
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+std::string ToLower(std::string_view input) {
+  std::string result(input);
+  for (char& c : result) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return result;
+}
+
+std::string ToUpper(std::string_view input) {
+  std::string result(input);
+  for (char& c : result) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return result;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+StatusOr<int64_t> ParseInt64(std::string_view s) {
+  std::string_view trimmed = Trim(s);
+  if (trimmed.empty()) {
+    return Status::ParseError("empty string is not an integer");
+  }
+  int64_t value = 0;
+  const char* begin = trimmed.data();
+  const char* end = begin + trimmed.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::ParseError("invalid integer: '" + std::string(trimmed) + "'");
+  }
+  return value;
+}
+
+StatusOr<double> ParseDouble(std::string_view s) {
+  std::string_view trimmed = Trim(s);
+  if (trimmed.empty()) {
+    return Status::ParseError("empty string is not a number");
+  }
+  // std::from_chars for double is available in libstdc++ 11+; use it.
+  double value = 0;
+  const char* begin = trimmed.data();
+  const char* end = begin + trimmed.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::ParseError("invalid number: '" + std::string(trimmed) + "'");
+  }
+  return value;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  // %.17g round-trips but is noisy; try shorter forms first.
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+}  // namespace fnproxy::util

@@ -1,0 +1,45 @@
+#ifndef FNPROXY_UTIL_STRING_UTIL_H_
+#define FNPROXY_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fnproxy::util {
+
+/// Splits `input` on `delimiter`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Returns `input` with leading/trailing ASCII whitespace removed.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view input);
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view input);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict numeric parsers: the entire (trimmed) string must be consumed.
+StatusOr<int64_t> ParseInt64(std::string_view s);
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// Formats a double with enough precision to round-trip, trimming trailing
+/// zeros (used when printing SQL literals for remainder queries).
+std::string FormatDouble(double value);
+
+}  // namespace fnproxy::util
+
+#endif  // FNPROXY_UTIL_STRING_UTIL_H_

@@ -1,0 +1,35 @@
+#include "workload/rbe.h"
+
+namespace fnproxy::workload {
+
+double RbeResult::AverageResponseMillis(size_t first_n) const {
+  size_t count = response_micros.size();
+  if (first_n != 0 && first_n < count) count = first_n;
+  if (count == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    sum += static_cast<double>(response_micros[i]);
+  }
+  return sum / static_cast<double>(count) / 1000.0;
+}
+
+net::HttpRequest MakeRequest(const Trace& trace, const TraceQuery& query) {
+  net::HttpRequest request;
+  request.path = trace.form_path;
+  request.query_params = query.params;
+  return request;
+}
+
+RbeResult RemoteBrowserEmulator::Run(const Trace& trace) {
+  RbeResult result;
+  result.response_micros.reserve(trace.queries.size());
+  for (const TraceQuery& query : trace.queries) {
+    int64_t start = clock_->NowMicros();
+    net::HttpResponse response = channel_->RoundTrip(MakeRequest(trace, query));
+    result.response_micros.push_back(clock_->NowMicros() - start);
+    if (!response.ok()) ++result.errors;
+  }
+  return result;
+}
+
+}  // namespace fnproxy::workload

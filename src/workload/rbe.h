@@ -1,0 +1,46 @@
+#ifndef FNPROXY_WORKLOAD_RBE_H_
+#define FNPROXY_WORKLOAD_RBE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "util/clock.h"
+#include "util/status.h"
+#include "workload/trace.h"
+
+namespace fnproxy::workload {
+
+/// Per-trace timing collected at the browser emulator.
+struct RbeResult {
+  std::vector<int64_t> response_micros;
+  uint64_t errors = 0;
+
+  /// Mean response time in milliseconds over the first `first_n` queries
+  /// (0 = all). The paper's Figure 5 reports the first 10,000.
+  double AverageResponseMillis(size_t first_n = 0) const;
+};
+
+/// The Remote Browser Emulator (paper §4.1): replays a trace through a
+/// channel (usually browser→proxy) and measures each query's response time
+/// on the shared virtual clock.
+class RemoteBrowserEmulator {
+ public:
+  /// `channel` and `clock` must outlive the emulator.
+  RemoteBrowserEmulator(net::SimulatedChannel* channel,
+                        util::SimulatedClock* clock)
+      : channel_(channel), clock_(clock) {}
+
+  RbeResult Run(const Trace& trace);
+
+ private:
+  net::SimulatedChannel* channel_;
+  util::SimulatedClock* clock_;
+};
+
+/// Builds the form request for one trace query.
+net::HttpRequest MakeRequest(const Trace& trace, const TraceQuery& query);
+
+}  // namespace fnproxy::workload
+
+#endif  // FNPROXY_WORKLOAD_RBE_H_

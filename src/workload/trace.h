@@ -1,0 +1,38 @@
+#ifndef FNPROXY_WORKLOAD_TRACE_H_
+#define FNPROXY_WORKLOAD_TRACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geometry/region.h"
+#include "util/status.h"
+
+namespace fnproxy::workload {
+
+/// One form request of a query trace.
+struct TraceQuery {
+  /// Form parameters, already formatted as the browser would submit them.
+  std::map<std::string, std::string> params;
+  /// The relationship the generator intended this query to have to the set
+  /// of all earlier queries (ground truth for an unlimited cache).
+  geometry::RegionRelation intended = geometry::RegionRelation::kDisjoint;
+};
+
+/// A replayable query trace against one search form.
+struct Trace {
+  std::string form_path;
+  std::vector<TraceQuery> queries;
+
+  /// Fraction of queries with the given intended relationship.
+  double IntendedFraction(geometry::RegionRelation relation) const;
+
+  /// Serializes to a simple line-oriented text format
+  /// ("<relation>\t<k=v>&<k=v>..." per line, first line the form path).
+  std::string Serialize() const;
+  static util::StatusOr<Trace> Deserialize(std::string_view text);
+};
+
+}  // namespace fnproxy::workload
+
+#endif  // FNPROXY_WORKLOAD_TRACE_H_

@@ -1,0 +1,394 @@
+#include "workload/trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "geometry/celestial.h"
+#include "geometry/hyperrectangle.h"
+#include "geometry/hypersphere.h"
+#include "util/random.h"
+
+namespace fnproxy::workload {
+
+using geometry::RegionRelation;
+
+namespace {
+
+std::string FormatFixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+double RoundTo(double value, int decimals) {
+  double scale = std::pow(10.0, decimals);
+  return std::round(value * scale) / scale;
+}
+
+/// A generated cone, kept in rounded form (exactly what the form request
+/// will carry) so relationship verification matches what the proxy sees.
+struct Cone {
+  double ra;
+  double dec;
+  double radius_arcmin;
+
+  geometry::Hypersphere Sphere() const {
+    return geometry::ConeToHypersphere(ra, dec, radius_arcmin);
+  }
+};
+
+/// Spatial hash over cone centers for fast disjointness checks.
+class ConeGrid {
+ public:
+  explicit ConeGrid(double cell_deg) : cell_deg_(cell_deg) {}
+
+  /// Takes the cone by value: callers may pass references into `cones_`
+  /// itself (exact repeats), which the push_back below would invalidate.
+  void Add(size_t index, Cone cone) {
+    keys_.push_back(Key(cone));
+    cones_.push_back(cone);
+    grid_[keys_.back()].push_back(index);
+  }
+
+  /// Indexes of cones whose center lies within one cell of `cone`'s.
+  std::vector<size_t> Nearby(const Cone& cone) const {
+    std::vector<size_t> result;
+    auto [kx, ky] = Key(cone);
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        auto it = grid_.find({kx + dx, ky + dy});
+        if (it == grid_.end()) continue;
+        result.insert(result.end(), it->second.begin(), it->second.end());
+      }
+    }
+    return result;
+  }
+
+  const Cone& cone(size_t index) const { return cones_[index]; }
+  size_t size() const { return cones_.size(); }
+
+ private:
+  std::pair<int64_t, int64_t> Key(const Cone& cone) const {
+    return {static_cast<int64_t>(std::floor(cone.ra / cell_deg_)),
+            static_cast<int64_t>(std::floor(cone.dec / cell_deg_))};
+  }
+
+  double cell_deg_;
+  std::vector<Cone> cones_;
+  std::vector<std::pair<int64_t, int64_t>> keys_;
+  std::map<std::pair<int64_t, int64_t>, std::vector<size_t>> grid_;
+};
+
+}  // namespace
+
+Trace GenerateRadialTrace(const RadialTraceConfig& config) {
+  util::Random rng(config.seed);
+  util::ZipfDistribution hotspot_pick(config.num_hotspots,
+                                      config.hotspot_zipf_theta);
+
+  // Hotspot centers: supplied (catalog cluster centers) or random.
+  std::vector<std::pair<double, double>> hotspots = config.hotspot_centers;
+  double margin = 1.0;
+  while (hotspots.size() < config.num_hotspots) {
+    hotspots.emplace_back(
+        rng.NextDouble(config.ra_min + margin, config.ra_max - margin),
+        rng.NextDouble(config.dec_min + margin, config.dec_max - margin));
+  }
+
+  Trace trace;
+  trace.form_path = "/radial";
+  trace.queries.reserve(config.num_queries);
+
+  // Grid cell must exceed twice the largest cone diameter so a 3x3
+  // neighborhood covers every potentially intersecting cone.
+  double max_radius_deg = config.radius_max_arcmin / 60.0;
+  ConeGrid history(std::max(1.0, 4.0 * max_radius_deg));
+
+  auto emit = [&](Cone cone, RegionRelation intended) {
+    TraceQuery query;
+    query.params["ra"] = FormatFixed(cone.ra, 4);
+    query.params["dec"] = FormatFixed(cone.dec, 4);
+    query.params["radius"] = FormatFixed(cone.radius_arcmin, 2);
+    query.intended = intended;
+    trace.queries.push_back(std::move(query));
+    history.Add(history.size(), cone);
+  };
+
+  auto fresh_cone = [&]() {
+    const auto& [hra, hdec] = hotspots[hotspot_pick.Sample(rng)];
+    Cone cone;
+    cone.ra = RoundTo(hra + rng.NextGaussian() * config.hotspot_sigma_deg, 4);
+    cone.dec = RoundTo(hdec + rng.NextGaussian() * config.hotspot_sigma_deg, 4);
+    cone.ra = std::clamp(cone.ra, config.ra_min, config.ra_max);
+    cone.dec = std::clamp(cone.dec, config.dec_min, config.dec_max);
+    cone.radius_arcmin = RoundTo(
+        rng.NextDouble(config.radius_min_arcmin, config.radius_max_arcmin), 2);
+    return cone;
+  };
+
+  /// Offsets `parent`'s center by `offset_arcmin` in a random direction.
+  auto offset_center = [&](const Cone& parent, double offset_arcmin) {
+    double angle = rng.NextDouble(0.0, 2.0 * M_PI);
+    double offset_deg = offset_arcmin / 60.0;
+    double cos_dec =
+        std::max(0.2, std::cos(geometry::DegreesToRadians(parent.dec)));
+    Cone cone;
+    cone.dec = RoundTo(parent.dec + offset_deg * std::sin(angle), 4);
+    cone.ra = RoundTo(parent.ra + offset_deg * std::cos(angle) / cos_dec, 4);
+    return cone;
+  };
+
+  for (size_t n = 0; n < config.num_queries; ++n) {
+    double pick = rng.NextDouble();
+    bool have_history = history.size() > 0;
+
+    if (have_history && pick < config.exact_fraction) {
+      // Exact repeat of a previous query. Repeats are temporally local
+      // (reloads, back-button, colleagues sharing a link), so most pick from
+      // recent history.
+      size_t index;
+      if (history.size() > 500 && rng.NextBool(0.7)) {
+        index = history.size() - 500 + rng.NextUint64(500);
+      } else {
+        index = rng.NextUint64(history.size());
+      }
+      emit(history.cone(index), RegionRelation::kEqual);
+      continue;
+    }
+
+    if (have_history &&
+        pick < config.exact_fraction + config.containment_fraction) {
+      // A cone contained in a previous one: shrink the radius and keep the
+      // center offset under (parent_r - child_r).
+      bool emitted = false;
+      for (int attempt = 0; attempt < 12 && !emitted; ++attempt) {
+        const Cone& parent = history.cone(rng.NextUint64(history.size()));
+        double child_r =
+            RoundTo(parent.radius_arcmin * rng.NextDouble(0.35, 0.85), 2);
+        if (child_r < 0.5) continue;
+        double max_offset = (parent.radius_arcmin - child_r) * 0.85;
+        Cone child = offset_center(parent, rng.NextDouble(0.0, max_offset));
+        child.radius_arcmin = child_r;
+        if (geometry::Contains(parent.Sphere(), child.Sphere()) &&
+            !geometry::Equals(parent.Sphere(), child.Sphere())) {
+          emit(child, RegionRelation::kContainedBy);
+          emitted = true;
+        }
+      }
+      if (emitted) continue;
+      emit(fresh_cone(), RegionRelation::kDisjoint);
+      continue;
+    }
+
+    if (have_history && pick < config.exact_fraction +
+                                   config.containment_fraction +
+                                   config.region_containment_fraction) {
+      // Zoom-out: a cone strictly containing a previous one (the region
+      // containment special case).
+      bool emitted = false;
+      for (int attempt = 0; attempt < 12 && !emitted; ++attempt) {
+        const Cone& parent = history.cone(rng.NextUint64(history.size()));
+        // Modest zoom-outs: the cached cone covers a sizable share of the
+        // new region, so the remainder query has real transfer savings.
+        double r2 = RoundTo(parent.radius_arcmin * rng.NextDouble(1.25, 1.8), 2);
+        if (r2 > config.radius_max_arcmin * 1.8) continue;
+        double max_offset = (r2 - parent.radius_arcmin) * 0.8;
+        Cone cone = offset_center(parent, rng.NextDouble(0.0, max_offset));
+        cone.radius_arcmin = r2;
+        if (geometry::Contains(cone.Sphere(), parent.Sphere()) &&
+            !geometry::Equals(cone.Sphere(), parent.Sphere())) {
+          emit(cone, RegionRelation::kContains);
+          emitted = true;
+        }
+      }
+      if (emitted) continue;
+      emit(fresh_cone(), RegionRelation::kDisjoint);
+      continue;
+    }
+
+    if (have_history && pick < config.exact_fraction +
+                                   config.containment_fraction +
+                                   config.region_containment_fraction +
+                                   config.overlap_fraction) {
+      // Partial overlap: center offset strictly between |r1 - r2| and
+      // r1 + r2, biased towards thin intersections — users panning a search
+      // window mostly step outward, so cache-intersecting queries share only
+      // a sliver with the cache (which is why the paper finds handling them
+      // may not be worthwhile).
+      bool emitted = false;
+      for (int attempt = 0; attempt < 12 && !emitted; ++attempt) {
+        const Cone& parent = history.cone(rng.NextUint64(history.size()));
+        double r2 = RoundTo(
+            std::clamp(parent.radius_arcmin * rng.NextDouble(0.6, 1.4),
+                       config.radius_min_arcmin, config.radius_max_arcmin),
+            2);
+        double lo = std::max(std::abs(parent.radius_arcmin - r2) * 1.15 + 0.2,
+                             (parent.radius_arcmin + r2) * 0.70);
+        double hi = (parent.radius_arcmin + r2) * 0.92;
+        if (lo >= hi) continue;
+        Cone cone = offset_center(parent, rng.NextDouble(lo, hi));
+        cone.radius_arcmin = r2;
+        if (geometry::Relate(cone.Sphere(), parent.Sphere()) ==
+            RegionRelation::kOverlap) {
+          emit(cone, RegionRelation::kOverlap);
+          emitted = true;
+        }
+      }
+      if (emitted) continue;
+      emit(fresh_cone(), RegionRelation::kDisjoint);
+      continue;
+    }
+
+    // Fresh query; try to place it disjoint from all prior cones — first at
+    // hotspots (users explore near popular sky), then uniformly over the
+    // footprint once the hotspots are saturated.
+    auto uniform_cone = [&]() {
+      Cone cone;
+      cone.ra = RoundTo(rng.NextDouble(config.ra_min, config.ra_max), 4);
+      cone.dec = RoundTo(rng.NextDouble(config.dec_min, config.dec_max), 4);
+      cone.radius_arcmin = RoundTo(
+          rng.NextDouble(config.radius_min_arcmin, config.radius_max_arcmin),
+          2);
+      return cone;
+    };
+    auto is_disjoint = [&](const Cone& cone) {
+      geometry::Hypersphere sphere = cone.Sphere();
+      for (size_t idx : history.Nearby(cone)) {
+        if (geometry::Intersects(sphere, history.cone(idx).Sphere())) {
+          return false;
+        }
+      }
+      return true;
+    };
+    Cone cone = fresh_cone();
+    bool placed = is_disjoint(cone);
+    for (int attempt = 0; attempt < 24 && !placed; ++attempt) {
+      cone = attempt < 8 ? fresh_cone() : uniform_cone();
+      placed = is_disjoint(cone);
+    }
+    RegionRelation label = RegionRelation::kDisjoint;
+    if (!placed) {
+      // Dense sky: accept the intersection and label it truthfully.
+      geometry::Hypersphere sphere = cone.Sphere();
+      for (size_t idx : history.Nearby(cone)) {
+        RegionRelation rel =
+            geometry::Relate(sphere, history.cone(idx).Sphere());
+        if (rel != RegionRelation::kDisjoint) {
+          label = rel;
+          break;
+        }
+      }
+    }
+    emit(cone, label);
+  }
+  return trace;
+}
+
+namespace {
+
+struct Box {
+  double ra_min, ra_max, dec_min, dec_max;
+  geometry::Hyperrectangle Rect() const {
+    return geometry::Hyperrectangle({ra_min, dec_min}, {ra_max, dec_max});
+  }
+};
+
+}  // namespace
+
+Trace GenerateRectTrace(const RectTraceConfig& config) {
+  util::Random rng(config.seed);
+  util::ZipfDistribution hotspot_pick(config.num_hotspots,
+                                      config.hotspot_zipf_theta);
+  std::vector<std::pair<double, double>> hotspots;
+  for (size_t i = 0; i < config.num_hotspots; ++i) {
+    hotspots.emplace_back(
+        rng.NextDouble(config.ra_min + 1, config.ra_max - 1),
+        rng.NextDouble(config.dec_min + 1, config.dec_max - 1));
+  }
+
+  Trace trace;
+  trace.form_path = "/rect";
+  trace.queries.reserve(config.num_queries);
+  std::vector<Box> history;
+
+  auto emit = [&](const Box& box, RegionRelation intended) {
+    TraceQuery query;
+    query.params["ra_min"] = FormatFixed(box.ra_min, 4);
+    query.params["ra_max"] = FormatFixed(box.ra_max, 4);
+    query.params["dec_min"] = FormatFixed(box.dec_min, 4);
+    query.params["dec_max"] = FormatFixed(box.dec_max, 4);
+    query.intended = intended;
+    trace.queries.push_back(std::move(query));
+    history.push_back(box);
+  };
+
+  auto fresh_box = [&]() {
+    const auto& [hra, hdec] = hotspots[hotspot_pick.Sample(rng)];
+    double cra = hra + rng.NextGaussian() * config.hotspot_sigma_deg;
+    double cdec = hdec + rng.NextGaussian() * config.hotspot_sigma_deg;
+    double w = rng.NextDouble(config.width_min_deg, config.width_max_deg);
+    double h = rng.NextDouble(config.width_min_deg, config.width_max_deg);
+    Box box;
+    box.ra_min = RoundTo(cra - w / 2, 4);
+    box.ra_max = RoundTo(cra + w / 2, 4);
+    box.dec_min = RoundTo(cdec - h / 2, 4);
+    box.dec_max = RoundTo(cdec + h / 2, 4);
+    return box;
+  };
+
+  for (size_t n = 0; n < config.num_queries; ++n) {
+    double pick = rng.NextDouble();
+    bool have_history = !history.empty();
+
+    if (have_history && pick < config.exact_fraction) {
+      emit(history[rng.NextUint64(history.size())], RegionRelation::kEqual);
+      continue;
+    }
+    if (have_history &&
+        pick < config.exact_fraction + config.containment_fraction) {
+      const Box& parent = history[rng.NextUint64(history.size())];
+      double w = parent.ra_max - parent.ra_min;
+      double h = parent.dec_max - parent.dec_min;
+      Box child;
+      double shrink_w = w * rng.NextDouble(0.2, 0.5);
+      double shrink_h = h * rng.NextDouble(0.2, 0.5);
+      double slide_w = rng.NextDouble(0.0, shrink_w);
+      double slide_h = rng.NextDouble(0.0, shrink_h);
+      child.ra_min = RoundTo(parent.ra_min + slide_w, 4);
+      child.ra_max = RoundTo(parent.ra_max - (shrink_w - slide_w), 4);
+      child.dec_min = RoundTo(parent.dec_min + slide_h, 4);
+      child.dec_max = RoundTo(parent.dec_max - (shrink_h - slide_h), 4);
+      if (child.ra_min < child.ra_max && child.dec_min < child.dec_max &&
+          geometry::Contains(parent.Rect(), child.Rect()) &&
+          !geometry::Equals(parent.Rect(), child.Rect())) {
+        emit(child, RegionRelation::kContainedBy);
+      } else {
+        emit(fresh_box(), RegionRelation::kDisjoint);
+      }
+      continue;
+    }
+    if (have_history && pick < config.exact_fraction +
+                                   config.containment_fraction +
+                                   config.overlap_fraction) {
+      const Box& parent = history[rng.NextUint64(history.size())];
+      double w = parent.ra_max - parent.ra_min;
+      Box shifted = parent;
+      double shift = w * rng.NextDouble(0.3, 0.8);
+      shifted.ra_min = RoundTo(shifted.ra_min + shift, 4);
+      shifted.ra_max = RoundTo(shifted.ra_max + shift, 4);
+      if (geometry::Relate(shifted.Rect(), parent.Rect()) ==
+          RegionRelation::kOverlap) {
+        emit(shifted, RegionRelation::kOverlap);
+      } else {
+        emit(fresh_box(), RegionRelation::kDisjoint);
+      }
+      continue;
+    }
+    emit(fresh_box(), RegionRelation::kDisjoint);
+  }
+  return trace;
+}
+
+}  // namespace fnproxy::workload

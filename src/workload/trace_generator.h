@@ -1,0 +1,77 @@
+#ifndef FNPROXY_WORKLOAD_TRACE_GENERATOR_H_
+#define FNPROXY_WORKLOAD_TRACE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "workload/trace.h"
+
+namespace fnproxy::workload {
+
+/// Configuration of the synthetic Radial-form trace, calibrated to the
+/// SkyServer trace the paper replays (§4.1): 11,323 queries of which ~17%
+/// are exact repeats of earlier queries, ~34% are contained in an earlier
+/// query, and ~9% overlap one; the rest explore new sky (disjoint).
+/// Queries concentrate on Zipf-popular hotspots, as real users' do.
+struct RadialTraceConfig {
+  size_t num_queries = 11323;
+  double exact_fraction = 0.17;
+  double containment_fraction = 0.34;
+  /// Partial overlaps plus region containments together make the paper's
+  /// "about 9% of the queries overlap" (region containment is "a special
+  /// case in query overlapping", §3.2).
+  double overlap_fraction = 0.06;
+  /// Zoom-out queries that strictly contain an earlier query's region.
+  double region_containment_fraction = 0.03;
+
+  size_t num_hotspots = 80;
+  double hotspot_zipf_theta = 0.8;
+  /// Spread of fresh query centers around their hotspot, degrees.
+  double hotspot_sigma_deg = 0.8;
+  /// When non-empty, these positions are used as hotspots instead of random
+  /// ones (the experiment harness passes the catalog's cluster centers).
+  std::vector<std::pair<double, double>> hotspot_centers;
+
+  double radius_min_arcmin = 4.0;
+  double radius_max_arcmin = 30.0;
+
+  /// Sky footprint; keep inside the catalog's so queries hit data.
+  double ra_min = 125.0;
+  double ra_max = 245.0;
+  double dec_min = 0.0;
+  double dec_max = 60.0;
+
+  uint64_t seed = 2004;
+};
+
+/// Generates a Radial trace with parameters ra (deg), dec (deg), radius
+/// (arcmin). Every emitted query's intended relationship is verified
+/// against the actual cone geometry of the prior queries' regions it was
+/// derived from, so the labels are sound for an unlimited cache.
+Trace GenerateRadialTrace(const RadialTraceConfig& config);
+
+/// Configuration for a rectangular (fGetObjFromRect) trace; same
+/// relationship-mix machinery over 2-D ra/dec boxes.
+struct RectTraceConfig {
+  size_t num_queries = 2000;
+  double exact_fraction = 0.17;
+  double containment_fraction = 0.34;
+  double overlap_fraction = 0.09;
+  size_t num_hotspots = 40;
+  double hotspot_zipf_theta = 0.8;
+  double hotspot_sigma_deg = 0.8;
+  double width_min_deg = 0.1;
+  double width_max_deg = 0.8;
+  double ra_min = 125.0;
+  double ra_max = 245.0;
+  double dec_min = 0.0;
+  double dec_max = 60.0;
+  uint64_t seed = 2005;
+};
+
+/// Generates a rectangle trace with parameters ra_min, ra_max, dec_min,
+/// dec_max (degrees).
+Trace GenerateRectTrace(const RectTraceConfig& config);
+
+}  // namespace fnproxy::workload
+
+#endif  // FNPROXY_WORKLOAD_TRACE_GENERATOR_H_

@@ -1,0 +1,184 @@
+// Coverage for small public-API surfaces not central to other suites:
+// name/ToString helpers, support functions, debug rendering, statement
+// printing of every operator, and assorted edge cases.
+
+#include <gtest/gtest.h>
+
+#include "core/cache_store.h"
+#include "core/proxy.h"
+#include "geometry/hyperrectangle.h"
+#include "geometry/hypersphere.h"
+#include "geometry/polytope.h"
+#include "geometry/region.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "sql/schema.h"
+
+namespace fnproxy {
+namespace {
+
+TEST(NamesTest, ShapeKindNames) {
+  EXPECT_STREQ(geometry::ShapeKindName(geometry::ShapeKind::kHypersphere),
+               "hypersphere");
+  EXPECT_STREQ(geometry::ShapeKindName(geometry::ShapeKind::kHyperrectangle),
+               "hyperrectangle");
+  EXPECT_STREQ(geometry::ShapeKindName(geometry::ShapeKind::kPolytope),
+               "polytope");
+}
+
+TEST(NamesTest, RegionRelationNames) {
+  using geometry::RegionRelation;
+  EXPECT_STREQ(geometry::RegionRelationName(RegionRelation::kEqual), "equal");
+  EXPECT_STREQ(geometry::RegionRelationName(RegionRelation::kContainedBy),
+               "contained-by");
+  EXPECT_STREQ(geometry::RegionRelationName(RegionRelation::kContains),
+               "contains");
+  EXPECT_STREQ(geometry::RegionRelationName(RegionRelation::kOverlap),
+               "overlap");
+  EXPECT_STREQ(geometry::RegionRelationName(RegionRelation::kDisjoint),
+               "disjoint");
+}
+
+TEST(NamesTest, CachingModeNames) {
+  using core::CachingMode;
+  EXPECT_STREQ(core::CachingModeName(CachingMode::kNoCache), "NC");
+  EXPECT_STREQ(core::CachingModeName(CachingMode::kPassive), "PC");
+  EXPECT_STREQ(core::CachingModeName(CachingMode::kActiveFull), "AC-full");
+  EXPECT_STREQ(core::CachingModeName(CachingMode::kActiveRegionContainment),
+               "AC-region-containment");
+  EXPECT_STREQ(core::CachingModeName(CachingMode::kActiveContainmentOnly),
+               "AC-containment-only");
+}
+
+TEST(RegionToStringTest, AllShapesRender) {
+  geometry::Hypersphere sphere({1, 2}, 0.5);
+  EXPECT_NE(sphere.ToString().find("Sphere"), std::string::npos);
+  geometry::Hyperrectangle rect({0, 0}, {1, 1});
+  EXPECT_NE(rect.ToString().find("Rect"), std::string::npos);
+  geometry::Polytope poly = geometry::Polytope::FromRectangle(rect);
+  EXPECT_NE(poly.ToString().find("Polytope"), std::string::npos);
+}
+
+TEST(SupportFunctionTest, SphereSupportOnSurface) {
+  geometry::Hypersphere sphere({1, 1}, 2.0);
+  geometry::Point s = sphere.Support({1, 0});
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  // Zero direction degrades to the center.
+  geometry::Point c = sphere.Support({0, 0});
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+}
+
+TEST(SupportFunctionTest, RectSupportPicksCorner) {
+  geometry::Hyperrectangle rect({0, 0}, {2, 3});
+  geometry::Point s = rect.Support({1, -1});
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+}
+
+TEST(SupportFunctionTest, PolytopeSupportPicksVertex) {
+  geometry::Polytope poly = geometry::Polytope::FromRectangle(
+      geometry::Hyperrectangle({0, 0}, {2, 3}));
+  geometry::Point s = poly.Support({1, 1});
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[1], 3.0);
+}
+
+TEST(RegionCloneTest, ClonesAreIndependentAndEqual) {
+  geometry::Hypersphere sphere({1, 2, 3}, 0.25);
+  auto clone = sphere.Clone();
+  EXPECT_TRUE(geometry::Equals(sphere, *clone));
+  EXPECT_EQ(clone->dimensions(), 3u);
+  EXPECT_EQ(clone->kind(), geometry::ShapeKind::kHypersphere);
+}
+
+TEST(TableDebugTest, ToDebugStringBounded) {
+  sql::Table table(sql::Schema({{"x", sql::ValueType::kInt}}));
+  for (int i = 0; i < 30; ++i) table.AddRow({sql::Value::Int(i)});
+  std::string text = table.ToDebugString(5);
+  EXPECT_NE(text.find("30 rows"), std::string::npos);
+  EXPECT_NE(text.find("more"), std::string::npos);
+}
+
+TEST(PrinterTest, EveryOperatorRoundTrips) {
+  const char* expressions[] = {
+      "a + b", "a - b", "a * b", "a / b", "a % b",
+      "a = b", "a <> b", "a < b", "a <= b", "a > b", "a >= b",
+      "a AND b", "a OR b", "a & b", "a | b",
+      "-a", "~a", "NOT a",
+      "a BETWEEN 1 AND 2", "a NOT BETWEEN 1 AND 2",
+      "a IN (1, 2)", "a NOT IN (1, 2)", "a IS NULL", "a IS NOT NULL",
+      "f(a, b, 1.5)", "t.col", "'str''ing'", "TRUE", "FALSE", "NULL",
+  };
+  for (const char* text : expressions) {
+    auto expr = sql::ParseExpression(text);
+    ASSERT_TRUE(expr.ok()) << text;
+    std::string printed = sql::ExprToSql(**expr);
+    auto reparsed = sql::ParseExpression(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(sql::ExprToSql(**reparsed), printed) << text;
+  }
+}
+
+TEST(ExprCloneTest, AllKindsDeepCloned) {
+  auto expr = sql::ParseExpression(
+      "f(a) + $p * 2 BETWEEN t.x AND 5 AND (y IN (1, 'two') OR z IS NOT NULL)");
+  ASSERT_TRUE(expr.ok());
+  auto clone = (*expr)->Clone();
+  EXPECT_EQ(sql::ExprToSql(**expr), sql::ExprToSql(*clone));
+  EXPECT_TRUE(clone->HasParameters());
+}
+
+TEST(QueryRecordTest, CacheEfficiencyEdgeCases) {
+  core::QueryRecord record;
+  record.tuples_total = 0;
+  record.contacted_origin = false;
+  EXPECT_EQ(record.CacheEfficiency(), 1.0);  // Empty answer from cache.
+  record.contacted_origin = true;
+  EXPECT_EQ(record.CacheEfficiency(), 0.0);  // Empty answer from origin.
+  record.tuples_total = 10;
+  record.tuples_from_cache = 4;
+  EXPECT_DOUBLE_EQ(record.CacheEfficiency(), 0.4);
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  sql::Schema left({{"a", sql::ValueType::kInt}});
+  sql::Schema right({{"b", sql::ValueType::kDouble},
+                     {"c", sql::ValueType::kString}});
+  sql::Schema joined = sql::Schema::Concat(left, right);
+  ASSERT_EQ(joined.num_columns(), 3u);
+  EXPECT_EQ(joined.column(0).name, "a");
+  EXPECT_EQ(joined.column(2).name, "c");
+}
+
+TEST(ConjoinTest, HandlesEmptyAndSingle) {
+  EXPECT_EQ(sql::ConjoinAll({}), nullptr);
+  std::vector<std::unique_ptr<sql::Expr>> one;
+  one.push_back(sql::Expr::Literal(sql::Value::Bool(true)));
+  auto conjoined = sql::ConjoinAll(std::move(one));
+  ASSERT_NE(conjoined, nullptr);
+  EXPECT_EQ(conjoined->kind, sql::Expr::Kind::kLiteral);
+}
+
+TEST(ProxyStatsXmlTest, RendersAllCounters) {
+  core::ProxyStats stats;
+  stats.requests = 10;
+  stats.template_requests = 8;
+  stats.exact_hits = 3;
+  stats.containment_hits = 2;
+  stats.misses = 3;
+  stats.check_micros = 1234;
+  core::QueryRecord record;
+  record.tuples_total = 4;
+  record.tuples_from_cache = 4;
+  stats.records.push_back(record);
+  std::string xml_text = stats.ToXml();
+  EXPECT_NE(xml_text.find("requests=\"10\""), std::string::npos);
+  EXPECT_NE(xml_text.find("exact=\"3\""), std::string::npos);
+  EXPECT_NE(xml_text.find("check=\"1234\""), std::string::npos);
+  EXPECT_NE(xml_text.find("<AverageCacheEfficiency>1.0000"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fnproxy

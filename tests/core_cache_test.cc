@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/cache_store.h"
+#include "geometry/hypersphere.h"
+#include "index/array_index.h"
+#include "index/rtree.h"
+
+namespace fnproxy::core {
+namespace {
+
+using geometry::Hypersphere;
+using sql::Schema;
+using sql::Table;
+using sql::Value;
+using sql::ValueType;
+
+Table MakeResult(size_t rows) {
+  Table table(Schema({{"objID", ValueType::kInt}, {"x", ValueType::kDouble}}));
+  for (size_t i = 0; i < rows; ++i) {
+    table.AddRow({Value::Int(static_cast<int64_t>(i)),
+                  Value::Double(static_cast<double>(i) * 0.5)});
+  }
+  return table;
+}
+
+CacheEntry MakeEntry(double center, double radius, size_t rows,
+                     const std::string& template_id = "radial") {
+  CacheEntry entry;
+  entry.template_id = template_id;
+  entry.nonspatial_fingerprint = "";
+  entry.param_fingerprint = "c=" + std::to_string(center);
+  entry.region =
+      std::make_unique<Hypersphere>(geometry::Point{center, 0.0}, radius);
+  entry.result = MakeResult(rows);
+  return entry;
+}
+
+std::unique_ptr<CacheStore> MakeStore(size_t max_bytes,
+                                      ReplacementPolicy policy =
+                                          ReplacementPolicy::kLru) {
+  return std::make_unique<CacheStore>(
+      std::make_unique<index::ArrayRegionIndex>(), max_bytes, policy);
+}
+
+TEST(CacheStoreTest, InsertFindRemove) {
+  auto store = MakeStore(0);
+  uint64_t id = store->Insert(MakeEntry(0, 1, 10));
+  ASSERT_NE(id, 0u);
+  const CacheEntry* entry = store->Find(id);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->result.num_rows(), 10u);
+  EXPECT_EQ(store->num_entries(), 1u);
+  EXPECT_GT(store->bytes_used(), 0u);
+  EXPECT_TRUE(store->Remove(id));
+  EXPECT_FALSE(store->Remove(id));
+  EXPECT_EQ(store->num_entries(), 0u);
+  EXPECT_EQ(store->bytes_used(), 0u);
+}
+
+TEST(CacheStoreTest, CandidatesUseBoundingBoxes) {
+  auto store = MakeStore(0);
+  uint64_t near = store->Insert(MakeEntry(0, 1, 5));
+  uint64_t far = store->Insert(MakeEntry(100, 1, 5));
+  auto hits = store->Candidates(
+      geometry::Hyperrectangle({-2.0, -2.0}, {2.0, 2.0}));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], near);
+  (void)far;
+}
+
+TEST(CacheStoreTest, ByteBudgetEnforced) {
+  auto store = MakeStore(0);
+  uint64_t id = store->Insert(MakeEntry(0, 1, 100));
+  size_t one_entry_bytes = store->Find(id)->bytes;
+  store->Remove(id);
+
+  auto limited = MakeStore(one_entry_bytes * 3);
+  for (int i = 0; i < 10; ++i) {
+    limited->Insert(MakeEntry(i * 10.0, 1, 100));
+    EXPECT_LE(limited->bytes_used(), limited->max_bytes());
+  }
+  EXPECT_LE(limited->num_entries(), 3u);
+  EXPECT_GT(limited->evictions(), 0u);
+}
+
+TEST(CacheStoreTest, OversizedEntryNotCached) {
+  auto store = MakeStore(100);  // Tiny budget.
+  uint64_t id = store->Insert(MakeEntry(0, 1, 1000));
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(store->num_entries(), 0u);
+}
+
+TEST(CacheStoreTest, LruEvictsLeastRecentlyTouched) {
+  auto probe = MakeStore(0);
+  uint64_t probe_id = probe->Insert(MakeEntry(0, 1, 50));
+  size_t entry_bytes = probe->Find(probe_id)->bytes;
+
+  auto store = MakeStore(entry_bytes * 2 + entry_bytes / 2);
+  uint64_t a = store->Insert(MakeEntry(0, 1, 50));
+  uint64_t b = store->Insert(MakeEntry(10, 1, 50));
+  store->Touch(a, 100);
+  store->Touch(b, 200);
+  store->Touch(a, 300);  // a is now more recent than b.
+  store->Insert(MakeEntry(20, 1, 50));
+  EXPECT_NE(store->Find(a), nullptr);
+  EXPECT_EQ(store->Find(b), nullptr);  // b evicted.
+}
+
+TEST(CacheStoreTest, LfuEvictsLeastFrequentlyUsed) {
+  auto probe = MakeStore(0);
+  size_t entry_bytes = probe->Find(probe->Insert(MakeEntry(0, 1, 50)))->bytes;
+
+  auto store = MakeStore(entry_bytes * 2 + entry_bytes / 2,
+                         ReplacementPolicy::kLfu);
+  uint64_t a = store->Insert(MakeEntry(0, 1, 50));
+  uint64_t b = store->Insert(MakeEntry(10, 1, 50));
+  for (int i = 0; i < 5; ++i) store->Touch(a, i);
+  store->Touch(b, 10);
+  store->Insert(MakeEntry(20, 1, 50));
+  EXPECT_NE(store->Find(a), nullptr);
+  EXPECT_EQ(store->Find(b), nullptr);
+}
+
+TEST(CacheStoreTest, SizeAdjustedPrefersEvictingLargeColdEntries) {
+  auto probe = MakeStore(0);
+  size_t small_bytes = probe->Find(probe->Insert(MakeEntry(0, 1, 10)))->bytes;
+  size_t large_bytes =
+      probe->Find(probe->Insert(MakeEntry(50, 1, 500)))->bytes;
+
+  auto store = MakeStore(small_bytes + large_bytes + small_bytes / 2,
+                         ReplacementPolicy::kSizeAdjusted);
+  uint64_t small_id = store->Insert(MakeEntry(0, 1, 10));
+  uint64_t large_id = store->Insert(MakeEntry(10, 1, 500));
+  store->Touch(small_id, 1);
+  store->Touch(large_id, 1);
+  store->Insert(MakeEntry(20, 1, 10));
+  EXPECT_NE(store->Find(small_id), nullptr);
+  EXPECT_EQ(store->Find(large_id), nullptr);
+}
+
+TEST(CacheStoreTest, DescriptionStaysInSyncThroughEviction) {
+  auto probe = MakeStore(0);
+  size_t entry_bytes = probe->Find(probe->Insert(MakeEntry(0, 1, 20)))->bytes;
+  auto store = MakeStore(entry_bytes * 4);
+  for (int i = 0; i < 20; ++i) {
+    store->Insert(MakeEntry(i * 10.0, 1, 20));
+  }
+  // Every candidate returned by the description must still exist.
+  auto hits = store->Candidates(
+      geometry::Hyperrectangle({-1000.0, -1000.0}, {1000.0, 1000.0}));
+  EXPECT_EQ(hits.size(), store->num_entries());
+  for (uint64_t id : hits) {
+    EXPECT_NE(store->Find(id), nullptr);
+  }
+}
+
+TEST(CacheStoreTest, WorksWithRTreeDescription) {
+  CacheStore store(std::make_unique<index::RTreeIndex>(), 0,
+                   ReplacementPolicy::kLru);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(store.Insert(MakeEntry(i * 5.0, 1, 5)));
+  }
+  auto hits = store.Candidates(geometry::Hyperrectangle({-1.5, -1.5}, {6.0, 1.5}));
+  EXPECT_EQ(hits.size(), 2u);  // Centers 0 and 5.
+  for (uint64_t id : ids) EXPECT_TRUE(store.Remove(id));
+  EXPECT_EQ(store.num_entries(), 0u);
+}
+
+TEST(CacheStoreTest, AllIdsEnumerates) {
+  auto store = MakeStore(0);
+  store->Insert(MakeEntry(0, 1, 5));
+  store->Insert(MakeEntry(10, 1, 5));
+  EXPECT_EQ(store->AllIds().size(), 2u);
+}
+
+TEST(ReplacementPolicyTest, Names) {
+  EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kLru), "LRU");
+  EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kLfu), "LFU");
+  EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kSizeAdjusted),
+               "size-adjusted");
+}
+
+}  // namespace
+}  // namespace fnproxy::core

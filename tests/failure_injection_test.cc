@@ -1,0 +1,209 @@
+// Failure injection: the origin site misbehaves (intermittent 500s, SQL
+// facility outages, malformed payloads) and the proxy must degrade cleanly —
+// propagate errors without caching garbage, and recover on the next healthy
+// response.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "catalog/sky_catalog.h"
+#include "core/proxy.h"
+#include "net/network.h"
+#include "server/sky_functions.h"
+#include "server/web_app.h"
+#include "sql/table_xml.h"
+#include "workload/experiment.h"
+
+namespace fnproxy {
+namespace {
+
+using net::HttpRequest;
+using net::HttpResponse;
+
+/// Wraps the origin app, failing requests on demand.
+class FlakyOrigin final : public net::HttpHandler {
+ public:
+  explicit FlakyOrigin(net::HttpHandler* inner) : inner_(inner) {}
+
+  HttpResponse Handle(const HttpRequest& request) override {
+    ++requests_;
+    switch (mode_) {
+      case Mode::kHealthy:
+        return inner_->Handle(request);
+      case Mode::kServerError:
+        return HttpResponse::MakeError(500, "injected failure");
+      case Mode::kGarbageBody: {
+        HttpResponse response;
+        response.body = "this is not XML at all <<<";
+        return response;
+      }
+      case Mode::kSqlOnlyFails:
+        if (request.path == "/sql") {
+          return HttpResponse::MakeError(500, "sql facility down");
+        }
+        return inner_->Handle(request);
+    }
+    return HttpResponse::MakeError(500, "unreachable");
+  }
+
+  enum class Mode { kHealthy, kServerError, kGarbageBody, kSqlOnlyFails };
+  void set_mode(Mode mode) { mode_ = mode; }
+  uint64_t requests() const { return requests_; }
+
+ private:
+  net::HttpHandler* inner_;
+  Mode mode_ = Mode::kHealthy;
+  uint64_t requests_ = 0;
+};
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog::SkyCatalogConfig config;
+    config.num_objects = 10000;
+    config.seed = 4711;
+    config.ra_min = 178.0;
+    config.ra_max = 192.0;
+    config.dec_min = 28.0;
+    config.dec_max = 40.0;
+    db_ = new server::Database();
+    db_->AddTable("PhotoPrimary", catalog::GenerateSkyCatalog(config));
+    grid_ = new server::SkyGrid(db_->FindTable("PhotoPrimary"));
+    db_->RegisterTableFunction(server::MakeGetNearbyObjEq(grid_));
+    db_->scalar_functions()->Register(
+        "fPhotoFlags",
+        [](const std::vector<sql::Value>& args)
+            -> util::StatusOr<sql::Value> {
+          FNPROXY_ASSIGN_OR_RETURN(
+              int64_t bit, catalog::PhotoFlagValue(args.at(0).AsString()));
+          return sql::Value::Int(bit);
+        });
+    templates_ = new core::TemplateRegistry();
+    ASSERT_TRUE(templates_
+                    ->RegisterFunctionTemplateXml(
+                        workload::kNearbyObjEqTemplateXml)
+                    .ok());
+    auto qt = core::QueryTemplate::Create("radial", "/radial",
+                                          workload::kRadialTemplateSql);
+    ASSERT_TRUE(qt.ok());
+    ASSERT_TRUE(templates_->RegisterQueryTemplate(std::move(*qt)).ok());
+  }
+  static void TearDownTestSuite() {
+    delete templates_;
+    delete grid_;
+    delete db_;
+    templates_ = nullptr;
+    grid_ = nullptr;
+    db_ = nullptr;
+  }
+
+  void SetUp() override {
+    clock_ = std::make_unique<util::SimulatedClock>();
+    app_ = std::make_unique<server::OriginWebApp>(db_, clock_.get());
+    ASSERT_TRUE(app_->RegisterForm("/radial", workload::kRadialTemplateSql).ok());
+    flaky_ = std::make_unique<FlakyOrigin>(app_.get());
+    channel_ = std::make_unique<net::SimulatedChannel>(
+        flaky_.get(), net::LinkConfig{0.0, 1e9}, clock_.get());
+    proxy_ = std::make_unique<core::FunctionProxy>(
+        core::ProxyConfig{}, templates_, channel_.get(), clock_.get());
+  }
+
+  static HttpRequest Radial(double ra, double dec, double radius) {
+    HttpRequest request;
+    request.path = "/radial";
+    request.query_params["ra"] = std::to_string(ra);
+    request.query_params["dec"] = std::to_string(dec);
+    request.query_params["radius"] = std::to_string(radius);
+    return request;
+  }
+
+  static server::Database* db_;
+  static server::SkyGrid* grid_;
+  static core::TemplateRegistry* templates_;
+
+  std::unique_ptr<util::SimulatedClock> clock_;
+  std::unique_ptr<server::OriginWebApp> app_;
+  std::unique_ptr<FlakyOrigin> flaky_;
+  std::unique_ptr<net::SimulatedChannel> channel_;
+  std::unique_ptr<core::FunctionProxy> proxy_;
+};
+
+server::Database* FailureInjectionTest::db_ = nullptr;
+server::SkyGrid* FailureInjectionTest::grid_ = nullptr;
+core::TemplateRegistry* FailureInjectionTest::templates_ = nullptr;
+
+TEST_F(FailureInjectionTest, OriginErrorPropagatedAndNotCached) {
+  flaky_->set_mode(FlakyOrigin::Mode::kServerError);
+  HttpResponse response = proxy_->Handle(Radial(185, 33, 20));
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(proxy_->cache().num_entries(), 0u);
+
+  // Recovery: next healthy response is served and cached.
+  flaky_->set_mode(FlakyOrigin::Mode::kHealthy);
+  HttpResponse healthy = proxy_->Handle(Radial(185, 33, 20));
+  EXPECT_TRUE(healthy.ok());
+  EXPECT_EQ(proxy_->cache().num_entries(), 1u);
+  EXPECT_TRUE(sql::TableFromXml(healthy.body).ok());
+}
+
+TEST_F(FailureInjectionTest, GarbageBodyNotCached) {
+  flaky_->set_mode(FlakyOrigin::Mode::kGarbageBody);
+  HttpResponse response = proxy_->Handle(Radial(185, 33, 20));
+  EXPECT_FALSE(response.ok());  // Surfaced as a gateway error.
+  EXPECT_EQ(proxy_->cache().num_entries(), 0u);
+}
+
+TEST_F(FailureInjectionTest, PassiveModeDoesNotCacheErrors) {
+  core::ProxyConfig config;
+  config.mode = core::CachingMode::kPassive;
+  core::FunctionProxy passive(config, templates_, channel_.get(), clock_.get());
+  flaky_->set_mode(FlakyOrigin::Mode::kServerError);
+  EXPECT_FALSE(passive.Handle(Radial(185, 33, 20)).ok());
+  flaky_->set_mode(FlakyOrigin::Mode::kHealthy);
+  // The error was not cached: the healthy retry reaches the origin and
+  // returns real data.
+  HttpResponse healthy = passive.Handle(Radial(185, 33, 20));
+  EXPECT_TRUE(healthy.ok());
+  EXPECT_TRUE(sql::TableFromXml(healthy.body).ok());
+}
+
+TEST_F(FailureInjectionTest, SqlOutageFallsBackToOriginalQuery) {
+  proxy_->Handle(Radial(185, 33, 20));
+  ASSERT_EQ(proxy_->cache().num_entries(), 1u);
+  flaky_->set_mode(FlakyOrigin::Mode::kSqlOnlyFails);
+  // Overlap would normally use /sql; with it failing, the proxy falls back
+  // to forwarding the original form query and the answer is still correct.
+  HttpRequest overlapping = Radial(185.5, 33, 20);
+  HttpResponse response = proxy_->Handle(overlapping);
+  EXPECT_TRUE(response.ok()) << response.body;
+  EXPECT_EQ(proxy_->stats().overlaps_handled, 0u);
+
+  util::SimulatedClock scratch;
+  server::OriginWebApp reference(db_, &scratch);
+  ASSERT_TRUE(
+      reference.RegisterForm("/radial", workload::kRadialTemplateSql).ok());
+  HttpResponse expected = reference.Handle(overlapping);
+  auto got = sql::TableFromXml(response.body);
+  auto want = sql::TableFromXml(expected.body);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(got->num_rows(), want->num_rows());
+}
+
+TEST_F(FailureInjectionTest, CacheSurvivesFailureBurst) {
+  proxy_->Handle(Radial(185, 33, 20));
+  flaky_->set_mode(FlakyOrigin::Mode::kServerError);
+  for (int i = 0; i < 5; ++i) {
+    proxy_->Handle(Radial(186 + i, 35, 10));  // All fail.
+  }
+  EXPECT_EQ(proxy_->cache().num_entries(), 1u);
+  // The surviving entry still serves hits during the outage.
+  uint64_t before = channel_->total_requests();
+  HttpResponse hit = proxy_->Handle(Radial(185, 33, 20));
+  EXPECT_TRUE(hit.ok());
+  EXPECT_EQ(channel_->total_requests(), before);
+}
+
+}  // namespace
+}  // namespace fnproxy

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/gjk.h"
+#include "geometry/hyperrectangle.h"
+#include "geometry/hypersphere.h"
+#include "geometry/polytope.h"
+#include "util/random.h"
+
+namespace fnproxy::geometry {
+namespace {
+
+TEST(ClosestPointTest, SinglePoint) {
+  Point p = ClosestPointOnHull({{3, 4}}, nullptr);
+  EXPECT_DOUBLE_EQ(p[0], 3);
+  EXPECT_DOUBLE_EQ(p[1], 4);
+}
+
+TEST(ClosestPointTest, SegmentProjection) {
+  // Closest point to origin on segment (1,-1)-(1,1) is (1,0).
+  std::vector<size_t> support;
+  Point p = ClosestPointOnHull({{1, -1}, {1, 1}}, &support);
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+  EXPECT_EQ(support.size(), 2u);
+}
+
+TEST(ClosestPointTest, SegmentEndpoint) {
+  // Closest point on segment (1,1)-(2,3) is the endpoint (1,1).
+  std::vector<size_t> support;
+  Point p = ClosestPointOnHull({{1, 1}, {2, 3}}, &support);
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_NEAR(p[1], 1.0, 1e-12);
+  EXPECT_EQ(support.size(), 1u);
+}
+
+TEST(ClosestPointTest, TriangleContainingOrigin) {
+  Point p = ClosestPointOnHull({{-1, -1}, {2, -1}, {0, 2}}, nullptr);
+  EXPECT_NEAR(Norm(p), 0.0, 1e-12);
+}
+
+TEST(GjkDistanceTest, DisjointSpheres) {
+  Hypersphere a({0, 0}, 1.0);
+  Hypersphere b({5, 0}, 1.0);
+  EXPECT_NEAR(GjkDistance(a, b), 3.0, 1e-6);
+}
+
+TEST(GjkDistanceTest, OverlappingSpheresZero) {
+  Hypersphere a({0, 0}, 1.0);
+  Hypersphere b({1.5, 0}, 1.0);
+  EXPECT_NEAR(GjkDistance(a, b), 0.0, 1e-8);
+}
+
+TEST(GjkDistanceTest, RectRectGap) {
+  Hyperrectangle a({0, 0}, {1, 1});
+  Hyperrectangle b({3, 0}, {4, 1});
+  EXPECT_NEAR(GjkDistance(a, b), 2.0, 1e-6);
+}
+
+TEST(GjkDistanceTest, RectRectDiagonalGap) {
+  Hyperrectangle a({0, 0}, {1, 1});
+  Hyperrectangle b({2, 2}, {3, 3});
+  EXPECT_NEAR(GjkDistance(a, b), std::sqrt(2.0), 1e-6);
+}
+
+TEST(GjkDistanceTest, SphereRect) {
+  Hypersphere s({0, 0}, 1.0);
+  Hyperrectangle r({2, -1}, {3, 1});
+  EXPECT_NEAR(GjkDistance(s, r), 1.0, 1e-6);
+}
+
+TEST(GjkDistanceTest, PolytopeTriangleVsSphere) {
+  std::vector<Halfspace> halfspaces = {{{-1, 0}, 0}, {{0, -1}, 0}, {{1, 1}, 4}};
+  std::vector<Point> vertices = {{0, 0}, {4, 0}, {0, 4}};
+  Polytope triangle(halfspaces, vertices);
+  Hypersphere sphere({6, 0}, 1.0);
+  EXPECT_NEAR(GjkDistance(triangle, sphere), 1.0, 1e-6);
+  EXPECT_FALSE(GjkIntersects(triangle, sphere));
+  Hypersphere close({4.5, 0}, 1.0);
+  EXPECT_TRUE(GjkIntersects(triangle, close));
+}
+
+TEST(GjkDistanceTest, MatchesAnalyticSphereSphere3d) {
+  util::Random rng(77);
+  for (int i = 0; i < 200; ++i) {
+    Point c1 = {rng.NextDouble(-5, 5), rng.NextDouble(-5, 5),
+                rng.NextDouble(-5, 5)};
+    Point c2 = {rng.NextDouble(-5, 5), rng.NextDouble(-5, 5),
+                rng.NextDouble(-5, 5)};
+    double r1 = rng.NextDouble(0.1, 2.0);
+    double r2 = rng.NextDouble(0.1, 2.0);
+    Hypersphere a(c1, r1), b(c2, r2);
+    double expected = std::max(0.0, Distance(c1, c2) - r1 - r2);
+    EXPECT_NEAR(GjkDistance(a, b), expected, 1e-5);
+  }
+}
+
+TEST(GjkDistanceTest, MatchesAnalyticRectRect2d) {
+  util::Random rng(78);
+  for (int i = 0; i < 200; ++i) {
+    auto random_rect = [&]() {
+      double x0 = rng.NextDouble(-5, 5), x1 = rng.NextDouble(-5, 5);
+      double y0 = rng.NextDouble(-5, 5), y1 = rng.NextDouble(-5, 5);
+      return Hyperrectangle({std::min(x0, x1), std::min(y0, y1)},
+                            {std::max(x0, x1), std::max(y0, y1)});
+    };
+    Hyperrectangle a = random_rect();
+    Hyperrectangle b = random_rect();
+    double dx = std::max({a.lo()[0] - b.hi()[0], b.lo()[0] - a.hi()[0], 0.0});
+    double dy = std::max({a.lo()[1] - b.hi()[1], b.lo()[1] - a.hi()[1], 0.0});
+    double expected = std::hypot(dx, dy);
+    EXPECT_NEAR(GjkDistance(a, b), expected, 1e-5);
+  }
+}
+
+TEST(GjkIntersectsTest, AgreesWithExactSphereTest) {
+  util::Random rng(79);
+  int checked = 0;
+  for (int i = 0; i < 300; ++i) {
+    Point c1 = {rng.NextDouble(-3, 3), rng.NextDouble(-3, 3)};
+    Point c2 = {rng.NextDouble(-3, 3), rng.NextDouble(-3, 3)};
+    double r1 = rng.NextDouble(0.2, 2.0), r2 = rng.NextDouble(0.2, 2.0);
+    double gap = Distance(c1, c2) - r1 - r2;
+    if (std::abs(gap) < 1e-3) continue;  // Skip knife-edge cases.
+    ++checked;
+    EXPECT_EQ(GjkIntersects(Hypersphere(c1, r1), Hypersphere(c2, r2)), gap < 0);
+  }
+  EXPECT_GT(checked, 200);
+}
+
+}  // namespace
+}  // namespace fnproxy::geometry

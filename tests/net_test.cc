@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "net/http.h"
+#include "net/network.h"
+#include "util/clock.h"
+
+namespace fnproxy::net {
+namespace {
+
+TEST(UrlCodecTest, EncodeDecodesRoundTrip) {
+  const char* samples[] = {"plain", "a b&c=d", "SELECT * FROM T WHERE x<1",
+                           "100% $value", "ünïcødé"};
+  for (const char* s : samples) {
+    auto decoded = UrlDecode(UrlEncode(s));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, s);
+  }
+}
+
+TEST(UrlCodecTest, SpaceAsPlus) {
+  EXPECT_EQ(UrlEncode("a b"), "a+b");
+  EXPECT_EQ(*UrlDecode("a+b"), "a b");
+  EXPECT_EQ(*UrlDecode("a%20b"), "a b");
+}
+
+TEST(UrlCodecTest, BadEscapesRejected) {
+  EXPECT_FALSE(UrlDecode("%").ok());
+  EXPECT_FALSE(UrlDecode("%2").ok());
+  EXPECT_FALSE(UrlDecode("%zz").ok());
+}
+
+TEST(QueryStringTest, ParseAndBuild) {
+  auto params = ParseQueryString("ra=195.1&dec=2.5&radius=1.0");
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ(params->at("ra"), "195.1");
+  EXPECT_EQ(params->at("radius"), "1.0");
+  EXPECT_EQ(BuildQueryString(*params), "dec=2.5&ra=195.1&radius=1.0");
+}
+
+TEST(QueryStringTest, EncodedValues) {
+  auto params = ParseQueryString("q=SELECT+*+FROM%20T");
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ(params->at("q"), "SELECT * FROM T");
+}
+
+TEST(QueryStringTest, EmptyAndValuelessKeys) {
+  auto params = ParseQueryString("a=&b&c=3");
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ(params->at("a"), "");
+  EXPECT_EQ(params->at("b"), "");
+  EXPECT_EQ(params->at("c"), "3");
+  EXPECT_TRUE(ParseQueryString("")->empty());
+}
+
+TEST(HttpRequestTest, GetParsesUrl) {
+  auto request = HttpRequest::Get("/radial?ra=195.1&dec=2.5");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->path, "/radial");
+  EXPECT_EQ(request->query_params.at("ra"), "195.1");
+  std::string url = request->ToUrl();
+  auto reparsed = HttpRequest::Get(url);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->query_params, request->query_params);
+}
+
+TEST(HttpRequestTest, NoQuery) {
+  auto request = HttpRequest::Get("/index.html");
+  ASSERT_TRUE(request.ok());
+  EXPECT_TRUE(request->query_params.empty());
+  EXPECT_EQ(request->ToUrl(), "/index.html");
+}
+
+TEST(HttpResponseTest, ErrorHelper) {
+  HttpResponse response = HttpResponse::MakeError(404, "nope");
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status_code, 404);
+  EXPECT_EQ(response.body, "nope");
+}
+
+TEST(LinkConfigTest, TransferTimeComposition) {
+  LinkConfig link{10.0, 100.0};  // 10 ms latency, 100 KB/s.
+  // 1000 bytes -> 10 ms transfer + 10 ms latency = 20 ms.
+  EXPECT_EQ(link.TransferMicros(1000), 20000);
+  EXPECT_EQ(link.TransferMicros(0), 10000);
+}
+
+class EchoHandler : public HttpHandler {
+ public:
+  explicit EchoHandler(util::SimulatedClock* clock, int64_t cost_micros)
+      : clock_(clock), cost_micros_(cost_micros) {}
+  HttpResponse Handle(const HttpRequest& request) override {
+    clock_->Advance(cost_micros_);
+    HttpResponse response;
+    response.body = "echo:" + request.ToUrl();
+    return response;
+  }
+
+ private:
+  util::SimulatedClock* clock_;
+  int64_t cost_micros_;
+};
+
+TEST(SimulatedChannelTest, RoundTripChargesLinkAndHandler) {
+  util::SimulatedClock clock;
+  EchoHandler handler(&clock, 5000);
+  SimulatedChannel channel(&handler, LinkConfig{1.0, 1e9}, &clock);
+  auto request = HttpRequest::Get("/x?a=1");
+  ASSERT_TRUE(request.ok());
+  HttpResponse response = channel.RoundTrip(*request);
+  EXPECT_TRUE(response.ok());
+  // 1 ms out + 5 ms handler + 1 ms back (+ negligible bandwidth).
+  EXPECT_NEAR(static_cast<double>(clock.NowMicros()), 7000.0, 10.0);
+  EXPECT_EQ(channel.total_requests(), 1u);
+  EXPECT_GT(channel.total_bytes_sent(), 0u);
+  EXPECT_GT(channel.total_bytes_received(), 0u);
+}
+
+TEST(SimulatedChannelTest, BandwidthMatters) {
+  util::SimulatedClock clock;
+  EchoHandler handler(&clock, 0);
+  SimulatedChannel slow(&handler, LinkConfig{0.0, 1.0}, &clock);  // 1 KB/s.
+  auto request = HttpRequest::Get("/x");
+  ASSERT_TRUE(request.ok());
+  slow.RoundTrip(*request);
+  // Request ~130 B and response ~130 B at 1 KB/s ≈ 260 ms total.
+  EXPECT_GT(clock.NowMicros(), 200000);
+}
+
+}  // namespace
+}  // namespace fnproxy::net

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "geometry/rect_difference.h"
+#include "util/random.h"
+
+namespace fnproxy::geometry {
+namespace {
+
+Hyperrectangle Rect2(double x0, double y0, double x1, double y1) {
+  return Hyperrectangle({x0, y0}, {x1, y1});
+}
+
+double TotalVolume(const std::vector<Hyperrectangle>& rects) {
+  double v = 0;
+  for (const auto& r : rects) v += r.Volume();
+  return v;
+}
+
+TEST(SubtractRectTest, DisjointHoleLeavesBase) {
+  auto pieces = SubtractRect(Rect2(0, 0, 1, 1), Rect2(5, 5, 6, 6));
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_DOUBLE_EQ(pieces[0].Volume(), 1.0);
+}
+
+TEST(SubtractRectTest, FullCoverLeavesNothing) {
+  auto pieces = SubtractRect(Rect2(0, 0, 1, 1), Rect2(-1, -1, 2, 2));
+  EXPECT_TRUE(pieces.empty());
+}
+
+TEST(SubtractRectTest, CenteredHoleMakesFrame) {
+  auto pieces = SubtractRect(Rect2(0, 0, 3, 3), Rect2(1, 1, 2, 2));
+  EXPECT_EQ(pieces.size(), 4u);
+  EXPECT_NEAR(TotalVolume(pieces), 8.0, 1e-12);
+}
+
+TEST(SubtractRectTest, CornerHole) {
+  auto pieces = SubtractRect(Rect2(0, 0, 2, 2), Rect2(1, 1, 3, 3));
+  EXPECT_NEAR(TotalVolume(pieces), 3.0, 1e-12);
+}
+
+TEST(SubtractRectTest, PiecesAreDisjointAndCoverExactly) {
+  util::Random rng(31);
+  for (int iter = 0; iter < 200; ++iter) {
+    auto random_rect = [&]() {
+      double x0 = rng.NextDouble(0, 10), x1 = rng.NextDouble(0, 10);
+      double y0 = rng.NextDouble(0, 10), y1 = rng.NextDouble(0, 10);
+      return Rect2(std::min(x0, x1), std::min(y0, y1), std::max(x0, x1) + 0.1,
+                   std::max(y0, y1) + 0.1);
+    };
+    Hyperrectangle base = random_rect();
+    Hyperrectangle hole = random_rect();
+    auto pieces = SubtractRect(base, hole);
+
+    // Volume conservation: |base \ hole| = |base| - |base ∩ hole|.
+    double expected = base.Volume() - base.IntersectionVolume(hole);
+    EXPECT_NEAR(TotalVolume(pieces), expected, 1e-9);
+
+    // Pairwise disjoint (zero-volume intersections allowed at edges).
+    for (size_t i = 0; i < pieces.size(); ++i) {
+      for (size_t j = i + 1; j < pieces.size(); ++j) {
+        EXPECT_NEAR(pieces[i].IntersectionVolume(pieces[j]), 0.0, 1e-9);
+      }
+    }
+
+    // Point membership: sampled points of base are in exactly the right set.
+    for (int s = 0; s < 50; ++s) {
+      Point p = {rng.NextDouble(base.lo()[0], base.hi()[0]),
+                 rng.NextDouble(base.lo()[1], base.hi()[1])};
+      bool in_hole = hole.ContainsPoint(p);
+      int covering = 0;
+      for (const auto& piece : pieces) {
+        if (piece.ContainsPoint(p)) ++covering;
+      }
+      if (in_hole) {
+        // Boundary points may brush a piece; interior hole points must not.
+        if (hole.MinDistanceSquared(p) == 0.0 &&
+            p[0] > hole.lo()[0] + 1e-6 && p[0] < hole.hi()[0] - 1e-6 &&
+            p[1] > hole.lo()[1] + 1e-6 && p[1] < hole.hi()[1] - 1e-6) {
+          EXPECT_EQ(covering, 0);
+        }
+      } else {
+        EXPECT_GE(covering, 1) << "uncovered point of base \\ hole";
+      }
+    }
+  }
+}
+
+TEST(SubtractRectsTest, MultipleHolesVolume) {
+  util::Random rng(32);
+  Hyperrectangle base = Rect2(0, 0, 10, 10);
+  std::vector<Hyperrectangle> holes;
+  for (int i = 0; i < 5; ++i) {
+    double x = rng.NextDouble(0, 8), y = rng.NextDouble(0, 8);
+    holes.push_back(Rect2(x, y, x + 1.5, y + 1.5));
+  }
+  auto pieces = SubtractRects(base, holes);
+  // Monte-Carlo volume estimate.
+  int inside = 0;
+  const int n = 20000;
+  for (int s = 0; s < n; ++s) {
+    Point p = {rng.NextDouble(0, 10), rng.NextDouble(0, 10)};
+    bool in_hole = false;
+    for (const auto& hole : holes) {
+      if (hole.ContainsPoint(p)) {
+        in_hole = true;
+        break;
+      }
+    }
+    if (in_hole) continue;
+    for (const auto& piece : pieces) {
+      if (piece.ContainsPoint(p)) {
+        ++inside;
+        break;
+      }
+    }
+  }
+  double covered = TotalVolume(pieces);
+  EXPECT_NEAR(static_cast<double>(inside) / n * 100.0, covered, 2.0);
+}
+
+TEST(SubtractRectsTest, ThreeDimensional) {
+  Hyperrectangle base({0, 0, 0}, {2, 2, 2});
+  Hyperrectangle hole({0, 0, 0}, {1, 1, 1});
+  auto pieces = SubtractRects(base, {hole});
+  EXPECT_NEAR(TotalVolume(pieces), 7.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fnproxy::geometry

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "sql/eval.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace fnproxy::sql {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest()
+      : registry_(ScalarFunctionRegistry::WithBuiltins()),
+        evaluator_(&registry_),
+        schema_({{"a", ValueType::kInt},
+                 {"b", ValueType::kDouble},
+                 {"s", ValueType::kString},
+                 {"n", ValueType::kNull},
+                 {"flags", ValueType::kInt}}),
+        row_({Value::Int(7), Value::Double(2.5), Value::String("hi"),
+              Value::Null(), Value::Int(0x42)}) {
+    binding_.AddSource("t", &schema_, &row_);
+  }
+
+  Value Eval(std::string_view text) {
+    auto expr = ParseExpression(text);
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+    auto value = evaluator_.Eval(**expr, binding_);
+    EXPECT_TRUE(value.ok()) << value.status().ToString() << " for " << text;
+    return std::move(value).value();
+  }
+
+  bool Pred(std::string_view text) {
+    auto expr = ParseExpression(text);
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+    auto value = evaluator_.EvalPredicate(**expr, binding_);
+    EXPECT_TRUE(value.ok()) << value.status().ToString() << " for " << text;
+    return *value;
+  }
+
+  util::Status EvalError(std::string_view text) {
+    auto expr = ParseExpression(text);
+    EXPECT_TRUE(expr.ok());
+    return evaluator_.Eval(**expr, binding_).status();
+  }
+
+  ScalarFunctionRegistry registry_;
+  ExprEvaluator evaluator_;
+  Schema schema_;
+  Row row_;
+  RowBinding binding_;
+};
+
+TEST_F(EvalTest, ValueSemantics) {
+  EXPECT_TRUE(Value::Int(3).EqualsValue(Value::Double(3.0)));
+  EXPECT_FALSE(Value::Null().EqualsValue(Value::Null()));
+  EXPECT_EQ(*Value::Int(2).Compare(Value::Double(2.5)), -1);
+  EXPECT_EQ(*Value::String("a").Compare(Value::String("b")), -1);
+  EXPECT_FALSE(Value::String("a").Compare(Value::Int(1)).ok());
+  EXPECT_EQ(Value::String("o'x").ToSqlLiteral(), "'o''x'");
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+}
+
+TEST_F(EvalTest, ParseValueFromText) {
+  EXPECT_EQ(ParseValueFromText("42").type(), ValueType::kInt);
+  EXPECT_EQ(ParseValueFromText("42.5").type(), ValueType::kDouble);
+  EXPECT_EQ(ParseValueFromText("hello").type(), ValueType::kString);
+}
+
+TEST_F(EvalTest, Arithmetic) {
+  EXPECT_EQ(Eval("1 + 2").AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Eval("1 + 2.5").AsDouble(), 3.5);
+  EXPECT_EQ(Eval("7 % 3").AsInt(), 1);
+  EXPECT_DOUBLE_EQ(Eval("7 / 2").AsDouble(), 3.5);
+  EXPECT_EQ(Eval("-a").AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Eval("a * b").AsDouble(), 17.5);
+}
+
+TEST_F(EvalTest, DivisionByZeroIsError) {
+  EXPECT_FALSE(EvalError("1 / 0").ok());
+  EXPECT_FALSE(EvalError("1 % 0").ok());
+}
+
+TEST_F(EvalTest, Comparisons) {
+  EXPECT_TRUE(Eval("a = 7").AsBool());
+  EXPECT_TRUE(Eval("a <> 8").AsBool());
+  EXPECT_TRUE(Eval("b <= 2.5").AsBool());
+  EXPECT_TRUE(Eval("s = 'hi'").AsBool());
+  EXPECT_FALSE(Eval("s = 'HI'").AsBool());
+}
+
+TEST_F(EvalTest, NullPropagation) {
+  EXPECT_TRUE(Eval("n + 1").is_null());
+  EXPECT_TRUE(Eval("n = n").is_null());
+  EXPECT_FALSE(Pred("n = 0"));          // Unknown treated as not satisfied.
+  EXPECT_TRUE(Pred("n IS NULL"));
+  EXPECT_FALSE(Pred("a IS NULL"));
+  EXPECT_TRUE(Pred("a IS NOT NULL"));
+}
+
+TEST_F(EvalTest, LogicalOperators) {
+  EXPECT_TRUE(Pred("a = 7 AND b = 2.5"));
+  EXPECT_FALSE(Pred("a = 7 AND b = 9"));
+  EXPECT_TRUE(Pred("a = 0 OR b = 2.5"));
+  EXPECT_TRUE(Pred("NOT a = 0"));
+}
+
+TEST_F(EvalTest, ShortCircuit) {
+  // RHS would error (division by zero) but is never evaluated.
+  EXPECT_FALSE(Pred("a = 0 AND 1 / 0 = 1"));
+  EXPECT_TRUE(Pred("a = 7 OR 1 / 0 = 1"));
+}
+
+TEST_F(EvalTest, BetweenInList) {
+  EXPECT_TRUE(Pred("a BETWEEN 5 AND 10"));
+  EXPECT_FALSE(Pred("a BETWEEN 8 AND 10"));
+  EXPECT_TRUE(Pred("a NOT BETWEEN 8 AND 10"));
+  EXPECT_TRUE(Pred("a IN (1, 7, 9)"));
+  EXPECT_TRUE(Pred("a NOT IN (1, 2)"));
+  EXPECT_TRUE(Pred("s IN ('hi', 'there')"));
+}
+
+TEST_F(EvalTest, BitwiseFlags) {
+  EXPECT_EQ(Eval("flags & 2").AsInt(), 2);
+  EXPECT_EQ(Eval("flags | 1").AsInt(), 0x43);
+  EXPECT_TRUE(Pred("(flags & 64) <> 0"));
+  EXPECT_FALSE(EvalError("b & 1").ok());  // Bitwise needs integers.
+}
+
+TEST_F(EvalTest, ScalarFunctions) {
+  EXPECT_DOUBLE_EQ(Eval("ABS(-3)").AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Eval("SQRT(16)").AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(Eval("POWER(2, 10)").AsDouble(), 1024.0);
+  EXPECT_NEAR(Eval("COS(RADIANS(60))").AsDouble(), 0.5, 1e-12);
+  EXPECT_NEAR(Eval("DEGREES(RADIANS(45))").AsDouble(), 45.0, 1e-12);
+  EXPECT_FALSE(EvalError("NoSuchFn(1)").ok());
+  EXPECT_FALSE(EvalError("ABS(1, 2)").ok());
+}
+
+TEST_F(EvalTest, CustomFunctionRegistration) {
+  registry_.Register("twice", [](const std::vector<Value>& args)
+                                  -> util::StatusOr<Value> {
+    FNPROXY_ASSIGN_OR_RETURN(double x, args.at(0).ToNumeric());
+    return Value::Double(2 * x);
+  });
+  EXPECT_DOUBLE_EQ(Eval("TWICE(21)").AsDouble(), 42.0);  // Case-insensitive.
+}
+
+TEST_F(EvalTest, ColumnResolution) {
+  EXPECT_EQ(Eval("t.a").AsInt(), 7);
+  EXPECT_EQ(Eval("a").AsInt(), 7);
+  EXPECT_FALSE(EvalError("t.zzz").ok());
+  EXPECT_FALSE(EvalError("u.a").ok());
+  EXPECT_FALSE(EvalError("zzz").ok());
+}
+
+TEST_F(EvalTest, AmbiguousUnqualifiedColumn) {
+  Schema other({{"a", ValueType::kInt}});
+  Row other_row = {Value::Int(1)};
+  binding_.AddSource("u", &other, &other_row);
+  EXPECT_FALSE(EvalError("a").ok());  // Ambiguous across t and u.
+  EXPECT_EQ(Eval("u.a").AsInt(), 1);
+}
+
+TEST_F(EvalTest, UnboundParameterIsError) {
+  EXPECT_FALSE(EvalError("$ra + 1").ok());
+}
+
+TEST_F(EvalTest, SubstituteParametersInExpr) {
+  auto expr = ParseExpression("$x + a * $y");
+  ASSERT_TRUE(expr.ok());
+  std::map<std::string, Value> params = {{"x", Value::Int(10)},
+                                         {"y", Value::Int(2)}};
+  auto bound = SubstituteParameters(**expr, params);
+  ASSERT_TRUE(bound.ok());
+  auto value = evaluator_.Eval(**bound, binding_);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->AsInt(), 24);
+}
+
+TEST_F(EvalTest, SubstituteMissingParameterFails) {
+  auto expr = ParseExpression("$x + 1");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_FALSE(SubstituteParameters(**expr, {}).ok());
+}
+
+TEST_F(EvalTest, SubstituteParametersInStatement) {
+  auto stmt = ParseSelect(
+      "SELECT TOP 3 a FROM f($p, 2) AS n JOIN T AS t ON n.id = t.id "
+      "WHERE a < $q ORDER BY a");
+  ASSERT_TRUE(stmt.ok());
+  std::map<std::string, Value> params = {{"p", Value::Double(1.5)},
+                                         {"q", Value::Int(9)}};
+  auto bound = SubstituteParameters(*stmt, params);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_FALSE(bound->HasParameters());
+  std::string printed = SelectToSql(*bound);
+  EXPECT_EQ(printed.find('$'), std::string::npos);
+  EXPECT_NE(printed.find("1.5"), std::string::npos);
+}
+
+TEST_F(EvalTest, SchemaLookupIsCaseInsensitive) {
+  EXPECT_EQ(*schema_.FindColumn("A"), 0u);
+  EXPECT_EQ(*schema_.FindColumn("FLAGS"), 4u);
+  EXPECT_FALSE(schema_.FindColumn("nope").has_value());
+}
+
+TEST_F(EvalTest, TableByteSizeGrowsWithRows) {
+  Table table(schema_);
+  size_t empty = table.ByteSize();
+  table.AddRow(row_);
+  EXPECT_GT(table.ByteSize(), empty);
+  auto v = table.GetValue(0, "s");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "hi");
+  EXPECT_FALSE(table.GetValue(0, "zzz").ok());
+}
+
+}  // namespace
+}  // namespace fnproxy::sql

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace fnproxy::sql {
+namespace {
+
+std::vector<Token> MustTokenize(std::string_view input) {
+  auto tokens = Tokenize(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return std::move(tokens).value();
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = MustTokenize("SELECT objID FROM PhotoPrimary");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].text, "objID");
+  EXPECT_TRUE(tokens[2].IsKeyword("FROM"));
+}
+
+TEST(LexerTest, NumbersIntegerAndDecimal) {
+  auto tokens = MustTokenize("42 3.14 .5 1e3 2.5E-2");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].text, "3.14");
+  EXPECT_EQ(tokens[2].text, ".5");
+  EXPECT_EQ(tokens[3].text, "1e3");
+  EXPECT_EQ(tokens[4].text, "2.5E-2");
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(tokens[i].type, TokenType::kNumber);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto tokens = MustTokenize("'it''s a test'");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "it's a test");
+}
+
+TEST(LexerTest, UnterminatedStringRejected) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, Parameters) {
+  auto tokens = MustTokenize("$ra $dec_min");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kParameter);
+  EXPECT_EQ(tokens[0].text, "ra");
+  EXPECT_EQ(tokens[1].text, "dec_min");
+}
+
+TEST(LexerTest, BareDollarRejected) {
+  EXPECT_FALSE(Tokenize("$ ra").ok());
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = MustTokenize("<= >= <> !=");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[0].IsOperator("<="));
+  EXPECT_TRUE(tokens[1].IsOperator(">="));
+  EXPECT_TRUE(tokens[2].IsOperator("<>"));
+  EXPECT_TRUE(tokens[3].IsOperator("!="));
+}
+
+TEST(LexerTest, SingleCharOperators) {
+  auto tokens = MustTokenize("( ) , . = < > + - * / % & | ~");
+  EXPECT_EQ(tokens.size(), 16u);
+  EXPECT_TRUE(tokens[0].IsOperator("("));
+  EXPECT_TRUE(tokens[14].IsOperator("~"));
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  auto tokens = MustTokenize("a -- comment here\n b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, MinusVsComment) {
+  auto tokens = MustTokenize("1 - 2");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[1].IsOperator("-"));
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  auto tokens = MustTokenize("ab cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 3u);
+}
+
+TEST(LexerTest, UnexpectedCharacterRejected) {
+  EXPECT_FALSE(Tokenize("a # b").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+}
+
+}  // namespace
+}  // namespace fnproxy::sql

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace fnproxy::sql {
+namespace {
+
+SelectStatement MustParse(std::string_view sql) {
+  auto stmt = ParseSelect(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString() << " for: " << sql;
+  return std::move(stmt).value();
+}
+
+std::unique_ptr<Expr> MustParseExpr(std::string_view text) {
+  auto expr = ParseExpression(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString() << " for: " << text;
+  return std::move(expr).value();
+}
+
+TEST(ParserTest, MinimalSelect) {
+  SelectStatement stmt = MustParse("SELECT * FROM T");
+  EXPECT_EQ(stmt.items.size(), 1u);
+  EXPECT_TRUE(stmt.items[0].star);
+  EXPECT_EQ(stmt.from.name, "T");
+  EXPECT_EQ(stmt.from.kind, TableRef::Kind::kTable);
+  EXPECT_EQ(stmt.where, nullptr);
+}
+
+TEST(ParserTest, PaperRadialTemplate) {
+  SelectStatement stmt = MustParse(
+      "SELECT p.objID, p.ra, p.dec FROM fGetNearbyObjEq($ra, $dec, $radius) "
+      "AS n JOIN PhotoPrimary AS p ON n.objID = p.objID "
+      "WHERE p.r < 20 AND (p.flags & fPhotoFlags('SATURATED')) = 0");
+  EXPECT_EQ(stmt.from.kind, TableRef::Kind::kFunctionCall);
+  EXPECT_EQ(stmt.from.name, "fGetNearbyObjEq");
+  EXPECT_EQ(stmt.from.alias, "n");
+  ASSERT_EQ(stmt.from.args.size(), 3u);
+  EXPECT_EQ(stmt.from.args[0]->kind, Expr::Kind::kParameter);
+  ASSERT_EQ(stmt.joins.size(), 1u);
+  EXPECT_EQ(stmt.joins[0].table.name, "PhotoPrimary");
+  EXPECT_EQ(stmt.joins[0].table.alias, "p");
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_TRUE(stmt.HasParameters());
+}
+
+TEST(ParserTest, DboQualifiedFunctionName) {
+  SelectStatement stmt = MustParse("SELECT * FROM dbo.fGetObjFromRect(1,2,3,4)");
+  EXPECT_EQ(stmt.from.name, "dbo.fGetObjFromRect");
+  EXPECT_EQ(stmt.from.args.size(), 4u);
+}
+
+TEST(ParserTest, TopN) {
+  SelectStatement stmt = MustParse("SELECT TOP 10 * FROM T");
+  ASSERT_TRUE(stmt.top_n.has_value());
+  EXPECT_EQ(*stmt.top_n, 10);
+  EXPECT_FALSE(ParseSelect("SELECT TOP x * FROM T").ok());
+}
+
+TEST(ParserTest, OrderBy) {
+  SelectStatement stmt = MustParse("SELECT a, b FROM T ORDER BY a DESC, b ASC");
+  ASSERT_EQ(stmt.order_by.size(), 2u);
+  EXPECT_TRUE(stmt.order_by[0].descending);
+  EXPECT_FALSE(stmt.order_by[1].descending);
+}
+
+TEST(ParserTest, QualifiedStar) {
+  SelectStatement stmt = MustParse("SELECT p.*, n.objID FROM T n JOIN U p ON n.x = p.x");
+  ASSERT_EQ(stmt.items.size(), 2u);
+  EXPECT_TRUE(stmt.items[0].star);
+  EXPECT_EQ(stmt.items[0].star_qualifier, "p");
+  EXPECT_FALSE(stmt.items[1].star);
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  SelectStatement stmt = MustParse("SELECT a AS x, b y FROM T AS t1");
+  EXPECT_EQ(stmt.items[0].alias, "x");
+  EXPECT_EQ(stmt.items[1].alias, "y");
+  EXPECT_EQ(stmt.from.alias, "t1");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  // a + b * c parses as a + (b * c).
+  auto expr = MustParseExpr("a + b * c");
+  EXPECT_EQ(expr->op, BinaryOp::kAdd);
+  EXPECT_EQ(expr->children[1]->op, BinaryOp::kMul);
+
+  // Comparison binds looser than arithmetic; AND looser than comparison.
+  auto pred = MustParseExpr("a + 1 < b AND c = 2");
+  EXPECT_EQ(pred->op, BinaryOp::kAnd);
+  EXPECT_EQ(pred->children[0]->op, BinaryOp::kLt);
+}
+
+TEST(ParserTest, OrLooserThanAnd) {
+  auto expr = MustParseExpr("a = 1 OR b = 2 AND c = 3");
+  EXPECT_EQ(expr->op, BinaryOp::kOr);
+  EXPECT_EQ(expr->children[1]->op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, NotBetweenInIsNull) {
+  auto between = MustParseExpr("x BETWEEN 1 AND 2");
+  EXPECT_EQ(between->kind, Expr::Kind::kBetween);
+  EXPECT_FALSE(between->negated);
+
+  auto not_between = MustParseExpr("x NOT BETWEEN 1 AND 2");
+  EXPECT_TRUE(not_between->negated);
+
+  auto in_list = MustParseExpr("x IN (1, 2, 3)");
+  EXPECT_EQ(in_list->kind, Expr::Kind::kInList);
+  EXPECT_EQ(in_list->children.size(), 4u);
+
+  auto is_null = MustParseExpr("x IS NULL");
+  EXPECT_EQ(is_null->kind, Expr::Kind::kIsNull);
+  auto is_not_null = MustParseExpr("x IS NOT NULL");
+  EXPECT_TRUE(is_not_null->negated);
+}
+
+TEST(ParserTest, UnaryOperators) {
+  auto neg = MustParseExpr("-x");
+  EXPECT_EQ(neg->kind, Expr::Kind::kUnary);
+  EXPECT_EQ(neg->uop, UnaryOp::kNeg);
+  auto nt = MustParseExpr("NOT x = 1");
+  EXPECT_EQ(nt->uop, UnaryOp::kNot);
+  auto bn = MustParseExpr("~flags");
+  EXPECT_EQ(bn->uop, UnaryOp::kBitNot);
+}
+
+TEST(ParserTest, LiteralsTyped) {
+  EXPECT_EQ(MustParseExpr("42")->literal.type(), ValueType::kInt);
+  EXPECT_EQ(MustParseExpr("4.2")->literal.type(), ValueType::kDouble);
+  EXPECT_EQ(MustParseExpr("1e2")->literal.type(), ValueType::kDouble);
+  EXPECT_EQ(MustParseExpr("'s'")->literal.type(), ValueType::kString);
+  EXPECT_EQ(MustParseExpr("TRUE")->literal.type(), ValueType::kBool);
+  EXPECT_EQ(MustParseExpr("NULL")->literal.type(), ValueType::kNull);
+}
+
+TEST(ParserTest, ErrorsAreReported) {
+  EXPECT_FALSE(ParseSelect("SELECT").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM T WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM T JOIN U").ok());        // No ON.
+  EXPECT_FALSE(ParseSelect("SELECT * FROM T trailing junk (").ok());
+  EXPECT_FALSE(ParseSelect("FROM T").ok());
+  EXPECT_FALSE(ParseExpression("a +").ok());
+  EXPECT_FALSE(ParseExpression("(a").ok());
+  EXPECT_FALSE(ParseExpression("x NOT 5").ok());
+}
+
+TEST(ParserTest, PrintedSqlReparsesToSameShape) {
+  const char* samples[] = {
+      "SELECT * FROM T",
+      "SELECT TOP 5 a, b AS c FROM fGetNearbyObjEq(1.5, -2.5, 3) AS n JOIN P AS p ON n.id = p.id WHERE (a < 1 AND b >= 2) OR NOT (c = 3) ORDER BY a DESC",
+      "SELECT x FROM T WHERE x BETWEEN 1 AND 2 AND y IN (1, 2) AND z IS NOT NULL",
+      "SELECT x FROM T WHERE (f & 64) = 0 AND g(x, 'lit''eral') > 1.25",
+  };
+  for (const char* sql : samples) {
+    SelectStatement stmt = MustParse(sql);
+    std::string printed = SelectToSql(stmt);
+    SelectStatement reparsed = MustParse(printed);
+    EXPECT_EQ(SelectToSql(reparsed), printed) << "not a fixpoint: " << sql;
+  }
+}
+
+TEST(ParserTest, ParameterizedPrintedSqlRoundTrips) {
+  SelectStatement stmt = MustParse(
+      "SELECT a FROM f($p, $q) WHERE a > $p");
+  std::string printed = SelectToSql(stmt);
+  EXPECT_NE(printed.find("$p"), std::string::npos);
+  SelectStatement reparsed = MustParse(printed);
+  EXPECT_TRUE(reparsed.HasParameters());
+}
+
+TEST(ParserTest, CloneIsDeep) {
+  SelectStatement stmt = MustParse(
+      "SELECT a FROM f(1) AS n JOIN T AS p ON n.x = p.x WHERE a < 3 ORDER BY a");
+  SelectStatement clone = stmt.Clone();
+  EXPECT_EQ(SelectToSql(stmt), SelectToSql(clone));
+  // Mutating the clone leaves the original untouched.
+  clone.where = nullptr;
+  clone.from.args.clear();
+  EXPECT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.from.args.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fnproxy::sql

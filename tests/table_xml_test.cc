@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "sql/table_xml.h"
+
+namespace fnproxy::sql {
+namespace {
+
+Table SampleTable() {
+  Schema schema({{"objID", ValueType::kInt},
+                 {"ra", ValueType::kDouble},
+                 {"name", ValueType::kString},
+                 {"seen", ValueType::kBool}});
+  Table table(schema);
+  table.AddRow({Value::Int(1000001), Value::Double(195.2625),
+                Value::String("<ngc & m31>"), Value::Bool(true)});
+  table.AddRow({Value::Int(1000002), Value::Double(-2.5), Value::Null(),
+                Value::Bool(false)});
+  return table;
+}
+
+TEST(TableXmlTest, RoundTripPreservesEverything) {
+  Table original = SampleTable();
+  std::string xml_text = TableToXml(original);
+  auto parsed = TableFromXml(xml_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->schema().SameColumns(original.schema()));
+  ASSERT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->row(0)[0].AsInt(), 1000001);
+  EXPECT_DOUBLE_EQ(parsed->row(0)[1].AsDouble(), 195.2625);
+  EXPECT_EQ(parsed->row(0)[2].AsString(), "<ngc & m31>");
+  EXPECT_TRUE(parsed->row(0)[3].AsBool());
+  EXPECT_TRUE(parsed->row(1)[2].is_null());
+  EXPECT_FALSE(parsed->row(1)[3].AsBool());
+}
+
+TEST(TableXmlTest, EmptyTableRoundTrips) {
+  Table empty(Schema({{"x", ValueType::kInt}}));
+  auto parsed = TableFromXml(TableToXml(empty));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 0u);
+  EXPECT_EQ(parsed->schema().num_columns(), 1u);
+}
+
+TEST(TableXmlTest, RowsAttributeMatchesCount) {
+  std::string xml_text = TableToXml(SampleTable());
+  EXPECT_NE(xml_text.find("rows=\"2\""), std::string::npos);
+}
+
+TEST(TableXmlTest, DoublePrecisionSurvives) {
+  Schema schema({{"v", ValueType::kDouble}});
+  Table table(schema);
+  double tricky = 0.1 + 0.2;
+  table.AddRow({Value::Double(tricky)});
+  table.AddRow({Value::Double(1e-17)});
+  table.AddRow({Value::Double(-123456789.123456)});
+  auto parsed = TableFromXml(TableToXml(table));
+  ASSERT_TRUE(parsed.ok());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed->row(i)[0].AsDouble(), table.row(i)[0].AsDouble());
+  }
+}
+
+TEST(TableXmlTest, RejectsWrongRoot) {
+  EXPECT_FALSE(TableFromXml("<NotResult/>").ok());
+}
+
+TEST(TableXmlTest, RejectsMissingSchema) {
+  EXPECT_FALSE(TableFromXml("<Result rows=\"0\"></Result>").ok());
+}
+
+TEST(TableXmlTest, RejectsBadColumnType) {
+  EXPECT_FALSE(TableFromXml("<Result><Schema><Column name=\"x\" "
+                            "type=\"BLOB\"/></Schema></Result>")
+                   .ok());
+}
+
+TEST(TableXmlTest, RejectsRowWidthMismatch) {
+  const char* doc =
+      "<Result><Schema><Column name=\"x\" type=\"INT\"/>"
+      "<Column name=\"y\" type=\"INT\"/></Schema>"
+      "<Row><V>1</V></Row></Result>";
+  EXPECT_FALSE(TableFromXml(doc).ok());
+}
+
+TEST(TableXmlTest, RejectsMalformedCellValue) {
+  const char* doc =
+      "<Result><Schema><Column name=\"x\" type=\"INT\"/></Schema>"
+      "<Row><V>notanint</V></Row></Result>";
+  EXPECT_FALSE(TableFromXml(doc).ok());
+}
+
+}  // namespace
+}  // namespace fnproxy::sql

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "geometry/celestial.h"
+#include "geometry/region.h"
+#include "util/string_util.h"
+#include "workload/experiment.h"
+#include "workload/rbe.h"
+#include "workload/trace.h"
+#include "workload/trace_generator.h"
+
+namespace fnproxy::workload {
+namespace {
+
+using geometry::RegionRelation;
+
+RadialTraceConfig SmallTrace(size_t n = 1500) {
+  RadialTraceConfig config;
+  config.num_queries = n;
+  config.seed = 7;
+  return config;
+}
+
+TEST(RadialTraceGeneratorTest, SizeAndParams) {
+  Trace trace = GenerateRadialTrace(SmallTrace());
+  EXPECT_EQ(trace.form_path, "/radial");
+  ASSERT_EQ(trace.queries.size(), 1500u);
+  for (const TraceQuery& q : trace.queries) {
+    ASSERT_EQ(q.params.size(), 3u);
+    EXPECT_TRUE(util::ParseDouble(q.params.at("ra")).ok());
+    EXPECT_TRUE(util::ParseDouble(q.params.at("dec")).ok());
+    auto radius = util::ParseDouble(q.params.at("radius"));
+    ASSERT_TRUE(radius.ok());
+    EXPECT_GT(*radius, 0.0);
+  }
+}
+
+TEST(RadialTraceGeneratorTest, MixApproximatesConfig) {
+  RadialTraceConfig config = SmallTrace(4000);
+  Trace trace = GenerateRadialTrace(config);
+  EXPECT_NEAR(trace.IntendedFraction(RegionRelation::kEqual),
+              config.exact_fraction, 0.03);
+  EXPECT_NEAR(trace.IntendedFraction(RegionRelation::kContainedBy),
+              config.containment_fraction, 0.04);
+  EXPECT_NEAR(trace.IntendedFraction(RegionRelation::kContains),
+              config.region_containment_fraction, 0.02);
+  EXPECT_NEAR(trace.IntendedFraction(RegionRelation::kOverlap),
+              config.overlap_fraction, 0.03);
+}
+
+TEST(RadialTraceGeneratorTest, DeterministicInSeed) {
+  Trace a = GenerateRadialTrace(SmallTrace());
+  Trace b = GenerateRadialTrace(SmallTrace());
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].params, b.queries[i].params);
+  }
+}
+
+TEST(RadialTraceGeneratorTest, LabelsAreGeometricallySound) {
+  // Every non-disjoint label must be realizable against the set of earlier
+  // queries: an exact label has an identical earlier query; containment has
+  // an earlier container; etc.
+  Trace trace = GenerateRadialTrace(SmallTrace(800));
+  std::vector<geometry::Hypersphere> history;
+  for (const TraceQuery& q : trace.queries) {
+    double ra = *util::ParseDouble(q.params.at("ra"));
+    double dec = *util::ParseDouble(q.params.at("dec"));
+    double radius = *util::ParseDouble(q.params.at("radius"));
+    geometry::Hypersphere sphere = geometry::ConeToHypersphere(ra, dec, radius);
+
+    bool found = false;
+    for (const auto& prev : history) {
+      switch (q.intended) {
+        case RegionRelation::kEqual:
+          found = geometry::Equals(sphere, prev);
+          break;
+        case RegionRelation::kContainedBy:
+          found = geometry::Contains(prev, sphere) &&
+                  !geometry::Equals(prev, sphere);
+          break;
+        case RegionRelation::kContains:
+          found = geometry::Contains(sphere, prev) &&
+                  !geometry::Equals(prev, sphere);
+          break;
+        case RegionRelation::kOverlap:
+          found = geometry::Relate(sphere, prev) == RegionRelation::kOverlap;
+          break;
+        case RegionRelation::kDisjoint:
+          found = true;  // Nothing to verify against history.
+          break;
+      }
+      if (found) break;
+    }
+    EXPECT_TRUE(found || history.empty())
+        << "label " << geometry::RegionRelationName(q.intended)
+        << " unrealizable for ra=" << ra << " dec=" << dec
+        << " radius=" << radius;
+    history.push_back(sphere);
+  }
+}
+
+TEST(RadialTraceGeneratorTest, QueriesInsideFootprint) {
+  RadialTraceConfig config = SmallTrace();
+  Trace trace = GenerateRadialTrace(config);
+  for (const TraceQuery& q : trace.queries) {
+    double ra = *util::ParseDouble(q.params.at("ra"));
+    double dec = *util::ParseDouble(q.params.at("dec"));
+    EXPECT_GE(ra, config.ra_min - 2.0);
+    EXPECT_LE(ra, config.ra_max + 2.0);
+    EXPECT_GE(dec, config.dec_min - 2.0);
+    EXPECT_LE(dec, config.dec_max + 2.0);
+  }
+}
+
+TEST(RectTraceGeneratorTest, GeneratesValidBoxes) {
+  RectTraceConfig config;
+  config.num_queries = 500;
+  Trace trace = GenerateRectTrace(config);
+  EXPECT_EQ(trace.queries.size(), 500u);
+  for (const TraceQuery& q : trace.queries) {
+    double ra_min = *util::ParseDouble(q.params.at("ra_min"));
+    double ra_max = *util::ParseDouble(q.params.at("ra_max"));
+    double dec_min = *util::ParseDouble(q.params.at("dec_min"));
+    double dec_max = *util::ParseDouble(q.params.at("dec_max"));
+    EXPECT_LT(ra_min, ra_max);
+    EXPECT_LT(dec_min, dec_max);
+  }
+  EXPECT_GT(trace.IntendedFraction(RegionRelation::kEqual), 0.05);
+  EXPECT_GT(trace.IntendedFraction(RegionRelation::kContainedBy), 0.15);
+}
+
+TEST(TraceSerializationTest, RoundTrips) {
+  Trace trace = GenerateRadialTrace(SmallTrace(100));
+  auto parsed = Trace::Deserialize(trace.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->form_path, trace.form_path);
+  ASSERT_EQ(parsed->queries.size(), trace.queries.size());
+  for (size_t i = 0; i < trace.queries.size(); ++i) {
+    EXPECT_EQ(parsed->queries[i].params, trace.queries[i].params);
+    EXPECT_EQ(parsed->queries[i].intended, trace.queries[i].intended);
+  }
+}
+
+TEST(TraceSerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(Trace::Deserialize("").ok());
+  EXPECT_FALSE(Trace::Deserialize("/radial\nnotabbedline\n").ok());
+  EXPECT_FALSE(Trace::Deserialize("/radial\nZ\tra=1\n").ok());
+}
+
+TEST(RbeResultTest, AverageOverPrefix) {
+  RbeResult result;
+  result.response_micros = {1000, 2000, 3000, 10000};
+  EXPECT_DOUBLE_EQ(result.AverageResponseMillis(), 4.0);
+  EXPECT_DOUBLE_EQ(result.AverageResponseMillis(2), 1.5);
+  EXPECT_DOUBLE_EQ(result.AverageResponseMillis(100), 4.0);
+  EXPECT_DOUBLE_EQ(RbeResult().AverageResponseMillis(), 0.0);
+}
+
+/// End-to-end smoke over a small experiment: schemes behave sanely relative
+/// to each other.
+class ExperimentSmokeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SkyExperiment::Options options;
+    options.catalog.num_objects = 30000;
+    options.catalog.num_clusters = 10;
+    options.trace.num_queries = 400;
+    options.trace.seed = 5;
+    experiment_ = new SkyExperiment(options);
+  }
+  static void TearDownTestSuite() {
+    delete experiment_;
+    experiment_ = nullptr;
+  }
+  static SkyExperiment* experiment_;
+};
+
+SkyExperiment* ExperimentSmokeTest::experiment_ = nullptr;
+
+TEST_F(ExperimentSmokeTest, NoCacheSlowerThanActive) {
+  core::ProxyConfig nc;
+  nc.mode = core::CachingMode::kNoCache;
+  core::ProxyConfig ac;
+  ac.mode = core::CachingMode::kActiveFull;
+  auto nc_result = experiment_->Run(nc);
+  auto ac_result = experiment_->Run(ac);
+  EXPECT_EQ(nc_result.rbe.errors, 0u);
+  EXPECT_EQ(ac_result.rbe.errors, 0u);
+  EXPECT_LT(ac_result.rbe.AverageResponseMillis(),
+            nc_result.rbe.AverageResponseMillis());
+  EXPECT_GT(ac_result.proxy_stats.AverageCacheEfficiency(), 0.3);
+  EXPECT_EQ(nc_result.proxy_stats.AverageCacheEfficiency(), 0.0);
+}
+
+TEST_F(ExperimentSmokeTest, ActiveBeatsPassiveEfficiency) {
+  core::ProxyConfig pc;
+  pc.mode = core::CachingMode::kPassive;
+  core::ProxyConfig ac;
+  ac.mode = core::CachingMode::kActiveFull;
+  auto pc_result = experiment_->Run(pc);
+  auto ac_result = experiment_->Run(ac);
+  EXPECT_GT(ac_result.proxy_stats.AverageCacheEfficiency(),
+            pc_result.proxy_stats.AverageCacheEfficiency() + 0.1);
+}
+
+TEST_F(ExperimentSmokeTest, TotalDistinctResultBytesStable) {
+  size_t a = experiment_->TotalDistinctResultBytes();
+  size_t b = experiment_->TotalDistinctResultBytes();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0u);
+}
+
+TEST_F(ExperimentSmokeTest, RunsAreDeterministic) {
+  core::ProxyConfig ac;
+  ac.mode = core::CachingMode::kActiveFull;
+  auto r1 = experiment_->Run(ac);
+  auto r2 = experiment_->Run(ac);
+  EXPECT_EQ(r1.rbe.AverageResponseMillis(), r2.rbe.AverageResponseMillis());
+  EXPECT_EQ(r1.proxy_stats.AverageCacheEfficiency(),
+            r2.proxy_stats.AverageCacheEfficiency());
+  EXPECT_EQ(r1.origin_bytes_received, r2.origin_bytes_received);
+}
+
+}  // namespace
+}  // namespace fnproxy::workload

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "xml/xml.h"
+
+namespace fnproxy::xml {
+namespace {
+
+TEST(XmlParseTest, SimpleElementWithText) {
+  auto root = ParseXml("<Name>fGetNearbyObjEq</Name>");
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ((*root)->name(), "Name");
+  EXPECT_EQ((*root)->text(), "fGetNearbyObjEq");
+}
+
+TEST(XmlParseTest, NestedChildrenInOrder) {
+  auto root = ParseXml("<Params><P>$ra</P><P>$dec</P><P>$radius</P></Params>");
+  ASSERT_TRUE(root.ok());
+  ASSERT_EQ((*root)->children().size(), 3u);
+  EXPECT_EQ((*root)->children()[0]->text(), "$ra");
+  EXPECT_EQ((*root)->children()[2]->text(), "$radius");
+}
+
+TEST(XmlParseTest, Attributes) {
+  auto root = ParseXml(R"(<Column name="objID" type="INT"/>)");
+  ASSERT_TRUE(root.ok());
+  ASSERT_NE((*root)->FindAttribute("name"), nullptr);
+  EXPECT_EQ(*(*root)->FindAttribute("name"), "objID");
+  EXPECT_EQ(*(*root)->FindAttribute("type"), "INT");
+  EXPECT_EQ((*root)->FindAttribute("missing"), nullptr);
+}
+
+TEST(XmlParseTest, SingleQuotedAttributes) {
+  auto root = ParseXml("<A x='1'/>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*(*root)->FindAttribute("x"), "1");
+}
+
+TEST(XmlParseTest, EntitiesDecoded) {
+  auto root = ParseXml("<T>a &lt; b &amp;&amp; c &gt; d &quot;&apos;</T>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->text(), "a < b && c > d \"'");
+}
+
+TEST(XmlParseTest, NumericEntities) {
+  auto root = ParseXml("<T>&#65;&#x42;</T>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->text(), "AB");
+}
+
+TEST(XmlParseTest, DeclarationAndCommentsSkipped) {
+  auto root = ParseXml(
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n<A><!-- inner -->"
+      "<B>x</B></A>\n<!-- trailer -->");
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ((*root)->name(), "A");
+  ASSERT_EQ((*root)->children().size(), 1u);
+}
+
+TEST(XmlParseTest, WhitespaceTextTrimmed) {
+  auto root = ParseXml("<A>\n   spaced out   \n</A>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->text(), "spaced out");
+}
+
+TEST(XmlParseTest, MismatchedTagRejected) {
+  EXPECT_FALSE(ParseXml("<A><B></A></B>").ok());
+}
+
+TEST(XmlParseTest, UnterminatedRejected) {
+  EXPECT_FALSE(ParseXml("<A><B>").ok());
+  EXPECT_FALSE(ParseXml("<A attr=>").ok());
+  EXPECT_FALSE(ParseXml("<A attr=\"x>").ok());
+}
+
+TEST(XmlParseTest, TrailingContentRejected) {
+  EXPECT_FALSE(ParseXml("<A/>junk").ok());
+  EXPECT_FALSE(ParseXml("<A/><B/>").ok());
+}
+
+TEST(XmlParseTest, UnknownEntityRejected) {
+  EXPECT_FALSE(ParseXml("<A>&bogus;</A>").ok());
+}
+
+TEST(XmlParseTest, EmptyDocumentRejected) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("   ").ok());
+}
+
+TEST(XmlNavigationTest, FindChildAndChildren) {
+  auto root = ParseXml("<R><A>1</A><B>2</B><A>3</A></R>");
+  ASSERT_TRUE(root.ok());
+  ASSERT_NE((*root)->FindChild("A"), nullptr);
+  EXPECT_EQ((*root)->FindChild("A")->text(), "1");
+  EXPECT_EQ((*root)->FindChildren("A").size(), 2u);
+  EXPECT_EQ((*root)->FindChild("C"), nullptr);
+  auto text = (*root)->ChildText("B");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "2");
+  EXPECT_FALSE((*root)->ChildText("C").ok());
+}
+
+TEST(XmlPrintTest, RoundTripsThroughParse) {
+  XmlElement root("FunctionTemplate");
+  root.AddChild("Name")->set_text("f<&>");
+  XmlElement* params = root.AddChild("Params");
+  params->AddChild("P")->set_text("$ra");
+  params->AddChild("P")->set_text("$dec");
+  root.SetAttribute("version", "1 & 2");
+
+  std::string printed = root.ToString();
+  auto reparsed = ParseXml(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ((*reparsed)->name(), "FunctionTemplate");
+  EXPECT_EQ(*(*reparsed)->FindAttribute("version"), "1 & 2");
+  EXPECT_EQ((*reparsed)->FindChild("Name")->text(), "f<&>");
+  EXPECT_EQ((*reparsed)->FindChild("Params")->children().size(), 2u);
+}
+
+TEST(XmlEscapeTest, EscapesAllFive) {
+  EXPECT_EQ(EscapeXml("<>&\"'"), "&lt;&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(EscapeXml("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace fnproxy::xml

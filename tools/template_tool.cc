@@ -1,0 +1,67 @@
+// Validates a function-template XML file and optionally test-builds the
+// region for concrete argument values:
+//
+//   template_tool check <template.xml>
+//   template_tool region <template.xml> <arg1> <arg2> ...
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/function_template.h"
+#include "geometry/hyperrectangle.h"
+#include "geometry/region.h"
+#include "sql/value.h"
+
+using namespace fnproxy;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  template_tool check  <template.xml>\n"
+                 "  template_tool region <template.xml> <arg1> <arg2> ...\n");
+    return 2;
+  }
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto tmpl = core::FunctionTemplate::FromXml(buffer.str());
+  if (!tmpl.ok()) {
+    std::fprintf(stderr, "INVALID: %s\n", tmpl.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("function:   %s\n", tmpl->name().c_str());
+  std::printf("shape:      %s (%zu-D)\n",
+              geometry::ShapeKindName(tmpl->shape()), tmpl->num_dimensions());
+  std::printf("parameters:");
+  for (const std::string& p : tmpl->params()) std::printf(" $%s", p.c_str());
+  std::printf("\ncoordinate columns:");
+  for (const std::string& c : tmpl->coordinate_columns()) {
+    std::printf(" %s", c.c_str());
+  }
+  std::printf("\n");
+
+  if (std::string(argv[1]) == "region") {
+    std::vector<sql::Value> args;
+    for (int i = 3; i < argc; ++i) {
+      args.push_back(sql::ParseValueFromText(argv[i]));
+    }
+    auto region = tmpl->BuildRegion(args);
+    if (!region.ok()) {
+      std::fprintf(stderr, "region build failed: %s\n",
+                   region.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("region:     %s\n", (*region)->ToString().c_str());
+    std::printf("bounding box: %s\n",
+                (*region)->BoundingBox().ToString().c_str());
+  }
+  std::printf("OK\n");
+  return 0;
+}

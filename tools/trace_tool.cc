@@ -1,0 +1,95 @@
+// Command-line utility for query traces:
+//
+//   trace_tool gen-radial <out-file> [num_queries] [seed]
+//   trace_tool gen-rect   <out-file> [num_queries] [seed]
+//   trace_tool info       <trace-file>
+//
+// Traces use the line-oriented format of workload::Trace::Serialize and can
+// be replayed with run_trace.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+#include "workload/trace.h"
+#include "workload/trace_generator.h"
+
+using namespace fnproxy;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tool gen-radial <out-file> [num_queries] [seed]\n"
+               "  trace_tool gen-rect   <out-file> [num_queries] [seed]\n"
+               "  trace_tool info       <trace-file>\n");
+  return 2;
+}
+
+int WriteTrace(const workload::Trace& trace, const char* path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  out << trace.Serialize();
+  std::printf("wrote %zu queries to %s\n", trace.queries.size(), path);
+  return 0;
+}
+
+int Info(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto trace = workload::Trace::Deserialize(buffer.str());
+  if (!trace.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+  using geometry::RegionRelation;
+  std::printf("form path: %s\n", trace->form_path.c_str());
+  std::printf("queries:   %zu\n", trace->queries.size());
+  std::printf("intended mix:\n");
+  for (RegionRelation r :
+       {RegionRelation::kEqual, RegionRelation::kContainedBy,
+        RegionRelation::kContains, RegionRelation::kOverlap,
+        RegionRelation::kDisjoint}) {
+    std::printf("  %-14s %5.1f%%\n", geometry::RegionRelationName(r),
+                100 * trace->IntendedFraction(r));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+  if (command == "info") return Info(argv[2]);
+
+  size_t num_queries = argc > 3 ? static_cast<size_t>(std::atoll(argv[3]))
+                                : 11323;
+  uint64_t seed = argc > 4 ? static_cast<uint64_t>(std::atoll(argv[4])) : 2004;
+
+  if (command == "gen-radial") {
+    workload::RadialTraceConfig config;
+    config.num_queries = num_queries;
+    config.seed = seed;
+    return WriteTrace(workload::GenerateRadialTrace(config), argv[2]);
+  }
+  if (command == "gen-rect") {
+    workload::RectTraceConfig config;
+    config.num_queries = num_queries;
+    config.seed = seed;
+    return WriteTrace(workload::GenerateRectTrace(config), argv[2]);
+  }
+  return Usage();
+}
