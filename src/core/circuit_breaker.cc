@@ -1,0 +1,109 @@
+#include "core/circuit_breaker.h"
+
+namespace fnproxy::core {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config,
+                               util::SimulatedClock* clock)
+    : config_(config), clock_(clock) {}
+
+double CircuitBreaker::FailureRate() const {
+  if (window_.empty()) return 0.0;
+  size_t failures = 0;
+  for (bool failed : window_) {
+    if (failed) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(window_.size());
+}
+
+int64_t CircuitBreaker::CooldownRemainingMicros() const {
+  if (state_ != BreakerState::kOpen) return 0;
+  int64_t remaining = config_.open_cooldown_micros -
+                      (clock_->NowMicros() - opened_at_micros_);
+  return remaining > 0 ? remaining : 0;
+}
+
+void CircuitBreaker::TransitionTo(BreakerState next) {
+  state_ = next;
+  ++transitions_;
+  history_.emplace_back(clock_->NowMicros(), next);
+  if (next == BreakerState::kOpen) {
+    opened_at_micros_ = clock_->NowMicros();
+    window_.clear();
+  }
+  if (next == BreakerState::kHalfOpen || next == BreakerState::kClosed) {
+    half_open_streak_ = 0;
+  }
+}
+
+bool CircuitBreaker::Allow() {
+  if (!config_.enabled) return true;
+  switch (state_) {
+    case BreakerState::kClosed:
+    case BreakerState::kHalfOpen:
+      return true;
+    case BreakerState::kOpen:
+      if (clock_->NowMicros() - opened_at_micros_ >=
+          config_.open_cooldown_micros) {
+        TransitionTo(BreakerState::kHalfOpen);
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordOutcome(bool failure) {
+  window_.push_back(failure);
+  while (window_.size() > config_.window_size) window_.pop_front();
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (!config_.enabled) return;
+  switch (state_) {
+    case BreakerState::kClosed:
+      RecordOutcome(false);
+      break;
+    case BreakerState::kHalfOpen:
+      ++half_open_streak_;
+      if (half_open_streak_ >= config_.half_open_successes) {
+        TransitionTo(BreakerState::kClosed);
+      }
+      break;
+    case BreakerState::kOpen:
+      // A success from a round trip that raced the opening; ignore.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (!config_.enabled) return;
+  switch (state_) {
+    case BreakerState::kClosed:
+      RecordOutcome(true);
+      if (window_.size() >= config_.min_samples &&
+          FailureRate() >= config_.failure_threshold) {
+        TransitionTo(BreakerState::kOpen);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // The probe failed: trip again and restart the cooldown.
+      TransitionTo(BreakerState::kOpen);
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+}  // namespace fnproxy::core

@@ -1,0 +1,80 @@
+#ifndef FNPROXY_CORE_CIRCUIT_BREAKER_H_
+#define FNPROXY_CORE_CIRCUIT_BREAKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace fnproxy::core {
+
+/// Circuit-breaker parameters guarding the proxy→origin channel. Disabled
+/// by default; the availability experiment and the fault-profile CLI turn it
+/// on.
+struct CircuitBreakerConfig {
+  bool enabled = false;
+  /// Sliding window of the most recent origin outcomes.
+  size_t window_size = 16;
+  /// Minimum outcomes in the window before the failure rate is meaningful.
+  size_t min_samples = 4;
+  /// Failure fraction at or above which the breaker opens.
+  double failure_threshold = 0.5;
+  /// Virtual time an open breaker waits before letting a probe through.
+  int64_t open_cooldown_micros = 10'000'000;
+  /// Consecutive probe successes in half-open needed to close again.
+  size_t half_open_successes = 2;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+/// Closed → open → half-open → closed state machine over a sliding window
+/// of origin outcomes, timed on the shared virtual clock so transitions are
+/// deterministic for a deterministic workload.
+class CircuitBreaker {
+ public:
+  /// `clock` must outlive the breaker.
+  CircuitBreaker(CircuitBreakerConfig config, util::SimulatedClock* clock);
+
+  /// True if the caller may contact the origin now. While open, flips to
+  /// half-open (allowing a probe) once the cooldown has elapsed.
+  bool Allow();
+
+  /// Reports the outcome of an allowed origin round trip.
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const { return state_; }
+  uint64_t transitions() const { return transitions_; }
+  /// (virtual time, entered state) for every transition, in order.
+  const std::vector<std::pair<int64_t, BreakerState>>& history() const {
+    return history_;
+  }
+  /// Failure fraction over the current window (0 when empty).
+  double FailureRate() const;
+
+  /// Virtual time until an open breaker will admit a probe (0 unless open).
+  /// Feeds the 503 response's Retry-After header.
+  int64_t CooldownRemainingMicros() const;
+
+ private:
+  void TransitionTo(BreakerState next);
+  void RecordOutcome(bool failure);
+
+  CircuitBreakerConfig config_;
+  util::SimulatedClock* clock_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::deque<bool> window_;  // true = failure.
+  size_t half_open_streak_ = 0;
+  int64_t opened_at_micros_ = 0;
+  uint64_t transitions_ = 0;
+  std::vector<std::pair<int64_t, BreakerState>> history_;
+};
+
+}  // namespace fnproxy::core
+
+#endif  // FNPROXY_CORE_CIRCUIT_BREAKER_H_

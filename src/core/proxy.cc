@@ -6,6 +6,7 @@
 #include "core/local_eval.h"
 #include "core/region_predicate.h"
 #include "core/relationship.h"
+#include "geometry/coverage.h"
 #include "index/array_index.h"
 #include "index/rtree.h"
 #include "sql/printer.h"
@@ -39,14 +40,18 @@ const char* CachingModeName(CachingMode mode) {
 }
 
 std::string ProxyStats::ToXml() const {
-  char buffer[1024];
+  char buffer[2048];
   std::snprintf(
       buffer, sizeof(buffer),
       "<ProxyStats requests=\"%llu\" templateRequests=\"%llu\">\n"
       "  <Hits exact=\"%llu\" containment=\"%llu\" regionContainment=\"%llu\""
       " overlap=\"%llu\"/>\n"
       "  <Misses count=\"%llu\"/>\n"
-      "  <Origin formRequests=\"%llu\" sqlRequests=\"%llu\"/>\n"
+      "  <Origin formRequests=\"%llu\" sqlRequests=\"%llu\""
+      " failures=\"%llu\" retries=\"%llu\"/>\n"
+      "  <Breaker transitions=\"%llu\" openRejections=\"%llu\"/>\n"
+      "  <Degraded full=\"%llu\" partial=\"%llu\" unavailable=\"%llu\""
+      " coverageServed=\"%.4f\"/>\n"
       "  <TimingMicros check=\"%lld\" localEval=\"%lld\" merge=\"%lld\"/>\n"
       "  <AverageCacheEfficiency>%.4f</AverageCacheEfficiency>\n"
       "</ProxyStats>\n",
@@ -59,6 +64,13 @@ std::string ProxyStats::ToXml() const {
       static_cast<unsigned long long>(misses),
       static_cast<unsigned long long>(origin_form_requests),
       static_cast<unsigned long long>(origin_sql_requests),
+      static_cast<unsigned long long>(origin_failures),
+      static_cast<unsigned long long>(origin_retries),
+      static_cast<unsigned long long>(breaker_transitions),
+      static_cast<unsigned long long>(breaker_open_rejections),
+      static_cast<unsigned long long>(degraded_full),
+      static_cast<unsigned long long>(degraded_partial),
+      static_cast<unsigned long long>(degraded_unavailable), coverage_served,
       static_cast<long long>(check_micros),
       static_cast<long long>(local_eval_micros),
       static_cast<long long>(merge_micros), AverageCacheEfficiency());
@@ -121,13 +133,57 @@ FunctionProxy::FunctionProxy(ProxyConfig config,
   cache_ = std::make_unique<CacheStore>(std::move(description),
                                         config_.max_cache_bytes,
                                         config_.replacement);
+  breaker_ = std::make_unique<CircuitBreaker>(config_.breaker, clock_);
+  channel_retries_baseline_ = origin_->retry_stats().retries;
+}
+
+bool FunctionProxy::OriginAllowed() {
+  return !config_.breaker.enabled || breaker_->Allow();
+}
+
+bool FunctionProxy::BreakerOpen() const {
+  return config_.breaker.enabled && breaker_->state() == BreakerState::kOpen;
+}
+
+void FunctionProxy::NoteOriginOutcome(bool usable) {
+  if (usable) {
+    breaker_->RecordSuccess();
+  } else {
+    ++stats_.origin_failures;
+    breaker_->RecordFailure();
+  }
+  stats_.breaker_transitions = breaker_->transitions();
+}
+
+void FunctionProxy::SyncChannelStats() {
+  stats_.origin_retries =
+      origin_->retry_stats().retries - channel_retries_baseline_;
+}
+
+HttpResponse FunctionProxy::ServiceUnavailable() {
+  HttpResponse response;
+  response.status_code = 503;
+  response.body = "<Error code=\"503\" reason=\"origin-unreachable\"/>\n";
+  int64_t cooldown = breaker_->CooldownRemainingMicros();
+  int64_t seconds = cooldown > 0 ? (cooldown + 999'999) / 1'000'000
+                                 : config_.retry_after_seconds;
+  response.headers["Retry-After"] = std::to_string(seconds);
+  return response;
 }
 
 HttpResponse FunctionProxy::Forward(const HttpRequest& request,
                                     QueryRecord* record) {
+  if (!OriginAllowed()) {
+    ++stats_.breaker_open_rejections;
+    ++stats_.degraded_unavailable;
+    record->degraded = true;
+    return ServiceUnavailable();
+  }
   record->contacted_origin = true;
   ++stats_.origin_form_requests;
   HttpResponse response = origin_->RoundTrip(request);
+  SyncChannelStats();
+  NoteOriginOutcome(!net::RetryPolicy::Retryable(response));
   if (response.ok()) {
     record->tuples_total = ExtractRowCount(response.body);
   }
@@ -136,36 +192,60 @@ HttpResponse FunctionProxy::Forward(const HttpRequest& request,
 
 StatusOr<Table> FunctionProxy::FetchFromOrigin(const HttpRequest& request,
                                                QueryRecord* record) {
+  if (!OriginAllowed()) {
+    ++stats_.breaker_open_rejections;
+    return Status::Unavailable("circuit breaker open");
+  }
   record->contacted_origin = true;
   ++stats_.origin_form_requests;
   HttpResponse response = origin_->RoundTrip(request);
+  SyncChannelStats();
   if (!response.ok()) {
-    return Status::Internal("origin error " +
-                            std::to_string(response.status_code) + ": " +
-                            response.body);
+    bool origin_down = net::RetryPolicy::Retryable(response);
+    NoteOriginOutcome(!origin_down);
+    std::string message = "origin error " +
+                          std::to_string(response.status_code) + ": " +
+                          response.body;
+    return origin_down ? Status::Unavailable(std::move(message))
+                       : Status::Internal(std::move(message));
   }
-  FNPROXY_ASSIGN_OR_RETURN(Table table, sql::TableFromXml(response.body));
+  // A 200 whose body does not parse as a result table is as unusable as a
+  // 500 — it must count against the origin and never reach the cache.
+  auto table = sql::TableFromXml(response.body);
+  NoteOriginOutcome(table.ok());
+  if (!table.ok()) return table.status();
   ChargeMicros(config_.costs.per_origin_response_tuple_us *
-               static_cast<double>(table.num_rows()));
+               static_cast<double>(table->num_rows()));
   return table;
 }
 
 StatusOr<Table> FunctionProxy::FetchRemainder(const sql::SelectStatement& stmt,
                                               QueryRecord* record) {
+  if (!OriginAllowed()) {
+    ++stats_.breaker_open_rejections;
+    return Status::Unavailable("circuit breaker open");
+  }
   record->contacted_origin = true;
   ++stats_.origin_sql_requests;
   HttpRequest request;
   request.path = "/sql";
   request.query_params["q"] = sql::SelectToSql(stmt);
   HttpResponse response = origin_->RoundTrip(request);
+  SyncChannelStats();
   if (!response.ok()) {
-    return Status::Internal("origin /sql error " +
-                            std::to_string(response.status_code) + ": " +
-                            response.body);
+    bool origin_down = net::RetryPolicy::Retryable(response);
+    NoteOriginOutcome(!origin_down);
+    std::string message = "origin /sql error " +
+                          std::to_string(response.status_code) + ": " +
+                          response.body;
+    return origin_down ? Status::Unavailable(std::move(message))
+                       : Status::Internal(std::move(message));
   }
-  FNPROXY_ASSIGN_OR_RETURN(Table table, sql::TableFromXml(response.body));
+  auto table = sql::TableFromXml(response.body);
+  NoteOriginOutcome(table.ok());
+  if (!table.ok()) return table.status();
   ChargeMicros(config_.costs.per_origin_response_tuple_us *
-               static_cast<double>(table.num_rows()));
+               static_cast<double>(table->num_rows()));
   return table;
 }
 
@@ -174,6 +254,19 @@ HttpResponse FunctionProxy::Respond(const Table& table) {
                static_cast<double>(table.num_rows()));
   HttpResponse response;
   response.body = sql::TableToXml(table);
+  return response;
+}
+
+HttpResponse FunctionProxy::RespondPartial(const Table& table,
+                                           double coverage) {
+  ChargeMicros(config_.costs.per_response_tuple_us *
+               static_cast<double>(table.num_rows()));
+  sql::ResultXmlAttrs attrs;
+  attrs.partial = true;
+  attrs.coverage = coverage;
+  attrs.degraded_reason = "origin-unreachable";
+  HttpResponse response;
+  response.body = sql::TableToXml(table, attrs);
   return response;
 }
 
@@ -220,7 +313,9 @@ HttpResponse FunctionProxy::HandlePassive(const HttpRequest& request,
   }
   ++stats_.misses;
   HttpResponse response = Forward(request, record);
-  if (response.ok()) {
+  // Admission control: only well-formed result documents from 2xx responses
+  // enter the cache — a 200 carrying garbage must not poison future hits.
+  if (response.ok() && sql::TableFromXml(response.body).ok()) {
     PassiveItem item;
     item.body = response.body;
     item.rows = record->tuples_total;
@@ -300,6 +395,12 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       cache_->Touch(rel.matched_entry, clock_->NowMicros());
       record->tuples_total = entry->result.num_rows();
       record->tuples_from_cache = entry->result.num_rows();
+      if (BreakerOpen()) {
+        // Served entirely from cache while the origin is down: a degraded
+        // answer that happens to be complete.
+        ++stats_.degraded_full;
+        record->degraded = true;
+      }
       return Respond(entry->result);
     }
 
@@ -326,6 +427,10 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       if (!final_table.ok()) return Forward(request, record);
       record->tuples_total = final_table->num_rows();
       record->tuples_from_cache = final_table->num_rows();
+      if (BreakerOpen()) {
+        ++stats_.degraded_full;
+        record->degraded = true;
+      }
       // Not cached: the result is already covered by the container (§3.2).
       return Respond(*final_table);
     }
@@ -383,6 +488,44 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
         // original query").
         auto full = FetchFromOrigin(request, record);
         if (!full.ok()) {
+          // kInternal means the origin answered with a client error — that
+          // is not unavailability, so it is not eligible for degradation.
+          if (config_.degraded_mode &&
+              full.status().code() != util::StatusCode::kInternal) {
+            // Degraded mode: the origin is unreachable, but the probe parts
+            // are known-correct tuples for their regions — serve them as a
+            // partial answer annotated with the covered volume fraction.
+            std::vector<const Table*> part_ptrs;
+            for (const Table& part : probe_parts) part_ptrs.push_back(&part);
+            auto probe_only = MergeDistinct(part_ptrs);
+            auto partial_table =
+                probe_only.ok() ? ApplyOrderAndTop(*probe_only, *stmt)
+                                : util::StatusOr<Table>(probe_only.status());
+            if (partial_table.ok()) {
+              double partial_merge_micros =
+                  config_.costs.per_merge_tuple_us *
+                  static_cast<double>(probe_only->num_rows());
+              stats_.merge_micros +=
+                  static_cast<int64_t>(partial_merge_micros);
+              ChargeMicros(partial_merge_micros);
+              std::vector<const geometry::Region*> part_regions;
+              for (uint64_t id : used_ids) {
+                part_regions.push_back(cache_->Find(id)->region.get());
+              }
+              double coverage =
+                  geometry::EstimateCoverageFraction(*region, part_regions);
+              ++stats_.degraded_partial;
+              stats_.coverage_served += coverage;
+              record->degraded = true;
+              record->coverage = coverage;
+              record->tuples_total = partial_table->num_rows();
+              record->tuples_from_cache = partial_table->num_rows();
+              return RespondPartial(*partial_table, coverage);
+            }
+            ++stats_.degraded_unavailable;
+            record->degraded = true;
+            return ServiceUnavailable();
+          }
           return HttpResponse::MakeError(502, full.status().ToString());
         }
         record->tuples_total = full->num_rows();
@@ -445,6 +588,14 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
   ++stats_.misses;
   auto table = FetchFromOrigin(request, record);
   if (!table.ok()) {
+    if (config_.degraded_mode &&
+        table.status().code() != util::StatusCode::kInternal) {
+      // The cache contributes nothing to this query: refuse honestly with a
+      // Retry-After instead of a bare gateway error.
+      ++stats_.degraded_unavailable;
+      record->degraded = true;
+      return ServiceUnavailable();
+    }
     return HttpResponse::MakeError(502, table.status().ToString());
   }
   record->tuples_total = table->num_rows();
@@ -478,6 +629,15 @@ HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
                      std::to_string(cache_->evictions()) + "\" description=\"" +
                      (config_.use_rtree_description ? "rtree" : "array") +
                      "\" mode=\"" + CachingModeName(config_.mode) + "\"/>\n";
+    char breaker_line[160];
+    std::snprintf(breaker_line, sizeof(breaker_line),
+                  "<CircuitBreaker enabled=\"%d\" state=\"%s\""
+                  " transitions=\"%llu\" failureRate=\"%.3f\"/>\n",
+                  config_.breaker.enabled ? 1 : 0,
+                  BreakerStateName(breaker_->state()),
+                  static_cast<unsigned long long>(breaker_->transitions()),
+                  breaker_->FailureRate());
+    response.body += breaker_line;
     return response;
   }
 
@@ -503,6 +663,7 @@ HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
       response = HandleActive(request, *qt, *ft, &record);
     }
   }
+  record.failed = !response.ok();
   stats_.records.push_back(record);
   return response;
 }

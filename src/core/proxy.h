@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/cache_store.h"
+#include "core/circuit_breaker.h"
 #include "core/template_registry.h"
 #include "geometry/region.h"
 #include "net/http.h"
@@ -71,6 +72,16 @@ struct ProxyConfig {
   size_t max_cache_bytes = 0;
   ReplacementPolicy replacement = ReplacementPolicy::kLru;
   ProxyCostModel costs;
+  /// Circuit breaker guarding the origin channel (disabled by default).
+  CircuitBreakerConfig breaker;
+  /// When the origin is unreachable (breaker open or retries exhausted), an
+  /// active proxy answers subsumed queries from the cache, serves the cached
+  /// portion of overlapping queries annotated partial="true" with a coverage
+  /// fraction, and returns 503 + Retry-After only when the cache contributes
+  /// nothing. Off = every origin failure is surfaced as a gateway error.
+  bool degraded_mode = true;
+  /// Retry-After value on 503s when no breaker cooldown gives a better one.
+  int64_t retry_after_seconds = 30;
 };
 
 /// Per-query bookkeeping used by the experiment harness. Cache efficiency is
@@ -80,13 +91,34 @@ struct QueryRecord {
   geometry::RegionRelation status = geometry::RegionRelation::kDisjoint;
   bool handled_by_template = false;
   bool contacted_origin = false;
+  /// The request ended in an error or transport failure.
+  bool failed = false;
+  /// Answered (fully, partially, or refused) without a live origin.
+  bool degraded = false;
+  /// Fraction of the query's region volume the answer covers; 1 except for
+  /// degraded partial answers.
+  double coverage = 1.0;
   size_t tuples_total = 0;
   size_t tuples_from_cache = 0;
 
+  /// Cache efficiency (paper §4.1) with failure-aware conventions:
+  ///  * failed requests score 0 — an error page serves no tuples;
+  ///  * zero-tuple answers that contacted the origin score 0; zero-tuple
+  ///    answers derived purely from cached knowledge score 1 (the cache
+  ///    proved emptiness, doing all the work the origin would have done);
+  ///  * degraded partial answers are scaled by the region coverage actually
+  ///    served, so a half-covered overlap answered cache-only scores 0.5
+  ///    rather than masquerading as a full answer.
   double CacheEfficiency() const {
-    if (tuples_total == 0) return contacted_origin ? 0.0 : 1.0;
-    return static_cast<double>(tuples_from_cache) /
-           static_cast<double>(tuples_total);
+    if (failed) return 0.0;
+    double base;
+    if (tuples_total == 0) {
+      base = contacted_origin ? 0.0 : 1.0;
+    } else {
+      base = static_cast<double>(tuples_from_cache) /
+             static_cast<double>(tuples_total);
+    }
+    return base * coverage;
   }
 };
 
@@ -102,6 +134,22 @@ struct ProxyStats {
   uint64_t misses = 0;
   uint64_t origin_form_requests = 0;
   uint64_t origin_sql_requests = 0;
+  /// Origin round trips that ended in failure after all retries.
+  uint64_t origin_failures = 0;
+  /// Retry attempts this proxy's origin traffic caused on its channel.
+  uint64_t origin_retries = 0;
+  /// Requests short-circuited without a round trip by an open breaker.
+  uint64_t breaker_open_rejections = 0;
+  /// Breaker state transitions so far (snapshot of the state machine).
+  uint64_t breaker_transitions = 0;
+  /// Degraded-mode answers: full (subsumed query served while the breaker
+  /// was open), partial (overlap served from the cached portion only), and
+  /// unavailable (503 — the cache contributed nothing).
+  uint64_t degraded_full = 0;
+  uint64_t degraded_partial = 0;
+  uint64_t degraded_unavailable = 0;
+  /// Sum of coverage fractions over degraded partial answers.
+  double coverage_served = 0.0;
   int64_t check_micros = 0;
   int64_t local_eval_micros = 0;
   int64_t merge_micros = 0;
@@ -128,6 +176,7 @@ class FunctionProxy final : public net::HttpHandler {
   const ProxyStats& stats() const { return stats_; }
   const CacheStore& cache() const { return *cache_; }
   const ProxyConfig& config() const { return config_; }
+  const CircuitBreaker& breaker() const { return *breaker_; }
 
   /// Persists the active cache (result files + manifest) to `directory`,
   /// which must exist — the paper's proxy keeps its cached query results as
@@ -165,6 +214,26 @@ class FunctionProxy final : public net::HttpHandler {
 
   /// Serializes and returns `table` as the response, charging assembly time.
   net::HttpResponse Respond(const sql::Table& table);
+  /// Respond() with partial="true" and the coverage fraction on the root
+  /// element (degraded-mode overlap answers).
+  net::HttpResponse RespondPartial(const sql::Table& table, double coverage);
+  /// 503 + Retry-After (breaker cooldown when open, config default
+  /// otherwise) — the degraded-mode refusal when the cache holds nothing.
+  net::HttpResponse ServiceUnavailable();
+
+  /// Breaker admission check for the origin channel. False means no round
+  /// trip may be made now.
+  bool OriginAllowed();
+  /// True while the breaker is open (degraded bookkeeping for cache-only
+  /// answers served during an outage).
+  bool BreakerOpen() const;
+  /// Feeds an origin round-trip outcome to the breaker and failure stats.
+  /// `usable` is false for transport errors, 5xx responses, and well-formed
+  /// responses whose body failed to parse (garbage).
+  void NoteOriginOutcome(bool usable);
+  /// Copies the origin channel's retry counters (relative to this proxy's
+  /// construction-time baseline) into stats_.
+  void SyncChannelStats();
 
   /// Virtual cost of `comparisons` box comparisons in the cache description
   /// (R-tree comparisons cost more per unit; see ProxyCostModel).
@@ -185,6 +254,9 @@ class FunctionProxy final : public net::HttpHandler {
   net::SimulatedChannel* origin_;
   util::SimulatedClock* clock_;
   std::unique_ptr<CacheStore> cache_;
+  std::unique_ptr<CircuitBreaker> breaker_;
+  /// Channel retry counters at construction (channels may be shared).
+  uint64_t channel_retries_baseline_ = 0;
 
   // Passive-mode storage: exact-URL-keyed raw responses with LRU eviction.
   std::map<std::string, PassiveItem> passive_items_;

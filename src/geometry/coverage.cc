@@ -1,0 +1,37 @@
+#include "geometry/coverage.h"
+
+#include "geometry/hyperrectangle.h"
+#include "util/random.h"
+
+namespace fnproxy::geometry {
+
+double EstimateCoverageFraction(const Region& query,
+                                const std::vector<const Region*>& parts,
+                                size_t samples, uint64_t seed) {
+  if (parts.empty()) return 0.0;
+  Hyperrectangle bbox = query.BoundingBox();
+  const size_t dims = bbox.dimensions();
+  util::Random rng(seed);
+  Point p(dims, 0.0);
+  size_t in_query = 0;
+  size_t covered = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    for (size_t d = 0; d < dims; ++d) {
+      double lo = bbox.lo()[d];
+      double hi = bbox.hi()[d];
+      p[d] = lo == hi ? lo : rng.NextDouble(lo, hi);
+    }
+    if (!query.ContainsPoint(p)) continue;
+    ++in_query;
+    for (const Region* part : parts) {
+      if (part->ContainsPoint(p)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  if (in_query == 0) return 1.0;
+  return static_cast<double>(covered) / static_cast<double>(in_query);
+}
+
+}  // namespace fnproxy::geometry

@@ -1,0 +1,28 @@
+#ifndef FNPROXY_GEOMETRY_COVERAGE_H_
+#define FNPROXY_GEOMETRY_COVERAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/region.h"
+
+namespace fnproxy::geometry {
+
+/// Deterministic Monte-Carlo estimate of the fraction of `query`'s volume
+/// covered by the union of `parts` (each implicitly intersected with
+/// `query`). Samples are drawn with a fixed-seed generator over the query's
+/// bounding box and rejected to the query region, so the estimate is
+/// bit-for-bit reproducible. Used by the proxy's degraded mode to annotate
+/// partial answers with an honest coverage fraction.
+///
+/// Returns a value in [0, 1]. Degenerate cases: no parts → 0; a query region
+/// no sample hits (numerically empty) → 1 if any part exists, treating the
+/// empty query as trivially covered.
+double EstimateCoverageFraction(const Region& query,
+                                const std::vector<const Region*>& parts,
+                                size_t samples = 4096,
+                                uint64_t seed = 0xC0FFEEULL);
+
+}  // namespace fnproxy::geometry
+
+#endif  // FNPROXY_GEOMETRY_COVERAGE_H_

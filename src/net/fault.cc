@@ -1,0 +1,111 @@
+#include "net/fault.h"
+
+#include <cmath>
+#include <utility>
+
+namespace fnproxy::net {
+
+FaultProfile HealthyProfile() { return FaultProfile{}; }
+
+FaultProfile FlakyProfile(uint64_t seed) {
+  FaultProfile profile;
+  profile.error_rate = 0.10;
+  profile.drop_rate = 0.05;
+  profile.garbage_rate = 0.02;
+  profile.truncate_rate = 0.02;
+  profile.spike_rate = 0.05;
+  profile.spike_micros = 2'000'000;
+  profile.trickle_rate = 0.03;
+  profile.trickle_kbps = 1.0;
+  profile.seed = seed;
+  return profile;
+}
+
+FaultProfile OutageProfile(int64_t start_micros, int64_t end_micros) {
+  FaultProfile profile;
+  profile.outages.push_back(OutageWindow{start_micros, end_micros});
+  return profile;
+}
+
+FaultInjector::FaultInjector(HttpHandler* inner, FaultProfile profile,
+                             util::SimulatedClock* clock)
+    : inner_(inner),
+      profile_(std::move(profile)),
+      clock_(clock),
+      rng_(profile_.seed) {}
+
+HttpResponse FaultInjector::MakeDrop() {
+  HttpResponse response;
+  response.status_code = 0;
+  response.content_type = "x-fnproxy/connection-drop";
+  return response;
+}
+
+HttpResponse FaultInjector::MakeTimeout() {
+  HttpResponse response;
+  response.status_code = 0;
+  response.content_type = "x-fnproxy/timeout";
+  return response;
+}
+
+HttpResponse FaultInjector::Handle(const HttpRequest& request) {
+  ++stats_.requests;
+
+  for (const OutageWindow& window : profile_.outages) {
+    if (window.Covers(clock_->NowMicros())) {
+      ++stats_.outage_drops;
+      clock_->Advance(profile_.drop_detect_micros);
+      return MakeDrop();
+    }
+  }
+
+  // One draw per configured fault kind, in fixed order, so a given seed
+  // yields the same schedule regardless of which earlier fault fired.
+  bool drop = profile_.drop_rate > 0 && rng_.NextBool(profile_.drop_rate);
+  bool error = profile_.error_rate > 0 && rng_.NextBool(profile_.error_rate);
+  bool garbage =
+      profile_.garbage_rate > 0 && rng_.NextBool(profile_.garbage_rate);
+  bool truncate =
+      profile_.truncate_rate > 0 && rng_.NextBool(profile_.truncate_rate);
+  bool spike = profile_.spike_rate > 0 && rng_.NextBool(profile_.spike_rate);
+  bool trickle =
+      profile_.trickle_rate > 0 && rng_.NextBool(profile_.trickle_rate);
+  double cut_fraction = truncate ? rng_.NextDouble() : 0.0;
+
+  if (drop) {
+    ++stats_.injected_drops;
+    clock_->Advance(profile_.drop_detect_micros);
+    return MakeDrop();
+  }
+  if (error) {
+    ++stats_.injected_errors;
+    return HttpResponse::MakeError(500, "injected internal server error");
+  }
+
+  HttpResponse response = inner_->Handle(request);
+
+  if (garbage) {
+    ++stats_.injected_garbage;
+    response.body = "<<< injected garbage: this is not a result document >>>";
+    return response;
+  }
+  if (truncate && !response.body.empty()) {
+    ++stats_.injected_truncations;
+    size_t keep = static_cast<size_t>(
+        cut_fraction * static_cast<double>(response.body.size()));
+    response.body.resize(keep);
+  }
+  if (spike) {
+    ++stats_.injected_spikes;
+    clock_->Advance(profile_.spike_micros);
+  }
+  if (trickle && profile_.trickle_kbps > 0) {
+    ++stats_.injected_trickles;
+    double micros = static_cast<double>(response.body.size()) /
+                    profile_.trickle_kbps * 1000.0;
+    clock_->Advance(static_cast<int64_t>(std::llround(micros)));
+  }
+  return response;
+}
+
+}  // namespace fnproxy::net

@@ -1,0 +1,115 @@
+#ifndef FNPROXY_NET_FAULT_H_
+#define FNPROXY_NET_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace fnproxy::net {
+
+/// A half-open interval of virtual time during which the origin is
+/// unreachable: every request inside the window is dropped after the
+/// configured detection delay.
+struct OutageWindow {
+  int64_t start_micros = 0;
+  int64_t end_micros = 0;
+
+  bool Covers(int64_t now_micros) const {
+    return now_micros >= start_micros && now_micros < end_micros;
+  }
+};
+
+/// Deterministic, seed-driven fault model applied to a wrapped HttpHandler.
+/// Rates are per-request probabilities drawn from a dedicated xoshiro stream,
+/// so a fixed seed reproduces the exact same fault schedule; all injected
+/// delays are charged to the shared SimulatedClock like real ones.
+///
+/// Per request, faults are evaluated in a fixed order: outage window, then
+/// connection drop, then server error, then (on the real response) garbage
+/// body, truncated body, latency spike, bandwidth trickle. The first
+/// response-replacing fault short-circuits; timing faults compose.
+struct FaultProfile {
+  /// Probability of a 500 Internal Server Error instead of an answer.
+  double error_rate = 0.0;
+  /// Probability of a connection drop (transport error, status 0): the
+  /// client waits `drop_detect_micros` before noticing.
+  double drop_rate = 0.0;
+  /// Probability the response body is replaced with non-XML garbage
+  /// (status stays 200 — the worst case for a caching proxy).
+  double garbage_rate = 0.0;
+  /// Probability the response body is cut at a pseudo-random point.
+  double truncate_rate = 0.0;
+  /// Probability of an added latency spike of `spike_micros`.
+  double spike_rate = 0.0;
+  int64_t spike_micros = 2'000'000;
+  /// Probability the response trickles in at `trickle_kbps` instead of the
+  /// link's bandwidth (charged as extra virtual time per body byte).
+  double trickle_rate = 0.0;
+  double trickle_kbps = 1.0;
+  /// Virtual time for a client to detect a dropped connection.
+  int64_t drop_detect_micros = 1'000'000;
+  /// Scripted unavailability windows on the virtual clock.
+  std::vector<OutageWindow> outages;
+  /// Seed of the injector's private random stream.
+  uint64_t seed = 0x5eed5eedULL;
+};
+
+/// Named profiles for CLI and experiment use.
+FaultProfile HealthyProfile();
+/// Intermittent 500s, drops, garbage and latency spikes — an unreliable but
+/// live origin.
+FaultProfile FlakyProfile(uint64_t seed = 0x5eed5eedULL);
+/// A healthy origin except for one hard outage window.
+FaultProfile OutageProfile(int64_t start_micros, int64_t end_micros);
+
+/// Counters of what was actually injected (for assertions and reports).
+struct FaultStats {
+  uint64_t requests = 0;
+  uint64_t outage_drops = 0;
+  uint64_t injected_drops = 0;
+  uint64_t injected_errors = 0;
+  uint64_t injected_garbage = 0;
+  uint64_t injected_truncations = 0;
+  uint64_t injected_spikes = 0;
+  uint64_t injected_trickles = 0;
+
+  uint64_t total_faults() const {
+    return outage_drops + injected_drops + injected_errors +
+           injected_garbage + injected_truncations;
+  }
+};
+
+/// Composable fault layer over any HttpHandler (typically the origin web
+/// app, placed inside the WAN SimulatedChannel so retries pay transfer
+/// costs on every attempt).
+class FaultInjector final : public HttpHandler {
+ public:
+  /// `inner` and `clock` must outlive the injector.
+  FaultInjector(HttpHandler* inner, FaultProfile profile,
+                util::SimulatedClock* clock);
+
+  HttpResponse Handle(const HttpRequest& request) override;
+
+  const FaultStats& stats() const { return stats_; }
+  const FaultProfile& profile() const { return profile_; }
+
+  /// The transport-error response a dropped connection produces.
+  static HttpResponse MakeDrop();
+  /// The transport-error response a client-side timeout produces.
+  static HttpResponse MakeTimeout();
+
+ private:
+  HttpHandler* inner_;
+  FaultProfile profile_;
+  util::SimulatedClock* clock_;
+  util::Random rng_;
+  FaultStats stats_;
+};
+
+}  // namespace fnproxy::net
+
+#endif  // FNPROXY_NET_FAULT_H_

@@ -42,13 +42,21 @@ struct HttpRequest {
 };
 
 struct HttpResponse {
+  /// Status 0 is reserved for transport-level failures (connection drop or
+  /// client-side timeout) that never produced an HTTP status line; see
+  /// net/fault.h and SimulatedChannel's retry handling.
   int status_code = 200;
   std::string content_type = "text/xml";
+  /// Extra response headers (e.g. Retry-After on 503s). Content-Type and
+  /// Content-Length are carried by the dedicated fields.
+  std::map<std::string, std::string> headers;
   std::string body;
 
   static HttpResponse MakeError(int code, std::string message);
 
   bool ok() const { return status_code >= 200 && status_code < 300; }
+  /// True for transport-level failures (no HTTP response was received).
+  bool transport_error() const { return status_code == 0; }
   size_t ByteSize() const { return body.size() + 128; }
 };
 

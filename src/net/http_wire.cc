@@ -25,6 +25,10 @@ const char* ReasonPhrase(int code) {
       return "Internal Server Error";
     case 502:
       return "Bad Gateway";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
     default:
       return "Unknown";
   }
@@ -108,6 +112,9 @@ std::string SerializeResponse(const HttpResponse& response) {
                     ReasonPhrase(response.status_code) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key + ": " + value + "\r\n";
+  }
   out += "Connection: close\r\n";
   out += "\r\n";
   out += response.body;
@@ -127,6 +134,13 @@ StatusOr<HttpResponse> ParseWireResponse(std::string_view text) {
   auto content_type = block.headers.find("content-type");
   if (content_type != block.headers.end()) {
     response.content_type = content_type->second;
+  }
+  for (const auto& [key, value] : block.headers) {
+    if (key == "content-type" || key == "content-length" ||
+        key == "connection") {
+      continue;
+    }
+    response.headers[key] = value;
   }
   size_t length = ContentLength(block);
   if (text.size() < block.body_offset + length) {

@@ -1,6 +1,9 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "net/fault.h"
 
 namespace fnproxy::net {
 
@@ -23,8 +26,19 @@ LinkConfig WanLink() {
   return LinkConfig{150.0, 6.0};
 }
 
-HttpResponse SimulatedChannel::RoundTrip(const HttpRequest& request) {
+bool RetryPolicy::Retryable(const HttpResponse& response) {
+  return response.transport_error() || response.status_code >= 500;
+}
+
+void SimulatedChannel::set_retry_policy(const RetryPolicy& policy) {
+  retry_policy_ = policy;
+  jitter_rng_ = util::Random(policy.jitter_seed);
+}
+
+HttpResponse SimulatedChannel::Attempt(const HttpRequest& request) {
   ++total_requests_;
+  ++retry_stats_.attempts;
+  int64_t start = clock_->NowMicros();
   size_t request_bytes = request.ByteSize();
   total_bytes_sent_ += request_bytes;
   clock_->Advance(link_.TransferMicros(request_bytes));
@@ -32,6 +46,53 @@ HttpResponse SimulatedChannel::RoundTrip(const HttpRequest& request) {
   size_t response_bytes = response.ByteSize();
   total_bytes_received_ += response_bytes;
   clock_->Advance(link_.TransferMicros(response_bytes));
+
+  int64_t timeout = retry_policy_.per_attempt_timeout_micros;
+  if (timeout > 0) {
+    int64_t elapsed = clock_->NowMicros() - start;
+    if (elapsed > timeout) {
+      // The client stopped waiting at the timeout boundary; the simulation
+      // rewinds the excess so the attempt is charged exactly the timeout.
+      clock_->Rewind(elapsed - timeout);
+      ++retry_stats_.timeouts;
+      return FaultInjector::MakeTimeout();
+    }
+  }
+  return response;
+}
+
+int64_t SimulatedChannel::NextBackoffMicros(int64_t prev_backoff) {
+  int64_t base = std::max<int64_t>(1, retry_policy_.base_backoff_micros);
+  int64_t cap = std::max<int64_t>(base, retry_policy_.max_backoff_micros);
+  // Decorrelated jitter: uniform in [base, prev * 3], clamped to the cap.
+  int64_t hi = std::max(base, prev_backoff * 3);
+  uint64_t span = static_cast<uint64_t>(hi - base) + 1;
+  int64_t draw = base + static_cast<int64_t>(jitter_rng_.NextUint64(span));
+  return std::min(draw, cap);
+}
+
+HttpResponse SimulatedChannel::RoundTrip(const HttpRequest& request) {
+  const int max_attempts = std::max(1, retry_policy_.max_attempts);
+  const int64_t overall_start = clock_->NowMicros();
+  int64_t prev_backoff = retry_policy_.base_backoff_micros;
+  HttpResponse response;
+  for (int attempt = 1;; ++attempt) {
+    response = Attempt(request);
+    if (!RetryPolicy::Retryable(response)) return response;
+    if (attempt >= max_attempts) break;
+    int64_t backoff = NextBackoffMicros(prev_backoff);
+    if (retry_policy_.overall_deadline_micros > 0 &&
+        (clock_->NowMicros() - overall_start) + backoff >
+            retry_policy_.overall_deadline_micros) {
+      ++retry_stats_.deadline_exhausted;
+      break;
+    }
+    clock_->Advance(backoff);
+    retry_stats_.backoff_micros_total += backoff;
+    ++retry_stats_.retries;
+    prev_backoff = backoff;
+  }
+  ++retry_stats_.failed_round_trips;
   return response;
 }
 

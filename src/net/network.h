@@ -5,6 +5,7 @@
 
 #include "net/http.h"
 #include "util/clock.h"
+#include "util/random.h"
 
 namespace fnproxy::net {
 
@@ -24,30 +25,87 @@ struct LinkConfig {
 LinkConfig LanLink();
 LinkConfig WanLink();
 
+/// Retry schedule for a channel: exponential backoff with decorrelated
+/// jitter (sleep_n = min(cap, uniform[base, 3 * sleep_{n-1}])), an optional
+/// per-attempt timeout and an overall deadline. All waits are charged to the
+/// shared SimulatedClock, and every attempt pays the link's transfer costs,
+/// so retries are as expensive as they would be on a real network. The
+/// default (max_attempts = 1) disables retrying entirely.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 = no retries.
+  int max_attempts = 1;
+  /// First backoff and the floor of every jittered draw.
+  int64_t base_backoff_micros = 100'000;
+  /// Cap on any single backoff.
+  int64_t max_backoff_micros = 5'000'000;
+  /// Abort an attempt whose round trip exceeds this (0 = no timeout). The
+  /// aborted attempt is charged exactly the timeout on the virtual clock and
+  /// reported as a transport error.
+  int64_t per_attempt_timeout_micros = 0;
+  /// Give up (skipping remaining attempts) once the next backoff would push
+  /// total elapsed time past this (0 = no deadline).
+  int64_t overall_deadline_micros = 0;
+  /// Seed of the jitter stream; a fixed seed gives a reproducible backoff
+  /// sequence.
+  uint64_t jitter_seed = 1;
+
+  /// True for responses worth retrying: transport errors (drops, timeouts)
+  /// and 5xx server errors. Client errors (4xx) are not retried.
+  static bool Retryable(const HttpResponse& response);
+};
+
+/// Cumulative retry behavior of one channel (resettable via snapshots in
+/// callers that share a channel).
+struct ChannelRetryStats {
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t timeouts = 0;
+  uint64_t deadline_exhausted = 0;
+  uint64_t failed_round_trips = 0;
+  int64_t backoff_micros_total = 0;
+};
+
 /// A request/response channel over a simulated link. A round trip advances
 /// the shared virtual clock by the request transfer, whatever time the
-/// handler itself charges, and the response transfer. Cumulative transfer
-/// statistics feed the bandwidth-consumption results.
+/// handler itself charges, and the response transfer; with a RetryPolicy
+/// attached, failed attempts are retried with jittered backoff, each attempt
+/// paying full transfer costs. Cumulative transfer statistics feed the
+/// bandwidth-consumption results.
 class SimulatedChannel {
  public:
   /// `handler` and `clock` must outlive the channel.
   SimulatedChannel(HttpHandler* handler, LinkConfig link,
                    util::SimulatedClock* clock)
-      : handler_(handler), link_(link), clock_(clock) {}
+      : handler_(handler), link_(link), clock_(clock), jitter_rng_(1) {}
+
+  /// Installs (or replaces) the retry policy and reseeds the jitter stream.
+  void set_retry_policy(const RetryPolicy& policy);
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
 
   HttpResponse RoundTrip(const HttpRequest& request);
 
+  /// Wire requests actually sent (each retry attempt counts).
   uint64_t total_requests() const { return total_requests_; }
   uint64_t total_bytes_sent() const { return total_bytes_sent_; }
   uint64_t total_bytes_received() const { return total_bytes_received_; }
+  const ChannelRetryStats& retry_stats() const { return retry_stats_; }
 
  private:
+  /// One attempt: request transfer, handler, response transfer. Applies the
+  /// per-attempt timeout clamp.
+  HttpResponse Attempt(const HttpRequest& request);
+  /// Next decorrelated-jitter backoff given the previous one.
+  int64_t NextBackoffMicros(int64_t prev_backoff);
+
   HttpHandler* handler_;
   LinkConfig link_;
   util::SimulatedClock* clock_;
+  RetryPolicy retry_policy_;
+  util::Random jitter_rng_;
   uint64_t total_requests_ = 0;
   uint64_t total_bytes_sent_ = 0;
   uint64_t total_bytes_received_ = 0;
+  ChannelRetryStats retry_stats_;
 };
 
 }  // namespace fnproxy::net

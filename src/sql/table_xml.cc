@@ -1,5 +1,7 @@
 #include "sql/table_xml.h"
 
+#include <cstdio>
+
 #include "util/string_util.h"
 #include "xml/xml.h"
 
@@ -9,8 +11,22 @@ using util::Status;
 using util::StatusOr;
 
 std::string TableToXml(const Table& table) {
-  std::string out = "<Result rows=\"" + std::to_string(table.num_rows()) +
-                    "\">\n  <Schema>\n";
+  return TableToXml(table, ResultXmlAttrs{});
+}
+
+std::string TableToXml(const Table& table, const ResultXmlAttrs& attrs) {
+  std::string out = "<Result rows=\"" + std::to_string(table.num_rows()) + "\"";
+  if (attrs.partial) {
+    char coverage[32];
+    std::snprintf(coverage, sizeof(coverage), "%.4f", attrs.coverage);
+    out += " partial=\"true\" coverage=\"";
+    out += coverage;
+    out += "\"";
+  }
+  if (!attrs.degraded_reason.empty()) {
+    out += " degraded=\"" + xml::EscapeXml(attrs.degraded_reason) + "\"";
+  }
+  out += ">\n  <Schema>\n";
   for (const Column& column : table.schema().columns()) {
     out += "    <Column name=\"" + xml::EscapeXml(column.name) + "\" type=\"" +
            ValueTypeName(column.type) + "\"/>\n";
@@ -65,6 +81,24 @@ StatusOr<Value> ParseTypedValue(ValueType type, const std::string& text) {
 }
 
 }  // namespace
+
+StatusOr<ResultXmlAttrs> ResultAttrsFromXml(std::string_view xml_text) {
+  FNPROXY_ASSIGN_OR_RETURN(auto root, xml::ParseXml(xml_text));
+  if (root->name() != "Result") {
+    return Status::ParseError("expected <Result> root element");
+  }
+  ResultXmlAttrs attrs;
+  if (const std::string* partial = root->FindAttribute("partial")) {
+    attrs.partial = *partial == "true" || *partial == "1";
+  }
+  if (const std::string* coverage = root->FindAttribute("coverage")) {
+    FNPROXY_ASSIGN_OR_RETURN(attrs.coverage, util::ParseDouble(*coverage));
+  }
+  if (const std::string* reason = root->FindAttribute("degraded")) {
+    attrs.degraded_reason = *reason;
+  }
+  return attrs;
+}
 
 StatusOr<Table> TableFromXml(std::string_view xml_text) {
   FNPROXY_ASSIGN_OR_RETURN(auto root, xml::ParseXml(xml_text));

@@ -25,6 +25,27 @@ namespace fnproxy::sql {
 /// NULL values are encoded as <V null="1"/>.
 std::string TableToXml(const Table& table);
 
+/// Optional <Result> attributes a degraded proxy stamps on answers it could
+/// only assemble partially from its cache while the origin was unreachable:
+///   <Result rows="N" partial="true" coverage="0.4231" degraded="outage">
+/// `coverage` is the fraction of the query's region volume the served
+/// tuples cover (see geometry::EstimateCoverageFraction). Parsers that do
+/// not understand the attributes ignore them.
+struct ResultXmlAttrs {
+  bool partial = false;
+  double coverage = 1.0;
+  /// Short machine-readable reason (e.g. "origin-unreachable"); empty =
+  /// attribute omitted.
+  std::string degraded_reason;
+};
+
+/// TableToXml with failure-semantics attributes on the root element.
+std::string TableToXml(const Table& table, const ResultXmlAttrs& attrs);
+
+/// Reads the failure-semantics attributes back off a result document's root
+/// element (defaults when absent). Error if the document is not a <Result>.
+util::StatusOr<ResultXmlAttrs> ResultAttrsFromXml(std::string_view xml_text);
+
 /// Parses a document produced by TableToXml.
 util::StatusOr<Table> TableFromXml(std::string_view xml_text);
 

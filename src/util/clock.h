@@ -21,6 +21,15 @@ class SimulatedClock {
     if (micros > 0) now_micros_ += micros;
   }
 
+  /// Moves the clock backwards by `micros` (>= 0). Used to model a client
+  /// aborting a wait at a timeout boundary: in this synchronous simulation
+  /// the callee's work has already advanced the clock, but the aborting
+  /// client observes only the time up to its timeout, so the channel rewinds
+  /// the excess before reporting the attempt as timed out.
+  void Rewind(int64_t micros) {
+    if (micros > 0) now_micros_ -= micros;
+  }
+
   /// Resets to time zero.
   void Reset() { now_micros_ = 0; }
 

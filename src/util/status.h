@@ -20,6 +20,9 @@ enum class StatusCode {
   kUnsupported,
   kInternal,
   kResourceExhausted,
+  /// A dependency (e.g. the origin site) is temporarily unreachable; the
+  /// operation may succeed if retried later.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -59,6 +62,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,145 @@
+#include "workload/availability.h"
+
+#include "sql/table_xml.h"
+#include "util/logging.h"
+
+namespace fnproxy::workload {
+
+namespace {
+
+void Check(const util::Status& status, const char* what) {
+  if (!status.ok()) {
+    FNPROXY_LOG(kError) << what << ": " << status.ToString();
+    std::abort();
+  }
+}
+
+}  // namespace
+
+const char* QueryOutcomeName(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kOk:
+      return "ok";
+    case QueryOutcome::kPartial:
+      return "partial";
+    case QueryOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+AvailabilityResult AvailabilityExperiment::RunProfile(
+    const Trace& trace, const AvailabilityOptions& options,
+    const net::FaultProfile& faults) {
+  util::SimulatedClock clock;
+  server::OriginWebApp app(sky_->database(), &clock,
+                           sky_->options().server_costs);
+  Check(app.RegisterForm("/radial", kRadialTemplateSql), "register /radial");
+  Check(app.RegisterForm("/rect", kRectTemplateSql), "register /rect");
+  net::FaultInjector injector(&app, faults, &clock);
+  net::SimulatedChannel wan(&injector, sky_->options().wan, &clock);
+  wan.set_retry_policy(options.retry);
+  core::FunctionProxy proxy(options.proxy, &sky_->templates(), &wan, &clock);
+  net::SimulatedChannel lan(&proxy, sky_->options().lan, &clock);
+
+  AvailabilityResult result;
+  result.points.reserve(trace.queries.size());
+  for (const TraceQuery& query : trace.queries) {
+    if (options.think_time_micros > 0) clock.Advance(options.think_time_micros);
+    AvailabilityPoint point;
+    point.sent_at_micros = clock.NowMicros();
+    net::HttpResponse response = lan.RoundTrip(MakeRequest(trace, query));
+    point.response_micros = clock.NowMicros() - point.sent_at_micros;
+    if (!response.ok()) {
+      point.outcome = QueryOutcome::kFailed;
+      point.coverage = 0.0;
+    } else {
+      auto attrs = sql::ResultAttrsFromXml(response.body);
+      if (!attrs.ok()) {
+        // A 200 whose body is not a parseable <Result> document — garbage
+        // or truncation that tunneled through to the browser.
+        point.outcome = QueryOutcome::kFailed;
+        point.coverage = 0.0;
+      } else if (attrs->partial) {
+        point.outcome = QueryOutcome::kPartial;
+        point.coverage = attrs->coverage;
+      } else {
+        point.outcome = QueryOutcome::kOk;
+        point.coverage = 1.0;
+      }
+    }
+    result.points.push_back(point);
+  }
+
+  for (const AvailabilityPoint& point : result.points) {
+    switch (point.outcome) {
+      case QueryOutcome::kOk:
+        ++result.ok;
+        break;
+      case QueryOutcome::kPartial:
+        ++result.partial;
+        break;
+      case QueryOutcome::kFailed:
+        ++result.failed;
+        break;
+    }
+    result.coverage_weighted_availability += point.coverage;
+  }
+  if (!result.points.empty()) {
+    double total = static_cast<double>(result.points.size());
+    result.availability =
+        static_cast<double>(result.ok + result.partial) / total;
+    result.coverage_weighted_availability /= total;
+  }
+
+  result.proxy_stats = proxy.stats();
+  result.fault_stats = injector.stats();
+  result.wan_retry_stats = wan.retry_stats();
+  result.wan_requests = wan.total_requests();
+  result.wan_bytes_received = wan.total_bytes_received();
+  result.cache_entries_final = proxy.cache().num_entries();
+  result.cache_bytes_final = proxy.cache().bytes_used();
+  result.virtual_duration_micros = clock.NowMicros();
+  result.outages = faults.outages;
+  return result;
+}
+
+int64_t AvailabilityExperiment::HealthyDurationMicros(
+    const AvailabilityOptions& options) {
+  AvailabilityOptions healthy = options;
+  healthy.faults = net::HealthyProfile();
+  healthy.outage_fractions.clear();
+  return RunProfile(sky_->trace(), healthy, healthy.faults)
+      .virtual_duration_micros;
+}
+
+AvailabilityResult AvailabilityExperiment::Run(
+    const AvailabilityOptions& options) {
+  return RunTrace(sky_->trace(), options);
+}
+
+AvailabilityResult AvailabilityExperiment::RunTrace(
+    const Trace& trace, const AvailabilityOptions& options) {
+  net::FaultProfile faults = options.faults;
+  int64_t healthy_micros = 0;
+  if (!options.outage_fractions.empty()) {
+    AvailabilityOptions healthy = options;
+    healthy.faults = net::HealthyProfile();
+    healthy.outage_fractions.clear();
+    healthy_micros = RunProfile(trace, healthy, healthy.faults)
+                         .virtual_duration_micros;
+    for (const auto& [start_frac, length_frac] : options.outage_fractions) {
+      net::OutageWindow window;
+      window.start_micros =
+          static_cast<int64_t>(start_frac * static_cast<double>(healthy_micros));
+      window.end_micros = static_cast<int64_t>(
+          (start_frac + length_frac) * static_cast<double>(healthy_micros));
+      faults.outages.push_back(window);
+    }
+  }
+  AvailabilityResult result = RunProfile(trace, options, faults);
+  result.healthy_duration_micros = healthy_micros;
+  return result;
+}
+
+}  // namespace fnproxy::workload

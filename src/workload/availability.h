@@ -1,0 +1,127 @@
+#ifndef FNPROXY_WORKLOAD_AVAILABILITY_H_
+#define FNPROXY_WORKLOAD_AVAILABILITY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/proxy.h"
+#include "net/fault.h"
+#include "net/network.h"
+#include "workload/experiment.h"
+
+namespace fnproxy::workload {
+
+/// How one trace query ended at the browser during a fault run.
+enum class QueryOutcome {
+  /// A complete answer (from the cache, the origin, or both).
+  kOk,
+  /// A degraded partial answer: HTTP 200 with partial="true" and a coverage
+  /// fraction on the result's root element.
+  kPartial,
+  /// An error reached the browser (503 origin-unreachable, 502, 500, ...).
+  kFailed,
+};
+
+const char* QueryOutcomeName(QueryOutcome outcome);
+
+/// One trace query's fate, placed on the virtual timeline so runs can be
+/// aligned with the outage windows that caused the damage.
+struct AvailabilityPoint {
+  QueryOutcome outcome = QueryOutcome::kOk;
+  /// Region-volume fraction the answer covers: 1 for full answers, the
+  /// served fraction for partial ones, 0 for failures.
+  double coverage = 0.0;
+  int64_t sent_at_micros = 0;
+  int64_t response_micros = 0;
+};
+
+struct AvailabilityOptions {
+  core::ProxyConfig proxy;
+  /// Faults injected between the WAN channel and the origin. Outage windows
+  /// here use absolute virtual time; see `outage_fractions` for the usual
+  /// duration-relative way to place them.
+  net::FaultProfile faults;
+  /// Retry schedule installed on the WAN (proxy→origin) channel.
+  net::RetryPolicy retry;
+  /// Virtual think time charged before each query. The RBE replays
+  /// closed-loop (next query right after the previous response), so when the
+  /// proxy fails fast — breaker open — the clock barely moves and a
+  /// wall-clock outage window would swallow the rest of the trace. Think
+  /// time anchors query arrivals to the timeline; make it dominate the
+  /// per-query cost and an outage covering 30% of the timeline hits ~30% of
+  /// the queries in every mode.
+  int64_t think_time_micros = 0;
+  /// Outage windows as (start, length) fractions of the run's virtual
+  /// duration, e.g. {0.3, 0.3} = an outage covering the middle third. Since
+  /// each proxy mode finishes the trace at a different virtual time, the
+  /// experiment first replays the trace fault-free with the same proxy
+  /// config to measure that duration, then converts the fractions into
+  /// absolute windows — so "30% outage" hits every mode for the same share
+  /// of its own timeline.
+  std::vector<std::pair<double, double>> outage_fractions;
+};
+
+struct AvailabilityResult {
+  std::vector<AvailabilityPoint> points;
+  uint64_t ok = 0;
+  uint64_t partial = 0;
+  uint64_t failed = 0;
+
+  /// Fraction of queries answered at all (fully or partially).
+  double availability = 0.0;
+  /// Availability weighted by coverage: a half-covered partial answer counts
+  /// half. The honest number a degraded cache-only proxy should be judged by.
+  double coverage_weighted_availability = 0.0;
+
+  core::ProxyStats proxy_stats;
+  net::FaultStats fault_stats;
+  net::ChannelRetryStats wan_retry_stats;
+  /// Wire requests the WAN channel actually carried (retries included).
+  uint64_t wan_requests = 0;
+  uint64_t wan_bytes_received = 0;
+  size_t cache_entries_final = 0;
+  size_t cache_bytes_final = 0;
+  int64_t virtual_duration_micros = 0;
+  /// Duration of the fault-free calibration run (0 when `outage_fractions`
+  /// is empty and no calibration was needed).
+  int64_t healthy_duration_micros = 0;
+  /// The absolute outage windows the run actually used.
+  std::vector<net::OutageWindow> outages;
+};
+
+/// Replays a SkyExperiment's trace through the full fault pipeline
+///   RBE → LAN → proxy → WAN (retry policy) → FaultInjector → origin
+/// and classifies every response at the browser. The availability
+/// experiment behind the robustness claims: under an outage an active
+/// semantic proxy keeps answering subsumed queries and parts of overlapping
+/// ones, while a tunneling or passive proxy fails them.
+class AvailabilityExperiment {
+ public:
+  /// `sky` must outlive the experiment; its catalog, templates and trace are
+  /// shared across runs.
+  explicit AvailabilityExperiment(SkyExperiment* sky) : sky_(sky) {}
+
+  AvailabilityResult Run(const AvailabilityOptions& options);
+
+  /// Run() over an arbitrary trace instead of the SkyExperiment's built-in
+  /// one (e.g. a trace file replayed by the CLI tool).
+  AvailabilityResult RunTrace(const Trace& trace,
+                              const AvailabilityOptions& options);
+
+  /// Virtual duration of a fault-free replay with the same proxy config,
+  /// retry policy and think time (what outage fractions are measured
+  /// against). Faults and outage windows in `options` are ignored.
+  int64_t HealthyDurationMicros(const AvailabilityOptions& options);
+
+ private:
+  AvailabilityResult RunProfile(const Trace& trace,
+                                const AvailabilityOptions& options,
+                                const net::FaultProfile& faults);
+
+  SkyExperiment* sky_;
+};
+
+}  // namespace fnproxy::workload
+
+#endif  // FNPROXY_WORKLOAD_AVAILABILITY_H_

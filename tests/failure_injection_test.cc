@@ -9,6 +9,7 @@
 
 #include "catalog/sky_catalog.h"
 #include "core/proxy.h"
+#include "net/fault.h"
 #include "net/network.h"
 #include "server/sky_functions.h"
 #include "server/web_app.h"
@@ -38,6 +39,16 @@ class FlakyOrigin final : public net::HttpHandler {
         response.body = "this is not XML at all <<<";
         return response;
       }
+      case Mode::kConnectionDrop:
+        return net::FaultInjector::MakeDrop();
+      case Mode::kTimeout:
+        return net::FaultInjector::MakeTimeout();
+      case Mode::kOutage:
+        // A scripted hard outage: drops until the window closes.
+        if (clock_ != nullptr && clock_->NowMicros() >= outage_end_micros_) {
+          return inner_->Handle(request);
+        }
+        return net::FaultInjector::MakeDrop();
       case Mode::kSqlOnlyFails:
         if (request.path == "/sql") {
           return HttpResponse::MakeError(500, "sql facility down");
@@ -47,13 +58,30 @@ class FlakyOrigin final : public net::HttpHandler {
     return HttpResponse::MakeError(500, "unreachable");
   }
 
-  enum class Mode { kHealthy, kServerError, kGarbageBody, kSqlOnlyFails };
+  enum class Mode {
+    kHealthy,
+    kServerError,
+    kGarbageBody,
+    kConnectionDrop,
+    kTimeout,
+    kOutage,
+    kSqlOnlyFails,
+  };
+  /// Enters kOutage mode: every request before `end_micros` on `clock` is
+  /// dropped, later ones are healthy again.
+  void StartOutage(util::SimulatedClock* clock, int64_t end_micros) {
+    mode_ = Mode::kOutage;
+    clock_ = clock;
+    outage_end_micros_ = end_micros;
+  }
   void set_mode(Mode mode) { mode_ = mode; }
   uint64_t requests() const { return requests_; }
 
  private:
   net::HttpHandler* inner_;
   Mode mode_ = Mode::kHealthy;
+  util::SimulatedClock* clock_ = nullptr;
+  int64_t outage_end_micros_ = 0;
   uint64_t requests_ = 0;
 };
 
@@ -189,6 +217,155 @@ TEST_F(FailureInjectionTest, SqlOutageFallsBackToOriginalQuery) {
   ASSERT_TRUE(got.ok());
   ASSERT_TRUE(want.ok());
   EXPECT_EQ(got->num_rows(), want->num_rows());
+}
+
+TEST_F(FailureInjectionTest, ConnectionDropSurfacedAndNotCached) {
+  flaky_->set_mode(FlakyOrigin::Mode::kConnectionDrop);
+  HttpResponse response = proxy_->Handle(Radial(185, 33, 20));
+  EXPECT_FALSE(response.ok());
+  // Degraded mode turns an unreachable origin with an empty cache into a
+  // 503 with retry guidance, not a bare gateway error.
+  EXPECT_EQ(response.status_code, 503);
+  EXPECT_EQ(response.headers.count("Retry-After"), 1u);
+  EXPECT_EQ(proxy_->cache().num_entries(), 0u);
+  EXPECT_EQ(proxy_->stats().origin_failures, 1u);
+
+  flaky_->set_mode(FlakyOrigin::Mode::kHealthy);
+  HttpResponse healthy = proxy_->Handle(Radial(185, 33, 20));
+  EXPECT_TRUE(healthy.ok());
+  EXPECT_EQ(proxy_->cache().num_entries(), 1u);
+}
+
+TEST_F(FailureInjectionTest, TimeoutSurfacedAndNotCached) {
+  flaky_->set_mode(FlakyOrigin::Mode::kTimeout);
+  HttpResponse response = proxy_->Handle(Radial(185, 33, 20));
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(proxy_->cache().num_entries(), 0u);
+  const auto& record = proxy_->stats().records.back();
+  EXPECT_TRUE(record.failed);
+  EXPECT_DOUBLE_EQ(record.CacheEfficiency(), 0.0);
+}
+
+TEST_F(FailureInjectionTest, PassiveModeDoesNotCacheGarbage) {
+  core::ProxyConfig config;
+  config.mode = core::CachingMode::kPassive;
+  core::FunctionProxy passive(config, templates_, channel_.get(), clock_.get());
+  flaky_->set_mode(FlakyOrigin::Mode::kGarbageBody);
+  // PC is transparent: the 200 tunnels through to the browser...
+  HttpResponse garbage = passive.Handle(Radial(185, 33, 20));
+  EXPECT_TRUE(garbage.ok());
+  EXPECT_FALSE(sql::TableFromXml(garbage.body).ok());
+
+  // ...but the unparseable body must not be admitted to the passive cache:
+  // the same URL goes back to the (now healthy) origin instead of replaying
+  // the garbage.
+  flaky_->set_mode(FlakyOrigin::Mode::kHealthy);
+  uint64_t before = channel_->total_requests();
+  HttpResponse healthy = passive.Handle(Radial(185, 33, 20));
+  EXPECT_TRUE(healthy.ok());
+  EXPECT_EQ(channel_->total_requests(), before + 1);
+  EXPECT_TRUE(sql::TableFromXml(healthy.body).ok());
+}
+
+TEST_F(FailureInjectionTest, RetriesExhaustedSurfaceAsUnavailable) {
+  net::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_micros = 100'000;
+  policy.jitter_seed = 5;
+  channel_->set_retry_policy(policy);
+  flaky_->set_mode(FlakyOrigin::Mode::kConnectionDrop);
+
+  HttpResponse response = proxy_->Handle(Radial(185, 33, 20));
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(channel_->retry_stats().retries, 2u);
+  EXPECT_EQ(proxy_->stats().origin_retries, 2u);
+  EXPECT_EQ(proxy_->stats().origin_failures, 1u);
+  EXPECT_EQ(proxy_->cache().num_entries(), 0u);
+}
+
+// The acceptance scenario: during a scripted outage the full semantic proxy
+// keeps serving subsumed queries from the cache, answers overlapping queries
+// partially with an honest coverage fraction, refuses disjoint queries with
+// 503 + Retry-After — and the tunneling/passive proxies fail all of them.
+TEST_F(FailureInjectionTest, DegradedModeServesFromCacheDuringOutage) {
+  core::ProxyConfig config;
+  config.mode = core::CachingMode::kActiveFull;
+  config.breaker.enabled = true;
+  config.breaker.window_size = 4;
+  config.breaker.min_samples = 4;
+  config.breaker.failure_threshold = 0.5;
+  config.breaker.open_cooldown_micros = 60'000'000;
+  config.breaker.half_open_successes = 1;
+  core::FunctionProxy active(config, templates_, channel_.get(), clock_.get());
+
+  // Warm the cache, then the origin goes dark.
+  ASSERT_TRUE(active.Handle(Radial(185, 33, 20)).ok());
+  ASSERT_EQ(active.cache().num_entries(), 1u);
+  flaky_->StartOutage(clock_.get(), clock_->NowMicros() + 300'000'000);
+
+  // Failing misses trip the breaker: the warm success plus three failures
+  // fill the 4-wide window at 75% >= 50%, so the fourth miss is already
+  // rejected without a round trip.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(active.Handle(Radial(179.0 + 0.5 * i, 29, 5)).ok());
+  }
+  ASSERT_EQ(active.breaker().state(), core::BreakerState::kOpen);
+  EXPECT_EQ(active.stats().origin_failures, 3u);
+  EXPECT_GE(active.stats().breaker_open_rejections, 1u);
+
+  // Subsumed query: answered fully from the cache, no origin round trip.
+  uint64_t wire_before = channel_->total_requests();
+  HttpResponse subsumed = active.Handle(Radial(185, 33, 10));
+  EXPECT_TRUE(subsumed.ok());
+  EXPECT_EQ(channel_->total_requests(), wire_before);
+  auto subsumed_attrs = sql::ResultAttrsFromXml(subsumed.body);
+  ASSERT_TRUE(subsumed_attrs.ok());
+  EXPECT_FALSE(subsumed_attrs->partial);
+  EXPECT_GE(active.stats().degraded_full, 1u);
+
+  // Overlapping query: the cached portion is served, marked partial with a
+  // coverage fraction strictly between 0 and 1.
+  HttpResponse overlap = active.Handle(Radial(185.4, 33, 20));
+  EXPECT_TRUE(overlap.ok()) << overlap.body;
+  auto overlap_attrs = sql::ResultAttrsFromXml(overlap.body);
+  ASSERT_TRUE(overlap_attrs.ok());
+  EXPECT_TRUE(overlap_attrs->partial);
+  EXPECT_GT(overlap_attrs->coverage, 0.0);
+  EXPECT_LT(overlap_attrs->coverage, 1.0);
+  EXPECT_EQ(overlap_attrs->degraded_reason, "origin-unreachable");
+  EXPECT_EQ(active.stats().degraded_partial, 1u);
+  const auto& partial_record = active.stats().records.back();
+  EXPECT_TRUE(partial_record.degraded);
+  // The XML attribute is printed with 4 decimals.
+  EXPECT_NEAR(partial_record.coverage, overlap_attrs->coverage, 1e-4);
+  EXPECT_LE(partial_record.CacheEfficiency(), overlap_attrs->coverage);
+
+  // Disjoint query: the cache contributes nothing — 503 with Retry-After.
+  HttpResponse refused = active.Handle(Radial(190.5, 38, 10));
+  EXPECT_EQ(refused.status_code, 503);
+  ASSERT_EQ(refused.headers.count("Retry-After"), 1u);
+  EXPECT_GT(std::stoll(refused.headers.at("Retry-After")), 0);
+
+  // Nothing faulty was admitted: still just the warm entry.
+  EXPECT_EQ(active.cache().num_entries(), 1u);
+
+  // The tunneling and passive proxies fail the very queries the active
+  // proxy still answers.
+  core::FunctionProxy nc(core::ProxyConfig{core::CachingMode::kNoCache},
+                         templates_, channel_.get(), clock_.get());
+  core::FunctionProxy pc(core::ProxyConfig{core::CachingMode::kPassive},
+                         templates_, channel_.get(), clock_.get());
+  EXPECT_FALSE(nc.Handle(Radial(185, 33, 10)).ok());
+  EXPECT_FALSE(pc.Handle(Radial(185, 33, 10)).ok());
+
+  // Outage over, breaker cooldown elapsed: the next request probes
+  // (half-open), succeeds, and full service resumes.
+  clock_->Advance(400'000'000);
+  HttpResponse recovered = active.Handle(Radial(190.5, 38, 10));
+  EXPECT_TRUE(recovered.ok());
+  EXPECT_EQ(active.breaker().state(), core::BreakerState::kClosed);
+  EXPECT_EQ(active.cache().num_entries(), 2u);
+  EXPECT_GE(active.stats().breaker_transitions, 3u);
 }
 
 TEST_F(FailureInjectionTest, CacheSurvivesFailureBurst) {

@@ -1,0 +1,354 @@
+// Deterministic fault-tolerance machinery: the retry schedule's exact
+// virtual-time backoff sequence, the per-attempt timeout clamp, the overall
+// deadline cutoff, the circuit breaker's state transitions on the virtual
+// clock, and the fault injector's seed-reproducible schedule.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/circuit_breaker.h"
+#include "net/fault.h"
+#include "net/http.h"
+#include "net/network.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace fnproxy {
+namespace {
+
+using net::HttpRequest;
+using net::HttpResponse;
+
+/// Instant link: zero latency, effectively infinite bandwidth, so the only
+/// time charged is what the handler and the retry machinery charge.
+net::LinkConfig InstantLink() { return net::LinkConfig{0.0, 1e9}; }
+
+/// Always fails with a 500; optionally charges fixed handler time.
+class FailingHandler final : public net::HttpHandler {
+ public:
+  explicit FailingHandler(util::SimulatedClock* clock,
+                          int64_t handler_micros = 0)
+      : clock_(clock), handler_micros_(handler_micros) {}
+
+  HttpResponse Handle(const HttpRequest&) override {
+    ++calls_;
+    if (handler_micros_ > 0) clock_->Advance(handler_micros_);
+    return HttpResponse::MakeError(500, "down");
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  util::SimulatedClock* clock_;
+  int64_t handler_micros_;
+  int calls_ = 0;
+};
+
+/// Always succeeds; optionally charges fixed handler time.
+class HealthyHandler final : public net::HttpHandler {
+ public:
+  explicit HealthyHandler(util::SimulatedClock* clock,
+                          int64_t handler_micros = 0)
+      : clock_(clock), handler_micros_(handler_micros) {}
+
+  HttpResponse Handle(const HttpRequest&) override {
+    ++calls_;
+    if (handler_micros_ > 0) clock_->Advance(handler_micros_);
+    HttpResponse response;
+    response.body = "<Result rows=\"0\"><Schema/></Result>";
+    return response;
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  util::SimulatedClock* clock_;
+  int64_t handler_micros_;
+  int calls_ = 0;
+};
+
+/// Replicates SimulatedChannel's decorrelated-jitter draw so the test can
+/// predict the exact backoff sequence for a given seed.
+int64_t ExpectedBackoff(util::Random& rng, const net::RetryPolicy& policy,
+                        int64_t prev) {
+  int64_t base = std::max<int64_t>(1, policy.base_backoff_micros);
+  int64_t cap = std::max<int64_t>(base, policy.max_backoff_micros);
+  int64_t hi = std::max(base, prev * 3);
+  uint64_t span = static_cast<uint64_t>(hi - base) + 1;
+  int64_t draw = base + static_cast<int64_t>(rng.NextUint64(span));
+  return std::min(draw, cap);
+}
+
+TEST(RetryPolicyTest, RetryableClassification) {
+  EXPECT_TRUE(net::RetryPolicy::Retryable(net::FaultInjector::MakeDrop()));
+  EXPECT_TRUE(net::RetryPolicy::Retryable(net::FaultInjector::MakeTimeout()));
+  EXPECT_TRUE(
+      net::RetryPolicy::Retryable(HttpResponse::MakeError(500, "boom")));
+  EXPECT_TRUE(
+      net::RetryPolicy::Retryable(HttpResponse::MakeError(503, "busy")));
+  EXPECT_FALSE(
+      net::RetryPolicy::Retryable(HttpResponse::MakeError(404, "no")));
+  HttpResponse ok;
+  EXPECT_FALSE(net::RetryPolicy::Retryable(ok));
+}
+
+TEST(RetryPolicyTest, ExactBackoffSequenceOnVirtualClock) {
+  util::SimulatedClock clock;
+  FailingHandler origin(&clock);
+  net::SimulatedChannel channel(&origin, InstantLink(), &clock);
+
+  net::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff_micros = 100'000;
+  policy.max_backoff_micros = 5'000'000;
+  policy.jitter_seed = 7;
+  channel.set_retry_policy(policy);
+
+  HttpResponse response = channel.RoundTrip(HttpRequest{});
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(origin.calls(), 4);
+
+  // Replay the jitter stream: three backoffs, decorrelated from each other.
+  util::Random rng(policy.jitter_seed);
+  int64_t prev = policy.base_backoff_micros;
+  int64_t expected_total = 0;
+  std::vector<int64_t> expected;
+  for (int i = 0; i < 3; ++i) {
+    prev = ExpectedBackoff(rng, policy, prev);
+    expected.push_back(prev);
+    expected_total += prev;
+  }
+  for (int64_t backoff : expected) {
+    EXPECT_GE(backoff, policy.base_backoff_micros);
+    EXPECT_LE(backoff, policy.max_backoff_micros);
+  }
+  // The handler and link charge nothing, so the clock moved by exactly the
+  // backoff sequence.
+  EXPECT_EQ(clock.NowMicros(), expected_total);
+  EXPECT_EQ(channel.retry_stats().attempts, 4u);
+  EXPECT_EQ(channel.retry_stats().retries, 3u);
+  EXPECT_EQ(channel.retry_stats().backoff_micros_total, expected_total);
+  EXPECT_EQ(channel.retry_stats().failed_round_trips, 1u);
+
+  // Same seed, fresh channel: bit-for-bit the same schedule.
+  util::SimulatedClock clock2;
+  FailingHandler origin2(&clock2);
+  net::SimulatedChannel channel2(&origin2, InstantLink(), &clock2);
+  channel2.set_retry_policy(policy);
+  channel2.RoundTrip(HttpRequest{});
+  EXPECT_EQ(clock2.NowMicros(), expected_total);
+}
+
+TEST(RetryPolicyTest, OverallDeadlineCutsRetriesShort) {
+  util::SimulatedClock clock;
+  FailingHandler origin(&clock);
+  net::SimulatedChannel channel(&origin, InstantLink(), &clock);
+
+  // base == cap pins every backoff to exactly 200 ms.
+  net::RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_backoff_micros = 200'000;
+  policy.max_backoff_micros = 200'000;
+  policy.overall_deadline_micros = 500'000;
+  channel.set_retry_policy(policy);
+
+  HttpResponse response = channel.RoundTrip(HttpRequest{});
+  EXPECT_FALSE(response.ok());
+  // Attempts at t=0, 200ms, 400ms; the next backoff would land at 600 ms,
+  // past the 500 ms deadline, so the round trip gives up.
+  EXPECT_EQ(origin.calls(), 3);
+  EXPECT_EQ(clock.NowMicros(), 400'000);
+  EXPECT_EQ(channel.retry_stats().deadline_exhausted, 1u);
+  EXPECT_EQ(channel.retry_stats().retries, 2u);
+}
+
+TEST(RetryPolicyTest, PerAttemptTimeoutClampsChargeAndReportsTransportError) {
+  util::SimulatedClock clock;
+  HealthyHandler origin(&clock, /*handler_micros=*/3'000'000);
+  net::SimulatedChannel channel(&origin, InstantLink(), &clock);
+
+  net::RetryPolicy policy;
+  policy.max_attempts = 1;
+  policy.per_attempt_timeout_micros = 1'000'000;
+  channel.set_retry_policy(policy);
+
+  HttpResponse response = channel.RoundTrip(HttpRequest{});
+  EXPECT_TRUE(response.transport_error());
+  EXPECT_EQ(response.content_type, "x-fnproxy/timeout");
+  // The client stopped waiting at the timeout: exactly 1 s charged, not 3.
+  EXPECT_EQ(clock.NowMicros(), 1'000'000);
+  EXPECT_EQ(channel.retry_stats().timeouts, 1u);
+}
+
+TEST(RetryPolicyTest, SuccessNeedsNoRetries) {
+  util::SimulatedClock clock;
+  HealthyHandler origin(&clock);
+  net::SimulatedChannel channel(&origin, InstantLink(), &clock);
+  net::RetryPolicy policy;
+  policy.max_attempts = 5;
+  channel.set_retry_policy(policy);
+
+  EXPECT_TRUE(channel.RoundTrip(HttpRequest{}).ok());
+  EXPECT_EQ(origin.calls(), 1);
+  EXPECT_EQ(channel.retry_stats().retries, 0u);
+  EXPECT_EQ(clock.NowMicros(), 0);
+}
+
+core::CircuitBreakerConfig TestBreakerConfig() {
+  core::CircuitBreakerConfig config;
+  config.enabled = true;
+  config.window_size = 4;
+  config.min_samples = 4;
+  config.failure_threshold = 0.5;
+  config.open_cooldown_micros = 10'000'000;
+  config.half_open_successes = 2;
+  return config;
+}
+
+TEST(CircuitBreakerTest, FullTransitionCycleWithTimestamps) {
+  util::SimulatedClock clock;
+  core::CircuitBreaker breaker(TestBreakerConfig(), &clock);
+
+  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+
+  // Three failures: under min_samples, still closed.
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+
+  // Fourth failure fills the window at 100% failure rate: open.
+  clock.Advance(1'000'000);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), core::BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.CooldownRemainingMicros(), 10'000'000);
+
+  // Half the cooldown: still open.
+  clock.Advance(5'000'000);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.CooldownRemainingMicros(), 5'000'000);
+
+  // Cooldown elapsed: the next admission check flips to half-open.
+  clock.Advance(5'000'000);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), core::BreakerState::kHalfOpen);
+
+  // The probe fails: trip again, cooldown restarts from now.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), core::BreakerState::kOpen);
+  EXPECT_EQ(breaker.CooldownRemainingMicros(), 10'000'000);
+
+  clock.Advance(10'000'000);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), core::BreakerState::kHalfOpen);
+
+  // Two probe successes close the breaker.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), core::BreakerState::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+
+  // History: open@1s, half-open@11s, open@11s, half-open@21s, closed@21s.
+  const auto& history = breaker.history();
+  ASSERT_EQ(history.size(), 5u);
+  EXPECT_EQ(history[0],
+            std::make_pair<int64_t>(1'000'000, core::BreakerState::kOpen));
+  EXPECT_EQ(history[1], std::make_pair<int64_t>(11'000'000,
+                                                core::BreakerState::kHalfOpen));
+  EXPECT_EQ(history[2],
+            std::make_pair<int64_t>(11'000'000, core::BreakerState::kOpen));
+  EXPECT_EQ(history[3], std::make_pair<int64_t>(21'000'000,
+                                                core::BreakerState::kHalfOpen));
+  EXPECT_EQ(history[4],
+            std::make_pair<int64_t>(21'000'000, core::BreakerState::kClosed));
+  EXPECT_EQ(breaker.transitions(), 5u);
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowThreshold) {
+  util::SimulatedClock clock;
+  core::CircuitBreaker breaker(TestBreakerConfig(), &clock);
+  // Alternating success/failure keeps the rate at 50%... threshold is >=,
+  // so push it just below with one extra success per window.
+  breaker.RecordSuccess();
+  breaker.RecordSuccess();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  EXPECT_DOUBLE_EQ(breaker.FailureRate(), 0.25);
+
+  // Two failures push the 4-wide window to {S, F, F, F}: 75% >= 50%, open.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), core::BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverBlocks) {
+  util::SimulatedClock clock;
+  core::CircuitBreakerConfig config;  // enabled = false
+  core::CircuitBreaker breaker(config, &clock);
+  for (int i = 0; i < 100; ++i) breaker.RecordFailure();
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  EXPECT_EQ(breaker.transitions(), 0u);
+}
+
+TEST(FaultInjectorTest, SeededScheduleIsReproducible) {
+  net::FaultProfile profile = net::FlakyProfile(/*seed=*/99);
+
+  auto run = [&profile]() {
+    util::SimulatedClock clock;
+    HealthyHandler origin(&clock);
+    net::FaultInjector injector(&origin, profile, &clock);
+    std::vector<int> codes;
+    for (int i = 0; i < 200; ++i) {
+      codes.push_back(injector.Handle(HttpRequest{}).status_code);
+    }
+    return std::make_pair(codes, injector.stats());
+  };
+
+  auto [codes_a, stats_a] = run();
+  auto [codes_b, stats_b] = run();
+  EXPECT_EQ(codes_a, codes_b);
+  EXPECT_EQ(stats_a.injected_drops, stats_b.injected_drops);
+  EXPECT_EQ(stats_a.injected_errors, stats_b.injected_errors);
+  EXPECT_EQ(stats_a.injected_garbage, stats_b.injected_garbage);
+  EXPECT_EQ(stats_a.injected_truncations, stats_b.injected_truncations);
+  EXPECT_EQ(stats_a.injected_spikes, stats_b.injected_spikes);
+  EXPECT_EQ(stats_a.injected_trickles, stats_b.injected_trickles);
+  // At these rates 200 requests see some of everything.
+  EXPECT_GT(stats_a.total_faults(), 0u);
+  EXPECT_GT(stats_a.injected_errors, 0u);
+  EXPECT_GT(stats_a.injected_drops, 0u);
+}
+
+TEST(FaultInjectorTest, OutageWindowDropsEveryRequestInside) {
+  util::SimulatedClock clock;
+  HealthyHandler origin(&clock);
+  net::FaultProfile profile =
+      net::OutageProfile(/*start=*/1'000'000, /*end=*/5'000'000);
+  net::FaultInjector injector(&origin, profile, &clock);
+
+  // Before the window: healthy (the handler charges no time, so the clock
+  // is still at 0).
+  EXPECT_TRUE(injector.Handle(HttpRequest{}).ok());
+  ASSERT_EQ(clock.NowMicros(), 0);
+
+  // Inside: dropped after the detection delay.
+  clock.Advance(2'000'000);
+  HttpResponse dropped = injector.Handle(HttpRequest{});
+  EXPECT_TRUE(dropped.transport_error());
+  EXPECT_EQ(dropped.content_type, "x-fnproxy/connection-drop");
+  EXPECT_EQ(clock.NowMicros(), 2'000'000 + profile.drop_detect_micros);
+
+  // After: healthy again, no origin call was made during the outage.
+  clock.Advance(6'000'000 - clock.NowMicros());
+  EXPECT_TRUE(injector.Handle(HttpRequest{}).ok());
+  EXPECT_EQ(origin.calls(), 2);
+  EXPECT_EQ(injector.stats().outage_drops, 1u);
+}
+
+}  // namespace
+}  // namespace fnproxy

@@ -2,30 +2,56 @@
 // (RBE -> LAN -> function proxy -> WAN -> synthetic SkyServer) under a
 // chosen caching scheme and prints the run summary:
 //
-//   run_trace <trace-file> [scheme] [cache-bytes]
+//   run_trace <trace-file> [scheme] [cache-bytes] [--fault-profile=<name>]
 //
 // scheme: nc | pc | full | region | containment   (default: full)
 // cache-bytes: result-store budget, 0 = unlimited (default).
+// fault-profile:
+//   healthy — no faults (default); the pipeline behaves as before.
+//   flaky   — intermittent 500s, connection drops, garbage bodies and
+//             latency spikes; the WAN channel retries with jittered backoff
+//             and a circuit breaker guards the origin.
+//   outage  — a hard origin outage covering 30% of the run's timeline
+//             (placed by a fault-free calibration replay); degraded-mode
+//             serving answers what the cache can.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "workload/availability.h"
 #include "workload/experiment.h"
 
 using namespace fnproxy;
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  std::string fault_profile = "healthy";
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fault-profile=", 16) == 0) {
+      fault_profile = argv[i] + 16;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty()) {
     std::fprintf(stderr,
                  "usage: run_trace <trace-file> [nc|pc|full|region|containment]"
-                 " [cache-bytes]\n");
+                 " [cache-bytes] [--fault-profile=healthy|flaky|outage]\n");
     return 2;
   }
-  std::ifstream in(argv[1]);
+  if (fault_profile != "healthy" && fault_profile != "flaky" &&
+      fault_profile != "outage") {
+    std::fprintf(stderr, "unknown fault profile %s\n", fault_profile.c_str());
+    return 2;
+  }
+  std::ifstream in(positional[0]);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", positional[0]);
     return 1;
   }
   std::stringstream buffer;
@@ -43,51 +69,72 @@ int main(int argc, char** argv) {
   }
 
   core::CachingMode mode = core::CachingMode::kActiveFull;
-  if (argc > 2) {
-    std::string name = argv[2];
+  if (positional.size() > 1) {
+    std::string name = positional[1];
     if (name == "nc") mode = core::CachingMode::kNoCache;
     else if (name == "pc") mode = core::CachingMode::kPassive;
     else if (name == "full") mode = core::CachingMode::kActiveFull;
     else if (name == "region") mode = core::CachingMode::kActiveRegionContainment;
     else if (name == "containment") mode = core::CachingMode::kActiveContainmentOnly;
     else {
-      std::fprintf(stderr, "unknown scheme %s\n", argv[2]);
+      std::fprintf(stderr, "unknown scheme %s\n", name.c_str());
       return 2;
     }
   }
   size_t cache_bytes =
-      argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 0;
+      positional.size() > 2 ? static_cast<size_t>(std::atoll(positional[2]))
+                            : 0;
 
   // Build the standard experiment substrate but replay the user's trace.
-  workload::SkyExperiment::Options options;
-  options.trace.num_queries = 1;  // Placeholder; we replay the file below.
-  workload::SkyExperiment experiment(options);
+  workload::SkyExperiment::Options sky_options;
+  sky_options.trace.num_queries = 1;  // Placeholder; we replay the file.
+  workload::SkyExperiment experiment(sky_options);
+  workload::AvailabilityExperiment availability(&experiment);
 
-  util::SimulatedClock clock;
-  server::OriginWebApp app(experiment.database(), &clock,
-                           options.server_costs);
-  if (auto s = app.RegisterForm("/radial", workload::kRadialTemplateSql);
-      !s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 1;
+  workload::AvailabilityOptions options;
+  options.proxy.mode = mode;
+  options.proxy.max_cache_bytes = cache_bytes;
+  if (fault_profile != "healthy") {
+    // An unreliable origin warrants retries and a breaker.
+    options.proxy.breaker.enabled = true;
+    options.proxy.breaker.open_cooldown_micros = 120'000'000;
+    options.retry.max_attempts = 3;
+    options.retry.base_backoff_micros = 200'000;
+    options.retry.max_backoff_micros = 2'000'000;
+    options.retry.jitter_seed = 42;
   }
-  net::SimulatedChannel wan(&app, options.wan, &clock);
-  core::ProxyConfig config;
-  config.mode = mode;
-  config.max_cache_bytes = cache_bytes;
-  core::FunctionProxy proxy(config, &experiment.templates(), &wan, &clock);
-  net::SimulatedChannel lan(&proxy, options.lan, &clock);
-  workload::RemoteBrowserEmulator rbe(&lan, &clock);
+  if (fault_profile == "flaky") {
+    options.faults = net::FlakyProfile();
+  } else if (fault_profile == "outage") {
+    options.outage_fractions = {{0.3, 0.3}};
+    // Think time anchors query arrivals to the timeline so the outage
+    // fraction translates into a query fraction (see AvailabilityOptions).
+    options.think_time_micros = 30'000'000;
+  }
 
-  workload::RbeResult result = rbe.Run(*trace);
-  const core::ProxyStats& stats = proxy.stats();
+  workload::AvailabilityResult result =
+      availability.RunTrace(*trace, options);
+
+  const core::ProxyStats& stats = result.proxy_stats;
+  double avg_ms = 0.0, avg_ms_10k = 0.0;
+  for (size_t i = 0; i < result.points.size(); ++i) {
+    double ms = static_cast<double>(result.points[i].response_micros) / 1000.0;
+    avg_ms += ms;
+    if (i < 10000) avg_ms_10k += ms;
+  }
+  if (!result.points.empty()) {
+    avg_ms_10k /= static_cast<double>(std::min<size_t>(result.points.size(),
+                                                       10000));
+    avg_ms /= static_cast<double>(result.points.size());
+  }
+
   std::printf("scheme:              %s\n", core::CachingModeName(mode));
-  std::printf("queries:             %zu (%lu errors)\n",
+  std::printf("fault profile:       %s\n", fault_profile.c_str());
+  std::printf("queries:             %zu (%lu failed)\n",
               trace->queries.size(),
-              static_cast<unsigned long>(result.errors));
-  std::printf("avg response:        %.0f ms (first 10k: %.0f ms)\n",
-              result.AverageResponseMillis(),
-              result.AverageResponseMillis(10000));
+              static_cast<unsigned long>(result.failed));
+  std::printf("avg response:        %.0f ms (first 10k: %.0f ms)\n", avg_ms,
+              avg_ms_10k);
   std::printf("cache efficiency:    %.3f\n", stats.AverageCacheEfficiency());
   std::printf("hits:                exact %lu, containment %lu, "
               "region-containment %lu, overlap %lu\n",
@@ -98,10 +145,42 @@ int main(int argc, char** argv) {
   std::printf("misses:              %lu\n",
               static_cast<unsigned long>(stats.misses));
   std::printf("origin requests:     %lu (%.1f MB received)\n",
-              static_cast<unsigned long>(wan.total_requests()),
-              static_cast<double>(wan.total_bytes_received()) / (1024 * 1024));
+              static_cast<unsigned long>(result.wan_requests),
+              static_cast<double>(result.wan_bytes_received) / (1024 * 1024));
   std::printf("final cache:         %zu entries, %.1f MB\n",
-              proxy.cache().num_entries(),
-              static_cast<double>(proxy.cache().bytes_used()) / (1024 * 1024));
-  return result.errors == 0 ? 0 : 1;
+              result.cache_entries_final,
+              static_cast<double>(result.cache_bytes_final) / (1024 * 1024));
+  if (fault_profile != "healthy") {
+    std::printf(
+        "availability:        %.1f%% (%lu ok, %lu partial, %lu failed), "
+        "coverage-weighted %.1f%%\n",
+        100 * result.availability, static_cast<unsigned long>(result.ok),
+        static_cast<unsigned long>(result.partial),
+        static_cast<unsigned long>(result.failed),
+        100 * result.coverage_weighted_availability);
+    std::printf(
+        "degraded answers:    %lu full, %lu partial, %lu unavailable (503)\n",
+        static_cast<unsigned long>(stats.degraded_full),
+        static_cast<unsigned long>(stats.degraded_partial),
+        static_cast<unsigned long>(stats.degraded_unavailable));
+    std::printf(
+        "origin channel:      %lu failures, %lu retries, %lu timeouts, "
+        "%lu breaker rejections, %lu breaker transitions\n",
+        static_cast<unsigned long>(stats.origin_failures),
+        static_cast<unsigned long>(result.wan_retry_stats.retries),
+        static_cast<unsigned long>(result.wan_retry_stats.timeouts),
+        static_cast<unsigned long>(stats.breaker_open_rejections),
+        static_cast<unsigned long>(stats.breaker_transitions));
+    std::printf(
+        "faults injected:     %lu (drops %lu, errors %lu, garbage %lu, "
+        "truncations %lu, outage drops %lu)\n",
+        static_cast<unsigned long>(result.fault_stats.total_faults()),
+        static_cast<unsigned long>(result.fault_stats.injected_drops),
+        static_cast<unsigned long>(result.fault_stats.injected_errors),
+        static_cast<unsigned long>(result.fault_stats.injected_garbage),
+        static_cast<unsigned long>(result.fault_stats.injected_truncations),
+        static_cast<unsigned long>(result.fault_stats.outage_drops));
+    return 0;
+  }
+  return result.failed == 0 ? 0 : 1;
 }
