@@ -1,0 +1,81 @@
+// Concurrent-proxy throughput sweep: replays the Radial trace through one
+// shared proxy from 1..16 closed-loop client threads, for each of the five
+// caching schemes. The proxy uses a sharded cache (8 shards) with
+// reader-writer locking; origin SQL execution, fault-free WAN transfers and
+// relationship checks all overlap across threads.
+//
+//   bench_concurrent_throughput [num-queries] [max-threads] [pacing]
+//
+// Defaults: 600 queries, threads swept over {1, 2, 4, 8, 16}, pacing 0.02.
+// The shared clock is real-time paced: every modeled microsecond (WAN
+// transfer, server work) also sleeps `pacing` real microseconds on the
+// calling thread, so modeled waits occupy real time and overlap across
+// threads — exactly how a real proxy overlaps network waits. Latencies are
+// wall-clock; the headline number is the speedup of requests/s at each
+// thread count over the same scheme's single-thread run.
+//
+// Expected shape: >= 3x throughput at 8 threads for the full-semantic
+// scheme — cache hits parallelize and misses overlap their (paced) origin
+// round trips.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+
+using namespace fnproxy;
+
+int main(int argc, char** argv) {
+  size_t num_queries = argc > 1 ? static_cast<size_t>(std::atoll(argv[1]))
+                                : 600;
+  size_t max_threads = argc > 2 ? static_cast<size_t>(std::atoll(argv[2]))
+                                : 16;
+  double pacing = argc > 3 ? std::atof(argv[3]) : 0.02;
+  std::printf("=== Concurrent proxy throughput (sharded cache, %zu queries, "
+              "pacing %.3f) ===\n", num_queries, pacing);
+  workload::SkyExperiment experiment(bench::PaperOptions(num_queries));
+  bench::PrintTraceMix(experiment.trace());
+
+  struct Scheme {
+    const char* name;
+    core::CachingMode mode;
+  };
+  const Scheme schemes[] = {
+      {"no-cache", core::CachingMode::kNoCache},
+      {"passive", core::CachingMode::kPassive},
+      {"full-semantic", core::CachingMode::kActiveFull},
+      {"region-containment", core::CachingMode::kActiveRegionContainment},
+      {"containment-only", core::CachingMode::kActiveContainmentOnly},
+  };
+
+  std::printf("\n%-20s %8s %10s %10s %8s %9s %9s %9s\n", "scheme", "threads",
+              "wall ms", "req/s", "speedup", "p50 ms", "p95 ms", "p99 ms");
+  for (const Scheme& scheme : schemes) {
+    core::ProxyConfig config = bench::MakeProxyConfig(scheme.mode);
+    config.cache_shards = 8;  // Constant across the sweep: measure threading.
+    double base_rps = 0.0;
+    for (size_t threads = 1; threads <= max_threads; threads *= 2) {
+      workload::SkyExperiment::ConcurrentRunOutput output =
+          experiment.RunTraceConcurrent(experiment.trace(), config, threads,
+                                        pacing);
+      const workload::ConcurrentRunResult& run = output.driver;
+      if (threads == 1) base_rps = run.requests_per_second;
+      double speedup =
+          base_rps > 0.0 ? run.requests_per_second / base_rps : 0.0;
+      std::printf("%-20s %8zu %10.1f %10.0f %7.2fx %9.2f %9.2f %9.2f\n",
+                  scheme.name, threads, run.wall_millis,
+                  run.requests_per_second, speedup,
+                  static_cast<double>(run.p50_micros) / 1000.0,
+                  static_cast<double>(run.p95_micros) / 1000.0,
+                  static_cast<double>(run.p99_micros) / 1000.0);
+      if (run.errors != 0) {
+        std::printf("  !! %lu errors\n",
+                    static_cast<unsigned long>(run.errors));
+      }
+    }
+  }
+  std::printf("\nLatencies are wall-clock against the paced clock; modeled "
+              "time is unchanged by threading.\nExpected: >= 3x req/s at 8 "
+              "threads vs 1 for full-semantic.\n");
+  return 0;
+}

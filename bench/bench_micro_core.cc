@@ -30,9 +30,10 @@ void BM_BuildRegionFromTemplate(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildRegionFromTemplate);
 
-CacheStore MakePopulatedStore(size_t entries, util::Random& rng) {
-  CacheStore store(std::make_unique<index::ArrayRegionIndex>(), 0,
-                   ReplacementPolicy::kLru);
+std::unique_ptr<CacheStore> MakePopulatedStore(size_t entries,
+                                               util::Random& rng) {
+  auto store = std::make_unique<CacheStore>(
+      std::make_unique<index::ArrayRegionIndex>(), 0, ReplacementPolicy::kLru);
   sql::Table empty(sql::Schema({{"cx", sql::ValueType::kDouble}}));
   for (size_t i = 0; i < entries; ++i) {
     CacheEntry entry;
@@ -42,14 +43,16 @@ CacheStore MakePopulatedStore(size_t entries, util::Random& rng) {
                                                rng.NextDouble(4, 30))
                        .Clone();
     entry.result = empty;
-    store.Insert(std::move(entry));
+    store->Insert(std::move(entry));
   }
   return store;
 }
 
 void BM_CheckRelationship(benchmark::State& state) {
   util::Random rng(1);
-  CacheStore store = MakePopulatedStore(static_cast<size_t>(state.range(0)), rng);
+  std::unique_ptr<CacheStore> store_owner =
+      MakePopulatedStore(static_cast<size_t>(state.range(0)), rng);
+  CacheStore& store = *store_owner;
   std::vector<geometry::Hypersphere> probes;
   for (int i = 0; i < 256; ++i) {
     probes.push_back(geometry::ConeToHypersphere(rng.NextDouble(130, 230),

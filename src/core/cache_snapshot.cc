@@ -176,7 +176,8 @@ StatusOr<std::string> ReadFile(const std::string& path) {
 Status SaveCacheSnapshot(const CacheStore& cache, const std::string& directory) {
   std::string manifest = "<CacheSnapshot>\n";
   for (uint64_t id : cache.AllIds()) {
-    const CacheEntry* entry = cache.Find(id);
+    std::shared_ptr<const CacheEntry> entry = cache.Find(id);
+    if (entry == nullptr) continue;  // Evicted since AllIds().
     std::string file_name = "entry-" + std::to_string(id) + ".xml";
     FNPROXY_RETURN_NOT_OK(
         WriteFile(directory + "/" + file_name, sql::TableToXml(entry->result)));

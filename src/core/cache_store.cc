@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <limits>
+#include <mutex>
 
 namespace fnproxy::core {
 
@@ -19,88 +20,157 @@ const char* ReplacementPolicyName(ReplacementPolicy policy) {
 
 CacheStore::CacheStore(std::unique_ptr<index::RegionIndex> description,
                        size_t max_bytes, ReplacementPolicy policy)
-    : description_(std::move(description)),
-      max_bytes_(max_bytes),
-      policy_(policy) {}
+    : max_bytes_(max_bytes), policy_(policy) {
+  auto shard = std::make_unique<Shard>();
+  shard->description = std::move(description);
+  shards_.push_back(std::move(shard));
+}
+
+CacheStore::CacheStore(const RegionIndexFactory& factory, size_t num_shards,
+                       size_t max_bytes, ReplacementPolicy policy)
+    : max_bytes_(max_bytes), policy_(policy) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->description = factory();
+    shards_.push_back(std::move(shard));
+  }
+}
 
 uint64_t CacheStore::PickVictim() const {
   uint64_t victim = 0;
   double best_score = std::numeric_limits<double>::infinity();
-  for (const auto& [id, entry] : entries_) {
-    double score = 0;
-    switch (policy_) {
-      case ReplacementPolicy::kLru:
-        score = static_cast<double>(entry.last_access_micros);
-        break;
-      case ReplacementPolicy::kLfu:
-        score = static_cast<double>(entry.access_count);
-        break;
-      case ReplacementPolicy::kSizeAdjusted:
-        // Benefit per byte: recently-used small entries are kept; large cold
-        // entries go first.
-        score = static_cast<double>(entry.access_count + 1) /
-                static_cast<double>(entry.bytes + 1);
-        break;
-    }
-    if (score < best_score) {
-      best_score = score;
-      victim = id;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    for (const auto& [id, stored] : shard->entries) {
+      int64_t last_access =
+          stored.last_access_micros.load(std::memory_order_relaxed);
+      uint64_t accesses = stored.access_count.load(std::memory_order_relaxed);
+      double score = 0;
+      switch (policy_) {
+        case ReplacementPolicy::kLru:
+          score = static_cast<double>(last_access);
+          break;
+        case ReplacementPolicy::kLfu:
+          score = static_cast<double>(accesses);
+          break;
+        case ReplacementPolicy::kSizeAdjusted:
+          // Benefit per byte: recently-used small entries are kept; large
+          // cold entries go first.
+          score = static_cast<double>(accesses + 1) /
+                  static_cast<double>(stored.entry->bytes + 1);
+          break;
+      }
+      if (score < best_score) {
+        best_score = score;
+        victim = id;
+      }
     }
   }
   return victim;
 }
 
-uint64_t CacheStore::Insert(CacheEntry entry) {
+uint64_t CacheStore::Insert(CacheEntry entry, size_t* comparisons) {
   assert(entry.region != nullptr);
+  *comparisons = 0;
   entry.bytes = entry.result.ByteSize() + 256;  // Entry metadata overhead.
   if (max_bytes_ != 0 && entry.bytes > max_bytes_) {
     return 0;  // Larger than the whole cache; not cacheable.
   }
-  while (max_bytes_ != 0 && bytes_used_ + entry.bytes > max_bytes_ &&
-         !entries_.empty()) {
+  // Reserve the bytes first, then evict down to budget. Reserving up front
+  // keeps concurrent admissions from all passing a stale budget check and
+  // collectively overshooting without bound.
+  bytes_used_.fetch_add(entry.bytes, std::memory_order_relaxed);
+  while (max_bytes_ != 0 &&
+         bytes_used_.load(std::memory_order_relaxed) > max_bytes_ &&
+         num_entries_.load(std::memory_order_relaxed) > 0) {
     uint64_t victim = PickVictim();
     if (victim == 0) break;
-    Remove(victim);
-    ++evictions_;
+    size_t removal_comparisons = 0;
+    // A concurrent admission may have evicted the same victim; only the
+    // thread whose Remove succeeds counts the eviction.
+    if (Remove(victim, &removal_comparisons)) {
+      *comparisons += removal_comparisons;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  entry.id = next_id_++;
-  description_->Insert(entry.id, entry.region->BoundingBox());
-  bytes_used_ += entry.bytes;
-  uint64_t id = entry.id;
-  entries_.emplace(id, std::move(entry));
+  uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  entry.id = id;
+  geometry::Hyperrectangle bbox = entry.region->BoundingBox();
+  int64_t last_access = entry.last_access_micros;
+  uint64_t accesses = entry.access_count;
+  auto snapshot = std::make_shared<const CacheEntry>(std::move(entry));
+
+  Shard& shard = ShardFor(id);
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    size_t insert_comparisons = 0;
+    shard.description->Insert(id, bbox, &insert_comparisons);
+    *comparisons += insert_comparisons;
+    Stored& stored = shard.entries[id];
+    stored.entry = std::move(snapshot);
+    stored.last_access_micros.store(last_access, std::memory_order_relaxed);
+    stored.access_count.store(accesses, std::memory_order_relaxed);
+  }
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
-bool CacheStore::Remove(uint64_t id) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
-  bytes_used_ -= it->second.bytes;
-  description_->Remove(id);
-  entries_.erase(it);
+bool CacheStore::Remove(uint64_t id, size_t* comparisons) {
+  *comparisons = 0;
+  Shard& shard = ShardFor(id);
+  size_t freed = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.entries.find(id);
+    if (it == shard.entries.end()) return false;
+    freed = it->second.entry->bytes;
+    shard.description->Remove(id, comparisons);
+    shard.entries.erase(it);
+  }
+  bytes_used_.fetch_sub(freed, std::memory_order_relaxed);
+  num_entries_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
-const CacheEntry* CacheStore::Find(uint64_t id) const {
-  auto it = entries_.find(id);
-  return it == entries_.end() ? nullptr : &it->second;
+std::shared_ptr<const CacheEntry> CacheStore::Find(uint64_t id) const {
+  const Shard& shard = ShardFor(id);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.entries.find(id);
+  return it == shard.entries.end() ? nullptr : it->second.entry;
 }
 
 void CacheStore::Touch(uint64_t id, int64_t now_micros) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return;
-  it->second.last_access_micros = now_micros;
-  ++it->second.access_count;
+  Shard& shard = ShardFor(id);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.entries.find(id);
+  if (it == shard.entries.end()) return;
+  it->second.last_access_micros.store(now_micros, std::memory_order_relaxed);
+  it->second.access_count.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<uint64_t> CacheStore::Candidates(
-    const geometry::Hyperrectangle& bbox) const {
-  return description_->SearchIntersecting(bbox);
+    const geometry::Hyperrectangle& bbox, size_t* comparisons) const {
+  *comparisons = 0;
+  std::vector<uint64_t> ids;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    size_t shard_comparisons = 0;
+    std::vector<uint64_t> shard_ids =
+        shard->description->SearchIntersecting(bbox, &shard_comparisons);
+    *comparisons += shard_comparisons;
+    ids.insert(ids.end(), shard_ids.begin(), shard_ids.end());
+  }
+  return ids;
 }
 
 std::vector<uint64_t> CacheStore::AllIds() const {
   std::vector<uint64_t> ids;
-  ids.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    for (const auto& [id, stored] : shard->entries) ids.push_back(id);
+  }
   return ids;
 }
 

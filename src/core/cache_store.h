@@ -1,9 +1,12 @@
 #ifndef FNPROXY_CORE_CACHE_STORE_H_
 #define FNPROXY_CORE_CACHE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -32,6 +35,9 @@ struct CacheEntry {
   /// in-region tuples: such entries may serve exact matches only.
   bool truncated = false;
   size_t bytes = 0;
+  /// Access bookkeeping as of admission; live values are kept by the store
+  /// (updated by Touch) so replacement works without mutating the shared
+  /// immutable entry.
   int64_t last_access_micros = 0;
   uint64_t access_count = 0;
 };
@@ -42,58 +48,144 @@ enum class ReplacementPolicy { kLru, kLfu, kSizeAdjusted };
 
 const char* ReplacementPolicyName(ReplacementPolicy policy);
 
+/// Builds one cache-description index instance; called once per shard.
+using RegionIndexFactory =
+    std::function<std::unique_ptr<index::RegionIndex>()>;
+
 /// The proxy's Cache Manager: owns the entries, keeps the cache description
 /// (a RegionIndex over entry bounding boxes) in sync, enforces the byte
 /// budget by evicting per the policy, and tracks statistics.
+///
+/// Threading model: entries are partitioned into shards by id, each shard
+/// guarded by its own shared_mutex — lookups, description probes and
+/// relationship checks take shared (reader) locks; admission, eviction and
+/// coalescing take the owning shard's exclusive lock. Byte/entry/eviction
+/// accounting is atomic and global. `Find` hands out
+/// shared_ptr<const CacheEntry> snapshots, so a reader's entry stays valid
+/// even if another thread evicts it mid-use. No operation ever holds two
+/// shard locks at once (the global victim scan visits shards one at a
+/// time), which makes the locking trivially deadlock-free.
 class CacheStore {
  public:
-  /// `max_bytes == 0` means unlimited.
+  /// Single-shard store (legacy convenience for tests/benches and
+  /// single-threaded runs). `max_bytes == 0` means unlimited.
   CacheStore(std::unique_ptr<index::RegionIndex> description, size_t max_bytes,
              ReplacementPolicy policy);
 
+  /// Sharded store: `factory` is invoked once per shard to build that
+  /// shard's cache-description index. `num_shards` is clamped to >= 1.
+  CacheStore(const RegionIndexFactory& factory, size_t num_shards,
+             size_t max_bytes, ReplacementPolicy policy);
+
+  CacheStore(const CacheStore&) = delete;
+  CacheStore& operator=(const CacheStore&) = delete;
+
   /// Inserts a new entry (fields other than id/bytes filled by the caller);
   /// returns its id. May evict other entries to fit; an entry larger than
-  /// the whole budget is not cached (returns 0).
-  uint64_t Insert(CacheEntry entry);
+  /// the whole budget is not cached (returns 0). `comparisons` receives the
+  /// box comparisons charged by the description insert (plus any evictions'
+  /// description work).
+  uint64_t Insert(CacheEntry entry, size_t* comparisons);
 
-  /// Removes an entry by id.
-  bool Remove(uint64_t id);
+  /// Removes an entry by id. `comparisons` receives description-removal
+  /// comparisons.
+  bool Remove(uint64_t id, size_t* comparisons);
 
-  const CacheEntry* Find(uint64_t id) const;
+  /// Snapshot lookup: the returned entry is immutable and stays valid after
+  /// concurrent eviction. Null when the id is unknown.
+  std::shared_ptr<const CacheEntry> Find(uint64_t id) const;
 
   /// Marks an access for replacement bookkeeping.
   void Touch(uint64_t id, int64_t now_micros);
 
   /// Ids of entries whose region bounding box intersects `bbox` — the cache
-  /// description probe. Box comparisons performed are reported through
-  /// description_comparisons().
-  std::vector<uint64_t> Candidates(const geometry::Hyperrectangle& bbox) const;
+  /// description probe, across all shards. `comparisons` receives the total
+  /// box comparisons performed.
+  std::vector<uint64_t> Candidates(const geometry::Hyperrectangle& bbox,
+                                   size_t* comparisons) const;
 
-  /// Box comparisons performed by the most recent Candidates / Insert /
-  /// Remove call on the description structure.
-  size_t description_comparisons() const {
-    return description_->last_op_comparisons();
+  // --- Legacy single-threaded conveniences. These forward to the
+  // out-parameter overloads and record the count for
+  // description_comparisons(); the counter is a best-effort atomic, so
+  // concurrent callers should prefer the out-parameter forms. ---
+
+  uint64_t Insert(CacheEntry entry) {
+    size_t comparisons = 0;
+    uint64_t id = Insert(std::move(entry), &comparisons);
+    last_description_comparisons_.store(comparisons,
+                                        std::memory_order_relaxed);
+    return id;
   }
 
-  size_t num_entries() const { return entries_.size(); }
-  size_t bytes_used() const { return bytes_used_; }
-  size_t max_bytes() const { return max_bytes_; }
-  uint64_t evictions() const { return evictions_; }
+  bool Remove(uint64_t id) {
+    size_t comparisons = 0;
+    bool removed = Remove(id, &comparisons);
+    last_description_comparisons_.store(comparisons,
+                                        std::memory_order_relaxed);
+    return removed;
+  }
 
-  /// All entry ids (for iteration in tests/tools).
+  std::vector<uint64_t> Candidates(const geometry::Hyperrectangle& bbox) const {
+    size_t comparisons = 0;
+    std::vector<uint64_t> ids = Candidates(bbox, &comparisons);
+    last_description_comparisons_.store(comparisons,
+                                        std::memory_order_relaxed);
+    return ids;
+  }
+
+  /// Box comparisons performed by the most recent legacy-form Candidates /
+  /// Insert / Remove call on the description structure.
+  size_t description_comparisons() const {
+    return last_description_comparisons_.load(std::memory_order_relaxed);
+  }
+
+  size_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
+  size_t bytes_used() const {
+    return bytes_used_.load(std::memory_order_relaxed);
+  }
+  size_t max_bytes() const { return max_bytes_; }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// All entry ids (for iteration in tests/tools). Consistent per shard,
+  /// not across shards under concurrent mutation.
   std::vector<uint64_t> AllIds() const;
 
  private:
-  /// Picks the eviction victim per the policy; 0 when empty.
+  /// Live replacement bookkeeping beside the immutable entry snapshot.
+  struct Stored {
+    std::shared_ptr<const CacheEntry> entry;
+    std::atomic<int64_t> last_access_micros{0};
+    std::atomic<uint64_t> access_count{0};
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unique_ptr<index::RegionIndex> description;
+    std::map<uint64_t, Stored> entries;
+  };
+
+  Shard& ShardFor(uint64_t id) { return *shards_[id % shards_.size()]; }
+  const Shard& ShardFor(uint64_t id) const {
+    return *shards_[id % shards_.size()];
+  }
+
+  /// Picks the eviction victim per the policy across all shards; 0 when
+  /// empty. Takes shared locks one shard at a time.
   uint64_t PickVictim() const;
 
-  std::unique_ptr<index::RegionIndex> description_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   size_t max_bytes_;
   ReplacementPolicy policy_;
-  std::map<uint64_t, CacheEntry> entries_;
-  size_t bytes_used_ = 0;
-  uint64_t next_id_ = 1;
-  uint64_t evictions_ = 0;
+  std::atomic<size_t> bytes_used_{0};
+  std::atomic<size_t> num_entries_{0};
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> evictions_{0};
+  mutable std::atomic<size_t> last_description_comparisons_{0};
 };
 
 }  // namespace fnproxy::core

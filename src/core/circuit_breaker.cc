@@ -18,7 +18,7 @@ CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config,
                                util::SimulatedClock* clock)
     : config_(config), clock_(clock) {}
 
-double CircuitBreaker::FailureRate() const {
+double CircuitBreaker::FailureRateLocked() const {
   if (window_.empty()) return 0.0;
   size_t failures = 0;
   for (bool failed : window_) {
@@ -27,16 +27,28 @@ double CircuitBreaker::FailureRate() const {
   return static_cast<double>(failures) / static_cast<double>(window_.size());
 }
 
+double CircuitBreaker::FailureRate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FailureRateLocked();
+}
+
+std::vector<std::pair<int64_t, BreakerState>> CircuitBreaker::HistorySnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
 int64_t CircuitBreaker::CooldownRemainingMicros() const {
-  if (state_ != BreakerState::kOpen) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_.load(std::memory_order_relaxed) != BreakerState::kOpen) return 0;
   int64_t remaining = config_.open_cooldown_micros -
                       (clock_->NowMicros() - opened_at_micros_);
   return remaining > 0 ? remaining : 0;
 }
 
 void CircuitBreaker::TransitionTo(BreakerState next) {
-  state_ = next;
-  ++transitions_;
+  state_.store(next, std::memory_order_relaxed);
+  transitions_.fetch_add(1, std::memory_order_relaxed);
   history_.emplace_back(clock_->NowMicros(), next);
   if (next == BreakerState::kOpen) {
     opened_at_micros_ = clock_->NowMicros();
@@ -49,7 +61,8 @@ void CircuitBreaker::TransitionTo(BreakerState next) {
 
 bool CircuitBreaker::Allow() {
   if (!config_.enabled) return true;
-  switch (state_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_.load(std::memory_order_relaxed)) {
     case BreakerState::kClosed:
     case BreakerState::kHalfOpen:
       return true;
@@ -71,7 +84,8 @@ void CircuitBreaker::RecordOutcome(bool failure) {
 
 void CircuitBreaker::RecordSuccess() {
   if (!config_.enabled) return;
-  switch (state_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_.load(std::memory_order_relaxed)) {
     case BreakerState::kClosed:
       RecordOutcome(false);
       break;
@@ -89,11 +103,12 @@ void CircuitBreaker::RecordSuccess() {
 
 void CircuitBreaker::RecordFailure() {
   if (!config_.enabled) return;
-  switch (state_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_.load(std::memory_order_relaxed)) {
     case BreakerState::kClosed:
       RecordOutcome(true);
       if (window_.size() >= config_.min_samples &&
-          FailureRate() >= config_.failure_threshold) {
+          FailureRateLocked() >= config_.failure_threshold) {
         TransitionTo(BreakerState::kOpen);
       }
       break;

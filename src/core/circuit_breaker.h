@@ -1,9 +1,11 @@
 #ifndef FNPROXY_CORE_CIRCUIT_BREAKER_H_
 #define FNPROXY_CORE_CIRCUIT_BREAKER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -35,6 +37,10 @@ const char* BreakerStateName(BreakerState state);
 /// Closed → open → half-open → closed state machine over a sliding window
 /// of origin outcomes, timed on the shared virtual clock so transitions are
 /// deterministic for a deterministic workload.
+///
+/// Thread-safe: state/transition counters are atomics (cheap lock-free
+/// reads from the stats endpoint); the window, streak and history are
+/// guarded by an internal mutex held only for short bookkeeping sections.
 class CircuitBreaker {
  public:
   /// `clock` must outlive the breaker.
@@ -48,12 +54,18 @@ class CircuitBreaker {
   void RecordSuccess();
   void RecordFailure();
 
-  BreakerState state() const { return state_; }
-  uint64_t transitions() const { return transitions_; }
-  /// (virtual time, entered state) for every transition, in order.
+  BreakerState state() const { return state_.load(std::memory_order_relaxed); }
+  uint64_t transitions() const {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+  /// (virtual time, entered state) for every transition, in order. The
+  /// returned reference is only stable while no other thread records
+  /// outcomes — callers needing a concurrent-safe copy use HistorySnapshot.
   const std::vector<std::pair<int64_t, BreakerState>>& history() const {
     return history_;
   }
+  /// Copy of history() taken under the lock.
+  std::vector<std::pair<int64_t, BreakerState>> HistorySnapshot() const;
   /// Failure fraction over the current window (0 when empty).
   double FailureRate() const;
 
@@ -62,17 +74,19 @@ class CircuitBreaker {
   int64_t CooldownRemainingMicros() const;
 
  private:
-  void TransitionTo(BreakerState next);
-  void RecordOutcome(bool failure);
+  void TransitionTo(BreakerState next);  // Requires mu_ held.
+  void RecordOutcome(bool failure);      // Requires mu_ held.
+  double FailureRateLocked() const;      // Requires mu_ held.
 
   CircuitBreakerConfig config_;
   util::SimulatedClock* clock_;
-  BreakerState state_ = BreakerState::kClosed;
-  std::deque<bool> window_;  // true = failure.
-  size_t half_open_streak_ = 0;
-  int64_t opened_at_micros_ = 0;
-  uint64_t transitions_ = 0;
-  std::vector<std::pair<int64_t, BreakerState>> history_;
+  std::atomic<BreakerState> state_{BreakerState::kClosed};
+  std::atomic<uint64_t> transitions_{0};
+  mutable std::mutex mu_;
+  std::deque<bool> window_;  // true = failure. Guarded by mu_.
+  size_t half_open_streak_ = 0;         // Guarded by mu_.
+  int64_t opened_at_micros_ = 0;        // Guarded by mu_.
+  std::vector<std::pair<int64_t, BreakerState>> history_;  // Guarded by mu_.
 };
 
 }  // namespace fnproxy::core

@@ -88,6 +88,8 @@ double ProxyStats::AverageCacheEfficiency() const {
 
 namespace {
 
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
 /// Cheaply extracts the rows="N" attribute from a result document without a
 /// full XML parse (used for pass-through responses where the proxy only
 /// needs the tuple count for statistics).
@@ -124,17 +126,45 @@ FunctionProxy::FunctionProxy(ProxyConfig config,
                              net::SimulatedChannel* origin,
                              util::SimulatedClock* clock)
     : config_(config), templates_(templates), origin_(origin), clock_(clock) {
-  std::unique_ptr<index::RegionIndex> description;
-  if (config_.use_rtree_description) {
-    description = std::make_unique<index::RTreeIndex>();
-  } else {
-    description = std::make_unique<index::ArrayRegionIndex>();
-  }
-  cache_ = std::make_unique<CacheStore>(std::move(description),
+  const bool rtree = config_.use_rtree_description;
+  RegionIndexFactory factory = [rtree]() -> std::unique_ptr<index::RegionIndex> {
+    if (rtree) return std::make_unique<index::RTreeIndex>();
+    return std::make_unique<index::ArrayRegionIndex>();
+  };
+  cache_ = std::make_unique<CacheStore>(factory, config_.cache_shards,
                                         config_.max_cache_bytes,
                                         config_.replacement);
   breaker_ = std::make_unique<CircuitBreaker>(config_.breaker, clock_);
   channel_retries_baseline_ = origin_->retry_stats().retries;
+}
+
+ProxyStats FunctionProxy::stats() const {
+  ProxyStats s;
+  s.requests = counters_.requests.load(kRelaxed);
+  s.template_requests = counters_.template_requests.load(kRelaxed);
+  s.exact_hits = counters_.exact_hits.load(kRelaxed);
+  s.containment_hits = counters_.containment_hits.load(kRelaxed);
+  s.region_containments = counters_.region_containments.load(kRelaxed);
+  s.overlaps_handled = counters_.overlaps_handled.load(kRelaxed);
+  s.misses = counters_.misses.load(kRelaxed);
+  s.origin_form_requests = counters_.origin_form_requests.load(kRelaxed);
+  s.origin_sql_requests = counters_.origin_sql_requests.load(kRelaxed);
+  s.origin_failures = counters_.origin_failures.load(kRelaxed);
+  s.breaker_open_rejections = counters_.breaker_open_rejections.load(kRelaxed);
+  s.degraded_full = counters_.degraded_full.load(kRelaxed);
+  s.degraded_partial = counters_.degraded_partial.load(kRelaxed);
+  s.degraded_unavailable = counters_.degraded_unavailable.load(kRelaxed);
+  s.check_micros = counters_.check_micros.load(kRelaxed);
+  s.local_eval_micros = counters_.local_eval_micros.load(kRelaxed);
+  s.merge_micros = counters_.merge_micros.load(kRelaxed);
+  s.breaker_transitions = breaker_->transitions();
+  s.origin_retries = origin_->retry_stats().retries - channel_retries_baseline_;
+  {
+    std::lock_guard<std::mutex> lock(records_mu_);
+    s.coverage_served = coverage_served_;
+    s.records = records_;
+  }
+  return s;
 }
 
 bool FunctionProxy::OriginAllowed() {
@@ -149,15 +179,9 @@ void FunctionProxy::NoteOriginOutcome(bool usable) {
   if (usable) {
     breaker_->RecordSuccess();
   } else {
-    ++stats_.origin_failures;
+    counters_.origin_failures.fetch_add(1, kRelaxed);
     breaker_->RecordFailure();
   }
-  stats_.breaker_transitions = breaker_->transitions();
-}
-
-void FunctionProxy::SyncChannelStats() {
-  stats_.origin_retries =
-      origin_->retry_stats().retries - channel_retries_baseline_;
 }
 
 HttpResponse FunctionProxy::ServiceUnavailable() {
@@ -174,15 +198,14 @@ HttpResponse FunctionProxy::ServiceUnavailable() {
 HttpResponse FunctionProxy::Forward(const HttpRequest& request,
                                     QueryRecord* record) {
   if (!OriginAllowed()) {
-    ++stats_.breaker_open_rejections;
-    ++stats_.degraded_unavailable;
+    counters_.breaker_open_rejections.fetch_add(1, kRelaxed);
+    counters_.degraded_unavailable.fetch_add(1, kRelaxed);
     record->degraded = true;
     return ServiceUnavailable();
   }
   record->contacted_origin = true;
-  ++stats_.origin_form_requests;
+  counters_.origin_form_requests.fetch_add(1, kRelaxed);
   HttpResponse response = origin_->RoundTrip(request);
-  SyncChannelStats();
   NoteOriginOutcome(!net::RetryPolicy::Retryable(response));
   if (response.ok()) {
     record->tuples_total = ExtractRowCount(response.body);
@@ -193,13 +216,12 @@ HttpResponse FunctionProxy::Forward(const HttpRequest& request,
 StatusOr<Table> FunctionProxy::FetchFromOrigin(const HttpRequest& request,
                                                QueryRecord* record) {
   if (!OriginAllowed()) {
-    ++stats_.breaker_open_rejections;
+    counters_.breaker_open_rejections.fetch_add(1, kRelaxed);
     return Status::Unavailable("circuit breaker open");
   }
   record->contacted_origin = true;
-  ++stats_.origin_form_requests;
+  counters_.origin_form_requests.fetch_add(1, kRelaxed);
   HttpResponse response = origin_->RoundTrip(request);
-  SyncChannelStats();
   if (!response.ok()) {
     bool origin_down = net::RetryPolicy::Retryable(response);
     NoteOriginOutcome(!origin_down);
@@ -222,16 +244,15 @@ StatusOr<Table> FunctionProxy::FetchFromOrigin(const HttpRequest& request,
 StatusOr<Table> FunctionProxy::FetchRemainder(const sql::SelectStatement& stmt,
                                               QueryRecord* record) {
   if (!OriginAllowed()) {
-    ++stats_.breaker_open_rejections;
+    counters_.breaker_open_rejections.fetch_add(1, kRelaxed);
     return Status::Unavailable("circuit breaker open");
   }
   record->contacted_origin = true;
-  ++stats_.origin_sql_requests;
+  counters_.origin_sql_requests.fetch_add(1, kRelaxed);
   HttpRequest request;
   request.path = "/sql";
   request.query_params["q"] = sql::SelectToSql(stmt);
   HttpResponse response = origin_->RoundTrip(request);
-  SyncChannelStats();
   if (!response.ok()) {
     bool origin_down = net::RetryPolicy::Retryable(response);
     NoteOriginOutcome(!origin_down);
@@ -292,26 +313,30 @@ void FunctionProxy::CacheResult(const QueryTemplate& qt,
   entry.truncated = truncated;
   entry.last_access_micros = clock_->NowMicros();
   entry.access_count = 1;
-  cache_->Insert(std::move(entry));
-  ChargeMicros(DescriptionCostMicros(cache_->description_comparisons()));
+  size_t comparisons = 0;
+  cache_->Insert(std::move(entry), &comparisons);
+  ChargeMicros(DescriptionCostMicros(comparisons));
 }
 
 HttpResponse FunctionProxy::HandlePassive(const HttpRequest& request,
                                           QueryRecord* record) {
   std::string key = request.path + "?" + FullParamFingerprint(request.query_params);
-  auto it = passive_items_.find(key);
-  if (it != passive_items_.end()) {
-    it->second.last_access = clock_->NowMicros();
-    record->tuples_total = it->second.rows;
-    record->tuples_from_cache = it->second.rows;
-    ++stats_.exact_hits;
-    ChargeMicros(config_.costs.per_response_tuple_us *
-                 static_cast<double>(it->second.rows));
-    HttpResponse response;
-    response.body = it->second.body;
-    return response;
+  {
+    std::lock_guard<std::mutex> lock(passive_mu_);
+    auto it = passive_items_.find(key);
+    if (it != passive_items_.end()) {
+      it->second.last_access = clock_->NowMicros();
+      record->tuples_total = it->second.rows;
+      record->tuples_from_cache = it->second.rows;
+      counters_.exact_hits.fetch_add(1, kRelaxed);
+      ChargeMicros(config_.costs.per_response_tuple_us *
+                   static_cast<double>(it->second.rows));
+      HttpResponse response;
+      response.body = it->second.body;
+      return response;
+    }
   }
-  ++stats_.misses;
+  counters_.misses.fetch_add(1, kRelaxed);
   HttpResponse response = Forward(request, record);
   // Admission control: only well-formed result documents from 2xx responses
   // enter the cache — a 200 carrying garbage must not poison future hits.
@@ -322,6 +347,7 @@ HttpResponse FunctionProxy::HandlePassive(const HttpRequest& request,
     item.bytes = response.body.size() + 128;
     item.last_access = clock_->NowMicros();
     if (config_.max_cache_bytes == 0 || item.bytes <= config_.max_cache_bytes) {
+      std::lock_guard<std::mutex> lock(passive_mu_);
       while (config_.max_cache_bytes != 0 &&
              passive_bytes_ + item.bytes > config_.max_cache_bytes &&
              !passive_items_.empty()) {
@@ -366,14 +392,17 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
   }
   std::string param_fp = FullParamFingerprint(request.query_params);
 
-  // --- Relationship check against the cache description. ---
+  // --- Relationship check against the cache description. The returned
+  // snapshots stay valid even if a concurrent admission evicts the entries
+  // before this request finishes using them. ---
   RelationshipResult rel =
       CheckRelationship(*cache_, qt.id(), *nonspatial_fp, *region);
   double check_micros =
       DescriptionCostMicros(rel.description_comparisons) +
       config_.costs.per_relation_check_us *
           static_cast<double>(rel.regions_checked);
-  stats_.check_micros += static_cast<int64_t>(check_micros);
+  counters_.check_micros.fetch_add(static_cast<int64_t>(check_micros),
+                                   kRelaxed);
   ChargeMicros(check_micros);
   record->status = rel.status;
 
@@ -390,15 +419,15 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
   switch (rel.status) {
     case RegionRelation::kEqual: {
       // Case (a): serve the cached result directly.
-      ++stats_.exact_hits;
-      const CacheEntry* entry = cache_->Find(rel.matched_entry);
-      cache_->Touch(rel.matched_entry, clock_->NowMicros());
+      counters_.exact_hits.fetch_add(1, kRelaxed);
+      const std::shared_ptr<const CacheEntry>& entry = rel.matched;
+      cache_->Touch(entry->id, clock_->NowMicros());
       record->tuples_total = entry->result.num_rows();
       record->tuples_from_cache = entry->result.num_rows();
       if (BreakerOpen()) {
         // Served entirely from cache while the origin is down: a degraded
         // answer that happens to be complete.
-        ++stats_.degraded_full;
+        counters_.degraded_full.fetch_add(1, kRelaxed);
         record->degraded = true;
       }
       return Respond(entry->result);
@@ -407,9 +436,9 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
     case RegionRelation::kContainedBy: {
       if (exact_only) break;  // Stale function-computed values; miss path.
       // Case (b): local spatial selection over the containing entry.
-      ++stats_.containment_hits;
-      const CacheEntry* entry = cache_->Find(rel.matched_entry);
-      cache_->Touch(rel.matched_entry, clock_->NowMicros());
+      counters_.containment_hits.fetch_add(1, kRelaxed);
+      const std::shared_ptr<const CacheEntry>& entry = rel.matched;
+      cache_->Touch(entry->id, clock_->NowMicros());
       auto selected =
           SelectInRegion(entry->result, *region, ft.coordinate_columns());
       if (!selected.ok()) {
@@ -419,7 +448,8 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       }
       double eval_micros = config_.costs.per_cached_tuple_scan_us *
                            static_cast<double>(selected->tuples_scanned);
-      stats_.local_eval_micros += static_cast<int64_t>(eval_micros);
+      counters_.local_eval_micros.fetch_add(static_cast<int64_t>(eval_micros),
+                                            kRelaxed);
       ChargeMicros(eval_micros);
       auto stmt = qt.Instantiate(params);
       if (!stmt.ok()) return Forward(request, record);
@@ -428,7 +458,7 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       record->tuples_total = final_table->num_rows();
       record->tuples_from_cache = final_table->num_rows();
       if (BreakerOpen()) {
-        ++stats_.degraded_full;
+        counters_.degraded_full.fetch_add(1, kRelaxed);
         record->degraded = true;
       }
       // Not cached: the result is already covered by the container (§3.2).
@@ -443,38 +473,38 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       if (!handled) break;  // Fall through to miss handling below.
 
       // Cases (c) and the region-containment special case: assemble the
-      // probe from cached entries, ship a remainder query, merge.
-      std::vector<uint64_t> used_ids = rel.contained_ids;
+      // probe from cached entries, ship a remainder query, merge. `used`
+      // keeps snapshots of every entry contributing tuples to the probe.
+      std::vector<std::shared_ptr<const CacheEntry>> used = rel.contained;
       std::vector<Table> probe_parts;
       size_t scanned = 0;
-      for (uint64_t id : rel.contained_ids) {
-        const CacheEntry* entry = cache_->Find(id);
-        cache_->Touch(id, clock_->NowMicros());
+      for (const auto& entry : rel.contained) {
+        cache_->Touch(entry->id, clock_->NowMicros());
         // Contained regions lie fully inside the query: their result files
         // are merged wholesale, with no per-tuple spatial filtering.
         probe_parts.push_back(entry->result);
       }
       if (handle_overlap) {
-        for (uint64_t id : rel.overlapping_ids) {
-          const CacheEntry* entry = cache_->Find(id);
-          cache_->Touch(id, clock_->NowMicros());
+        for (const auto& entry : rel.overlapping) {
+          cache_->Touch(entry->id, clock_->NowMicros());
           auto selected =
               SelectInRegion(entry->result, *region, ft.coordinate_columns());
           if (!selected.ok()) continue;
           scanned += selected->tuples_scanned;
           probe_parts.push_back(std::move(selected->table));
-          used_ids.push_back(id);
+          used.push_back(entry);
         }
       }
       double eval_micros = config_.costs.per_cached_tuple_scan_us *
                            static_cast<double>(scanned);
-      stats_.local_eval_micros += static_cast<int64_t>(eval_micros);
+      counters_.local_eval_micros.fetch_add(static_cast<int64_t>(eval_micros),
+                                            kRelaxed);
       ChargeMicros(eval_micros);
 
       // Remainder query excludes every region whose tuples the probe holds.
       std::vector<const geometry::Region*> excluded;
-      for (uint64_t id : used_ids) {
-        excluded.push_back(cache_->Find(id)->region.get());
+      for (const auto& entry : used) {
+        excluded.push_back(entry->region.get());
       }
       auto stmt = qt.Instantiate(params);
       if (!stmt.ok()) return Forward(request, record);
@@ -505,24 +535,27 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
               double partial_merge_micros =
                   config_.costs.per_merge_tuple_us *
                   static_cast<double>(probe_only->num_rows());
-              stats_.merge_micros +=
-                  static_cast<int64_t>(partial_merge_micros);
+              counters_.merge_micros.fetch_add(
+                  static_cast<int64_t>(partial_merge_micros), kRelaxed);
               ChargeMicros(partial_merge_micros);
               std::vector<const geometry::Region*> part_regions;
-              for (uint64_t id : used_ids) {
-                part_regions.push_back(cache_->Find(id)->region.get());
+              for (const auto& entry : used) {
+                part_regions.push_back(entry->region.get());
               }
               double coverage =
                   geometry::EstimateCoverageFraction(*region, part_regions);
-              ++stats_.degraded_partial;
-              stats_.coverage_served += coverage;
+              counters_.degraded_partial.fetch_add(1, kRelaxed);
+              {
+                std::lock_guard<std::mutex> lock(records_mu_);
+                coverage_served_ += coverage;
+              }
               record->degraded = true;
               record->coverage = coverage;
               record->tuples_total = partial_table->num_rows();
               record->tuples_from_cache = partial_table->num_rows();
               return RespondPartial(*partial_table, coverage);
             }
-            ++stats_.degraded_unavailable;
+            counters_.degraded_unavailable.fetch_add(1, kRelaxed);
             record->degraded = true;
             return ServiceUnavailable();
           }
@@ -533,14 +566,14 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
                     qt.has_top() && stmt->top_n.has_value() &&
                         full->num_rows() ==
                             static_cast<size_t>(*stmt->top_n));
-        ++stats_.misses;
+        counters_.misses.fetch_add(1, kRelaxed);
         return Respond(*full);
       }
 
       if (is_region_containment) {
-        ++stats_.region_containments;
+        counters_.region_containments.fetch_add(1, kRelaxed);
       } else {
-        ++stats_.overlaps_handled;
+        counters_.overlaps_handled.fetch_add(1, kRelaxed);
       }
 
       // Merge probe parts and the remainder.
@@ -552,7 +585,8 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       if (!merged.ok()) return Forward(request, record);
       double merge_micros = config_.costs.per_merge_tuple_us *
                             static_cast<double>(merged->num_rows());
-      stats_.merge_micros += static_cast<int64_t>(merge_micros);
+      counters_.merge_micros.fetch_add(static_cast<int64_t>(merge_micros),
+                                       kRelaxed);
       ChargeMicros(merge_micros);
 
       record->tuples_total = merged->num_rows();
@@ -561,9 +595,10 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       // Region containment housekeeping (§3.2): the merged result covers the
       // new, larger region — cache it and drop the subsumed entries.
       if (is_region_containment) {
-        for (uint64_t id : rel.contained_ids) {
-          cache_->Remove(id);
-          ChargeMicros(DescriptionCostMicros(cache_->description_comparisons()));
+        for (const auto& entry : rel.contained) {
+          size_t removal_comparisons = 0;
+          cache_->Remove(entry->id, &removal_comparisons);
+          ChargeMicros(DescriptionCostMicros(removal_comparisons));
         }
         CacheResult(qt, *nonspatial_fp, param_fp, *region, *merged,
                     /*truncated=*/false);
@@ -585,14 +620,14 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
 
   // Case (d) or a case this scheme does not handle: fetch the original
   // query from the origin and cache the result.
-  ++stats_.misses;
+  counters_.misses.fetch_add(1, kRelaxed);
   auto table = FetchFromOrigin(request, record);
   if (!table.ok()) {
     if (config_.degraded_mode &&
         table.status().code() != util::StatusCode::kInternal) {
       // The cache contributes nothing to this query: refuse honestly with a
       // Retry-After instead of a bare gateway error.
-      ++stats_.degraded_unavailable;
+      counters_.degraded_unavailable.fetch_add(1, kRelaxed);
       record->degraded = true;
       return ServiceUnavailable();
     }
@@ -620,14 +655,17 @@ util::StatusOr<size_t> FunctionProxy::LoadCache(const std::string& directory) {
 
 HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
   if (request.path == "/proxy/stats") {
-    // Admin endpoint: live statistics and cache state, served locally.
+    // Admin endpoint: one consistent snapshot (single pass over the atomics
+    // and one lock acquisition), then rendered without re-reading live state.
+    ProxyStats snapshot = stats();
     HttpResponse response;
-    response.body = stats_.ToXml();
+    response.body = snapshot.ToXml();
     response.body += "<Cache entries=\"" +
                      std::to_string(cache_->num_entries()) + "\" bytes=\"" +
                      std::to_string(cache_->bytes_used()) + "\" evictions=\"" +
                      std::to_string(cache_->evictions()) + "\" description=\"" +
                      (config_.use_rtree_description ? "rtree" : "array") +
+                     "\" shards=\"" + std::to_string(cache_->num_shards()) +
                      "\" mode=\"" + CachingModeName(config_.mode) + "\"/>\n";
     char breaker_line[160];
     std::snprintf(breaker_line, sizeof(breaker_line),
@@ -635,13 +673,13 @@ HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
                   " transitions=\"%llu\" failureRate=\"%.3f\"/>\n",
                   config_.breaker.enabled ? 1 : 0,
                   BreakerStateName(breaker_->state()),
-                  static_cast<unsigned long long>(breaker_->transitions()),
+                  static_cast<unsigned long long>(snapshot.breaker_transitions),
                   breaker_->FailureRate());
     response.body += breaker_line;
     return response;
   }
 
-  ++stats_.requests;
+  counters_.requests.fetch_add(1, kRelaxed);
   ChargeMicros(config_.costs.request_parse_ms * 1000.0);
 
   QueryRecord record;
@@ -655,7 +693,7 @@ HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
       ft == nullptr) {
     response = Forward(request, &record);
   } else {
-    ++stats_.template_requests;
+    counters_.template_requests.fetch_add(1, kRelaxed);
     record.handled_by_template = true;
     if (config_.mode == CachingMode::kPassive) {
       response = HandlePassive(request, &record);
@@ -664,7 +702,10 @@ HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
     }
   }
   record.failed = !response.ok();
-  stats_.records.push_back(record);
+  {
+    std::lock_guard<std::mutex> lock(records_mu_);
+    records_.push_back(record);
+  }
   return response;
 }
 

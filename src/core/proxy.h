@@ -1,9 +1,11 @@
 #ifndef FNPROXY_CORE_PROXY_H_
 #define FNPROXY_CORE_PROXY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -71,6 +73,10 @@ struct ProxyConfig {
   /// Result-store budget in bytes; 0 = unlimited.
   size_t max_cache_bytes = 0;
   ReplacementPolicy replacement = ReplacementPolicy::kLru;
+  /// Number of cache shards (each with its own reader–writer lock and
+  /// description index). 1 preserves the seed's single-threaded behavior
+  /// exactly; concurrent drivers typically use 8–16.
+  size_t cache_shards = 1;
   ProxyCostModel costs;
   /// Circuit breaker guarding the origin channel (disabled by default).
   CircuitBreakerConfig breaker;
@@ -122,6 +128,10 @@ struct QueryRecord {
   }
 };
 
+/// A plain, copyable snapshot of the proxy's statistics. The live counters
+/// inside FunctionProxy are atomics; `FunctionProxy::stats()` materializes
+/// them into this struct in a single pass, so a snapshot is internally
+/// consistent enough for reporting even while requests are in flight.
 struct ProxyStats {
   uint64_t requests = 0;
   /// XML rendering served by the proxy's /proxy/stats admin endpoint.
@@ -165,6 +175,12 @@ struct ProxyStats {
 /// rest. Non-template traffic is tunneled through unchanged, except the
 /// reserved admin endpoint /proxy/stats, which returns the live ProxyStats
 /// and cache state as XML without contacting the origin.
+///
+/// Handle() is thread-safe: the cache is sharded with reader–writer locks,
+/// statistics counters are atomics (per-query records live behind a small
+/// mutex), and the relationship check hands back shared snapshots so entries
+/// stay usable across concurrent eviction. Many worker threads may drive one
+/// proxy instance (see util::ThreadPool / workload::ConcurrentDriver).
 class FunctionProxy final : public net::HttpHandler {
  public:
   /// `templates`, `origin` and `clock` must outlive the proxy.
@@ -173,7 +189,9 @@ class FunctionProxy final : public net::HttpHandler {
 
   net::HttpResponse Handle(const net::HttpRequest& request) override;
 
-  const ProxyStats& stats() const { return stats_; }
+  /// Consistent snapshot of the statistics (single pass over the atomics
+  /// plus one lock acquisition for the per-query records).
+  ProxyStats stats() const;
   const CacheStore& cache() const { return *cache_; }
   const ProxyConfig& config() const { return config_; }
   const CircuitBreaker& breaker() const { return *breaker_; }
@@ -192,6 +210,27 @@ class FunctionProxy final : public net::HttpHandler {
     size_t rows = 0;
     size_t bytes = 0;
     int64_t last_access = 0;
+  };
+
+  /// Live statistics: lock-free counters incremented from any worker.
+  struct AtomicCounters {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> template_requests{0};
+    std::atomic<uint64_t> exact_hits{0};
+    std::atomic<uint64_t> containment_hits{0};
+    std::atomic<uint64_t> region_containments{0};
+    std::atomic<uint64_t> overlaps_handled{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> origin_form_requests{0};
+    std::atomic<uint64_t> origin_sql_requests{0};
+    std::atomic<uint64_t> origin_failures{0};
+    std::atomic<uint64_t> breaker_open_rejections{0};
+    std::atomic<uint64_t> degraded_full{0};
+    std::atomic<uint64_t> degraded_partial{0};
+    std::atomic<uint64_t> degraded_unavailable{0};
+    std::atomic<int64_t> check_micros{0};
+    std::atomic<int64_t> local_eval_micros{0};
+    std::atomic<int64_t> merge_micros{0};
   };
 
   net::HttpResponse Forward(const net::HttpRequest& request,
@@ -231,9 +270,6 @@ class FunctionProxy final : public net::HttpHandler {
   /// `usable` is false for transport errors, 5xx responses, and well-formed
   /// responses whose body failed to parse (garbage).
   void NoteOriginOutcome(bool usable);
-  /// Copies the origin channel's retry counters (relative to this proxy's
-  /// construction-time baseline) into stats_.
-  void SyncChannelStats();
 
   /// Virtual cost of `comparisons` box comparisons in the cache description
   /// (R-tree comparisons cost more per unit; see ProxyCostModel).
@@ -259,10 +295,17 @@ class FunctionProxy final : public net::HttpHandler {
   uint64_t channel_retries_baseline_ = 0;
 
   // Passive-mode storage: exact-URL-keyed raw responses with LRU eviction.
+  // Guarded by passive_mu_ (a plain map: passive mode is the paper's
+  // baseline, not the concurrency hot path).
+  std::mutex passive_mu_;
   std::map<std::string, PassiveItem> passive_items_;
   size_t passive_bytes_ = 0;
 
-  ProxyStats stats_;
+  AtomicCounters counters_;
+  /// Guards records_ and coverage_served_ (doubles have no atomic +=).
+  mutable std::mutex records_mu_;
+  std::vector<QueryRecord> records_;
+  double coverage_served_ = 0.0;
 };
 
 }  // namespace fnproxy::core

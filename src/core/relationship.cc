@@ -9,12 +9,12 @@ RelationshipResult CheckRelationship(const CacheStore& cache,
                                      const std::string& nonspatial_fingerprint,
                                      const geometry::Region& region) {
   RelationshipResult result;
-  std::vector<uint64_t> candidates = cache.Candidates(region.BoundingBox());
-  result.description_comparisons = cache.description_comparisons();
+  std::vector<uint64_t> candidates =
+      cache.Candidates(region.BoundingBox(), &result.description_comparisons);
 
   for (uint64_t id : candidates) {
-    const CacheEntry* entry = cache.Find(id);
-    if (entry == nullptr) continue;
+    std::shared_ptr<const CacheEntry> entry = cache.Find(id);
+    if (entry == nullptr) continue;  // Evicted since the description probe.
     if (entry->template_id != template_id ||
         entry->nonspatial_fingerprint != nonspatial_fingerprint) {
       continue;
@@ -27,33 +27,33 @@ RelationshipResult CheckRelationship(const CacheStore& cache,
         // is identical even for truncated (TOP-cut) entries because the
         // origin is deterministic.
         result.status = RegionRelation::kEqual;
-        result.matched_entry = id;
-        result.contained_ids.clear();
-        result.overlapping_ids.clear();
+        result.matched = std::move(entry);
+        result.contained.clear();
+        result.overlapping.clear();
         return result;
       case RegionRelation::kContainedBy:
         if (entry->truncated) break;  // Unusable: may miss in-region tuples.
         result.status = RegionRelation::kContainedBy;
-        result.matched_entry = id;
-        result.contained_ids.clear();
-        result.overlapping_ids.clear();
+        result.matched = std::move(entry);
+        result.contained.clear();
+        result.overlapping.clear();
         return result;
       case RegionRelation::kContains:
         if (entry->truncated) break;
-        result.contained_ids.push_back(id);
+        result.contained.push_back(std::move(entry));
         break;
       case RegionRelation::kOverlap:
         if (entry->truncated) break;
-        result.overlapping_ids.push_back(id);
+        result.overlapping.push_back(std::move(entry));
         break;
       case RegionRelation::kDisjoint:
         break;
     }
   }
 
-  if (!result.contained_ids.empty()) {
+  if (!result.contained.empty()) {
     result.status = RegionRelation::kContains;
-  } else if (!result.overlapping_ids.empty()) {
+  } else if (!result.overlapping.empty()) {
     result.status = RegionRelation::kOverlap;
   } else {
     result.status = RegionRelation::kDisjoint;

@@ -2,6 +2,7 @@
 #define FNPROXY_CORE_RELATIONSHIP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,14 +14,19 @@ namespace fnproxy::core {
 /// Outcome of checking a new query against the cache (paper §3.2 cases a-d
 /// plus the region-containment special case). Also reports the work done so
 /// the proxy can charge virtual time for it.
+///
+/// Matched entries are returned as shared snapshots, not bare ids: a
+/// concurrent admission can evict any entry between the relationship check
+/// and its use, and the snapshot keeps the probed data alive for the full
+/// request regardless.
 struct RelationshipResult {
   geometry::RegionRelation status = geometry::RegionRelation::kDisjoint;
   /// Entry serving an exact match or containing the new query.
-  uint64_t matched_entry = 0;
+  std::shared_ptr<const CacheEntry> matched;
   /// Cached entries whose regions the new query contains (non-truncated).
-  std::vector<uint64_t> contained_ids;
+  std::vector<std::shared_ptr<const CacheEntry>> contained;
   /// Cached entries partially overlapping the new query (non-truncated).
-  std::vector<uint64_t> overlapping_ids;
+  std::vector<std::shared_ptr<const CacheEntry>> overlapping;
   /// Number of Relate() region checks performed.
   size_t regions_checked = 0;
   /// Box comparisons inside the cache description structure.

@@ -2,32 +2,33 @@
 
 namespace fnproxy::index {
 
-void ArrayRegionIndex::Insert(EntryId id, const geometry::Hyperrectangle& bbox) {
+void ArrayRegionIndex::Insert(EntryId id, const geometry::Hyperrectangle& bbox,
+                              size_t* comparisons) {
   entries_.push_back({id, bbox});
-  last_op_comparisons_ = 0;
+  *comparisons = 0;
 }
 
-bool ArrayRegionIndex::Remove(EntryId id) {
-  size_t comparisons = 0;
+bool ArrayRegionIndex::Remove(EntryId id, size_t* comparisons) {
+  size_t checked = 0;
   for (size_t i = 0; i < entries_.size(); ++i) {
-    ++comparisons;
+    ++checked;
     if (entries_[i].id == id) {
       entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
-      last_op_comparisons_ = comparisons;
+      *comparisons = checked;
       return true;
     }
   }
-  last_op_comparisons_ = comparisons;
+  *comparisons = checked;
   return false;
 }
 
 std::vector<EntryId> ArrayRegionIndex::SearchIntersecting(
-    const geometry::Hyperrectangle& query) const {
+    const geometry::Hyperrectangle& query, size_t* comparisons) const {
   std::vector<EntryId> result;
   for (const Entry& entry : entries_) {
     if (entry.bbox.IntersectsRect(query)) result.push_back(entry.id);
   }
-  last_op_comparisons_ = entries_.size();
+  *comparisons = entries_.size();
   return result;
 }
 

@@ -13,12 +13,17 @@ namespace fnproxy::index {
 /// small and linear scans are cache-friendly.
 class ArrayRegionIndex final : public RegionIndex {
  public:
-  void Insert(EntryId id, const geometry::Hyperrectangle& bbox) override;
-  bool Remove(EntryId id) override;
+  using RegionIndex::Insert;
+  using RegionIndex::Remove;
+  using RegionIndex::SearchIntersecting;
+
+  void Insert(EntryId id, const geometry::Hyperrectangle& bbox,
+              size_t* comparisons) override;
+  bool Remove(EntryId id, size_t* comparisons) override;
   std::vector<EntryId> SearchIntersecting(
-      const geometry::Hyperrectangle& query) const override;
+      const geometry::Hyperrectangle& query,
+      size_t* comparisons) const override;
   size_t size() const override { return entries_.size(); }
-  size_t last_op_comparisons() const override { return last_op_comparisons_; }
   std::string name() const override { return "array"; }
 
  private:
@@ -27,7 +32,6 @@ class ArrayRegionIndex final : public RegionIndex {
     geometry::Hyperrectangle bbox;
   };
   std::vector<Entry> entries_;
-  mutable size_t last_op_comparisons_ = 0;
 };
 
 }  // namespace fnproxy::index

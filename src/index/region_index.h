@@ -17,29 +17,67 @@ using EntryId = uint64_t;
 /// with a new query's box to find candidate related entries. Two
 /// implementations are compared in Figure 5: a plain array (ACNR) and an
 /// R-tree (ACR).
+///
+/// Threading contract: the three-argument primitives report their box
+/// comparison counts through the `comparisons` out-parameter and touch no
+/// hidden mutable state, so `SearchIntersecting(query, &n)` is safe to call
+/// from many threads at once on a *frozen* index (no concurrent
+/// Insert/Remove). The two-argument conveniences keep the legacy
+/// "most recent op" counter for single-threaded callers (tests, ablation
+/// benches) and are NOT safe to share across threads. Mutations are never
+/// internally synchronized — the sharded CacheStore serializes them with a
+/// per-shard writer lock.
 class RegionIndex {
  public:
   virtual ~RegionIndex() = default;
 
-  /// Adds an entry. Ids must be unique (not checked).
-  virtual void Insert(EntryId id, const geometry::Hyperrectangle& bbox) = 0;
+  /// Adds an entry. Ids must be unique (not checked). `comparisons` (never
+  /// null) receives the number of box comparisons the insert performed.
+  virtual void Insert(EntryId id, const geometry::Hyperrectangle& bbox,
+                      size_t* comparisons) = 0;
 
   /// Removes an entry; returns false if the id is unknown.
-  virtual bool Remove(EntryId id) = 0;
+  virtual bool Remove(EntryId id, size_t* comparisons) = 0;
 
   /// Ids of all entries whose box intersects `query`.
   virtual std::vector<EntryId> SearchIntersecting(
-      const geometry::Hyperrectangle& query) const = 0;
+      const geometry::Hyperrectangle& query, size_t* comparisons) const = 0;
 
   virtual size_t size() const = 0;
 
-  /// Number of box-box comparisons performed by the most recent
-  /// Insert/Remove/SearchIntersecting call. The proxy's cost model charges
-  /// cache-description time proportional to this, which is what makes the
-  /// array-vs-R-tree comparison of Figure 5 observable.
-  virtual size_t last_op_comparisons() const = 0;
-
   virtual std::string name() const = 0;
+
+  // --- Single-threaded conveniences (legacy counter semantics). ---
+
+  void Insert(EntryId id, const geometry::Hyperrectangle& bbox) {
+    size_t comparisons = 0;
+    Insert(id, bbox, &comparisons);
+    last_op_comparisons_ = comparisons;
+  }
+
+  bool Remove(EntryId id) {
+    size_t comparisons = 0;
+    bool removed = Remove(id, &comparisons);
+    last_op_comparisons_ = comparisons;
+    return removed;
+  }
+
+  std::vector<EntryId> SearchIntersecting(
+      const geometry::Hyperrectangle& query) const {
+    size_t comparisons = 0;
+    std::vector<EntryId> result = SearchIntersecting(query, &comparisons);
+    last_op_comparisons_ = comparisons;
+    return result;
+  }
+
+  /// Number of box-box comparisons performed by the most recent two-argument
+  /// Insert/Remove/SearchIntersecting call. The proxy's cost model charges
+  /// cache-description time proportional to comparison counts, which is what
+  /// makes the array-vs-R-tree comparison of Figure 5 observable.
+  size_t last_op_comparisons() const { return last_op_comparisons_; }
+
+ private:
+  mutable size_t last_op_comparisons_ = 0;
 };
 
 }  // namespace fnproxy::index

@@ -60,14 +60,15 @@ size_t RTreeIndex::Height() const {
   return height;
 }
 
-RTreeIndex::Node* RTreeIndex::ChooseLeaf(const Hyperrectangle& bbox) {
+RTreeIndex::Node* RTreeIndex::ChooseLeaf(const Hyperrectangle& bbox,
+                                         size_t* comparisons) {
   Node* node = root_.get();
   while (!node->leaf) {
     NodeEntry* best = nullptr;
     double best_enlargement = std::numeric_limits<double>::infinity();
     double best_volume = std::numeric_limits<double>::infinity();
     for (NodeEntry& entry : node->entries) {
-      ++last_op_comparisons_;
+      ++*comparisons;
       double enlargement = Enlargement(entry.bbox, bbox);
       double volume = entry.bbox.Volume();
       if (enlargement < best_enlargement ||
@@ -82,7 +83,7 @@ RTreeIndex::Node* RTreeIndex::ChooseLeaf(const Hyperrectangle& bbox) {
   return node;
 }
 
-void RTreeIndex::SplitNode(Node* node) {
+void RTreeIndex::SplitNode(Node* node, size_t* comparisons) {
   // Quadratic split (Guttman): pick the pair of entries wasting the most
   // area as seeds, then assign remaining entries by strongest preference.
   std::vector<NodeEntry> entries = std::move(node->entries);
@@ -92,7 +93,7 @@ void RTreeIndex::SplitNode(Node* node) {
   double worst_waste = -std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < entries.size(); ++i) {
     for (size_t j = i + 1; j < entries.size(); ++j) {
-      ++last_op_comparisons_;
+      ++*comparisons;
       double waste = Hyperrectangle::Union(entries[i].bbox, entries[j].bbox).Volume() -
                      entries[i].bbox.Volume() - entries[j].bbox.Volume();
       if (waste > worst_waste) {
@@ -145,7 +146,7 @@ void RTreeIndex::SplitNode(Node* node) {
     double best_diff = -1.0;
     double best_d_a = 0.0, best_d_b = 0.0;
     for (size_t i = 0; i < remaining.size(); ++i) {
-      last_op_comparisons_ += 2;
+      *comparisons += 2;
       double d_a = Enlargement(box_a, remaining[i].bbox);
       double d_b = Enlargement(box_b, remaining[i].bbox);
       double diff = std::abs(d_a - d_b);
@@ -203,7 +204,7 @@ void RTreeIndex::SplitNode(Node* node) {
   Hyperrectangle sibling_box = sibling->ComputeBBox();
   parent->entries.push_back(NodeEntry{sibling_box, std::move(sibling), 0});
   if (parent->entries.size() > max_entries_) {
-    SplitNode(parent);
+    SplitNode(parent, comparisons);
   } else {
     AdjustUpward(parent);
   }
@@ -222,14 +223,15 @@ void RTreeIndex::AdjustUpward(Node* node) {
   }
 }
 
-void RTreeIndex::Insert(EntryId id, const Hyperrectangle& bbox) {
-  last_op_comparisons_ = 0;
+void RTreeIndex::Insert(EntryId id, const Hyperrectangle& bbox,
+                        size_t* comparisons) {
+  *comparisons = 0;
   boxes_.emplace(id, bbox);
-  Node* leaf = ChooseLeaf(bbox);
+  Node* leaf = ChooseLeaf(bbox, comparisons);
   leaf->entries.push_back(NodeEntry{bbox, nullptr, id});
   ++size_;
   if (leaf->entries.size() > max_entries_) {
-    SplitNode(leaf);
+    SplitNode(leaf, comparisons);
   } else {
     AdjustUpward(leaf);
   }
@@ -277,29 +279,28 @@ bool RTreeIndex::RemoveRecursive(Node* node, EntryId id,
   return false;
 }
 
-void RTreeIndex::ReinsertOrphans(std::vector<NodeEntry> orphans) {
+void RTreeIndex::ReinsertOrphans(std::vector<NodeEntry> orphans,
+                                 size_t* comparisons) {
   for (NodeEntry& entry : orphans) {
-    Node* leaf = ChooseLeaf(entry.bbox);
+    Node* leaf = ChooseLeaf(entry.bbox, comparisons);
     leaf->entries.push_back(std::move(entry));
     if (leaf->entries.size() > max_entries_) {
-      SplitNode(leaf);
+      SplitNode(leaf, comparisons);
     } else {
       AdjustUpward(leaf);
     }
   }
 }
 
-bool RTreeIndex::Remove(EntryId id) {
-  last_op_comparisons_ = 0;
+bool RTreeIndex::Remove(EntryId id, size_t* comparisons) {
+  *comparisons = 0;
   auto it = boxes_.find(id);
   if (it == boxes_.end()) return false;
   Hyperrectangle bbox = it->second;
   boxes_.erase(it);
 
   std::vector<NodeEntry> orphans;
-  size_t comparisons = 0;
-  bool removed = RemoveRecursive(root_.get(), id, bbox, &orphans, &comparisons);
-  last_op_comparisons_ = comparisons;
+  bool removed = RemoveRecursive(root_.get(), id, bbox, &orphans, comparisons);
   assert(removed);
   if (removed) --size_;
   AdjustUpward(root_.get());
@@ -321,7 +322,7 @@ bool RTreeIndex::Remove(EntryId id) {
       }
     }
   }
-  ReinsertOrphans(std::move(orphans));
+  ReinsertOrphans(std::move(orphans), comparisons);
   // Collapse a single-child internal root.
   while (!root_->leaf && root_->entries.size() == 1) {
     std::unique_ptr<Node> child = std::move(root_->entries[0].child);
@@ -335,15 +336,15 @@ bool RTreeIndex::Remove(EntryId id) {
 }
 
 std::vector<EntryId> RTreeIndex::SearchIntersecting(
-    const Hyperrectangle& query) const {
-  last_op_comparisons_ = 0;
+    const Hyperrectangle& query, size_t* comparisons) const {
+  *comparisons = 0;
   std::vector<EntryId> result;
   std::vector<const Node*> stack = {root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
     for (const NodeEntry& entry : node->entries) {
-      ++last_op_comparisons_;
+      ++*comparisons;
       if (!entry.bbox.IntersectsRect(query)) continue;
       if (node->leaf) {
         result.push_back(entry.id);

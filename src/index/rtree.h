@@ -15,6 +15,10 @@ namespace fnproxy::index {
 /// configuration. Supports insert, delete (with orphan reinsertion) and
 /// window search. `Validate()` checks the structural invariants and is used
 /// by property tests.
+///
+/// Searches are const and write no hidden state, so concurrent readers are
+/// safe on a frozen tree; mutations require external serialization (the
+/// sharded CacheStore's writer lock).
 class RTreeIndex final : public RegionIndex {
  public:
   /// `max_entries` is the node capacity M; the minimum fill m is M*0.4
@@ -25,12 +29,17 @@ class RTreeIndex final : public RegionIndex {
   RTreeIndex(const RTreeIndex&) = delete;
   RTreeIndex& operator=(const RTreeIndex&) = delete;
 
-  void Insert(EntryId id, const geometry::Hyperrectangle& bbox) override;
-  bool Remove(EntryId id) override;
+  using RegionIndex::Insert;
+  using RegionIndex::Remove;
+  using RegionIndex::SearchIntersecting;
+
+  void Insert(EntryId id, const geometry::Hyperrectangle& bbox,
+              size_t* comparisons) override;
+  bool Remove(EntryId id, size_t* comparisons) override;
   std::vector<EntryId> SearchIntersecting(
-      const geometry::Hyperrectangle& query) const override;
+      const geometry::Hyperrectangle& query,
+      size_t* comparisons) const override;
   size_t size() const override { return size_; }
-  size_t last_op_comparisons() const override { return last_op_comparisons_; }
   std::string name() const override { return "rtree"; }
 
   /// Tree height (0 for an empty tree, 1 for a single leaf root).
@@ -45,13 +54,13 @@ class RTreeIndex final : public RegionIndex {
   struct Node;
   struct NodeEntry;
 
-  Node* ChooseLeaf(const geometry::Hyperrectangle& bbox);
-  void SplitNode(Node* node);
+  Node* ChooseLeaf(const geometry::Hyperrectangle& bbox, size_t* comparisons);
+  void SplitNode(Node* node, size_t* comparisons);
   void AdjustUpward(Node* node);
   bool RemoveRecursive(Node* node, EntryId id,
                        const geometry::Hyperrectangle& bbox,
                        std::vector<NodeEntry>* orphans, size_t* comparisons);
-  void ReinsertOrphans(std::vector<NodeEntry> orphans);
+  void ReinsertOrphans(std::vector<NodeEntry> orphans, size_t* comparisons);
 
   std::unique_ptr<Node> root_;
   size_t max_entries_;
@@ -60,7 +69,6 @@ class RTreeIndex final : public RegionIndex {
   /// Side map for delete-by-id: the public interface removes by id alone,
   /// and descending by the entry's stored box keeps deletion logarithmic.
   std::unordered_map<EntryId, geometry::Hyperrectangle> boxes_;
-  mutable size_t last_op_comparisons_ = 0;
 };
 
 }  // namespace fnproxy::index

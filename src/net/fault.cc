@@ -49,41 +49,47 @@ HttpResponse FaultInjector::MakeTimeout() {
 }
 
 HttpResponse FaultInjector::Handle(const HttpRequest& request) {
-  ++stats_.requests;
+  bool drop, error, garbage, truncate, spike, trickle;
+  double cut_fraction = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
 
-  for (const OutageWindow& window : profile_.outages) {
-    if (window.Covers(clock_->NowMicros())) {
-      ++stats_.outage_drops;
+    for (const OutageWindow& window : profile_.outages) {
+      if (window.Covers(clock_->NowMicros())) {
+        ++stats_.outage_drops;
+        clock_->Advance(profile_.drop_detect_micros);
+        return MakeDrop();
+      }
+    }
+
+    // One draw per configured fault kind, in fixed order, so a given seed
+    // yields the same schedule regardless of which earlier fault fired.
+    drop = profile_.drop_rate > 0 && rng_.NextBool(profile_.drop_rate);
+    error = profile_.error_rate > 0 && rng_.NextBool(profile_.error_rate);
+    garbage = profile_.garbage_rate > 0 && rng_.NextBool(profile_.garbage_rate);
+    truncate =
+        profile_.truncate_rate > 0 && rng_.NextBool(profile_.truncate_rate);
+    spike = profile_.spike_rate > 0 && rng_.NextBool(profile_.spike_rate);
+    trickle =
+        profile_.trickle_rate > 0 && rng_.NextBool(profile_.trickle_rate);
+    if (truncate) cut_fraction = rng_.NextDouble();
+
+    if (drop) {
+      ++stats_.injected_drops;
       clock_->Advance(profile_.drop_detect_micros);
       return MakeDrop();
     }
+    if (error) {
+      ++stats_.injected_errors;
+      return HttpResponse::MakeError(500, "injected internal server error");
+    }
   }
 
-  // One draw per configured fault kind, in fixed order, so a given seed
-  // yields the same schedule regardless of which earlier fault fired.
-  bool drop = profile_.drop_rate > 0 && rng_.NextBool(profile_.drop_rate);
-  bool error = profile_.error_rate > 0 && rng_.NextBool(profile_.error_rate);
-  bool garbage =
-      profile_.garbage_rate > 0 && rng_.NextBool(profile_.garbage_rate);
-  bool truncate =
-      profile_.truncate_rate > 0 && rng_.NextBool(profile_.truncate_rate);
-  bool spike = profile_.spike_rate > 0 && rng_.NextBool(profile_.spike_rate);
-  bool trickle =
-      profile_.trickle_rate > 0 && rng_.NextBool(profile_.trickle_rate);
-  double cut_fraction = truncate ? rng_.NextDouble() : 0.0;
-
-  if (drop) {
-    ++stats_.injected_drops;
-    clock_->Advance(profile_.drop_detect_micros);
-    return MakeDrop();
-  }
-  if (error) {
-    ++stats_.injected_errors;
-    return HttpResponse::MakeError(500, "injected internal server error");
-  }
-
+  // The wrapped handler runs unlocked so concurrent origin work overlaps.
   HttpResponse response = inner_->Handle(request);
 
+  std::lock_guard<std::mutex> lock(mu_);
   if (garbage) {
     ++stats_.injected_garbage;
     response.body = "<<< injected garbage: this is not a result document >>>";

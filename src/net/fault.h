@@ -2,6 +2,7 @@
 #define FNPROXY_NET_FAULT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,11 @@ struct FaultStats {
 /// Composable fault layer over any HttpHandler (typically the origin web
 /// app, placed inside the WAN SimulatedChannel so retries pay transfer
 /// costs on every attempt).
+///
+/// Thread-safe: the random stream and counters live behind a mutex held
+/// only for the fault draws; the wrapped handler runs outside the lock so
+/// concurrent requests still overlap in the origin. Note that under
+/// concurrency the per-request fault schedule depends on arrival order.
 class FaultInjector final : public HttpHandler {
  public:
   /// `inner` and `clock` must outlive the injector.
@@ -94,7 +100,11 @@ class FaultInjector final : public HttpHandler {
 
   HttpResponse Handle(const HttpRequest& request) override;
 
-  const FaultStats& stats() const { return stats_; }
+  /// Snapshot of the injection counters.
+  FaultStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   const FaultProfile& profile() const { return profile_; }
 
   /// The transport-error response a dropped connection produces.
@@ -106,8 +116,9 @@ class FaultInjector final : public HttpHandler {
   HttpHandler* inner_;
   FaultProfile profile_;
   util::SimulatedClock* clock_;
-  util::Random rng_;
-  FaultStats stats_;
+  mutable std::mutex mu_;
+  util::Random rng_;   // Guarded by mu_.
+  FaultStats stats_;   // Guarded by mu_.
 };
 
 }  // namespace fnproxy::net

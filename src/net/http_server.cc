@@ -84,6 +84,9 @@ Status HttpServer::Start(uint16_t port) {
     port_ = ntohs(address.sin_port);
   }
   running_.store(true);
+  if (worker_threads_ > 0) {
+    pool_ = std::make_unique<util::ThreadPool>(worker_threads_);
+  }
   thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
@@ -95,17 +98,32 @@ void HttpServer::Stop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   if (thread_.joinable()) thread_.join();
+  // Drain in-flight connections before returning so the handler is never
+  // used after the caller tears it down.
+  pool_.reset();
 }
 
 void HttpServer::AcceptLoop() {
+  // Snapshot the fd: Start() set it before spawning this thread, and Stop()
+  // overwrites the member (-1) concurrently with the loop. accept() on the
+  // snapshotted fd returns with an error once Stop() closes it.
+  const int listen_fd = listen_fd_;
   while (running_.load()) {
-    int connection_fd = ::accept(listen_fd_, nullptr, nullptr);
+    int connection_fd = ::accept(listen_fd, nullptr, nullptr);
     if (connection_fd < 0) {
       if (errno == EINTR) continue;
       break;  // Socket closed by Stop().
     }
-    ServeConnection(connection_fd);
-    ::close(connection_fd);
+    if (pool_ != nullptr) {
+      bool submitted = pool_->Submit([this, connection_fd] {
+        ServeConnection(connection_fd);
+        ::close(connection_fd);
+      });
+      if (!submitted) ::close(connection_fd);  // Pool shutting down.
+    } else {
+      ServeConnection(connection_fd);
+      ::close(connection_fd);
+    }
   }
 }
 

@@ -3,22 +3,30 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <thread>
 
 #include "net/http.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace fnproxy::net {
 
 /// A small blocking HTTP/1.1 server over real POSIX sockets (loopback
 /// deployments — the paper's proxy ran as a servlet reachable over real
-/// HTTP). One accept thread, sequential connections, Connection: close.
-/// Intended for the live examples and loopback tests; the benchmark
-/// pipeline stays on the in-process simulated transport for determinism.
+/// HTTP). One accept thread dispatches connections to a worker thread pool
+/// (`worker_threads` concurrent in-flight requests against one shared
+/// handler, which must be thread-safe — FunctionProxy and OriginWebApp
+/// are); Connection: close. Intended for the live examples and loopback
+/// tests; the benchmark pipeline stays on the in-process simulated
+/// transport for determinism.
 class HttpServer {
  public:
-  /// `handler` must outlive the server.
-  HttpServer(HttpHandler* handler) : handler_(handler) {}
+  /// `handler` must outlive the server. `worker_threads == 0` serves
+  /// connections inline on the accept thread (the seed's sequential
+  /// behavior).
+  explicit HttpServer(HttpHandler* handler, size_t worker_threads = 4)
+      : handler_(handler), worker_threads_(worker_threads) {}
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -28,7 +36,7 @@ class HttpServer {
   util::Status Start(uint16_t port);
   /// Actual bound port (after Start with port 0).
   uint16_t port() const { return port_; }
-  /// Stops accepting and joins the thread. Idempotent.
+  /// Stops accepting, drains in-flight connections and joins. Idempotent.
   void Stop();
 
  private:
@@ -36,10 +44,13 @@ class HttpServer {
   void ServeConnection(int connection_fd);
 
   HttpHandler* handler_;
-  int listen_fd_ = -1;
+  size_t worker_threads_;
+  /// Atomic: Stop() resets it while the accept thread reads it.
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread thread_;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 /// Blocking HTTP GET against 127.0.0.1:`port`. `path_and_query` is e.g.

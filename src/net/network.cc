@@ -35,16 +35,30 @@ void SimulatedChannel::set_retry_policy(const RetryPolicy& policy) {
   jitter_rng_ = util::Random(policy.jitter_seed);
 }
 
+ChannelRetryStats SimulatedChannel::retry_stats() const {
+  ChannelRetryStats stats;
+  stats.attempts = attempts_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.timeouts = timeouts_.load(std::memory_order_relaxed);
+  stats.deadline_exhausted =
+      deadline_exhausted_.load(std::memory_order_relaxed);
+  stats.failed_round_trips =
+      failed_round_trips_.load(std::memory_order_relaxed);
+  stats.backoff_micros_total =
+      backoff_micros_total_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 HttpResponse SimulatedChannel::Attempt(const HttpRequest& request) {
-  ++total_requests_;
-  ++retry_stats_.attempts;
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
+  attempts_.fetch_add(1, std::memory_order_relaxed);
   int64_t start = clock_->NowMicros();
   size_t request_bytes = request.ByteSize();
-  total_bytes_sent_ += request_bytes;
+  total_bytes_sent_.fetch_add(request_bytes, std::memory_order_relaxed);
   clock_->Advance(link_.TransferMicros(request_bytes));
   HttpResponse response = handler_->Handle(request);
   size_t response_bytes = response.ByteSize();
-  total_bytes_received_ += response_bytes;
+  total_bytes_received_.fetch_add(response_bytes, std::memory_order_relaxed);
   clock_->Advance(link_.TransferMicros(response_bytes));
 
   int64_t timeout = retry_policy_.per_attempt_timeout_micros;
@@ -54,7 +68,7 @@ HttpResponse SimulatedChannel::Attempt(const HttpRequest& request) {
       // The client stopped waiting at the timeout boundary; the simulation
       // rewinds the excess so the attempt is charged exactly the timeout.
       clock_->Rewind(elapsed - timeout);
-      ++retry_stats_.timeouts;
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
       return FaultInjector::MakeTimeout();
     }
   }
@@ -67,7 +81,11 @@ int64_t SimulatedChannel::NextBackoffMicros(int64_t prev_backoff) {
   // Decorrelated jitter: uniform in [base, prev * 3], clamped to the cap.
   int64_t hi = std::max(base, prev_backoff * 3);
   uint64_t span = static_cast<uint64_t>(hi - base) + 1;
-  int64_t draw = base + static_cast<int64_t>(jitter_rng_.NextUint64(span));
+  int64_t draw;
+  {
+    std::lock_guard<std::mutex> lock(jitter_mu_);
+    draw = base + static_cast<int64_t>(jitter_rng_.NextUint64(span));
+  }
   return std::min(draw, cap);
 }
 
@@ -84,15 +102,15 @@ HttpResponse SimulatedChannel::RoundTrip(const HttpRequest& request) {
     if (retry_policy_.overall_deadline_micros > 0 &&
         (clock_->NowMicros() - overall_start) + backoff >
             retry_policy_.overall_deadline_micros) {
-      ++retry_stats_.deadline_exhausted;
+      deadline_exhausted_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     clock_->Advance(backoff);
-    retry_stats_.backoff_micros_total += backoff;
-    ++retry_stats_.retries;
+    backoff_micros_total_.fetch_add(backoff, std::memory_order_relaxed);
+    retries_.fetch_add(1, std::memory_order_relaxed);
     prev_backoff = backoff;
   }
-  ++retry_stats_.failed_round_trips;
+  failed_round_trips_.fetch_add(1, std::memory_order_relaxed);
   return response;
 }
 

@@ -1,7 +1,9 @@
 #ifndef FNPROXY_NET_NETWORK_H_
 #define FNPROXY_NET_NETWORK_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "net/http.h"
 #include "util/clock.h"
@@ -71,6 +73,13 @@ struct ChannelRetryStats {
 /// attached, failed attempts are retried with jittered backoff, each attempt
 /// paying full transfer costs. Cumulative transfer statistics feed the
 /// bandwidth-consumption results.
+///
+/// RoundTrip is thread-safe: transfer/retry counters are atomics, the
+/// jitter stream is mutex-guarded, and the handler is invoked outside any
+/// channel lock (concurrent round trips overlap in the handler, which must
+/// itself be thread-safe — FunctionProxy and OriginWebApp are).
+/// set_retry_policy is configuration, not hot path: call it before
+/// concurrent traffic starts.
 class SimulatedChannel {
  public:
   /// `handler` and `clock` must outlive the channel.
@@ -85,10 +94,17 @@ class SimulatedChannel {
   HttpResponse RoundTrip(const HttpRequest& request);
 
   /// Wire requests actually sent (each retry attempt counts).
-  uint64_t total_requests() const { return total_requests_; }
-  uint64_t total_bytes_sent() const { return total_bytes_sent_; }
-  uint64_t total_bytes_received() const { return total_bytes_received_; }
-  const ChannelRetryStats& retry_stats() const { return retry_stats_; }
+  uint64_t total_requests() const {
+    return total_requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_bytes_sent() const {
+    return total_bytes_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_bytes_received() const {
+    return total_bytes_received_.load(std::memory_order_relaxed);
+  }
+  /// Snapshot of the retry counters (by value: safe under concurrency).
+  ChannelRetryStats retry_stats() const;
 
  private:
   /// One attempt: request transfer, handler, response transfer. Applies the
@@ -101,11 +117,18 @@ class SimulatedChannel {
   LinkConfig link_;
   util::SimulatedClock* clock_;
   RetryPolicy retry_policy_;
-  util::Random jitter_rng_;
-  uint64_t total_requests_ = 0;
-  uint64_t total_bytes_sent_ = 0;
-  uint64_t total_bytes_received_ = 0;
-  ChannelRetryStats retry_stats_;
+  std::mutex jitter_mu_;
+  util::Random jitter_rng_;  // Guarded by jitter_mu_.
+  std::atomic<uint64_t> total_requests_{0};
+  std::atomic<uint64_t> total_bytes_sent_{0};
+  std::atomic<uint64_t> total_bytes_received_{0};
+  /// Retry counters, atomic field by field; retry_stats() snapshots them.
+  std::atomic<uint64_t> attempts_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> deadline_exhausted_{0};
+  std::atomic<uint64_t> failed_round_trips_{0};
+  std::atomic<int64_t> backoff_micros_total_{0};
 };
 
 }  // namespace fnproxy::net

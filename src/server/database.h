@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -17,6 +18,10 @@ namespace fnproxy::server {
 /// The origin site's database engine: named base tables, registered
 /// table-valued functions, scalar functions, and an executor for the SELECT
 /// subset the web application and the remainder-query facility accept.
+///
+/// ExecuteSelect is const and thread-safe (the lazily built join hash
+/// indexes are mutex-guarded); configuration (AddTable,
+/// RegisterTableFunction) must finish before concurrent execution starts.
 ///
 /// Supported statements mirror the paper's function-embedded query template
 /// (Fig. 2): a FROM source that is a base table or TVF call with constant
@@ -73,6 +78,10 @@ class Database {
   std::map<std::string, sql::Table> tables_;  // Keys normalized.
   std::map<std::string, std::unique_ptr<TableValuedFunction>> functions_;
   sql::ScalarFunctionRegistry scalars_;
+  /// Lazily built under hash_index_mu_ so concurrent ExecuteSelect calls
+  /// (the origin serves a thread pool) never race the first build. Map
+  /// nodes are stable, so returned pointers stay valid after unlock.
+  mutable std::mutex hash_index_mu_;
   mutable std::map<HashIndexKey, HashIndex> hash_indexes_;
 };
 

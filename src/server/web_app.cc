@@ -36,7 +36,7 @@ HttpResponse OriginWebApp::ExecuteAndRespond(const SelectStatement& stmt,
   }
   int64_t processing = cost_.ProcessingMicros(
       exec->tuples_examined, exec->table.num_rows(), is_remainder);
-  total_processing_micros_ += processing;
+  total_processing_micros_.fetch_add(processing, std::memory_order_relaxed);
   clock_->Advance(processing);
   HttpResponse response;
   response.body = sql::TableToXml(exec->table);
@@ -56,7 +56,7 @@ HttpResponse OriginWebApp::Handle(const HttpRequest& request) {
     if (!stmt.ok()) {
       return HttpResponse::MakeError(400, stmt.status().ToString());
     }
-    ++sql_queries_served_;
+    sql_queries_served_.fetch_add(1, std::memory_order_relaxed);
     return ExecuteAndRespond(*stmt, /*is_remainder=*/true);
   }
 
@@ -72,7 +72,7 @@ HttpResponse OriginWebApp::Handle(const HttpRequest& request) {
   if (!stmt.ok()) {
     return HttpResponse::MakeError(400, stmt.status().ToString());
   }
-  ++form_queries_served_;
+  form_queries_served_.fetch_add(1, std::memory_order_relaxed);
   return ExecuteAndRespond(*stmt, /*is_remainder=*/false);
 }
 

@@ -1,6 +1,7 @@
 #ifndef FNPROXY_SERVER_WEB_APP_H_
 #define FNPROXY_SERVER_WEB_APP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -27,6 +28,10 @@ namespace fnproxy::server {
 ///
 /// Responses are XML-serialized result tables. Processing time is charged
 /// on the shared simulated clock using the ServerCostModel.
+///
+/// Handle() is thread-safe once configuration (RegisterForm,
+/// set_sql_endpoint_enabled) is complete: queries execute concurrently
+/// against the shared Database and counters are atomics.
 class OriginWebApp final : public net::HttpHandler {
  public:
   /// `db` and `clock` must outlive the app.
@@ -44,9 +49,15 @@ class OriginWebApp final : public net::HttpHandler {
 
   net::HttpResponse Handle(const net::HttpRequest& request) override;
 
-  uint64_t form_queries_served() const { return form_queries_served_; }
-  uint64_t sql_queries_served() const { return sql_queries_served_; }
-  int64_t total_processing_micros() const { return total_processing_micros_; }
+  uint64_t form_queries_served() const {
+    return form_queries_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t sql_queries_served() const {
+    return sql_queries_served_.load(std::memory_order_relaxed);
+  }
+  int64_t total_processing_micros() const {
+    return total_processing_micros_.load(std::memory_order_relaxed);
+  }
 
  private:
   net::HttpResponse ExecuteAndRespond(const sql::SelectStatement& stmt,
@@ -56,10 +67,12 @@ class OriginWebApp final : public net::HttpHandler {
   util::SimulatedClock* clock_;
   ServerCostModel cost_;
   bool sql_enabled_ = true;
+  // Read-only after registration; register all forms before serving
+  // concurrent traffic.
   std::map<std::string, sql::SelectStatement> forms_;  // path -> template.
-  uint64_t form_queries_served_ = 0;
-  uint64_t sql_queries_served_ = 0;
-  int64_t total_processing_micros_ = 0;
+  std::atomic<uint64_t> form_queries_served_{0};
+  std::atomic<uint64_t> sql_queries_served_{0};
+  std::atomic<int64_t> total_processing_micros_{0};
 };
 
 /// Parses a form parameter string into a typed SQL value: INT if it parses

@@ -1,6 +1,7 @@
 #include "util/clock.h"
 
 #include <chrono>
+#include <thread>
 
 namespace fnproxy::util {
 
@@ -11,6 +12,10 @@ int64_t NowNanos() {
       .count();
 }
 }  // namespace
+
+void SimulatedClock::SleepMicros(int64_t micros) {
+  if (micros > 0) std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
 
 Stopwatch::Stopwatch() : start_ns_(NowNanos()) {}
 

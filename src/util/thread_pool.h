@@ -1,0 +1,58 @@
+#ifndef FNPROXY_UTIL_THREAD_POOL_H_
+#define FNPROXY_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fnproxy::util {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue. The
+/// proxy-side users are HttpServer (N in-flight connections against one
+/// shared handler) and the concurrent workload drivers; everything they run
+/// through the pool must therefore be thread-safe.
+///
+/// Shutdown semantics: the destructor (and Shutdown()) stops accepting new
+/// work, drains tasks already queued, and joins the workers — so by the time
+/// the pool is gone, every submitted task has run to completion.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Returns false (dropping the task) after Shutdown().
+  bool Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle. Concurrent
+  /// Submit calls may keep the pool busy past the return.
+  void Wait();
+
+  /// Stops accepting tasks, drains the queue, joins the workers. Idempotent;
+  /// also run by the destructor.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fnproxy::util
+
+#endif  // FNPROXY_UTIL_THREAD_POOL_H_

@@ -1,0 +1,81 @@
+#include "workload/concurrent_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "workload/rbe.h"
+
+namespace fnproxy::workload {
+
+namespace {
+
+/// Nearest-rank percentile over a sorted sample (p in [0, 100]).
+int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  double rank = p / 100.0 * static_cast<double>(sorted.size());
+  size_t index = static_cast<size_t>(rank);
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+}  // namespace
+
+ConcurrentRunResult ConcurrentDriver::Replay(const Trace& trace,
+                                             size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  ConcurrentRunResult result;
+  result.num_threads = num_threads;
+  result.requests = trace.queries.size();
+
+  std::atomic<size_t> next_query{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::vector<int64_t>> per_thread_latencies(num_threads);
+
+  const int64_t virtual_start =
+      clock_ != nullptr ? clock_->NowMicros() : 0;
+  util::Stopwatch wall;
+
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([this, &trace, &next_query, &errors,
+                          &per_thread_latencies, t] {
+      std::vector<int64_t>& latencies = per_thread_latencies[t];
+      for (;;) {
+        size_t i = next_query.fetch_add(1, std::memory_order_relaxed);
+        if (i >= trace.queries.size()) break;
+        net::HttpRequest request = MakeRequest(trace, trace.queries[i]);
+        util::Stopwatch stopwatch;
+        net::HttpResponse response = channel_->RoundTrip(request);
+        latencies.push_back(stopwatch.ElapsedMicros());
+        if (!response.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  result.wall_millis = static_cast<double>(wall.ElapsedMicros()) / 1000.0;
+  result.errors = errors.load();
+  if (clock_ != nullptr) {
+    result.virtual_micros = clock_->NowMicros() - virtual_start;
+  }
+  for (const std::vector<int64_t>& latencies : per_thread_latencies) {
+    result.latencies_micros.insert(result.latencies_micros.end(),
+                                   latencies.begin(), latencies.end());
+  }
+  if (result.wall_millis > 0.0) {
+    result.requests_per_second =
+        static_cast<double>(result.latencies_micros.size()) /
+        (result.wall_millis / 1000.0);
+  }
+  std::vector<int64_t> sorted = result.latencies_micros;
+  std::sort(sorted.begin(), sorted.end());
+  result.p50_micros = Percentile(sorted, 50.0);
+  result.p95_micros = Percentile(sorted, 95.0);
+  result.p99_micros = Percentile(sorted, 99.0);
+  result.max_micros = sorted.empty() ? 0 : sorted.back();
+  return result;
+}
+
+}  // namespace fnproxy::workload

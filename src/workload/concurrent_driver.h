@@ -1,0 +1,64 @@
+#ifndef FNPROXY_WORKLOAD_CONCURRENT_DRIVER_H_
+#define FNPROXY_WORKLOAD_CONCURRENT_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "util/clock.h"
+#include "workload/trace.h"
+
+namespace fnproxy::workload {
+
+/// What one concurrent replay measured. Latencies are *wall-clock*
+/// (util::Stopwatch): the shared SimulatedClock is a global virtual-time
+/// accumulator, so under concurrency it measures total modeled work, not
+/// per-request waiting — real elapsed time is the honest latency signal for
+/// the threading experiments.
+struct ConcurrentRunResult {
+  size_t num_threads = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  /// Wall-clock duration of the whole replay (start of first request to
+  /// completion of the last) and the derived closed-loop throughput.
+  double wall_millis = 0.0;
+  double requests_per_second = 0.0;
+  /// Wall-clock per-request latency percentiles, in microseconds.
+  int64_t p50_micros = 0;
+  int64_t p95_micros = 0;
+  int64_t p99_micros = 0;
+  int64_t max_micros = 0;
+  /// Virtual time charged to the shared clock during the replay (total
+  /// modeled network/server work across all threads).
+  int64_t virtual_micros = 0;
+  /// Every per-request wall latency, in completion order per thread
+  /// (concatenated thread by thread — not globally ordered).
+  std::vector<int64_t> latencies_micros;
+};
+
+/// Closed-loop concurrent trace replayer: `num_threads` workers pull the
+/// next un-issued query from a shared atomic cursor and drive it through one
+/// shared channel (browser → LAN → proxy), so exactly `num_threads` requests
+/// are in flight until the trace drains. Each worker records wall-clock
+/// latency per request; the merged result reports throughput and tail
+/// latency.
+class ConcurrentDriver {
+ public:
+  /// `channel` (and the clock, if given) must outlive the driver. `clock`
+  /// may be null; it is only used to report `virtual_micros`.
+  explicit ConcurrentDriver(net::SimulatedChannel* channel,
+                            util::SimulatedClock* clock = nullptr)
+      : channel_(channel), clock_(clock) {}
+
+  /// Replays the trace from `num_threads` workers (at least 1) and blocks
+  /// until every query has completed.
+  ConcurrentRunResult Replay(const Trace& trace, size_t num_threads);
+
+ private:
+  net::SimulatedChannel* channel_;
+  util::SimulatedClock* clock_;
+};
+
+}  // namespace fnproxy::workload
+
+#endif  // FNPROXY_WORKLOAD_CONCURRENT_DRIVER_H_

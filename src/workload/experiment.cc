@@ -147,4 +147,27 @@ SkyExperiment::RunResult SkyExperiment::RunTrace(
   return result;
 }
 
+SkyExperiment::ConcurrentRunOutput SkyExperiment::RunTraceConcurrent(
+    const Trace& trace, const core::ProxyConfig& proxy_config,
+    size_t num_threads, double real_time_scale) {
+  util::SimulatedClock clock;
+  clock.set_real_time_scale(real_time_scale);
+  server::OriginWebApp app(&db_, &clock, options_.server_costs);
+  Check(app.RegisterForm("/radial", kRadialTemplateSql), "register /radial");
+  Check(app.RegisterForm("/rect", kRectTemplateSql), "register /rect");
+  net::SimulatedChannel wan_channel(&app, options_.wan, &clock);
+  core::FunctionProxy proxy(proxy_config, &templates_, &wan_channel, &clock);
+  net::SimulatedChannel lan_channel(&proxy, options_.lan, &clock);
+  ConcurrentDriver driver(&lan_channel, &clock);
+
+  ConcurrentRunOutput result;
+  result.driver = driver.Replay(trace, num_threads);
+  result.proxy_stats = proxy.stats();
+  result.origin_requests = wan_channel.total_requests();
+  result.origin_bytes_received = wan_channel.total_bytes_received();
+  result.cache_entries_final = proxy.cache().num_entries();
+  result.cache_bytes_final = proxy.cache().bytes_used();
+  return result;
+}
+
 }  // namespace fnproxy::workload

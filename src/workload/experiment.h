@@ -13,6 +13,7 @@
 #include "server/database.h"
 #include "server/sky_functions.h"
 #include "server/web_app.h"
+#include "workload/concurrent_driver.h"
 #include "workload/rbe.h"
 #include "workload/trace.h"
 #include "workload/trace_generator.h"
@@ -91,6 +92,27 @@ class SkyExperiment {
   /// a file) through a fresh proxy pipeline. The origin registers both the
   /// /radial and /rect forms, so either workload can be driven.
   RunResult RunTrace(const Trace& trace, const core::ProxyConfig& proxy_config);
+
+  struct ConcurrentRunOutput {
+    ConcurrentRunResult driver;
+    core::ProxyStats proxy_stats;
+    uint64_t origin_requests = 0;
+    uint64_t origin_bytes_received = 0;
+    size_t cache_entries_final = 0;
+    size_t cache_bytes_final = 0;
+  };
+
+  /// Replays a trace through a fresh proxy pipeline from `num_threads`
+  /// closed-loop workers sharing one proxy (see ConcurrentDriver). With
+  /// num_threads == 1 this issues the same requests as RunTrace, in order.
+  /// `real_time_scale` > 0 paces the shared clock (every modeled
+  /// microsecond also sleeps `scale` real microseconds) so modeled waits
+  /// overlap across threads in wall-clock — the basis of the
+  /// throughput-vs-threads measurement on any host (see SimulatedClock).
+  ConcurrentRunOutput RunTraceConcurrent(const Trace& trace,
+                                         const core::ProxyConfig& proxy_config,
+                                         size_t num_threads,
+                                         double real_time_scale = 0.0);
 
  private:
   Options options_;

@@ -120,10 +120,10 @@ TEST(CacheSnapshotTest, SaveLoadRoundTrip) {
 
   // Every restored entry matches an original by param fingerprint.
   for (uint64_t id : restored.AllIds()) {
-    const CacheEntry* entry = restored.Find(id);
+    std::shared_ptr<const CacheEntry> entry = restored.Find(id);
     bool matched = false;
     for (uint64_t original_id : original.AllIds()) {
-      const CacheEntry* orig = original.Find(original_id);
+      std::shared_ptr<const CacheEntry> orig = original.Find(original_id);
       if (orig->param_fingerprint != entry->param_fingerprint) continue;
       matched = true;
       EXPECT_EQ(entry->template_id, orig->template_id);

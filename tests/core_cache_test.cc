@@ -46,7 +46,7 @@ TEST(CacheStoreTest, InsertFindRemove) {
   auto store = MakeStore(0);
   uint64_t id = store->Insert(MakeEntry(0, 1, 10));
   ASSERT_NE(id, 0u);
-  const CacheEntry* entry = store->Find(id);
+  std::shared_ptr<const CacheEntry> entry = store->Find(id);
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->result.num_rows(), 10u);
   EXPECT_EQ(store->num_entries(), 1u);

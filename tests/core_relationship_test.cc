@@ -54,15 +54,15 @@ TEST_F(RelationshipTest, ExactMatchWins) {
   store_.Insert(MakeEntry(0, 2));  // Contains the query too.
   RelationshipResult result = Check(0, 1);
   EXPECT_EQ(result.status, RegionRelation::kEqual);
-  EXPECT_NE(result.matched_entry, 0u);
+  EXPECT_NE(result.matched, nullptr);
 }
 
 TEST_F(RelationshipTest, ContainmentDetected) {
   store_.Insert(MakeEntry(0, 2));
   RelationshipResult result = Check(0.5, 1);
   EXPECT_EQ(result.status, RegionRelation::kContainedBy);
-  const CacheEntry* entry = store_.Find(result.matched_entry);
-  ASSERT_NE(entry, nullptr);
+  ASSERT_NE(result.matched, nullptr);
+  EXPECT_NE(store_.Find(result.matched->id), nullptr);
 }
 
 TEST_F(RelationshipTest, RegionContainmentCollectsAllContained) {
@@ -71,14 +71,14 @@ TEST_F(RelationshipTest, RegionContainmentCollectsAllContained) {
   store_.Insert(MakeEntry(50, 0.5));  // Far away.
   RelationshipResult result = Check(0, 4);
   EXPECT_EQ(result.status, RegionRelation::kContains);
-  EXPECT_EQ(result.contained_ids.size(), 2u);
+  EXPECT_EQ(result.contained.size(), 2u);
 }
 
 TEST_F(RelationshipTest, OverlapCollected) {
   store_.Insert(MakeEntry(1.5, 1));
   RelationshipResult result = Check(0, 1);
   EXPECT_EQ(result.status, RegionRelation::kOverlap);
-  EXPECT_EQ(result.overlapping_ids.size(), 1u);
+  EXPECT_EQ(result.overlapping.size(), 1u);
 }
 
 TEST_F(RelationshipTest, MixedContainsAndOverlapReportsContains) {
@@ -86,8 +86,8 @@ TEST_F(RelationshipTest, MixedContainsAndOverlapReportsContains) {
   store_.Insert(MakeEntry(3.5, 1.0));  // Partially overlapping.
   RelationshipResult result = Check(0, 3);
   EXPECT_EQ(result.status, RegionRelation::kContains);
-  EXPECT_EQ(result.contained_ids.size(), 1u);
-  EXPECT_EQ(result.overlapping_ids.size(), 1u);
+  EXPECT_EQ(result.contained.size(), 1u);
+  EXPECT_EQ(result.overlapping.size(), 1u);
 }
 
 TEST_F(RelationshipTest, DifferentTemplateIgnored) {

@@ -241,7 +241,7 @@ TEST_F(FailureInjectionTest, TimeoutSurfacedAndNotCached) {
   HttpResponse response = proxy_->Handle(Radial(185, 33, 20));
   EXPECT_FALSE(response.ok());
   EXPECT_EQ(proxy_->cache().num_entries(), 0u);
-  const auto& record = proxy_->stats().records.back();
+  const auto record = proxy_->stats().records.back();
   EXPECT_TRUE(record.failed);
   EXPECT_DOUBLE_EQ(record.CacheEfficiency(), 0.0);
 }
@@ -334,7 +334,7 @@ TEST_F(FailureInjectionTest, DegradedModeServesFromCacheDuringOutage) {
   EXPECT_LT(overlap_attrs->coverage, 1.0);
   EXPECT_EQ(overlap_attrs->degraded_reason, "origin-unreachable");
   EXPECT_EQ(active.stats().degraded_partial, 1u);
-  const auto& partial_record = active.stats().records.back();
+  const auto partial_record = active.stats().records.back();
   EXPECT_TRUE(partial_record.degraded);
   // The XML attribute is printed with 4 decimals.
   EXPECT_NEAR(partial_record.coverage, overlap_attrs->coverage, 1e-4);

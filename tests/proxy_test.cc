@@ -325,7 +325,7 @@ TEST_F(ProxyTest, CacheEfficiencyAccountsPartialAnswers) {
   MakeProxy(CachingMode::kActiveFull);
   ThroughProxy(RadialRequest(180.0, 30.0, 20.0));
   ThroughProxy(RadialRequest(180.4, 30.0, 20.0));  // Overlap.
-  const QueryRecord& record = proxy_->stats().records.back();
+  const QueryRecord record = proxy_->stats().records.back();
   ASSERT_GT(record.tuples_total, 0u);
   EXPECT_GT(record.tuples_from_cache, 0u);
   EXPECT_LT(record.tuples_from_cache, record.tuples_total);

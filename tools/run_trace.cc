@@ -3,9 +3,13 @@
 // chosen caching scheme and prints the run summary:
 //
 //   run_trace <trace-file> [scheme] [cache-bytes] [--fault-profile=<name>]
+//             [--threads=N]
 //
 // scheme: nc | pc | full | region | containment   (default: full)
 // cache-bytes: result-store budget, 0 = unlimited (default).
+// threads: closed-loop client workers sharing one proxy (default 1, the
+//   classic sequential replay). N > 1 replays through the concurrent driver
+//   (sharded cache, wall-clock latencies) and requires the healthy profile.
 // fault-profile:
 //   healthy — no faults (default); the pipeline behaves as before.
 //   flaky   — intermittent 500s, connection drops, garbage bodies and
@@ -30,10 +34,14 @@ using namespace fnproxy;
 
 int main(int argc, char** argv) {
   std::string fault_profile = "healthy";
+  size_t num_threads = 1;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--fault-profile=", 16) == 0) {
       fault_profile = argv[i] + 16;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      num_threads = static_cast<size_t>(std::atoll(argv[i] + 10));
+      if (num_threads == 0) num_threads = 1;
     } else {
       positional.push_back(argv[i]);
     }
@@ -41,7 +49,13 @@ int main(int argc, char** argv) {
   if (positional.empty()) {
     std::fprintf(stderr,
                  "usage: run_trace <trace-file> [nc|pc|full|region|containment]"
-                 " [cache-bytes] [--fault-profile=healthy|flaky|outage]\n");
+                 " [cache-bytes] [--fault-profile=healthy|flaky|outage]"
+                 " [--threads=N]\n");
+    return 2;
+  }
+  if (num_threads > 1 && fault_profile != "healthy") {
+    std::fprintf(stderr,
+                 "--threads=N > 1 requires --fault-profile=healthy\n");
     return 2;
   }
   if (fault_profile != "healthy" && fault_profile != "flaky" &&
@@ -89,6 +103,52 @@ int main(int argc, char** argv) {
   workload::SkyExperiment::Options sky_options;
   sky_options.trace.num_queries = 1;  // Placeholder; we replay the file.
   workload::SkyExperiment experiment(sky_options);
+
+  if (num_threads > 1) {
+    core::ProxyConfig proxy_config;
+    proxy_config.mode = mode;
+    proxy_config.max_cache_bytes = cache_bytes;
+    proxy_config.cache_shards = 8;  // Spread lock contention across shards.
+    workload::SkyExperiment::ConcurrentRunOutput output =
+        experiment.RunTraceConcurrent(*trace, proxy_config, num_threads,
+                                      /*real_time_scale=*/0.01);
+    const workload::ConcurrentRunResult& run = output.driver;
+    const core::ProxyStats& stats = output.proxy_stats;
+    std::printf("scheme:              %s\n", core::CachingModeName(mode));
+    std::printf("threads:             %zu (cache shards: %zu)\n",
+                num_threads, proxy_config.cache_shards);
+    std::printf("queries:             %zu (%lu errors)\n",
+                trace->queries.size(),
+                static_cast<unsigned long>(run.errors));
+    std::printf("wall time:           %.1f ms (%.0f req/s)\n", run.wall_millis,
+                run.requests_per_second);
+    std::printf("latency (wall):      p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, "
+                "max %.2f ms\n",
+                static_cast<double>(run.p50_micros) / 1000.0,
+                static_cast<double>(run.p95_micros) / 1000.0,
+                static_cast<double>(run.p99_micros) / 1000.0,
+                static_cast<double>(run.max_micros) / 1000.0);
+    std::printf("modeled time:        %.1f s total across threads\n",
+                static_cast<double>(run.virtual_micros) / 1e6);
+    std::printf("cache efficiency:    %.3f\n", stats.AverageCacheEfficiency());
+    std::printf("hits:                exact %lu, containment %lu, "
+                "region-containment %lu, overlap %lu\n",
+                static_cast<unsigned long>(stats.exact_hits),
+                static_cast<unsigned long>(stats.containment_hits),
+                static_cast<unsigned long>(stats.region_containments),
+                static_cast<unsigned long>(stats.overlaps_handled));
+    std::printf("misses:              %lu\n",
+                static_cast<unsigned long>(stats.misses));
+    std::printf("origin requests:     %lu (%.1f MB received)\n",
+                static_cast<unsigned long>(output.origin_requests),
+                static_cast<double>(output.origin_bytes_received) /
+                    (1024 * 1024));
+    std::printf("final cache:         %zu entries, %.1f MB\n",
+                output.cache_entries_final,
+                static_cast<double>(output.cache_bytes_final) / (1024 * 1024));
+    return run.errors == 0 ? 0 : 1;
+  }
+
   workload::AvailabilityExperiment availability(&experiment);
 
   workload::AvailabilityOptions options;
