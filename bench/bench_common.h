@@ -3,12 +3,113 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/proxy.h"
+#include "util/string_util.h"
 #include "workload/experiment.h"
 
 namespace fnproxy::bench {
+
+/// Machine-readable bench output (docs/FORMATS.md). Benches accept
+/// `--json` / `--json=<path>`; when present, every recorded measurement is
+/// appended to the file (default BENCH_results.json) as one JSON object per
+/// line, so several bench binaries in a CI step can share one file:
+///
+///   {"bench":"bench_columnar_scan","name":"scan_100k/columnar",
+///    "value":12.5,"unit":"ms","tuples":100000}
+///
+/// Without the flag, Record() is a no-op and benches print their usual
+/// human-readable tables only.
+class BenchJson {
+ public:
+  /// Scans argv for `--json[=path]` and strips it so downstream flag parsers
+  /// (google-benchmark rejects unknown flags) never see it.
+  static BenchJson FromArgs(int* argc, char** argv, std::string bench) {
+    BenchJson json;
+    json.bench_ = std::move(bench);
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json") {
+        json.enabled_ = true;
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json.enabled_ = true;
+        json.path_ = arg.substr(7);
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+    return json;
+  }
+
+  bool enabled() const { return enabled_; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one JSON-lines record. `extras` are numeric fields merged into
+  /// the object (e.g. {"tuples", 100000}).
+  void Record(const std::string& name, double value, const std::string& unit,
+              const std::vector<std::pair<std::string, double>>& extras = {})
+      const {
+    if (!enabled_) return;
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot open %s for append\n",
+                   path_.c_str());
+      return;
+    }
+    std::string line = "{\"bench\":\"";
+    AppendJsonEscaped(&line, bench_);
+    line += "\",\"name\":\"";
+    AppendJsonEscaped(&line, name);
+    line += "\",\"value\":";
+    AppendJsonNumber(&line, value);
+    line += ",\"unit\":\"";
+    AppendJsonEscaped(&line, unit);
+    line += "\"";
+    for (const auto& [key, number] : extras) {
+      line += ",\"";
+      AppendJsonEscaped(&line, key);
+      line += "\":";
+      AppendJsonNumber(&line, number);
+    }
+    line += "}\n";
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fclose(f);
+  }
+
+ private:
+  static void AppendJsonEscaped(std::string* out, const std::string& s) {
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out->push_back('\\');
+        out->push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out->append(buf);
+      } else {
+        out->push_back(c);
+      }
+    }
+  }
+
+  /// JSON has no NaN/Inf literals; clamp them to null.
+  static void AppendJsonNumber(std::string* out, double value) {
+    if (value != value || value > 1.7976931348623157e308 ||
+        value < -1.7976931348623157e308) {
+      out->append("null");
+    } else {
+      out->append(util::FormatDouble(value));
+    }
+  }
+
+  bool enabled_ = false;
+  std::string bench_;
+  std::string path_ = "BENCH_results.json";
+};
 
 /// The paper-scale experiment: 11,323-query Radial trace over the synthetic
 /// SkyServer. Shared by the Table 1 / Figure 5 / Figure 6 benches so their

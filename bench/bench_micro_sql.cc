@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "sql/eval.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -102,5 +103,39 @@ void BM_TableFromXml(benchmark::State& state) {
 }
 BENCHMARK(BM_TableFromXml)->Arg(50)->Arg(500);
 
+/// Console reporter that mirrors every finished run into the shared
+/// JSON-lines file when --json is active.
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonMirrorReporter(const fnproxy::bench::BenchJson* json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      json_->Record(
+          run.benchmark_name(), run.GetAdjustedRealTime(),
+          benchmark::GetTimeUnitString(run.time_unit),
+          {{"iterations", static_cast<double>(run.iterations)},
+           {"cpu_time", run.GetAdjustedCPUTime()}});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  const fnproxy::bench::BenchJson* json_;
+};
+
 }  // namespace
 }  // namespace fnproxy::sql
+
+int main(int argc, char** argv) {
+  fnproxy::bench::BenchJson json =
+      fnproxy::bench::BenchJson::FromArgs(&argc, argv, "bench_micro_sql");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  fnproxy::sql::JsonMirrorReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

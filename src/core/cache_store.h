@@ -12,6 +12,7 @@
 
 #include "geometry/region.h"
 #include "index/region_index.h"
+#include "sql/columnar.h"
 #include "sql/schema.h"
 #include "util/status.h"
 
@@ -30,7 +31,11 @@ struct CacheEntry {
   /// passive caching).
   std::string param_fingerprint;
   std::unique_ptr<geometry::Region> region;
-  sql::Table result;
+  /// Result tuples in columnar form (assignable from a row-wise sql::Table).
+  /// The proxy pre-resolves the template's coordinate columns to contiguous
+  /// double arrays (PrepareNumericView) before the entry is frozen, so
+  /// concurrent readers scan without conversion or locking.
+  sql::ColumnarTable result;
   /// True when the origin applied a TOP cutoff, so `result` may be missing
   /// in-region tuples: such entries may serve exact matches only.
   bool truncated = false;

@@ -1,8 +1,9 @@
 #include "core/local_eval.h"
 
 #include <algorithm>
-#include <unordered_set>
 
+#include "geometry/hyperrectangle.h"
+#include "geometry/hypersphere.h"
 #include "sql/eval.h"
 
 namespace fnproxy::core {
@@ -52,15 +53,43 @@ StatusOr<LocalEvalResult> SelectInRegion(
 
 namespace {
 
-/// Canonical row key for duplicate elimination.
-std::string RowKey(const Row& row) {
-  std::string key;
-  for (const Value& v : row) {
-    key += v.ToSqlLiteral();
-    key += '\x1f';
+/// Open-addressing hash set for duplicate elimination: 64-bit row hash plus
+/// a payload index, linear probing, zero allocations past the two flat
+/// arrays. Replaces the historical per-row key strings (ToSqlLiteral
+/// concatenation), which allocated a key per tuple; dedup identity is
+/// unchanged (see sql::DedupHashRow). True equality is delegated to the
+/// caller on hash match, so 64-bit collisions stay correct.
+class RowHashSet {
+ public:
+  explicit RowHashSet(size_t expected) {
+    size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    slots_.assign(cap, kEmpty);
+    hashes_.resize(cap);
+    mask_ = cap - 1;
   }
-  return key;
-}
+
+  /// Inserts `index` under `hash` unless `equals(existing_index)` holds for
+  /// some already-inserted entry with the same hash; returns true when
+  /// inserted (i.e. the row is new).
+  template <typename Eq>
+  bool InsertIfAbsent(uint64_t hash, uint32_t index, const Eq& equals) {
+    size_t pos = hash & mask_;
+    while (slots_[pos] != kEmpty) {
+      if (hashes_[pos] == hash && equals(slots_[pos])) return false;
+      pos = (pos + 1) & mask_;
+    }
+    slots_[pos] = index;
+    hashes_[pos] = hash;
+    return true;
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = 0xFFFFFFFFu;
+  std::vector<uint32_t> slots_;
+  std::vector<uint64_t> hashes_;
+  size_t mask_ = 0;
+};
 
 }  // namespace
 
@@ -69,20 +98,25 @@ StatusOr<Table> MergeDistinct(const std::vector<const Table*>& parts) {
     return Status::InvalidArgument("nothing to merge");
   }
   const sql::Schema& schema = parts[0]->schema();
+  size_t total_rows = 0;
   for (const Table* part : parts) {
     if (!part->schema().SameColumns(schema)) {
       return Status::InvalidArgument(
           "cannot merge results with different schemas: " +
           part->schema().ToString() + " vs " + schema.ToString());
     }
+    total_rows += part->num_rows();
   }
   Table merged(schema);
-  std::unordered_set<std::string> seen;
+  RowHashSet seen(total_rows);
   for (const Table* part : parts) {
     for (const Row& row : part->rows()) {
-      if (seen.insert(RowKey(row)).second) {
-        merged.AddRow(row);
-      }
+      bool inserted = seen.InsertIfAbsent(
+          sql::DedupHashRow(row), static_cast<uint32_t>(merged.num_rows()),
+          [&](uint32_t emitted) {
+            return sql::DedupEqualRows(merged.row(emitted), row);
+          });
+      if (inserted) merged.AddRow(row);
     }
   }
   return merged;
@@ -129,6 +163,289 @@ StatusOr<Table> ApplyOrderAndTop(const Table& input,
     out.AddRow(input.row(order[i]));
   }
   return out;
+}
+
+// --- Columnar hot path ------------------------------------------------------
+
+namespace {
+
+using sql::ColumnarTable;
+
+bool ViewBit(const uint64_t* bits, size_t i) {
+  return ((bits[i >> 6] >> (i & 63)) & 1) != 0;
+}
+
+}  // namespace
+
+StatusOr<ColumnarSelection> SelectInRegion(
+    const ColumnarTable& cached, const geometry::Region& region,
+    const std::vector<std::string>& coordinate_columns) {
+  size_t dims = coordinate_columns.size();
+  std::vector<size_t> coord_indexes;
+  coord_indexes.reserve(dims);
+  for (const std::string& name : coordinate_columns) {
+    auto idx = cached.schema().FindColumn(name);
+    if (!idx.has_value()) {
+      return Status::InvalidArgument(
+          "cached result lacks coordinate column '" + name +
+          "' (violates the result-attribute-availability property)");
+    }
+    coord_indexes.push_back(*idx);
+  }
+
+  // Resolve each coordinate column to a contiguous double array. Entries
+  // admitted through the proxy have these views prepared at admission time;
+  // tables built elsewhere (tests) fall back to scratch conversions.
+  std::vector<ColumnarTable::NumericView> views(dims);
+  std::vector<std::vector<double>> scratch_values(dims);
+  std::vector<std::vector<uint64_t>> scratch_valid(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    auto view = cached.numeric_view(coord_indexes[i]);
+    views[i] = view.has_value()
+                   ? *view
+                   : cached.BuildNumericView(coord_indexes[i],
+                                             &scratch_values[i],
+                                             &scratch_valid[i]);
+  }
+
+  size_t num_rows = cached.num_rows();
+  ColumnarSelection out;
+  out.tuples_scanned = num_rows;
+  bool any_bitmap = false;
+  for (size_t i = 0; i < dims; ++i) {
+    if (views[i].valid != nullptr) any_bitmap = true;
+  }
+  auto row_valid = [&](size_t r) {
+    for (size_t i = 0; i < dims; ++i) {
+      if (views[i].valid != nullptr && !ViewBit(views[i].valid, r)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Batched membership kernels. Each replicates its shape's
+  // Region::ContainsPoint float semantics operation-for-operation, so the
+  // selected set is bit-identical to the row-wise scan. The 2-D
+  // fully-numeric case (the paper's celestial radial/rectangle templates
+  // over prepared views) gets branch-free tight loops.
+  switch (region.kind()) {
+    case geometry::ShapeKind::kHypersphere: {
+      const auto& sphere = static_cast<const geometry::Hypersphere&>(region);
+      const geometry::Point& center = sphere.center();
+      double limit = sphere.radius() + geometry::kGeomEpsilon;
+      limit *= limit;
+      if (dims == 2 && !any_bitmap) {
+        const double* xs = views[0].data;
+        const double* ys = views[1].data;
+        double cx = center[0];
+        double cy = center[1];
+        for (size_t r = 0; r < num_rows; ++r) {
+          double dx = xs[r] - cx;
+          double dy = ys[r] - cy;
+          if (dx * dx + dy * dy <= limit) {
+            out.selection.push_back(static_cast<uint32_t>(r));
+          }
+        }
+        break;
+      }
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (!row_valid(r)) continue;
+        double sum = 0.0;
+        for (size_t i = 0; i < dims; ++i) {
+          double diff = views[i].data[r] - center[i];
+          sum += diff * diff;
+        }
+        if (sum <= limit) out.selection.push_back(static_cast<uint32_t>(r));
+      }
+      break;
+    }
+    case geometry::ShapeKind::kHyperrectangle: {
+      const auto& rect = static_cast<const geometry::Hyperrectangle&>(region);
+      size_t rect_dims = std::min(dims, rect.lo().size());
+      std::vector<double> lo(rect_dims), hi(rect_dims);
+      for (size_t i = 0; i < rect_dims; ++i) {
+        lo[i] = rect.lo()[i] - geometry::kGeomEpsilon;
+        hi[i] = rect.hi()[i] + geometry::kGeomEpsilon;
+      }
+      if (rect_dims == 2 && dims == 2 && !any_bitmap) {
+        const double* xs = views[0].data;
+        const double* ys = views[1].data;
+        double lo0 = lo[0], hi0 = hi[0], lo1 = lo[1], hi1 = hi[1];
+        for (size_t r = 0; r < num_rows; ++r) {
+          double x = xs[r];
+          double y = ys[r];
+          if (x >= lo0 && x <= hi0 && y >= lo1 && y <= hi1) {
+            out.selection.push_back(static_cast<uint32_t>(r));
+          }
+        }
+        break;
+      }
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (!row_valid(r)) continue;
+        bool inside = true;
+        for (size_t i = 0; i < rect_dims; ++i) {
+          double x = views[i].data[r];
+          if (x < lo[i] || x > hi[i]) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) out.selection.push_back(static_cast<uint32_t>(r));
+      }
+      break;
+    }
+    case geometry::ShapeKind::kPolytope: {
+      // Halfspace tests need the full point anyway; gather per row and reuse
+      // the shape's own predicate.
+      geometry::Point point(dims);
+      for (size_t r = 0; r < num_rows; ++r) {
+        if (!row_valid(r)) continue;
+        for (size_t i = 0; i < dims; ++i) point[i] = views[i].data[r];
+        if (region.ContainsPoint(point)) {
+          out.selection.push_back(static_cast<uint32_t>(r));
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+StatusOr<ColumnarTable> MergeDistinctColumnar(const std::vector<ColumnarSlice>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("nothing to merge");
+  }
+  const sql::Schema& schema = parts[0].table->schema();
+  size_t total_rows = 0;
+  for (const ColumnarSlice& part : parts) {
+    if (!part.table->schema().SameColumns(schema)) {
+      return Status::InvalidArgument(
+          "cannot merge results with different schemas: " +
+          part.table->schema().ToString() + " vs " + schema.ToString());
+    }
+    total_rows +=
+        part.selection ? part.selection->size() : part.table->num_rows();
+  }
+  // Phase 1: hash all candidate rows column-major and dedup into a kept
+  // list of (part, source row). Equality on hash match compares the source
+  // rows directly, so no output row needs to exist yet.
+  struct KeptRef {
+    uint32_t part;
+    uint32_t row;
+  };
+  std::vector<KeptRef> kept;
+  kept.reserve(total_rows);
+  std::vector<uint64_t> hashes;
+  RowHashSet seen(total_rows);
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const ColumnarTable& table = *parts[p].table;
+    const uint32_t* rows =
+        parts[p].selection ? parts[p].selection->data() : nullptr;
+    size_t count =
+        parts[p].selection ? parts[p].selection->size() : table.num_rows();
+    hashes.resize(count);
+    table.RowDedupHashes(rows, count, hashes.data());
+    for (size_t i = 0; i < count; ++i) {
+      uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
+      bool inserted = seen.InsertIfAbsent(
+          hashes[i], static_cast<uint32_t>(kept.size()), [&](uint32_t k) {
+            return ColumnarTable::RowsDedupEqual(*parts[kept[k].part].table,
+                                                 kept[k].row, table, row);
+          });
+      if (inserted) {
+        kept.push_back({static_cast<uint32_t>(p), row});
+      }
+    }
+  }
+  // Phase 2: copy the kept rows with one batched append per contiguous run
+  // of rows from the same part (first occurrence wins, in part order, so the
+  // runs are long).
+  ColumnarTable merged(schema);
+  merged.Reserve(kept.size());
+  std::vector<uint32_t> run;
+  size_t i = 0;
+  while (i < kept.size()) {
+    uint32_t part = kept[i].part;
+    run.clear();
+    while (i < kept.size() && kept[i].part == part) run.push_back(kept[i++].row);
+    merged.AppendRowsFrom(*parts[part].table, run.data(), run.size());
+  }
+  return merged;
+}
+
+namespace {
+
+/// Per-column three-way comparison mirroring Value::Compare with the
+/// caller's historical "errors order as equal" behavior: NULLs and
+/// incomparable cells yield 0. Numeric columns coerce to double even for
+/// int/int pairs, exactly like Value::Compare's ToNumeric path.
+int CompareCells(const ColumnarTable& table, size_t col, uint32_t a,
+                 uint32_t b) {
+  if (table.CellIsNull(a, col) || table.CellIsNull(b, col)) return 0;
+  switch (table.storage_kind(col)) {
+    case ColumnarTable::StorageKind::kInt: {
+      double x = static_cast<double>(table.CellInt(a, col));
+      double y = static_cast<double>(table.CellInt(b, col));
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ColumnarTable::StorageKind::kDouble: {
+      double x = table.CellDouble(a, col);
+      double y = table.CellDouble(b, col);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ColumnarTable::StorageKind::kBool: {
+      double x = table.CellBool(a, col) ? 1.0 : 0.0;
+      double y = table.CellBool(b, col) ? 1.0 : 0.0;
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ColumnarTable::StorageKind::kString: {
+      int cmp = table.CellString(a, col).compare(table.CellString(b, col));
+      return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+    case ColumnarTable::StorageKind::kMixed: {
+      auto cmp = table.CellMixed(a, col).Compare(table.CellMixed(b, col));
+      return cmp.ok() ? *cmp : 0;
+    }
+    case ColumnarTable::StorageKind::kAllNull:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+StatusOr<std::vector<uint32_t>> ApplyOrderAndTop(
+    const ColumnarTable& input, std::vector<uint32_t> selection,
+    const sql::SelectStatement& stmt) {
+  if (!stmt.order_by.empty()) {
+    std::vector<std::pair<size_t, bool>> keys;  // (column, descending)
+    for (const sql::OrderItem& item : stmt.order_by) {
+      if (item.expr->kind != sql::Expr::Kind::kColumnRef) {
+        return Status::Unsupported(
+            "local ORDER BY supports projected column references only");
+      }
+      auto idx = input.schema().FindColumn(item.expr->name);
+      if (!idx.has_value()) {
+        return Status::InvalidArgument("ORDER BY column '" + item.expr->name +
+                                       "' is not in the projected result");
+      }
+      keys.emplace_back(*idx, item.descending);
+    }
+    std::stable_sort(selection.begin(), selection.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       for (const auto& [col, desc] : keys) {
+                         int c = CompareCells(input, col, a, b);
+                         if (c != 0) return desc ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+  if (stmt.top_n.has_value() &&
+      selection.size() > static_cast<size_t>(*stmt.top_n)) {
+    selection.resize(static_cast<size_t>(*stmt.top_n));
+  }
+  return selection;
 }
 
 }  // namespace fnproxy::core

@@ -1,11 +1,13 @@
 #ifndef FNPROXY_CORE_LOCAL_EVAL_H_
 #define FNPROXY_CORE_LOCAL_EVAL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "geometry/region.h"
 #include "sql/ast.h"
+#include "sql/columnar.h"
 #include "sql/schema.h"
 #include "util/status.h"
 
@@ -36,6 +38,47 @@ util::StatusOr<sql::Table> MergeDistinct(
 /// query is shipped without them; see BuildRemainderQuery).
 util::StatusOr<sql::Table> ApplyOrderAndTop(const sql::Table& input,
                                             const sql::SelectStatement& stmt);
+
+// --- Columnar hot path ------------------------------------------------------
+//
+// Cached results are stored columnar (core::CacheEntry); the subsumed-query
+// pipeline below never materializes row objects: the region scan runs a
+// batched membership kernel per region shape over pre-resolved coordinate
+// arrays and emits a selection vector, which flows through dedup/order
+// straight into XML serialization (sql::TableToXml selection overload).
+
+/// Result of a columnar region scan: indices of the cached rows inside the
+/// region, in row order.
+struct ColumnarSelection {
+  std::vector<uint32_t> selection;
+  size_t tuples_scanned = 0;
+};
+
+/// Columnar SelectInRegion. Produces exactly the rows the row-wise overload
+/// selects (same float semantics as Region::ContainsPoint, same handling of
+/// NULL / non-numeric coordinates), as a selection vector instead of copies.
+util::StatusOr<ColumnarSelection> SelectInRegion(
+    const sql::ColumnarTable& cached, const geometry::Region& region,
+    const std::vector<std::string>& coordinate_columns);
+
+/// One merge input: a columnar table, optionally restricted to the rows in
+/// `selection` (nullptr = all rows), in selection order.
+struct ColumnarSlice {
+  const sql::ColumnarTable* table = nullptr;
+  const std::vector<uint32_t>* selection = nullptr;
+};
+
+/// Columnar MergeDistinct: 64-bit row hashes with equality fallback on
+/// collision; first occurrence wins, matching the row-wise overload.
+util::StatusOr<sql::ColumnarTable> MergeDistinctColumnar(
+    const std::vector<ColumnarSlice>& parts);
+
+/// Columnar ApplyOrderAndTop: reorders/limits `selection` (indices into
+/// `input`) per the statement's ORDER BY / TOP. Same ordering semantics and
+/// error messages as the row-wise overload.
+util::StatusOr<std::vector<uint32_t>> ApplyOrderAndTop(
+    const sql::ColumnarTable& input, std::vector<uint32_t> selection,
+    const sql::SelectStatement& stmt);
 
 }  // namespace fnproxy::core
 

@@ -1,6 +1,7 @@
 #include "core/proxy.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "core/cache_snapshot.h"
 #include "core/local_eval.h"
@@ -278,16 +279,36 @@ HttpResponse FunctionProxy::Respond(const Table& table) {
   return response;
 }
 
-HttpResponse FunctionProxy::RespondPartial(const Table& table,
-                                           double coverage) {
+HttpResponse FunctionProxy::Respond(const sql::ColumnarTable& table) {
   ChargeMicros(config_.costs.per_response_tuple_us *
                static_cast<double>(table.num_rows()));
+  HttpResponse response;
+  response.body = sql::TableToXml(table);
+  return response;
+}
+
+HttpResponse FunctionProxy::Respond(const sql::ColumnarTable& table,
+                                    const std::vector<uint32_t>& selection) {
+  ChargeMicros(config_.costs.per_response_tuple_us *
+               static_cast<double>(selection.size()));
+  HttpResponse response;
+  response.body = sql::TableToXml(table, sql::ResultXmlAttrs{},
+                                  selection.data(), selection.size());
+  return response;
+}
+
+HttpResponse FunctionProxy::RespondPartial(
+    const sql::ColumnarTable& table, const std::vector<uint32_t>& selection,
+    double coverage) {
+  ChargeMicros(config_.costs.per_response_tuple_us *
+               static_cast<double>(selection.size()));
   sql::ResultXmlAttrs attrs;
   attrs.partial = true;
   attrs.coverage = coverage;
   attrs.degraded_reason = "origin-unreachable";
   HttpResponse response;
-  response.body = sql::TableToXml(table, attrs);
+  response.body =
+      sql::TableToXml(table, attrs, selection.data(), selection.size());
   return response;
 }
 
@@ -299,11 +320,20 @@ double FunctionProxy::DescriptionCostMicros(size_t comparisons) const {
          static_cast<double>(comparisons);
 }
 
-void FunctionProxy::CacheResult(const QueryTemplate& qt,
-                                const std::string& nonspatial_fp,
-                                const std::string& param_fp,
-                                const geometry::Region& region, Table result,
-                                bool truncated) {
+void FunctionProxy::CacheResult(
+    const QueryTemplate& qt, const std::string& nonspatial_fp,
+    const std::string& param_fp, const geometry::Region& region,
+    sql::ColumnarTable result,
+    const std::vector<std::string>& coordinate_columns, bool truncated) {
+  // Resolve coordinate columns to contiguous double arrays now, while the
+  // entry is still private to this thread; after Insert the entry is frozen
+  // behind shared_ptr<const CacheEntry> and scanned concurrently.
+  for (const std::string& name : coordinate_columns) {
+    auto idx = result.schema().FindColumn(name);
+    if (idx.has_value()) {
+      (void)result.PrepareNumericView(*idx);
+    }
+  }
   CacheEntry entry;
   entry.template_id = qt.id();
   entry.nonspatial_fingerprint = nonspatial_fp;
@@ -439,6 +469,9 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       counters_.containment_hits.fetch_add(1, kRelaxed);
       const std::shared_ptr<const CacheEntry>& entry = rel.matched;
       cache_->Touch(entry->id, clock_->NowMicros());
+      // Columnar scan: membership kernel over the entry's pre-resolved
+      // coordinate arrays, yielding a selection vector that flows through
+      // order/top and straight into serialization — no row materialization.
       auto selected =
           SelectInRegion(entry->result, *region, ft.coordinate_columns());
       if (!selected.ok()) {
@@ -453,16 +486,17 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       ChargeMicros(eval_micros);
       auto stmt = qt.Instantiate(params);
       if (!stmt.ok()) return Forward(request, record);
-      auto final_table = ApplyOrderAndTop(selected->table, *stmt);
-      if (!final_table.ok()) return Forward(request, record);
-      record->tuples_total = final_table->num_rows();
-      record->tuples_from_cache = final_table->num_rows();
+      auto final_selection = ApplyOrderAndTop(
+          entry->result, std::move(selected->selection), *stmt);
+      if (!final_selection.ok()) return Forward(request, record);
+      record->tuples_total = final_selection->size();
+      record->tuples_from_cache = final_selection->size();
       if (BreakerOpen()) {
         counters_.degraded_full.fetch_add(1, kRelaxed);
         record->degraded = true;
       }
       // Not cached: the result is already covered by the container (§3.2).
-      return Respond(*final_table);
+      return Respond(entry->result, *final_selection);
     }
 
     case RegionRelation::kContains:
@@ -474,15 +508,18 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
 
       // Cases (c) and the region-containment special case: assemble the
       // probe from cached entries, ship a remainder query, merge. `used`
-      // keeps snapshots of every entry contributing tuples to the probe.
+      // keeps snapshots of every entry contributing tuples to the probe; the
+      // probe itself is a list of zero-copy slices (cached table + optional
+      // selection vector), never copied row tables.
       std::vector<std::shared_ptr<const CacheEntry>> used = rel.contained;
-      std::vector<Table> probe_parts;
+      std::vector<ColumnarSlice> probe_slices;
+      std::vector<std::unique_ptr<std::vector<uint32_t>>> probe_selections;
       size_t scanned = 0;
       for (const auto& entry : rel.contained) {
         cache_->Touch(entry->id, clock_->NowMicros());
         // Contained regions lie fully inside the query: their result files
         // are merged wholesale, with no per-tuple spatial filtering.
-        probe_parts.push_back(entry->result);
+        probe_slices.push_back({&entry->result, nullptr});
       }
       if (handle_overlap) {
         for (const auto& entry : rel.overlapping) {
@@ -491,7 +528,10 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
               SelectInRegion(entry->result, *region, ft.coordinate_columns());
           if (!selected.ok()) continue;
           scanned += selected->tuples_scanned;
-          probe_parts.push_back(std::move(selected->table));
+          probe_selections.push_back(std::make_unique<std::vector<uint32_t>>(
+              std::move(selected->selection)));
+          probe_slices.push_back(
+              {&entry->result, probe_selections.back().get()});
           used.push_back(entry);
         }
       }
@@ -525,13 +565,16 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
             // Degraded mode: the origin is unreachable, but the probe parts
             // are known-correct tuples for their regions — serve them as a
             // partial answer annotated with the covered volume fraction.
-            std::vector<const Table*> part_ptrs;
-            for (const Table& part : probe_parts) part_ptrs.push_back(&part);
-            auto probe_only = MergeDistinct(part_ptrs);
-            auto partial_table =
-                probe_only.ok() ? ApplyOrderAndTop(*probe_only, *stmt)
-                                : util::StatusOr<Table>(probe_only.status());
-            if (partial_table.ok()) {
+            auto probe_only = MergeDistinctColumnar(probe_slices);
+            util::StatusOr<std::vector<uint32_t>> partial_selection =
+                probe_only.status();
+            if (probe_only.ok()) {
+              std::vector<uint32_t> all_rows(probe_only->num_rows());
+              std::iota(all_rows.begin(), all_rows.end(), 0u);
+              partial_selection =
+                  ApplyOrderAndTop(*probe_only, std::move(all_rows), *stmt);
+            }
+            if (partial_selection.ok()) {
               double partial_merge_micros =
                   config_.costs.per_merge_tuple_us *
                   static_cast<double>(probe_only->num_rows());
@@ -551,9 +594,9 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
               }
               record->degraded = true;
               record->coverage = coverage;
-              record->tuples_total = partial_table->num_rows();
-              record->tuples_from_cache = partial_table->num_rows();
-              return RespondPartial(*partial_table, coverage);
+              record->tuples_total = partial_selection->size();
+              record->tuples_from_cache = partial_selection->size();
+              return RespondPartial(*probe_only, *partial_selection, coverage);
             }
             counters_.degraded_unavailable.fetch_add(1, kRelaxed);
             record->degraded = true;
@@ -563,6 +606,7 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
         }
         record->tuples_total = full->num_rows();
         CacheResult(qt, *nonspatial_fp, param_fp, *region, *full,
+                    ft.coordinate_columns(),
                     qt.has_top() && stmt->top_n.has_value() &&
                         full->num_rows() ==
                             static_cast<size_t>(*stmt->top_n));
@@ -576,12 +620,12 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
         counters_.overlaps_handled.fetch_add(1, kRelaxed);
       }
 
-      // Merge probe parts and the remainder.
-      std::vector<const Table*> probe_ptrs;
-      for (const Table& part : probe_parts) probe_ptrs.push_back(&part);
-      auto probe = MergeDistinct(probe_ptrs);
+      // Merge probe slices and the remainder (converted to columnar once).
+      auto probe = MergeDistinctColumnar(probe_slices);
       if (!probe.ok()) return Forward(request, record);
-      auto merged = MergeDistinct({&*probe, &*remainder_table});
+      sql::ColumnarTable remainder_columnar(std::move(*remainder_table));
+      auto merged = MergeDistinctColumnar(std::vector<ColumnarSlice>{
+          {&*probe, nullptr}, {&remainder_columnar, nullptr}});
       if (!merged.ok()) return Forward(request, record);
       double merge_micros = config_.costs.per_merge_tuple_us *
                             static_cast<double>(merged->num_rows());
@@ -601,17 +645,19 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
           ChargeMicros(DescriptionCostMicros(removal_comparisons));
         }
         CacheResult(qt, *nonspatial_fp, param_fp, *region, *merged,
-                    /*truncated=*/false);
+                    ft.coordinate_columns(), /*truncated=*/false);
       } else {
         // General overlap: cache the new query's full result; overlapped
         // entries remain (they are not subsumed).
         CacheResult(qt, *nonspatial_fp, param_fp, *region, *merged,
-                    /*truncated=*/false);
+                    ft.coordinate_columns(), /*truncated=*/false);
       }
 
-      auto final_table = ApplyOrderAndTop(*merged, *stmt);
-      if (!final_table.ok()) return Forward(request, record);
-      return Respond(*final_table);
+      std::vector<uint32_t> all_rows(merged->num_rows());
+      std::iota(all_rows.begin(), all_rows.end(), 0u);
+      auto final_selection = ApplyOrderAndTop(*merged, std::move(all_rows), *stmt);
+      if (!final_selection.ok()) return Forward(request, record);
+      return Respond(*merged, *final_selection);
     }
 
     case RegionRelation::kDisjoint:
@@ -641,7 +687,8 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
     truncated = stmt.ok() && stmt->top_n.has_value() &&
                 table->num_rows() == static_cast<size_t>(*stmt->top_n);
   }
-  CacheResult(qt, *nonspatial_fp, param_fp, *region, *table, truncated);
+  CacheResult(qt, *nonspatial_fp, param_fp, *region, *table,
+              ft.coordinate_columns(), truncated);
   return Respond(*table);
 }
 

@@ -253,9 +253,16 @@ class FunctionProxy final : public net::HttpHandler {
 
   /// Serializes and returns `table` as the response, charging assembly time.
   net::HttpResponse Respond(const sql::Table& table);
+  /// Columnar responses: serialize straight from the cached representation —
+  /// whole table, or just the rows in `selection` (zero row materialization).
+  net::HttpResponse Respond(const sql::ColumnarTable& table);
+  net::HttpResponse Respond(const sql::ColumnarTable& table,
+                            const std::vector<uint32_t>& selection);
   /// Respond() with partial="true" and the coverage fraction on the root
   /// element (degraded-mode overlap answers).
-  net::HttpResponse RespondPartial(const sql::Table& table, double coverage);
+  net::HttpResponse RespondPartial(const sql::ColumnarTable& table,
+                                   const std::vector<uint32_t>& selection,
+                                   double coverage);
   /// 503 + Retry-After (breaker cooldown when open, config default
   /// otherwise) — the degraded-mode refusal when the cache holds nothing.
   net::HttpResponse ServiceUnavailable();
@@ -275,10 +282,14 @@ class FunctionProxy final : public net::HttpHandler {
   /// (R-tree comparisons cost more per unit; see ProxyCostModel).
   double DescriptionCostMicros(size_t comparisons) const;
 
-  /// Inserts a result into the cache (active modes).
+  /// Inserts a result into the cache (active modes). Accepts the columnar
+  /// form directly (row-wise tables convert implicitly) and pre-resolves
+  /// `coordinate_columns` to contiguous double arrays before the entry is
+  /// frozen, so later region scans run without conversion.
   void CacheResult(const QueryTemplate& qt, const std::string& nonspatial_fp,
                    const std::string& param_fp,
-                   const geometry::Region& region, sql::Table result,
+                   const geometry::Region& region, sql::ColumnarTable result,
+                   const std::vector<std::string>& coordinate_columns,
                    bool truncated);
 
   void ChargeMicros(double micros) {

@@ -1,9 +1,11 @@
 #ifndef FNPROXY_SQL_TABLE_XML_H_
 #define FNPROXY_SQL_TABLE_XML_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
+#include "sql/columnar.h"
 #include "sql/schema.h"
 #include "util/status.h"
 
@@ -41,6 +43,18 @@ struct ResultXmlAttrs {
 
 /// TableToXml with failure-semantics attributes on the root element.
 std::string TableToXml(const Table& table, const ResultXmlAttrs& attrs);
+
+/// Columnar serialization; byte-identical output to the row-wise overloads
+/// on the equivalent table, without materializing row objects.
+std::string TableToXml(const ColumnarTable& table);
+std::string TableToXml(const ColumnarTable& table, const ResultXmlAttrs& attrs);
+
+/// Serializes only the rows listed in `selection` (row indices into
+/// `table`), in selection order; rows="selection_size". Passing
+/// selection == nullptr serializes the whole table. This is the zero-copy
+/// tail of the subsumed-query path: region scan -> selection vector -> XML.
+std::string TableToXml(const ColumnarTable& table, const ResultXmlAttrs& attrs,
+                       const uint32_t* selection, size_t selection_size);
 
 /// Reads the failure-semantics attributes back off a result document's root
 /// element (defaults when absent). Error if the document is not a <Result>.

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -109,13 +110,86 @@ StatusOr<double> ParseDouble(std::string_view s) {
 }
 
 std::string FormatDouble(double value) {
-  char buf[64];
-  // %.17g round-trips but is noisy; try shorter forms first.
-  for (int precision = 6; precision <= 17; ++precision) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
-    if (std::strtod(buf, nullptr) == value) break;
+  std::string out;
+  AppendDouble(out, value);
+  return out;
+}
+
+void AppendDouble(std::string& out, double value) {
+  if (std::isnan(value)) {
+    out += std::signbit(value) ? "-nan" : "nan";
+    return;
   }
-  return buf;
+  if (std::isinf(value)) {
+    out += value < 0 ? "-inf" : "inf";
+    return;
+  }
+  if (value == 0.0) {
+    out += std::signbit(value) ? "-0" : "0";
+    return;
+  }
+  if (value < 0) {
+    out += '-';
+    value = -value;
+  }
+  // Shortest round-tripping digits in scientific form: "d[.ddd]e±XX".
+  char buf[40];
+  auto [end, ec] =
+      std::to_chars(buf, buf + sizeof(buf), value, std::chars_format::scientific);
+  (void)ec;
+  // Split into the significant digits and the decimal exponent of the
+  // leading digit.
+  char digits[24];
+  size_t num_digits = 0;
+  const char* p = buf;
+  for (; p < end && *p != 'e'; ++p) {
+    if (*p != '.') digits[num_digits++] = *p;
+  }
+  int exp10 = 0;
+  const char* exp_begin = p + 1;
+  if (exp_begin < end && *exp_begin == '+') ++exp_begin;  // from_chars rejects '+'
+  std::from_chars(exp_begin, end, exp10);
+  // Reproduce "%.pg" for the smallest round-tripping precision p >= 6: %g
+  // uses scientific notation iff exp10 < -4 or exp10 >= p, and trims
+  // trailing zeros (the shortest digits have none to trim).
+  int precision = num_digits < 6 ? 6 : static_cast<int>(num_digits);
+  if (exp10 < -4 || exp10 >= precision) {
+    out += digits[0];
+    if (num_digits > 1) {
+      out += '.';
+      out.append(digits + 1, num_digits - 1);
+    }
+    out += 'e';
+    out += exp10 < 0 ? '-' : '+';
+    int magnitude = exp10 < 0 ? -exp10 : exp10;
+    char exp_buf[8];
+    auto [exp_end, exp_ec] =
+        std::to_chars(exp_buf, exp_buf + sizeof(exp_buf), magnitude);
+    (void)exp_ec;
+    if (exp_end - exp_buf < 2) out += '0';  // %g pads the exponent to 2 digits.
+    out.append(exp_buf, static_cast<size_t>(exp_end - exp_buf));
+  } else if (exp10 >= 0) {
+    size_t integer_digits = static_cast<size_t>(exp10) + 1;
+    if (num_digits <= integer_digits) {
+      out.append(digits, num_digits);
+      out.append(integer_digits - num_digits, '0');
+    } else {
+      out.append(digits, integer_digits);
+      out += '.';
+      out.append(digits + integer_digits, num_digits - integer_digits);
+    }
+  } else {
+    out += "0.";
+    out.append(static_cast<size_t>(-exp10) - 1, '0');
+    out.append(digits, num_digits);
+  }
+}
+
+void AppendInt64(std::string& out, int64_t value) {
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out.append(buf, static_cast<size_t>(end - buf));
 }
 
 }  // namespace fnproxy::util

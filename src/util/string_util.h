@@ -40,6 +40,17 @@ StatusOr<double> ParseDouble(std::string_view s);
 /// zeros (used when printing SQL literals for remainder queries).
 std::string FormatDouble(double value);
 
+/// Appends FormatDouble(value) to `out` without the intermediate string.
+/// Output is byte-identical to printf's "%.pg" for the smallest precision
+/// p in [6, 17] that round-trips — the historical FormatDouble contract —
+/// but derived from std::to_chars shortest digits, so a single conversion
+/// replaces the old snprintf/strtod probe loop on the serialization path.
+void AppendDouble(std::string& out, double value);
+
+/// Appends the decimal rendering of `value` to `out` (std::to_chars, no
+/// temporary std::string).
+void AppendInt64(std::string& out, int64_t value);
+
 }  // namespace fnproxy::util
 
 #endif  // FNPROXY_UTIL_STRING_UTIL_H_

@@ -51,28 +51,39 @@ StatusOr<std::string> XmlElement::ChildText(std::string_view child_name) const {
 std::string EscapeXml(std::string_view text) {
   std::string out;
   out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
+  AppendEscapedXml(out, text);
+  return out;
+}
+
+void AppendEscapedXml(std::string& out, std::string_view text) {
+  // Copy runs of benign characters in one append instead of byte-at-a-time.
+  size_t run_start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char* replacement = nullptr;
+    switch (text[i]) {
       case '<':
-        out += "&lt;";
+        replacement = "&lt;";
         break;
       case '>':
-        out += "&gt;";
+        replacement = "&gt;";
         break;
       case '&':
-        out += "&amp;";
+        replacement = "&amp;";
         break;
       case '"':
-        out += "&quot;";
+        replacement = "&quot;";
         break;
       case '\'':
-        out += "&apos;";
+        replacement = "&apos;";
         break;
       default:
-        out += c;
+        continue;
     }
+    out.append(text, run_start, i - run_start);
+    out += replacement;
+    run_start = i + 1;
   }
-  return out;
+  out.append(text, run_start, text.size() - run_start);
 }
 
 std::string XmlElement::ToString(int indent) const {

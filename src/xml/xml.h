@@ -70,6 +70,10 @@ util::StatusOr<std::unique_ptr<XmlElement>> ParseXml(std::string_view input);
 /// Escapes the five predefined XML entities in `text`.
 std::string EscapeXml(std::string_view text);
 
+/// Appends the escaped form of `text` to `out` without an intermediate
+/// string (serialization hot path).
+void AppendEscapedXml(std::string& out, std::string_view text);
+
 }  // namespace fnproxy::xml
 
 #endif  // FNPROXY_XML_XML_H_

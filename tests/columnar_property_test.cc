@@ -1,0 +1,512 @@
+// Randomized property tests for the columnar storage layer, with the
+// row-wise implementations as oracles: the columnar representation must
+// round-trip arbitrary tables losslessly, and the columnar subsumed-query
+// pipeline (SelectInRegion / MergeDistinct / ApplyOrderAndTop / TableToXml)
+// must agree with the row-wise path to the byte, including the historical
+// dedup identity (ToSqlLiteral key strings) and Region::ContainsPoint float
+// semantics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+
+#include "core/local_eval.h"
+#include "geometry/hyperrectangle.h"
+#include "geometry/hypersphere.h"
+#include "geometry/polytope.h"
+#include "sql/columnar.h"
+#include "sql/parser.h"
+#include "sql/table_xml.h"
+#include "util/random.h"
+
+namespace fnproxy {
+namespace {
+
+using sql::ColumnarTable;
+using sql::Row;
+using sql::Schema;
+using sql::Table;
+using sql::Value;
+using sql::ValueType;
+
+// --- Adversarial value generation ------------------------------------------
+
+double WeirdDouble(util::Random& rng) {
+  static const double kDoubles[] = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      0.5,
+      1e6,      // Renders as "1e+06": dedup-distinct from Int(1000000).
+      100000.0,  // Renders as "100000": dedup-equal to Int(100000).
+      1e-7,
+      123456.789,
+      1e15,
+      1e308,
+      5e-324,
+      -2.5e-10,
+      std::numeric_limits<double>::quiet_NaN(),
+      -std::numeric_limits<double>::quiet_NaN(),
+      9007199254740992.0,  // 2^53.
+  };
+  if (rng.NextUint64(2) == 0) {
+    return kDoubles[rng.NextUint64(sizeof(kDoubles) / sizeof(kDoubles[0]))];
+  }
+  return rng.NextDouble(-1e3, 1e3);
+}
+
+int64_t WeirdInt(util::Random& rng) {
+  static const int64_t kInts[] = {
+      0,
+      1,
+      -1,
+      999999,
+      1000000,   // Historical key "1000000" != FormatDouble(1e6) = "1e+06".
+      10000000,
+      12345,
+      (int64_t{1} << 53),
+      (int64_t{1} << 53) + 1,  // Not exactly representable as double.
+      std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::max(),
+  };
+  if (rng.NextUint64(2) == 0) {
+    return kInts[rng.NextUint64(sizeof(kInts) / sizeof(kInts[0]))];
+  }
+  return static_cast<int64_t>(rng.NextUint64(1000)) - 500;
+}
+
+std::string WeirdString(util::Random& rng) {
+  static const char* kStrings[] = {
+      "", "a", "hello world", "<&>\"'", "line\nbreak", "tab\there",
+      "it's quoted", "x\x1fy",  // Embedded historical key separator.
+      "0", "1e+06", "nan",      // Strings shadowing numeric renderings.
+  };
+  return kStrings[rng.NextUint64(sizeof(kStrings) / sizeof(kStrings[0]))];
+}
+
+Value RandomValueOfType(util::Random& rng, ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return Value::Int(WeirdInt(rng));
+    case ValueType::kDouble:
+      return Value::Double(WeirdDouble(rng));
+    case ValueType::kBool:
+      return Value::Bool(rng.NextUint64(2) == 0);
+    case ValueType::kString:
+      return Value::String(WeirdString(rng));
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+/// 80% a value of the declared type, 10% NULL, 10% a value of a random other
+/// type (degrading the column to the kMixed fallback).
+Value RandomCell(util::Random& rng, ValueType declared) {
+  uint64_t roll = rng.NextUint64(10);
+  if (roll == 0) return Value::Null();
+  if (roll == 1) {
+    static const ValueType kTypes[] = {ValueType::kInt, ValueType::kDouble,
+                                       ValueType::kBool, ValueType::kString};
+    return RandomValueOfType(rng, kTypes[rng.NextUint64(4)]);
+  }
+  return RandomValueOfType(rng, declared);
+}
+
+Table RandomTable(util::Random& rng, size_t max_rows) {
+  static const ValueType kTypes[] = {ValueType::kInt, ValueType::kDouble,
+                                     ValueType::kBool, ValueType::kString,
+                                     ValueType::kNull};
+  size_t num_cols = 1 + rng.NextUint64(5);
+  std::vector<sql::Column> columns;
+  for (size_t c = 0; c < num_cols; ++c) {
+    columns.push_back(
+        {"c" + std::to_string(c), kTypes[rng.NextUint64(5)]});
+  }
+  Table table((Schema(columns)));
+  size_t rows = rng.NextUint64(max_rows + 1);
+  for (size_t r = 0; r < rows; ++r) {
+    Row row;
+    for (size_t c = 0; c < num_cols; ++c) {
+      row.push_back(RandomCell(rng, columns[c].type));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+// --- Exact comparison (bit-level for doubles, unlike SQL equality) ----------
+
+bool CellsBitEqual(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kInt:
+      return a.AsInt() == b.AsInt();
+    case ValueType::kDouble: {
+      double x = a.AsDouble();
+      double y = b.AsDouble();
+      return std::memcmp(&x, &y, sizeof(x)) == 0;
+    }
+    case ValueType::kBool:
+      return a.AsBool() == b.AsBool();
+    case ValueType::kString:
+      return a.AsString() == b.AsString();
+  }
+  return false;
+}
+
+::testing::AssertionResult TablesBitEqual(const Table& a, const Table& b) {
+  if (!a.schema().SameColumns(b.schema())) {
+    return ::testing::AssertionFailure() << "schemas differ";
+  }
+  if (a.num_rows() != b.num_rows()) {
+    return ::testing::AssertionFailure()
+           << "row counts differ: " << a.num_rows() << " vs " << b.num_rows();
+  }
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.schema().columns().size(); ++c) {
+      if (!CellsBitEqual(a.row(r)[c], b.row(r)[c])) {
+        return ::testing::AssertionFailure()
+               << "cell (" << r << "," << c << ") differs: "
+               << a.row(r)[c].ToSqlLiteral() << " vs "
+               << b.row(r)[c].ToSqlLiteral();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// --- Properties -------------------------------------------------------------
+
+TEST(ColumnarPropertyTest, RoundTripIsLossless) {
+  util::Random rng(11);
+  for (int iter = 0; iter < 200; ++iter) {
+    Table table = RandomTable(rng, 40);
+    ColumnarTable columnar(table);
+    ASSERT_EQ(columnar.num_rows(), table.num_rows());
+    EXPECT_TRUE(TablesBitEqual(columnar.ToTable(), table))
+        << "iteration " << iter;
+  }
+}
+
+TEST(ColumnarPropertyTest, AppendRowsFromMatchesPerRowAppend) {
+  util::Random rng(12);
+  for (int iter = 0; iter < 100; ++iter) {
+    Table table = RandomTable(rng, 40);
+    ColumnarTable src(table);
+    std::vector<uint32_t> picks;
+    for (size_t r = 0; r < src.num_rows(); ++r) {
+      size_t copies = rng.NextUint64(3);  // 0, 1 or 2 copies per row.
+      for (size_t k = 0; k < copies; ++k) {
+        picks.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    ColumnarTable batch(table.schema());
+    batch.AppendRowsFrom(src, picks.data(), picks.size());
+    ColumnarTable scalar(table.schema());
+    for (uint32_t r : picks) scalar.AppendRowFrom(src, r);
+    EXPECT_TRUE(TablesBitEqual(batch.ToTable(), scalar.ToTable()))
+        << "iteration " << iter;
+  }
+}
+
+TEST(ColumnarPropertyTest, BatchRowHashesMatchScalarHashes) {
+  util::Random rng(13);
+  for (int iter = 0; iter < 100; ++iter) {
+    Table table = RandomTable(rng, 40);
+    ColumnarTable columnar(table);
+    size_t n = columnar.num_rows();
+    std::vector<uint64_t> batch(n);
+    columnar.RowDedupHashes(nullptr, n, batch.data());
+    for (size_t r = 0; r < n; ++r) {
+      ASSERT_EQ(batch[r], columnar.RowDedupHash(r)) << "row " << r;
+      // And both agree with the row-wise hash of the materialized row.
+      ASSERT_EQ(batch[r], sql::DedupHashRow(table.row(r))) << "row " << r;
+    }
+  }
+}
+
+/// Coordinate tables: x/y declared DOUBLE but occasionally NULL or a
+/// non-numeric string (degrading to kMixed), exercising the validity-bitmap
+/// path of the membership kernels.
+Table RandomPointsTable(util::Random& rng, size_t rows) {
+  Table table(Schema({{"id", ValueType::kInt},
+                      {"x", ValueType::kDouble},
+                      {"y", ValueType::kDouble}}));
+  for (size_t r = 0; r < rows; ++r) {
+    Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(r)));
+    for (int c = 0; c < 2; ++c) {
+      uint64_t roll = rng.NextUint64(20);
+      if (roll == 0) {
+        row.push_back(Value::Null());
+      } else if (roll == 1) {
+        row.push_back(Value::String("not-a-number"));
+      } else if (roll == 2) {
+        row.push_back(Value::Int(static_cast<int64_t>(rng.NextUint64(10))));
+      } else {
+        row.push_back(Value::Double(rng.NextDouble(0, 10)));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+std::unique_ptr<geometry::Region> RandomRegion(util::Random& rng) {
+  switch (rng.NextUint64(3)) {
+    case 0: {
+      geometry::Point center{rng.NextDouble(0, 10), rng.NextDouble(0, 10)};
+      return std::make_unique<geometry::Hypersphere>(center,
+                                                     rng.NextDouble(0.5, 6));
+    }
+    case 1: {
+      double x0 = rng.NextDouble(0, 10), x1 = rng.NextDouble(0, 10);
+      double y0 = rng.NextDouble(0, 10), y1 = rng.NextDouble(0, 10);
+      return std::make_unique<geometry::Hyperrectangle>(
+          geometry::Point{std::min(x0, x1), std::min(y0, y1)},
+          geometry::Point{std::max(x0, x1), std::max(y0, y1)});
+    }
+    default: {
+      double x0 = rng.NextDouble(0, 10), x1 = rng.NextDouble(0, 10);
+      double y0 = rng.NextDouble(0, 10), y1 = rng.NextDouble(0, 10);
+      geometry::Hyperrectangle rect(
+          geometry::Point{std::min(x0, x1), std::min(y0, y1)},
+          geometry::Point{std::max(x0, x1), std::max(y0, y1)});
+      return std::make_unique<geometry::Polytope>(
+          geometry::Polytope::FromRectangle(rect));
+    }
+  }
+}
+
+TEST(ColumnarPropertyTest, SelectInRegionMatchesRowWiseAllShapes) {
+  util::Random rng(14);
+  const std::vector<std::string> coords = {"x", "y"};
+  for (int iter = 0; iter < 150; ++iter) {
+    Table table = RandomPointsTable(rng, 1 + rng.NextUint64(60));
+    ColumnarTable columnar(table);
+    if (rng.NextUint64(2) == 0) {
+      // Half the time scan through admission-prepared views.
+      ASSERT_TRUE(columnar.PrepareNumericView(1).ok());
+      ASSERT_TRUE(columnar.PrepareNumericView(2).ok());
+    }
+    auto region = RandomRegion(rng);
+    auto row_result = core::SelectInRegion(table, *region, coords);
+    auto col_result = core::SelectInRegion(columnar, *region, coords);
+    ASSERT_TRUE(row_result.ok());
+    ASSERT_TRUE(col_result.ok());
+    EXPECT_EQ(col_result->tuples_scanned, row_result->tuples_scanned);
+    Table materialized(table.schema());
+    for (uint32_t r : col_result->selection) {
+      materialized.AddRow(table.row(r));
+    }
+    EXPECT_TRUE(TablesBitEqual(materialized, row_result->table))
+        << "iteration " << iter << " shape "
+        << static_cast<int>(region->kind());
+  }
+}
+
+TEST(ColumnarPropertyTest, SelectInRegionMissingCoordinateColumn) {
+  Table table = RandomPointsTable(*std::make_unique<util::Random>(1), 5);
+  ColumnarTable columnar(table);
+  geometry::Hypersphere region({0, 0}, 1.0);
+  auto row_result = core::SelectInRegion(table, region, {"x", "missing"});
+  auto col_result = core::SelectInRegion(columnar, region, {"x", "missing"});
+  ASSERT_FALSE(row_result.ok());
+  ASSERT_FALSE(col_result.ok());
+  EXPECT_EQ(col_result.status().message(), row_result.status().message());
+}
+
+/// The seed's dedup identity: one key string per row, cells rendered with
+/// ToSqlLiteral and joined on 0x1f. MergeDistinct (both layouts) must keep
+/// exactly the first row per distinct key, in input order.
+Table OracleMergeDistinct(const std::vector<const Table*>& parts) {
+  Table merged(parts[0]->schema());
+  std::unordered_set<std::string> seen;
+  for (const Table* part : parts) {
+    for (const Row& row : part->rows()) {
+      std::string key;
+      for (const Value& v : row) {
+        key += v.ToSqlLiteral();
+        key += '\x1f';
+      }
+      if (seen.insert(key).second) merged.AddRow(row);
+    }
+  }
+  return merged;
+}
+
+TEST(ColumnarPropertyTest, MergeDistinctMatchesSeedKeyOracle) {
+  util::Random rng(15);
+  for (int iter = 0; iter < 100; ++iter) {
+    Table base = RandomTable(rng, 30);
+    // Build 2-3 parts over the same schema with heavy cross-part duplication.
+    size_t num_parts = 2 + rng.NextUint64(2);
+    std::vector<Table> parts;
+    for (size_t p = 0; p < num_parts; ++p) {
+      Table part(base.schema());
+      for (size_t r = 0; r < base.num_rows(); ++r) {
+        if (rng.NextUint64(3) != 0) part.AddRow(base.row(r));
+        if (rng.NextUint64(4) == 0) part.AddRow(base.row(r));  // Intra-part dup.
+      }
+      parts.push_back(std::move(part));
+    }
+    std::vector<const Table*> part_ptrs;
+    std::vector<core::ColumnarSlice> slices;
+    std::vector<std::unique_ptr<ColumnarTable>> columnar_parts;
+    for (const Table& part : parts) {
+      part_ptrs.push_back(&part);
+      columnar_parts.push_back(std::make_unique<ColumnarTable>(part));
+      slices.push_back({columnar_parts.back().get(), nullptr});
+    }
+    Table expected = OracleMergeDistinct(part_ptrs);
+    auto row_merged = core::MergeDistinct(part_ptrs);
+    ASSERT_TRUE(row_merged.ok());
+    EXPECT_TRUE(TablesBitEqual(*row_merged, expected)) << "iteration " << iter;
+    auto col_merged = core::MergeDistinctColumnar(slices);
+    ASSERT_TRUE(col_merged.ok());
+    EXPECT_TRUE(TablesBitEqual(col_merged->ToTable(), expected))
+        << "iteration " << iter;
+  }
+}
+
+TEST(ColumnarPropertyTest, XmlSerializationByteIdentical) {
+  util::Random rng(16);
+  for (int iter = 0; iter < 100; ++iter) {
+    Table table = RandomTable(rng, 30);
+    ColumnarTable columnar(table);
+    EXPECT_EQ(sql::TableToXml(columnar), sql::TableToXml(table))
+        << "iteration " << iter;
+    // Selection overload vs a row-wise table materialized from the same
+    // selection.
+    std::vector<uint32_t> selection;
+    Table subset(table.schema());
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (rng.NextUint64(2) == 0) {
+        selection.push_back(static_cast<uint32_t>(r));
+        subset.AddRow(table.row(r));
+      }
+    }
+    EXPECT_EQ(sql::TableToXml(columnar, sql::ResultXmlAttrs{},
+                              selection.data(), selection.size()),
+              sql::TableToXml(subset))
+        << "iteration " << iter;
+  }
+}
+
+TEST(ColumnarPropertyTest, XmlRoundTripThroughParser) {
+  util::Random rng(17);
+  for (int iter = 0; iter < 50; ++iter) {
+    Table table = RandomTable(rng, 20);
+    // The XML parser re-types cells from the schema's declared types; NaN
+    // has no parseable rendering, and mixed-type cells legitimately change
+    // type. Restrict to well-typed tables for the parse-back check.
+    bool parseable = true;
+    for (size_t r = 0; r < table.num_rows() && parseable; ++r) {
+      for (size_t c = 0; c < table.schema().columns().size(); ++c) {
+        const Value& v = table.row(r)[c];
+        if (!v.is_null() &&
+            v.type() != table.schema().columns()[c].type) {
+          parseable = false;
+          break;
+        }
+        if (v.type() == ValueType::kDouble && std::isnan(v.AsDouble())) {
+          parseable = false;
+          break;
+        }
+      }
+    }
+    if (!parseable) continue;
+    auto reparsed = sql::TableFromXml(sql::TableToXml(ColumnarTable(table)));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_TRUE(TablesBitEqual(*reparsed, table)) << "iteration " << iter;
+  }
+}
+
+TEST(ColumnarPropertyTest, OrderAndTopMatchesRowWise) {
+  util::Random rng(18);
+  auto stmt = sql::ParseSelect(
+      "SELECT TOP 7 id, x, y FROM f(1) ORDER BY x DESC, id");
+  ASSERT_TRUE(stmt.ok());
+  for (int iter = 0; iter < 100; ++iter) {
+    Table table = RandomPointsTable(rng, 1 + rng.NextUint64(40));
+    ColumnarTable columnar(table);
+    auto row_result = core::ApplyOrderAndTop(table, *stmt);
+    ASSERT_TRUE(row_result.ok());
+    std::vector<uint32_t> identity(table.num_rows());
+    for (size_t r = 0; r < identity.size(); ++r) {
+      identity[r] = static_cast<uint32_t>(r);
+    }
+    auto col_result = core::ApplyOrderAndTop(columnar, identity, *stmt);
+    ASSERT_TRUE(col_result.ok());
+    Table materialized(table.schema());
+    for (uint32_t r : *col_result) materialized.AddRow(table.row(r));
+    EXPECT_TRUE(TablesBitEqual(materialized, *row_result))
+        << "iteration " << iter;
+  }
+}
+
+/// Frozen-entry concurrency: after PrepareNumericView, concurrent readers
+/// may scan, merge, hash and serialize the same table with no synchronization
+/// (this is the CacheStore's shared_ptr<const CacheEntry> contract). Run
+/// under TSan to prove it.
+TEST(ColumnarPropertyTest, FrozenTableSupportsConcurrentReaders) {
+  util::Random rng(19);
+  Table table = RandomPointsTable(rng, 500);
+  auto columnar = std::make_shared<const ColumnarTable>([&] {
+    ColumnarTable t(table);
+    EXPECT_TRUE(t.PrepareNumericView(1).ok());
+    EXPECT_TRUE(t.PrepareNumericView(2).ok());
+    return t;
+  }());
+  geometry::Hypersphere region({5, 5}, 3.0);
+  const std::vector<std::string> coords = {"x", "y"};
+
+  auto reference = core::SelectInRegion(*columnar, region, coords);
+  ASSERT_TRUE(reference.ok());
+  std::string reference_xml = sql::TableToXml(
+      *columnar, sql::ResultXmlAttrs{}, reference->selection.data(),
+      reference->selection.size());
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20; ++i) {
+        auto selected = core::SelectInRegion(*columnar, region, coords);
+        if (!selected.ok() ||
+            selected->selection != reference->selection) {
+          ++failures[t];
+          continue;
+        }
+        auto merged = core::MergeDistinctColumnar(
+            {{columnar.get(), &selected->selection},
+             {columnar.get(), &selected->selection}});
+        if (!merged.ok() ||
+            merged->num_rows() > selected->selection.size()) {
+          ++failures[t];
+          continue;
+        }
+        std::string xml = sql::TableToXml(*columnar, sql::ResultXmlAttrs{},
+                                          selected->selection.data(),
+                                          selected->selection.size());
+        if (xml != reference_xml) ++failures[t];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace fnproxy

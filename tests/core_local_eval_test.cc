@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "core/local_eval.h"
 #include "core/region_predicate.h"
 #include "geometry/hyperrectangle.h"
@@ -90,6 +92,59 @@ TEST(MergeDistinctTest, NearDuplicateRowsKept) {
   auto merged = MergeDistinct({&a, &b});
   ASSERT_TRUE(merged.ok());
   EXPECT_EQ(merged->num_rows(), 2u);  // Distinct values stay distinct.
+}
+
+// Regression for the hash-based dedup rewrite: a duplicate-heavy merge must
+// keep exactly the rows the seed's per-row key strings (ToSqlLiteral joined
+// on 0x1f) kept, in the same first-occurrence order — including the dedup
+// corner cases that identity implies: Int(100000) merges with
+// Double(100000.0) (both rendered "100000") while Int(1000000) stays
+// distinct from Double(1e6) ("1000000" vs "1e+06"), and +0.0 stays distinct
+// from -0.0 ("0" vs "-0").
+TEST(MergeDistinctTest, DuplicateHeavyMergeMatchesSeedKeyOracle) {
+  Schema schema({{"k", ValueType::kInt}, {"v", ValueType::kDouble}});
+  util::Random rng(42);
+  Table a(schema);
+  Table b(schema);
+  // ~70% duplication across parts, plus intra-part repeats.
+  for (int i = 0; i < 400; ++i) {
+    Row row = {Value::Int(static_cast<int64_t>(rng.NextUint64(50))),
+               Value::Double(static_cast<double>(rng.NextUint64(10)))};
+    a.AddRow(row);
+    if (rng.NextUint64(10) < 7) b.AddRow(row);
+    if (rng.NextUint64(4) == 0) a.AddRow(row);
+  }
+  // Cross-type and signed-zero corner cases.
+  a.AddRow({Value::Int(100000), Value::Double(0.0)});
+  b.AddRow({Value::Double(100000.0), Value::Double(0.0)});   // Same keys.
+  a.AddRow({Value::Int(1000000), Value::Double(1.0)});
+  b.AddRow({Value::Double(1e6), Value::Double(1.0)});        // Distinct keys.
+  a.AddRow({Value::Int(7), Value::Double(0.0)});
+  b.AddRow({Value::Int(7), Value::Double(-0.0)});            // Distinct keys.
+
+  std::unordered_set<std::string> seen;
+  Table expected(schema);
+  for (const Table* part : {&a, &b}) {
+    for (const Row& row : part->rows()) {
+      std::string key;
+      for (const Value& v : row) {
+        key += v.ToSqlLiteral();
+        key += '\x1f';
+      }
+      if (seen.insert(key).second) expected.AddRow(row);
+    }
+  }
+
+  auto merged = MergeDistinct({&a, &b});
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->num_rows(), expected.num_rows());
+  for (size_t r = 0; r < expected.num_rows(); ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(merged->row(r)[c].ToSqlLiteral(),
+                expected.row(r)[c].ToSqlLiteral())
+          << "row " << r << " col " << c;
+    }
+  }
 }
 
 TEST(ApplyOrderAndTopTest, SortsAndLimits) {

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "sql/columnar.h"
 #include "sql/table_xml.h"
 
 namespace fnproxy::sql {
@@ -87,6 +93,80 @@ TEST(TableXmlTest, RejectsMalformedCellValue) {
       "<Result><Schema><Column name=\"x\" type=\"INT\"/></Schema>"
       "<Row><V>notanint</V></Row></Result>";
   EXPECT_FALSE(TableFromXml(doc).ok());
+}
+
+// Large-table fidelity check for the reserve + fast-formatter serializer:
+// 10k rows mixing NULLs, markup-escaping strings, and extreme doubles must
+// survive a serialize/parse round trip bit-for-bit (doubles compared by
+// representation, not epsilon).
+TEST(TableXmlTest, LargeTableRoundTripIsLossless) {
+  Schema schema({{"id", ValueType::kInt},
+                 {"x", ValueType::kDouble},
+                 {"tag", ValueType::kString},
+                 {"flag", ValueType::kBool}});
+  const double weird_doubles[] = {
+      1e308,  -1e308, 5e-324,  -5e-324, 0.0,       -0.0,     1e6,
+      1e-7,   123456.789, 0.1, 1.0 / 3.0, 9007199254740993.0, 2.5e-15};
+  const char* weird_strings[] = {
+      "",       "plain",  "<tag>&amp;</tag>", "quote\"'quote",
+      // Leading/trailing whitespace is trimmed by the XML parser by design,
+      // so only interior whitespace is round-trippable.
+      "white\tspace\ninside", "unit\x1fsep", "1e+06"};
+  Table original(schema);
+  uint64_t state = 0x243f6a8885a308d3ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 10000; ++i) {
+    std::vector<Value> row;
+    row.push_back(next() % 11 == 0 ? Value::Null()
+                                   : Value::Int(static_cast<int64_t>(next())));
+    if (next() % 13 == 0) {
+      row.push_back(Value::Null());
+    } else if (next() % 3 == 0) {
+      row.push_back(Value::Double(weird_doubles[next() % 13]));
+    } else {
+      // Full-precision random doubles exercise the shortest-digits path.
+      row.push_back(Value::Double(
+          static_cast<double>(next()) / 1.8446744073709552e19 * 360.0 - 180.0));
+    }
+    row.push_back(next() % 7 == 0 ? Value::Null()
+                                  : Value::String(weird_strings[next() % 7]));
+    row.push_back(next() % 5 == 0 ? Value::Null()
+                                  : Value::Bool(next() % 2 == 0));
+    original.AddRow(std::move(row));
+  }
+
+  std::string xml_text = TableToXml(original);
+  auto parsed = TableFromXml(xml_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), original.num_rows());
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      const Value& want = original.row(r)[c];
+      const Value& got = parsed->row(r)[c];
+      ASSERT_EQ(want.is_null(), got.is_null()) << "row " << r << " col " << c;
+      if (want.is_null()) continue;
+      ASSERT_EQ(want.type(), got.type()) << "row " << r << " col " << c;
+      if (want.type() == ValueType::kDouble) {
+        uint64_t want_bits, got_bits;
+        double want_d = want.AsDouble(), got_d = got.AsDouble();
+        std::memcpy(&want_bits, &want_d, sizeof want_bits);
+        std::memcpy(&got_bits, &got_d, sizeof got_bits);
+        ASSERT_EQ(want_bits, got_bits) << "row " << r << " col " << c;
+      } else {
+        ASSERT_EQ(want.ToSqlLiteral(), got.ToSqlLiteral())
+            << "row " << r << " col " << c;
+      }
+    }
+  }
+
+  // The columnar serializer must emit byte-identical XML for the same data.
+  ColumnarTable columnar(original);
+  EXPECT_EQ(TableToXml(columnar), xml_text);
 }
 
 }  // namespace
