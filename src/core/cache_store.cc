@@ -2,7 +2,6 @@
 
 #include <cassert>
 #include <limits>
-#include <mutex>
 
 namespace fnproxy::core {
 
@@ -42,7 +41,7 @@ uint64_t CacheStore::PickVictim() const {
   uint64_t victim = 0;
   double best_score = std::numeric_limits<double>::infinity();
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    util::ReaderMutexLock lock(shard->mu);
     for (const auto& [id, stored] : shard->entries) {
       int64_t last_access =
           stored.last_access_micros.load(std::memory_order_relaxed);
@@ -104,7 +103,7 @@ uint64_t CacheStore::Insert(CacheEntry entry, size_t* comparisons) {
 
   Shard& shard = ShardFor(id);
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    util::WriterMutexLock lock(shard.mu);
     size_t insert_comparisons = 0;
     shard.description->Insert(id, bbox, &insert_comparisons);
     *comparisons += insert_comparisons;
@@ -122,7 +121,7 @@ bool CacheStore::Remove(uint64_t id, size_t* comparisons) {
   Shard& shard = ShardFor(id);
   size_t freed = 0;
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    util::WriterMutexLock lock(shard.mu);
     auto it = shard.entries.find(id);
     if (it == shard.entries.end()) return false;
     freed = it->second.entry->bytes;
@@ -136,14 +135,14 @@ bool CacheStore::Remove(uint64_t id, size_t* comparisons) {
 
 std::shared_ptr<const CacheEntry> CacheStore::Find(uint64_t id) const {
   const Shard& shard = ShardFor(id);
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  util::ReaderMutexLock lock(shard.mu);
   auto it = shard.entries.find(id);
   return it == shard.entries.end() ? nullptr : it->second.entry;
 }
 
 void CacheStore::Touch(uint64_t id, int64_t now_micros) {
   Shard& shard = ShardFor(id);
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  util::ReaderMutexLock lock(shard.mu);
   auto it = shard.entries.find(id);
   if (it == shard.entries.end()) return;
   it->second.last_access_micros.store(now_micros, std::memory_order_relaxed);
@@ -155,7 +154,7 @@ std::vector<uint64_t> CacheStore::Candidates(
   *comparisons = 0;
   std::vector<uint64_t> ids;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    util::ReaderMutexLock lock(shard->mu);
     size_t shard_comparisons = 0;
     std::vector<uint64_t> shard_ids =
         shard->description->SearchIntersecting(bbox, &shard_comparisons);
@@ -168,7 +167,7 @@ std::vector<uint64_t> CacheStore::Candidates(
 std::vector<uint64_t> CacheStore::AllIds() const {
   std::vector<uint64_t> ids;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    util::ReaderMutexLock lock(shard->mu);
     for (const auto& [id, stored] : shard->entries) ids.push_back(id);
   }
   return ids;

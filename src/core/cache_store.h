@@ -6,7 +6,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -14,7 +13,9 @@
 #include "index/region_index.h"
 #include "sql/columnar.h"
 #include "sql/schema.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace fnproxy::core {
 
@@ -168,10 +169,15 @@ class CacheStore {
     std::atomic<uint64_t> access_count{0};
   };
 
+  /// Per-shard state. The lock-ordering invariant (enforced by the
+  /// EXCLUDES annotations on every CacheStore entry point plus the fact
+  /// that no method takes a shard reference argument): at most one shard's
+  /// `mu` is ever held by a thread, so cross-shard deadlock is impossible
+  /// by construction.
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unique_ptr<index::RegionIndex> description;
-    std::map<uint64_t, Stored> entries;
+    mutable util::SharedMutex mu;
+    std::unique_ptr<index::RegionIndex> description GUARDED_BY(mu);
+    std::map<uint64_t, Stored> entries GUARDED_BY(mu);
   };
 
   Shard& ShardFor(uint64_t id) { return *shards_[id % shards_.size()]; }

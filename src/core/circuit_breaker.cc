@@ -28,18 +28,18 @@ double CircuitBreaker::FailureRateLocked() const {
 }
 
 double CircuitBreaker::FailureRate() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return FailureRateLocked();
 }
 
 std::vector<std::pair<int64_t, BreakerState>> CircuitBreaker::HistorySnapshot()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return history_;
 }
 
 int64_t CircuitBreaker::CooldownRemainingMicros() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (state_.load(std::memory_order_relaxed) != BreakerState::kOpen) return 0;
   int64_t remaining = config_.open_cooldown_micros -
                       (clock_->NowMicros() - opened_at_micros_);
@@ -61,7 +61,7 @@ void CircuitBreaker::TransitionTo(BreakerState next) {
 
 bool CircuitBreaker::Allow() {
   if (!config_.enabled) return true;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   switch (state_.load(std::memory_order_relaxed)) {
     case BreakerState::kClosed:
     case BreakerState::kHalfOpen:
@@ -84,7 +84,7 @@ void CircuitBreaker::RecordOutcome(bool failure) {
 
 void CircuitBreaker::RecordSuccess() {
   if (!config_.enabled) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   switch (state_.load(std::memory_order_relaxed)) {
     case BreakerState::kClosed:
       RecordOutcome(false);
@@ -103,7 +103,7 @@ void CircuitBreaker::RecordSuccess() {
 
 void CircuitBreaker::RecordFailure() {
   if (!config_.enabled) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   switch (state_.load(std::memory_order_relaxed)) {
     case BreakerState::kClosed:
       RecordOutcome(true);

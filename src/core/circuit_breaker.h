@@ -5,11 +5,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fnproxy::core {
 
@@ -48,45 +49,44 @@ class CircuitBreaker {
 
   /// True if the caller may contact the origin now. While open, flips to
   /// half-open (allowing a probe) once the cooldown has elapsed.
-  bool Allow();
+  bool Allow() EXCLUDES(mu_);
 
   /// Reports the outcome of an allowed origin round trip.
-  void RecordSuccess();
-  void RecordFailure();
+  void RecordSuccess() EXCLUDES(mu_);
+  void RecordFailure() EXCLUDES(mu_);
 
   BreakerState state() const { return state_.load(std::memory_order_relaxed); }
   uint64_t transitions() const {
     return transitions_.load(std::memory_order_relaxed);
   }
-  /// (virtual time, entered state) for every transition, in order. The
-  /// returned reference is only stable while no other thread records
-  /// outcomes — callers needing a concurrent-safe copy use HistorySnapshot.
+  /// (virtual time, entered state) for every transition, in order.
   const std::vector<std::pair<int64_t, BreakerState>>& history() const {
     return history_;
   }
-  /// Copy of history() taken under the lock.
-  std::vector<std::pair<int64_t, BreakerState>> HistorySnapshot() const;
+  /// Same, copied under the lock.
+  std::vector<std::pair<int64_t, BreakerState>> HistorySnapshot() const
+      EXCLUDES(mu_);
   /// Failure fraction over the current window (0 when empty).
-  double FailureRate() const;
+  double FailureRate() const EXCLUDES(mu_);
 
   /// Virtual time until an open breaker will admit a probe (0 unless open).
   /// Feeds the 503 response's Retry-After header.
-  int64_t CooldownRemainingMicros() const;
+  int64_t CooldownRemainingMicros() const EXCLUDES(mu_);
 
  private:
-  void TransitionTo(BreakerState next);  // Requires mu_ held.
-  void RecordOutcome(bool failure);      // Requires mu_ held.
-  double FailureRateLocked() const;      // Requires mu_ held.
+  void TransitionTo(BreakerState next) REQUIRES(mu_);
+  void RecordOutcome(bool failure) REQUIRES(mu_);
+  double FailureRateLocked() const REQUIRES(mu_);
 
   CircuitBreakerConfig config_;
   util::SimulatedClock* clock_;
   std::atomic<BreakerState> state_{BreakerState::kClosed};
   std::atomic<uint64_t> transitions_{0};
-  mutable std::mutex mu_;
-  std::deque<bool> window_;  // true = failure. Guarded by mu_.
-  size_t half_open_streak_ = 0;         // Guarded by mu_.
-  int64_t opened_at_micros_ = 0;        // Guarded by mu_.
-  std::vector<std::pair<int64_t, BreakerState>> history_;  // Guarded by mu_.
+  mutable util::Mutex mu_;
+  std::deque<bool> window_ GUARDED_BY(mu_);  // true = failure.
+  size_t half_open_streak_ GUARDED_BY(mu_) = 0;
+  int64_t opened_at_micros_ GUARDED_BY(mu_) = 0;
+  std::vector<std::pair<int64_t, BreakerState>> history_ GUARDED_BY(mu_);
 };
 
 }  // namespace fnproxy::core

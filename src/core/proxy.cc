@@ -161,7 +161,7 @@ ProxyStats FunctionProxy::stats() const {
   s.breaker_transitions = breaker_->transitions();
   s.origin_retries = origin_->retry_stats().retries - channel_retries_baseline_;
   {
-    std::lock_guard<std::mutex> lock(records_mu_);
+    util::MutexLock lock(records_mu_);
     s.coverage_served = coverage_served_;
     s.records = records_;
   }
@@ -352,7 +352,7 @@ HttpResponse FunctionProxy::HandlePassive(const HttpRequest& request,
                                           QueryRecord* record) {
   std::string key = request.path + "?" + FullParamFingerprint(request.query_params);
   {
-    std::lock_guard<std::mutex> lock(passive_mu_);
+    util::MutexLock lock(passive_mu_);
     auto it = passive_items_.find(key);
     if (it != passive_items_.end()) {
       it->second.last_access = clock_->NowMicros();
@@ -377,7 +377,7 @@ HttpResponse FunctionProxy::HandlePassive(const HttpRequest& request,
     item.bytes = response.body.size() + 128;
     item.last_access = clock_->NowMicros();
     if (config_.max_cache_bytes == 0 || item.bytes <= config_.max_cache_bytes) {
-      std::lock_guard<std::mutex> lock(passive_mu_);
+      util::MutexLock lock(passive_mu_);
       while (config_.max_cache_bytes != 0 &&
              passive_bytes_ + item.bytes > config_.max_cache_bytes &&
              !passive_items_.empty()) {
@@ -589,7 +589,7 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
                   geometry::EstimateCoverageFraction(*region, part_regions);
               counters_.degraded_partial.fetch_add(1, kRelaxed);
               {
-                std::lock_guard<std::mutex> lock(records_mu_);
+                util::MutexLock lock(records_mu_);
                 coverage_served_ += coverage;
               }
               record->degraded = true;
@@ -750,7 +750,7 @@ HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
   }
   record.failed = !response.ok();
   {
-    std::lock_guard<std::mutex> lock(records_mu_);
+    util::MutexLock lock(records_mu_);
     records_.push_back(record);
   }
   return response;

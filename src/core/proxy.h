@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,7 +15,9 @@
 #include "net/http.h"
 #include "net/network.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace fnproxy::core {
 
@@ -305,18 +306,18 @@ class FunctionProxy final : public net::HttpHandler {
   /// Channel retry counters at construction (channels may be shared).
   uint64_t channel_retries_baseline_ = 0;
 
-  // Passive-mode storage: exact-URL-keyed raw responses with LRU eviction.
-  // Guarded by passive_mu_ (a plain map: passive mode is the paper's
-  // baseline, not the concurrency hot path).
-  std::mutex passive_mu_;
-  std::map<std::string, PassiveItem> passive_items_;
-  size_t passive_bytes_ = 0;
+  // Passive-mode storage: exact-URL-keyed raw responses with LRU eviction
+  // (a plain map: passive mode is the paper's baseline, not the
+  // concurrency hot path).
+  util::Mutex passive_mu_;
+  std::map<std::string, PassiveItem> passive_items_ GUARDED_BY(passive_mu_);
+  size_t passive_bytes_ GUARDED_BY(passive_mu_) = 0;
 
   AtomicCounters counters_;
   /// Guards records_ and coverage_served_ (doubles have no atomic +=).
-  mutable std::mutex records_mu_;
-  std::vector<QueryRecord> records_;
-  double coverage_served_ = 0.0;
+  mutable util::Mutex records_mu_;
+  std::vector<QueryRecord> records_ GUARDED_BY(records_mu_);
+  double coverage_served_ GUARDED_BY(records_mu_) = 0.0;
 };
 
 }  // namespace fnproxy::core

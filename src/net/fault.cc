@@ -52,7 +52,7 @@ HttpResponse FaultInjector::Handle(const HttpRequest& request) {
   bool drop, error, garbage, truncate, spike, trickle;
   double cut_fraction = 0.0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++stats_.requests;
 
     for (const OutageWindow& window : profile_.outages) {
@@ -89,7 +89,7 @@ HttpResponse FaultInjector::Handle(const HttpRequest& request) {
   // The wrapped handler runs unlocked so concurrent origin work overlaps.
   HttpResponse response = inner_->Handle(request);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (garbage) {
     ++stats_.injected_garbage;
     response.body = "<<< injected garbage: this is not a result document >>>";

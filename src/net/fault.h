@@ -2,13 +2,14 @@
 #define FNPROXY_NET_FAULT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "net/http.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace fnproxy::net {
 
@@ -98,11 +99,11 @@ class FaultInjector final : public HttpHandler {
   FaultInjector(HttpHandler* inner, FaultProfile profile,
                 util::SimulatedClock* clock);
 
-  HttpResponse Handle(const HttpRequest& request) override;
+  HttpResponse Handle(const HttpRequest& request) override EXCLUDES(mu_);
 
   /// Snapshot of the injection counters.
-  FaultStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  FaultStats stats() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return stats_;
   }
   const FaultProfile& profile() const { return profile_; }
@@ -116,9 +117,9 @@ class FaultInjector final : public HttpHandler {
   HttpHandler* inner_;
   FaultProfile profile_;
   util::SimulatedClock* clock_;
-  mutable std::mutex mu_;
-  util::Random rng_;   // Guarded by mu_.
-  FaultStats stats_;   // Guarded by mu_.
+  mutable util::Mutex mu_;
+  util::Random rng_ GUARDED_BY(mu_);
+  FaultStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace fnproxy::net

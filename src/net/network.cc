@@ -83,7 +83,7 @@ int64_t SimulatedChannel::NextBackoffMicros(int64_t prev_backoff) {
   uint64_t span = static_cast<uint64_t>(hi - base) + 1;
   int64_t draw;
   {
-    std::lock_guard<std::mutex> lock(jitter_mu_);
+    util::MutexLock lock(jitter_mu_);
     draw = base + static_cast<int64_t>(jitter_rng_.NextUint64(span));
   }
   return std::min(draw, cap);

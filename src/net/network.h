@@ -3,11 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "net/http.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace fnproxy::net {
 
@@ -111,14 +112,14 @@ class SimulatedChannel {
   /// per-attempt timeout clamp.
   HttpResponse Attempt(const HttpRequest& request);
   /// Next decorrelated-jitter backoff given the previous one.
-  int64_t NextBackoffMicros(int64_t prev_backoff);
+  int64_t NextBackoffMicros(int64_t prev_backoff) EXCLUDES(jitter_mu_);
 
   HttpHandler* handler_;
   LinkConfig link_;
   util::SimulatedClock* clock_;
   RetryPolicy retry_policy_;
-  std::mutex jitter_mu_;
-  util::Random jitter_rng_;  // Guarded by jitter_mu_.
+  util::Mutex jitter_mu_;
+  util::Random jitter_rng_ GUARDED_BY(jitter_mu_);
   std::atomic<uint64_t> total_requests_{0};
   std::atomic<uint64_t> total_bytes_sent_{0};
   std::atomic<uint64_t> total_bytes_received_{0};

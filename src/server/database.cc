@@ -53,7 +53,7 @@ const Database::HashIndex* Database::GetHashIndex(const std::string& table_name,
                                                   const sql::Table& table,
                                                   size_t column) const {
   HashIndexKey key{NormalizeName(table_name), table.schema().column(column).name};
-  std::lock_guard<std::mutex> lock(hash_index_mu_);
+  util::MutexLock lock(hash_index_mu_);
   auto it = hash_indexes_.find(key);
   if (it != hash_indexes_.end()) return &it->second;
   if (table.schema().column(column).type != ValueType::kInt) return nullptr;

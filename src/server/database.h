@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -11,7 +10,9 @@
 #include "sql/ast.h"
 #include "sql/eval.h"
 #include "sql/schema.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace fnproxy::server {
 
@@ -71,7 +72,8 @@ class Database {
 
   /// Lazily builds/fetches a hash index over an INT column of a base table.
   const HashIndex* GetHashIndex(const std::string& table_name,
-                                const sql::Table& table, size_t column) const;
+                                const sql::Table& table, size_t column) const
+      EXCLUDES(hash_index_mu_);
 
   static std::string NormalizeName(std::string_view name);
 
@@ -81,8 +83,9 @@ class Database {
   /// Lazily built under hash_index_mu_ so concurrent ExecuteSelect calls
   /// (the origin serves a thread pool) never race the first build. Map
   /// nodes are stable, so returned pointers stay valid after unlock.
-  mutable std::mutex hash_index_mu_;
-  mutable std::map<HashIndexKey, HashIndex> hash_indexes_;
+  mutable util::Mutex hash_index_mu_;
+  mutable std::map<HashIndexKey, HashIndex> hash_indexes_
+      GUARDED_BY(hash_index_mu_);
 };
 
 }  // namespace fnproxy::server

@@ -1,0 +1,100 @@
+#ifndef FNPROXY_UTIL_THREAD_ANNOTATIONS_H_
+#define FNPROXY_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (no-ops on GCC and MSVC).
+///
+/// These make the locking contracts of the concurrent core *compiler
+/// checked*: a member declared GUARDED_BY(mu_) may only be touched while
+/// `mu_` is held, a function declared REQUIRES(mu_) may only be called with
+/// `mu_` held, and violations are build errors under Clang's
+/// `-Wthread-safety` (promoted to `-Werror=thread-safety` by the top-level
+/// CMakeLists when the compiler supports it).
+///
+/// The analysis only understands capability-annotated lock types, and the
+/// standard library's std::mutex is not annotated under libstdc++ — so the
+/// concurrent core uses the annotated wrappers in util/mutex.h
+/// (util::Mutex, util::SharedMutex and their scoped locks) instead of raw
+/// std types. See DESIGN.md §11 for the conventions and the lock-ordering
+/// rules the annotations encode.
+///
+/// Naming follows the Clang documentation's reference header
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+
+#if defined(__clang__) && !defined(SWIG)
+#define FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a type to be a capability (a lock-like resource).
+#define CAPABILITY(x) FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member may only be accessed while the given capability is held.
+#define GUARDED_BY(x) FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member: the *pointed-to* data is protected by the capability.
+#define PT_GUARDED_BY(x) FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function may only be called while the capability is held exclusively.
+#define REQUIRES(...) \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function may only be called while the capability is held (shared ok).
+#define REQUIRES_SHARED(...) \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively and does not release it.
+#define ACQUIRE(...) \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared and does not release it.
+#define ACQUIRE_SHARED(...) \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the (exclusively held) capability.
+#define RELEASE(...) \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function releases the shared-held capability.
+#define RELEASE_SHARED(...) \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability held either way.
+#define RELEASE_GENERIC(...) \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the success value.
+#define TRY_ACQUIRE(...) \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...)      \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE( \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function may only be called while the capability is NOT held (deadlock
+/// prevention: lock-ordering documentation the compiler enforces).
+#define EXCLUDES(...) \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Asserts (at runtime, per the caller's knowledge) that the capability is
+/// held; teaches the analysis without generating code.
+#define ASSERT_CAPABILITY(x) \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+/// Escape hatch: turns the analysis off for one function. Every use must
+/// carry a comment explaining why the contract cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FNPROXY_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // FNPROXY_UTIL_THREAD_ANNOTATIONS_H_

@@ -16,7 +16,7 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutting_down_) return false;
     queue_.push_back(std::move(task));
   }
@@ -25,13 +25,15 @@ bool ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  // Explicit wait loop (not the predicate overload) so the thread-safety
+  // analysis sees the guarded members read with mu_ held.
+  while (!(queue_.empty() && active_ == 0)) idle_.wait(lock);
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutting_down_) {
       // A second caller still wants the join-completed guarantee, but the
       // destructor is the only double-shutdown path in practice.
@@ -49,9 +51,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) work_available_.wait(lock);
       if (queue_.empty()) return;  // Shutting down with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -59,7 +60,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_.notify_all();
     }

@@ -5,9 +5,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fnproxy::util {
 
@@ -29,27 +31,29 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Returns false (dropping the task) after Shutdown().
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and every worker is idle. Concurrent
   /// Submit calls may keep the pool busy past the return.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Stops accepting tasks, drains the queue, joins the workers. Idempotent;
   /// also run by the destructor.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  std::condition_variable_any work_available_;
+  std::condition_variable_any idle_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  /// Written only by the constructor; joined (outside the lock — joining
+  /// under mu_ would deadlock with workers reacquiring it) by Shutdown.
   std::vector<std::thread> workers_;
 };
 
