@@ -59,11 +59,10 @@ class CircuitBreaker {
   uint64_t transitions() const {
     return transitions_.load(std::memory_order_relaxed);
   }
-  /// (virtual time, entered state) for every transition, in order.
-  const std::vector<std::pair<int64_t, BreakerState>>& history() const {
-    return history_;
-  }
-  /// Same, copied under the lock.
+  /// (virtual time, entered state) for every transition, in order, copied
+  /// under the lock. (A by-reference history() accessor used to exist; the
+  /// thread-safety annotations flagged it for handing out an unguarded view
+  /// of mutex-protected state, and it was removed.)
   std::vector<std::pair<int64_t, BreakerState>> HistorySnapshot() const
       EXCLUDES(mu_);
   /// Failure fraction over the current window (0 when empty).

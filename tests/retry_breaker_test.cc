@@ -252,7 +252,7 @@ TEST(CircuitBreakerTest, FullTransitionCycleWithTimestamps) {
   EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
 
   // History: open@1s, half-open@11s, open@11s, half-open@21s, closed@21s.
-  const auto& history = breaker.history();
+  const auto history = breaker.HistorySnapshot();
   ASSERT_EQ(history.size(), 5u);
   EXPECT_EQ(history[0],
             std::make_pair<int64_t>(1'000'000, core::BreakerState::kOpen));
