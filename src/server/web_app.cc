@@ -45,7 +45,7 @@ HttpResponse OriginWebApp::ExecuteAndRespond(const SelectStatement& stmt,
 
 HttpResponse OriginWebApp::Handle(const HttpRequest& request) {
   if (request.path == "/sql") {
-    if (!sql_enabled_) {
+    if (!sql_enabled_.load(std::memory_order_relaxed)) {
       return HttpResponse::MakeError(403, "SQL facility disabled");
     }
     auto it = request.query_params.find("q");

@@ -44,8 +44,12 @@ class OriginWebApp final : public net::HttpHandler {
   util::Status RegisterForm(std::string path, std::string template_sql);
 
   /// Enables/disables the /sql remainder-query facility (paper §3.2: a site
-  /// may or may not support modified queries). Default on.
-  void set_sql_endpoint_enabled(bool enabled) { sql_enabled_ = enabled; }
+  /// may or may not support modified queries). Default on. Atomic so the
+  /// toggle may race with concurrent Handle() calls (fault-injection tests
+  /// flip it while the server is serving).
+  void set_sql_endpoint_enabled(bool enabled) {
+    sql_enabled_.store(enabled, std::memory_order_relaxed);
+  }
 
   net::HttpResponse Handle(const net::HttpRequest& request) override;
 
@@ -66,7 +70,7 @@ class OriginWebApp final : public net::HttpHandler {
   Database* db_;
   util::SimulatedClock* clock_;
   ServerCostModel cost_;
-  bool sql_enabled_ = true;
+  std::atomic<bool> sql_enabled_{true};
   // Read-only after registration; register all forms before serving
   // concurrent traffic.
   std::map<std::string, sql::SelectStatement> forms_;  // path -> template.
