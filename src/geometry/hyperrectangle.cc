@@ -124,8 +124,11 @@ std::string Hyperrectangle::ToString() const {
   std::string out = "Rect{";
   for (size_t i = 0; i < lo_.size(); ++i) {
     if (i > 0) out += ", ";
-    out += "[" + util::FormatDouble(lo_[i]) + ", " +
-           util::FormatDouble(hi_[i]) + "]";
+    out += "[";
+    out += util::FormatDouble(lo_[i]);
+    out += ", ";
+    out += util::FormatDouble(hi_[i]);
+    out += "]";
   }
   out += "}";
   return out;

@@ -18,13 +18,14 @@ std::string ExprToSql(const Expr& expr) {
       return std::string(UnaryOpSymbol(expr.uop)) + "(" +
              ExprToSql(*expr.children[0]) + ")";
     case Expr::Kind::kBinary: {
-      const char* symbol = BinaryOpSymbol(expr.op);
-      std::string sep =
-          (expr.op == BinaryOp::kAnd || expr.op == BinaryOp::kOr)
-              ? std::string(" ") + symbol + " "
-              : std::string(" ") + symbol + " ";
-      return "(" + ExprToSql(*expr.children[0]) + sep +
-             ExprToSql(*expr.children[1]) + ")";
+      std::string out = "(";
+      out += ExprToSql(*expr.children[0]);
+      out += " ";
+      out += BinaryOpSymbol(expr.op);
+      out += " ";
+      out += ExprToSql(*expr.children[1]);
+      out += ")";
+      return out;
     }
     case Expr::Kind::kFunctionCall: {
       std::string out = expr.name + "(";
@@ -35,14 +36,20 @@ std::string ExprToSql(const Expr& expr) {
       out += ")";
       return out;
     }
-    case Expr::Kind::kBetween:
-      return "(" + ExprToSql(*expr.children[0]) +
-             (expr.negated ? " NOT BETWEEN " : " BETWEEN ") +
-             ExprToSql(*expr.children[1]) + " AND " +
-             ExprToSql(*expr.children[2]) + ")";
+    case Expr::Kind::kBetween: {
+      std::string out = "(";
+      out += ExprToSql(*expr.children[0]);
+      out += expr.negated ? " NOT BETWEEN " : " BETWEEN ";
+      out += ExprToSql(*expr.children[1]);
+      out += " AND ";
+      out += ExprToSql(*expr.children[2]);
+      out += ")";
+      return out;
+    }
     case Expr::Kind::kInList: {
-      std::string out = "(" + ExprToSql(*expr.children[0]) +
-                        (expr.negated ? " NOT IN (" : " IN (");
+      std::string out = "(";
+      out += ExprToSql(*expr.children[0]);
+      out += expr.negated ? " NOT IN (" : " IN (";
       for (size_t i = 1; i < expr.children.size(); ++i) {
         if (i > 1) out += ", ";
         out += ExprToSql(*expr.children[i]);
@@ -50,9 +57,12 @@ std::string ExprToSql(const Expr& expr) {
       out += "))";
       return out;
     }
-    case Expr::Kind::kIsNull:
-      return "(" + ExprToSql(*expr.children[0]) +
-             (expr.negated ? " IS NOT NULL)" : " IS NULL)");
+    case Expr::Kind::kIsNull: {
+      std::string out = "(";
+      out += ExprToSql(*expr.children[0]);
+      out += expr.negated ? " IS NOT NULL)" : " IS NULL)";
+      return out;
+    }
   }
   return "?";
 }

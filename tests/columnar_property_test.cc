@@ -126,8 +126,9 @@ Table RandomTable(util::Random& rng, size_t max_rows) {
   size_t num_cols = 1 + rng.NextUint64(5);
   std::vector<sql::Column> columns;
   for (size_t c = 0; c < num_cols; ++c) {
-    columns.push_back(
-        {"c" + std::to_string(c), kTypes[rng.NextUint64(5)]});
+    std::string name = "c";
+    name += std::to_string(c);
+    columns.push_back({std::move(name), kTypes[rng.NextUint64(5)]});
   }
   Table table((Schema(columns)));
   size_t rows = rng.NextUint64(max_rows + 1);

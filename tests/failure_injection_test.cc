@@ -351,10 +351,12 @@ TEST_F(FailureInjectionTest, DegradedModeServesFromCacheDuringOutage) {
 
   // The tunneling and passive proxies fail the very queries the active
   // proxy still answers.
-  core::FunctionProxy nc(core::ProxyConfig{core::CachingMode::kNoCache},
-                         templates_, channel_.get(), clock_.get());
-  core::FunctionProxy pc(core::ProxyConfig{core::CachingMode::kPassive},
-                         templates_, channel_.get(), clock_.get());
+  core::ProxyConfig nc_config;
+  nc_config.mode = core::CachingMode::kNoCache;
+  core::FunctionProxy nc(nc_config, templates_, channel_.get(), clock_.get());
+  core::ProxyConfig pc_config;
+  pc_config.mode = core::CachingMode::kPassive;
+  core::FunctionProxy pc(pc_config, templates_, channel_.get(), clock_.get());
   EXPECT_FALSE(nc.Handle(Radial(185, 33, 10)).ok());
   EXPECT_FALSE(pc.Handle(Radial(185, 33, 10)).ok());
 
