@@ -1,0 +1,77 @@
+#ifndef FNPROXY_LINT_LINT_H_
+#define FNPROXY_LINT_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fnproxy::lint {
+
+/// Static analysis of template files — the registration-time counterpart of
+/// the compile-time thread-safety layer. A function template whose region
+/// expressions are malformed makes the proxy silently serve wrong tuples
+/// from cache (the semantic-caching premise: answers are *derived* from the
+/// declared region algebra, never revalidated against the origin), so
+/// template defects must be caught before registration, not in production.
+///
+/// The linter accepts three root elements:
+///   <FunctionTemplate>  one function template (paper Fig. 3 form)
+///   <TemplateInfo>      one query template + form binding (Id / FormPath /
+///                       QueryTemplate, optionally a declared <Params> list)
+///   <TemplateSet>       any number of the above two; cross-template checks
+///                       (call arity) see every member of the set
+///
+/// Check-id catalog (see docs/FORMATS.md §9 for the diagnostic format):
+///   parse-error          E  XML, SQL or expression syntax error; missing
+///                           required elements; non-TVF FROM source
+///   shape-dims           E  declared NumDimensions inconsistent with the
+///                           center/lo/hi/normal/vertex/coordinate-column
+///                           counts, or unknown <Shape>
+///   unbound-param        E  geometry expression references a $parameter
+///                           missing from <Params>, or a bare identifier
+///                           (no '$') that can never be bound
+///   unused-param         W  declared parameter feeds no geometry expression
+///   radius-nonpositive   E  radius expression is a constant < 0
+///                        W  radius expression is a constant == 0
+///   sql-param-undeclared E  query SQL uses a $parameter missing from the
+///                           declared <Params> list
+///   sql-param-unused     W  declared <Params> entry unused by the SQL
+///   call-arity           E  the SQL's TVF call passes a different number of
+///                           arguments than the function template declares
+///   disjoint-regions     W  sampled parameter bindings (including
+///                           infinitesimally-perturbed twins) produce
+///                           pairwise disjoint regions — no containment or
+///                           overlap cache hit can ever occur
+enum class Severity { kWarning, kError };
+
+const char* SeverityName(Severity severity);
+
+struct Diagnostic {
+  std::string file;
+  /// 1-based line of the element the finding anchors to; 0 when the finding
+  /// concerns the file as a whole.
+  size_t line = 0;
+  Severity severity = Severity::kError;
+  std::string check_id;
+  std::string message;
+
+  /// "file:line: severity [check-id] message" (docs/FORMATS.md §9).
+  std::string ToString() const;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+
+  bool HasErrors() const;
+  /// Diagnostics joined with newlines (empty string when clean).
+  std::string FormatDiagnostics() const;
+};
+
+/// Lints the content of one template file. `path` is used only to label
+/// diagnostics. Never throws and never aborts on malformed input: every
+/// problem becomes a diagnostic.
+LintResult LintTemplateFile(const std::string& path, std::string_view content);
+
+}  // namespace fnproxy::lint
+
+#endif  // FNPROXY_LINT_LINT_H_

@@ -1,0 +1,104 @@
+// fnproxy_lint: static checker for function-template and query-template
+// files. Prints one diagnostic per line in the format
+//
+//   file:line: severity [check-id] message
+//
+// and exits 1 when any error-severity diagnostic was emitted, 2 on usage or
+// I/O problems, 0 when every input lints clean (warnings alone do not fail
+// the run unless --werror is given). Directories are scanned recursively for
+// *.xml files.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: fnproxy_lint [--werror] <file-or-directory>...\n"
+            << "Lints function-template / query-template XML files.\n"
+            << "Directories are scanned recursively for *.xml.\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool werror = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "-h" || arg == "--help") {
+      return Usage();
+    } else {
+      inputs.push_back(std::move(arg));
+    }
+  }
+  if (inputs.empty()) return Usage();
+
+  std::vector<std::string> files;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(input, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(input, ec)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".xml") {
+          files.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        std::cerr << "fnproxy_lint: cannot scan " << input << ": "
+                  << ec.message() << "\n";
+        return 2;
+      }
+    } else {
+      files.push_back(input);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "fnproxy_lint: no .xml files found\n";
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const std::string& file : files) {
+    std::string content;
+    if (!ReadFile(file, content)) {
+      std::cerr << "fnproxy_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    fnproxy::lint::LintResult result =
+        fnproxy::lint::LintTemplateFile(file, content);
+    for (const fnproxy::lint::Diagnostic& d : result.diagnostics) {
+      std::cout << d.ToString() << "\n";
+      if (d.severity == fnproxy::lint::Severity::kError) {
+        ++errors;
+      } else {
+        ++warnings;
+      }
+    }
+  }
+
+  std::cerr << "fnproxy_lint: " << files.size() << " file(s), " << errors
+            << " error(s), " << warnings << " warning(s)\n";
+  if (errors > 0 || (werror && warnings > 0)) return 1;
+  return 0;
+}
