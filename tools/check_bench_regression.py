@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Fails CI when a benchmark metric regresses beyond tolerance.
+
+Both inputs are BENCH_results.json files (one JSON object per line, see
+docs/FORMATS.md): the committed baseline and a fresh run. The compared
+metric is higher-is-better (the columnar-scan speedup ratio); the gate
+fails when the fresh value drops more than --tolerance below the baseline.
+
+Usage:
+  check_bench_regression.py BASELINE FRESH [--metric NAME] [--tolerance F]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metric(path, metric, agg):
+    values = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("name") == metric:
+                values.append(float(record["value"]))
+    if not values:
+        sys.exit(f"error: metric '{metric}' not found in {path}")
+    # The files are append-only: a baseline takes its most recent record; a
+    # fresh file may hold several repeat runs, and best-of-N filters out the
+    # scheduling noise of shared CI runners.
+    return values[-1] if agg == "last" else max(values)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--metric", default="subsumed_scan/speedup")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    args = parser.parse_args()
+
+    baseline = load_metric(args.baseline, args.metric, "last")
+    fresh = load_metric(args.fresh, args.metric, "max")
+    drop = (baseline - fresh) / baseline if baseline > 0 else 0.0
+
+    print(
+        f"{args.metric}: baseline={baseline:.4f} fresh={fresh:.4f} "
+        f"drop={drop * 100:.1f}% (tolerance {args.tolerance * 100:.0f}%)"
+    )
+    if drop > args.tolerance:
+        sys.exit(f"error: {args.metric} regressed beyond tolerance")
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()
