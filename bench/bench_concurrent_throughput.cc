@@ -5,8 +5,13 @@
 // relationship checks all overlap across threads.
 //
 //   bench_concurrent_throughput [num-queries] [max-threads] [pacing]
+//                               [--json[=path]]
 //
 // Defaults: 600 queries, threads swept over {1, 2, 4, 8, 16}, pacing 0.02.
+// With --json, each sweep point appends one JSON-lines record carrying the
+// throughput plus per-phase latency fields (phase_<name>_total_us /
+// phase_<name>_p95_us, from the proxy's fnproxy_phase_duration_micros
+// histograms); see docs/FORMATS.md.
 // The shared clock is real-time paced: every modeled microsecond (WAN
 // transfer, server work) also sleeps `pacing` real microseconds on the
 // calling thread, so modeled waits occupy real time and overlap across
@@ -20,12 +25,17 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
 
 using namespace fnproxy;
 
 int main(int argc, char** argv) {
+  bench::BenchJson json =
+      bench::BenchJson::FromArgs(&argc, argv, "bench_concurrent_throughput");
   size_t num_queries = argc > 1 ? static_cast<size_t>(std::atoll(argv[1]))
                                 : 600;
   size_t max_threads = argc > 2 ? static_cast<size_t>(std::atoll(argv[2]))
@@ -72,6 +82,22 @@ int main(int argc, char** argv) {
         std::printf("  !! %lu errors\n",
                     static_cast<unsigned long>(run.errors));
       }
+      std::vector<std::pair<std::string, double>> extras = {
+          {"threads", static_cast<double>(threads)},
+          {"wall_ms", run.wall_millis},
+          {"p50_ms", static_cast<double>(run.p50_micros) / 1000.0},
+          {"p95_ms", static_cast<double>(run.p95_micros) / 1000.0},
+          {"p99_ms", static_cast<double>(run.p99_micros) / 1000.0},
+          {"errors", static_cast<double>(run.errors)},
+      };
+      for (const obs::PhaseBreakdown& row : output.phases) {
+        extras.emplace_back("phase_" + row.phase + "_total_us",
+                            static_cast<double>(row.total_micros));
+        extras.emplace_back("phase_" + row.phase + "_p95_us",
+                            static_cast<double>(row.p95_micros));
+      }
+      json.Record(std::string(scheme.name) + "/t" + std::to_string(threads),
+                  run.requests_per_second, "req/s", extras);
     }
   }
   std::printf("\nLatencies are wall-clock against the paced clock; modeled "

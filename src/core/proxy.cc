@@ -126,7 +126,11 @@ FunctionProxy::FunctionProxy(ProxyConfig config,
                              const TemplateRegistry* templates,
                              net::SimulatedChannel* origin,
                              util::SimulatedClock* clock)
-    : config_(config), templates_(templates), origin_(origin), clock_(clock) {
+    : config_(config),
+      templates_(templates),
+      origin_(origin),
+      clock_(clock),
+      trace_ring_(config.trace_ring_capacity) {
   const bool rtree = config_.use_rtree_description;
   RegionIndexFactory factory = [rtree]() -> std::unique_ptr<index::RegionIndex> {
     if (rtree) return std::make_unique<index::RTreeIndex>();
@@ -137,27 +141,188 @@ FunctionProxy::FunctionProxy(ProxyConfig config,
                                         config_.replacement);
   breaker_ = std::make_unique<CircuitBreaker>(config_.breaker, clock_);
   channel_retries_baseline_ = origin_->retry_stats().retries;
+  RegisterInstruments();
+}
+
+void FunctionProxy::RegisterInstruments() {
+  // Counter families. Series of one family must be registered contiguously
+  // so RenderPrometheus emits one HELP/TYPE header per family.
+  ins_.requests =
+      registry_.AddCounter("fnproxy_requests_total", "Requests handled");
+  ins_.template_requests = registry_.AddCounter(
+      "fnproxy_template_requests_total", "Requests matching a registered template");
+
+  const char* outcome_help = "Template-request outcomes by relationship handling";
+  ins_.exact_hits = registry_.AddCounter("fnproxy_cache_outcomes_total",
+                                         outcome_help, {{"outcome", "exact_hit"}});
+  ins_.containment_hits =
+      registry_.AddCounter("fnproxy_cache_outcomes_total", outcome_help,
+                           {{"outcome", "containment_hit"}});
+  ins_.region_containments =
+      registry_.AddCounter("fnproxy_cache_outcomes_total", outcome_help,
+                           {{"outcome", "region_containment"}});
+  ins_.overlaps_handled =
+      registry_.AddCounter("fnproxy_cache_outcomes_total", outcome_help,
+                           {{"outcome", "overlap"}});
+  ins_.misses = registry_.AddCounter("fnproxy_cache_outcomes_total",
+                                     outcome_help, {{"outcome", "miss"}});
+
+  const char* origin_help = "Origin round trips initiated, by endpoint";
+  ins_.origin_form_requests = registry_.AddCounter(
+      "fnproxy_origin_requests_total", origin_help, {{"endpoint", "form"}});
+  ins_.origin_sql_requests = registry_.AddCounter(
+      "fnproxy_origin_requests_total", origin_help, {{"endpoint", "sql"}});
+  ins_.origin_failures =
+      registry_.AddCounter("fnproxy_origin_failures_total",
+                           "Origin round trips failed after all retries");
+  ins_.breaker_open_rejections = registry_.AddCounter(
+      "fnproxy_breaker_open_rejections_total",
+      "Requests short-circuited without a round trip by an open breaker");
+
+  const char* degraded_help = "Answers served in degraded mode, by kind";
+  ins_.degraded_full = registry_.AddCounter("fnproxy_degraded_answers_total",
+                                            degraded_help, {{"kind", "full"}});
+  ins_.degraded_partial = registry_.AddCounter(
+      "fnproxy_degraded_answers_total", degraded_help, {{"kind", "partial"}});
+  ins_.degraded_unavailable =
+      registry_.AddCounter("fnproxy_degraded_answers_total", degraded_help,
+                           {{"kind", "unavailable"}});
+
+  const char* busy_help =
+      "Modeled virtual-time spent per phase (exact computed costs)";
+  ins_.check_micros = registry_.AddCounter("fnproxy_phase_busy_micros_total",
+                                           busy_help, {{"phase", "check"}});
+  ins_.local_eval_micros = registry_.AddCounter(
+      "fnproxy_phase_busy_micros_total", busy_help, {{"phase", "local_eval"}});
+  ins_.merge_micros = registry_.AddCounter("fnproxy_phase_busy_micros_total",
+                                           busy_help, {{"phase", "merge"}});
+
+  // Latency histograms.
+  ins_.request_duration = registry_.AddHistogram(
+      "fnproxy_request_duration_micros",
+      "End-to-end request latency on the simulated clock");
+  ins_.request_wall =
+      registry_.AddHistogram("fnproxy_request_wall_micros",
+                             "End-to-end request latency on the wall clock");
+
+  const char* phase_help =
+      "Per-phase virtual-time latency through the proxy pipeline";
+  struct PhaseSlot {
+    const char* label;
+    obs::Histogram** slot;
+  } slots[] = {
+      {"template_match", &ins_.phase_template_match},
+      {"cache_lookup", &ins_.phase_cache_lookup},
+      {"local_eval", &ins_.phase_local_eval},
+      {"remainder_build", &ins_.phase_remainder_build},
+      {"origin_roundtrip", &ins_.phase_origin_roundtrip},
+      {"merge", &ins_.phase_merge},
+      {"serialize", &ins_.phase_serialize},
+      {"cache_admit", &ins_.phase_cache_admit},
+  };
+  for (const PhaseSlot& s : slots) {
+    *s.slot = registry_.AddHistogram("fnproxy_phase_duration_micros",
+                                     phase_help, {{"phase", s.label}});
+  }
+  for (size_t i = 0; i < 5; ++i) {
+    ins_.region_compare[i] = registry_.AddHistogram(
+        "fnproxy_region_compare_micros",
+        "Relationship-check cost by resulting region relation",
+        {{"relation",
+          geometry::RegionRelationName(static_cast<RegionRelation>(i))}});
+  }
+
+  // Render-time callbacks: the source of truth stays with the owning
+  // subsystem; /metrics reads it when scraped, so the two cannot diverge.
+  CacheStore* cache = cache_.get();
+  registry_.AddCallback("fnproxy_cache_entries", "Cached results currently held",
+                        /*is_counter=*/false, {},
+                        [cache] { return static_cast<double>(cache->num_entries()); });
+  registry_.AddCallback("fnproxy_cache_bytes", "Bytes held by the result cache",
+                        /*is_counter=*/false, {},
+                        [cache] { return static_cast<double>(cache->bytes_used()); });
+  registry_.AddCallback("fnproxy_cache_evictions_total",
+                        "Entries evicted by the replacement policy",
+                        /*is_counter=*/true, {},
+                        [cache] { return static_cast<double>(cache->evictions()); });
+
+  CircuitBreaker* breaker = breaker_.get();
+  registry_.AddCallback(
+      "fnproxy_breaker_state",
+      "Circuit breaker state (0 closed, 1 open, 2 half-open)",
+      /*is_counter=*/false, {},
+      [breaker] { return static_cast<double>(breaker->state()); });
+  registry_.AddCallback("fnproxy_breaker_transitions_total",
+                        "Circuit breaker state transitions",
+                        /*is_counter=*/true, {},
+                        [breaker] { return static_cast<double>(breaker->transitions()); });
+  registry_.AddCallback("fnproxy_breaker_failure_rate",
+                        "Failure rate over the breaker's sliding window",
+                        /*is_counter=*/false, {},
+                        [breaker] { return breaker->FailureRate(); });
+
+  net::SimulatedChannel* origin = origin_;
+  registry_.AddCallback(
+      "fnproxy_origin_channel_attempts_total",
+      "Wire attempts on the origin channel (each retry counts)",
+      /*is_counter=*/true, {},
+      [origin] { return static_cast<double>(origin->retry_stats().attempts); });
+  registry_.AddCallback(
+      "fnproxy_origin_channel_retries_total",
+      "Retry attempts on the origin channel", /*is_counter=*/true, {},
+      [origin] { return static_cast<double>(origin->retry_stats().retries); });
+  registry_.AddCallback(
+      "fnproxy_origin_channel_timeouts_total",
+      "Per-attempt timeouts on the origin channel", /*is_counter=*/true, {},
+      [origin] { return static_cast<double>(origin->retry_stats().timeouts); });
+  registry_.AddCallback(
+      "fnproxy_origin_channel_backoff_micros_total",
+      "Virtual time spent in retry backoff on the origin channel",
+      /*is_counter=*/true, {},
+      [origin] {
+        return static_cast<double>(origin->retry_stats().backoff_micros_total);
+      });
+  registry_.AddCallback(
+      "fnproxy_origin_channel_bytes_total", "Bytes moved on the origin channel",
+      /*is_counter=*/true, {{"direction", "sent"}},
+      [origin] { return static_cast<double>(origin->total_bytes_sent()); });
+  registry_.AddCallback(
+      "fnproxy_origin_channel_bytes_total", "Bytes moved on the origin channel",
+      /*is_counter=*/true, {{"direction", "received"}},
+      [origin] { return static_cast<double>(origin->total_bytes_received()); });
+
+  registry_.AddCallback(
+      "fnproxy_degraded_coverage_served_total",
+      "Sum of coverage fractions over degraded partial answers",
+      /*is_counter=*/true, {}, [this] {
+        util::MutexLock lock(records_mu_);
+        return coverage_served_;
+      });
+  registry_.AddCallback(
+      "fnproxy_traces_recorded_total", "Completed query traces recorded",
+      /*is_counter=*/true, {},
+      [this] { return static_cast<double>(trace_ring_.total_pushed()); });
 }
 
 ProxyStats FunctionProxy::stats() const {
   ProxyStats s;
-  s.requests = counters_.requests.load(kRelaxed);
-  s.template_requests = counters_.template_requests.load(kRelaxed);
-  s.exact_hits = counters_.exact_hits.load(kRelaxed);
-  s.containment_hits = counters_.containment_hits.load(kRelaxed);
-  s.region_containments = counters_.region_containments.load(kRelaxed);
-  s.overlaps_handled = counters_.overlaps_handled.load(kRelaxed);
-  s.misses = counters_.misses.load(kRelaxed);
-  s.origin_form_requests = counters_.origin_form_requests.load(kRelaxed);
-  s.origin_sql_requests = counters_.origin_sql_requests.load(kRelaxed);
-  s.origin_failures = counters_.origin_failures.load(kRelaxed);
-  s.breaker_open_rejections = counters_.breaker_open_rejections.load(kRelaxed);
-  s.degraded_full = counters_.degraded_full.load(kRelaxed);
-  s.degraded_partial = counters_.degraded_partial.load(kRelaxed);
-  s.degraded_unavailable = counters_.degraded_unavailable.load(kRelaxed);
-  s.check_micros = counters_.check_micros.load(kRelaxed);
-  s.local_eval_micros = counters_.local_eval_micros.load(kRelaxed);
-  s.merge_micros = counters_.merge_micros.load(kRelaxed);
+  s.requests = ins_.requests->Value();
+  s.template_requests = ins_.template_requests->Value();
+  s.exact_hits = ins_.exact_hits->Value();
+  s.containment_hits = ins_.containment_hits->Value();
+  s.region_containments = ins_.region_containments->Value();
+  s.overlaps_handled = ins_.overlaps_handled->Value();
+  s.misses = ins_.misses->Value();
+  s.origin_form_requests = ins_.origin_form_requests->Value();
+  s.origin_sql_requests = ins_.origin_sql_requests->Value();
+  s.origin_failures = ins_.origin_failures->Value();
+  s.breaker_open_rejections = ins_.breaker_open_rejections->Value();
+  s.degraded_full = ins_.degraded_full->Value();
+  s.degraded_partial = ins_.degraded_partial->Value();
+  s.degraded_unavailable = ins_.degraded_unavailable->Value();
+  s.check_micros = static_cast<int64_t>(ins_.check_micros->Value());
+  s.local_eval_micros = static_cast<int64_t>(ins_.local_eval_micros->Value());
+  s.merge_micros = static_cast<int64_t>(ins_.merge_micros->Value());
   s.breaker_transitions = breaker_->transitions();
   s.origin_retries = origin_->retry_stats().retries - channel_retries_baseline_;
   {
@@ -180,7 +345,7 @@ void FunctionProxy::NoteOriginOutcome(bool usable) {
   if (usable) {
     breaker_->RecordSuccess();
   } else {
-    counters_.origin_failures.fetch_add(1, kRelaxed);
+    ins_.origin_failures->Increment();
     breaker_->RecordFailure();
   }
 }
@@ -197,16 +362,21 @@ HttpResponse FunctionProxy::ServiceUnavailable() {
 }
 
 HttpResponse FunctionProxy::Forward(const HttpRequest& request,
-                                    QueryRecord* record) {
+                                    QueryRecord* record,
+                                    obs::QueryTrace* trace) {
   if (!OriginAllowed()) {
-    counters_.breaker_open_rejections.fetch_add(1, kRelaxed);
-    counters_.degraded_unavailable.fetch_add(1, kRelaxed);
+    ins_.breaker_open_rejections->Increment();
+    ins_.degraded_unavailable->Increment();
     record->degraded = true;
     return ServiceUnavailable();
   }
   record->contacted_origin = true;
-  counters_.origin_form_requests.fetch_add(1, kRelaxed);
+  ins_.origin_form_requests->Increment();
+  obs::ScopedSpan span(trace, "origin_roundtrip", clock_,
+                       ins_.phase_origin_roundtrip);
+  span.AddAttr("endpoint", "form");
   HttpResponse response = origin_->RoundTrip(request);
+  span.AddAttr("status", std::to_string(response.status_code));
   NoteOriginOutcome(!net::RetryPolicy::Retryable(response));
   if (response.ok()) {
     record->tuples_total = ExtractRowCount(response.body);
@@ -215,14 +385,19 @@ HttpResponse FunctionProxy::Forward(const HttpRequest& request,
 }
 
 StatusOr<Table> FunctionProxy::FetchFromOrigin(const HttpRequest& request,
-                                               QueryRecord* record) {
+                                               QueryRecord* record,
+                                               obs::QueryTrace* trace) {
   if (!OriginAllowed()) {
-    counters_.breaker_open_rejections.fetch_add(1, kRelaxed);
+    ins_.breaker_open_rejections->Increment();
     return Status::Unavailable("circuit breaker open");
   }
   record->contacted_origin = true;
-  counters_.origin_form_requests.fetch_add(1, kRelaxed);
+  ins_.origin_form_requests->Increment();
+  obs::ScopedSpan span(trace, "origin_roundtrip", clock_,
+                       ins_.phase_origin_roundtrip);
+  span.AddAttr("endpoint", "form");
   HttpResponse response = origin_->RoundTrip(request);
+  span.AddAttr("status", std::to_string(response.status_code));
   if (!response.ok()) {
     bool origin_down = net::RetryPolicy::Retryable(response);
     NoteOriginOutcome(!origin_down);
@@ -239,21 +414,27 @@ StatusOr<Table> FunctionProxy::FetchFromOrigin(const HttpRequest& request,
   if (!table.ok()) return table.status();
   ChargeMicros(config_.costs.per_origin_response_tuple_us *
                static_cast<double>(table->num_rows()));
+  span.AddAttr("rows", std::to_string(table->num_rows()));
   return table;
 }
 
 StatusOr<Table> FunctionProxy::FetchRemainder(const sql::SelectStatement& stmt,
-                                              QueryRecord* record) {
+                                              QueryRecord* record,
+                                              obs::QueryTrace* trace) {
   if (!OriginAllowed()) {
-    counters_.breaker_open_rejections.fetch_add(1, kRelaxed);
+    ins_.breaker_open_rejections->Increment();
     return Status::Unavailable("circuit breaker open");
   }
   record->contacted_origin = true;
-  counters_.origin_sql_requests.fetch_add(1, kRelaxed);
+  ins_.origin_sql_requests->Increment();
   HttpRequest request;
   request.path = "/sql";
   request.query_params["q"] = sql::SelectToSql(stmt);
+  obs::ScopedSpan span(trace, "origin_roundtrip", clock_,
+                       ins_.phase_origin_roundtrip);
+  span.AddAttr("endpoint", "sql");
   HttpResponse response = origin_->RoundTrip(request);
+  span.AddAttr("status", std::to_string(response.status_code));
   if (!response.ok()) {
     bool origin_down = net::RetryPolicy::Retryable(response);
     NoteOriginOutcome(!origin_down);
@@ -268,18 +449,14 @@ StatusOr<Table> FunctionProxy::FetchRemainder(const sql::SelectStatement& stmt,
   if (!table.ok()) return table.status();
   ChargeMicros(config_.costs.per_origin_response_tuple_us *
                static_cast<double>(table->num_rows()));
+  span.AddAttr("rows", std::to_string(table->num_rows()));
   return table;
 }
 
-HttpResponse FunctionProxy::Respond(const Table& table) {
-  ChargeMicros(config_.costs.per_response_tuple_us *
-               static_cast<double>(table.num_rows()));
-  HttpResponse response;
-  response.body = sql::TableToXml(table);
-  return response;
-}
-
-HttpResponse FunctionProxy::Respond(const sql::ColumnarTable& table) {
+HttpResponse FunctionProxy::Respond(const Table& table,
+                                    obs::QueryTrace* trace) {
+  obs::ScopedSpan span(trace, "serialize", clock_, ins_.phase_serialize);
+  span.AddAttr("rows", std::to_string(table.num_rows()));
   ChargeMicros(config_.costs.per_response_tuple_us *
                static_cast<double>(table.num_rows()));
   HttpResponse response;
@@ -288,7 +465,21 @@ HttpResponse FunctionProxy::Respond(const sql::ColumnarTable& table) {
 }
 
 HttpResponse FunctionProxy::Respond(const sql::ColumnarTable& table,
-                                    const std::vector<uint32_t>& selection) {
+                                    obs::QueryTrace* trace) {
+  obs::ScopedSpan span(trace, "serialize", clock_, ins_.phase_serialize);
+  span.AddAttr("rows", std::to_string(table.num_rows()));
+  ChargeMicros(config_.costs.per_response_tuple_us *
+               static_cast<double>(table.num_rows()));
+  HttpResponse response;
+  response.body = sql::TableToXml(table);
+  return response;
+}
+
+HttpResponse FunctionProxy::Respond(const sql::ColumnarTable& table,
+                                    const std::vector<uint32_t>& selection,
+                                    obs::QueryTrace* trace) {
+  obs::ScopedSpan span(trace, "serialize", clock_, ins_.phase_serialize);
+  span.AddAttr("rows", std::to_string(selection.size()));
   ChargeMicros(config_.costs.per_response_tuple_us *
                static_cast<double>(selection.size()));
   HttpResponse response;
@@ -299,7 +490,10 @@ HttpResponse FunctionProxy::Respond(const sql::ColumnarTable& table,
 
 HttpResponse FunctionProxy::RespondPartial(
     const sql::ColumnarTable& table, const std::vector<uint32_t>& selection,
-    double coverage) {
+    double coverage, obs::QueryTrace* trace) {
+  obs::ScopedSpan span(trace, "serialize", clock_, ins_.phase_serialize);
+  span.AddAttr("rows", std::to_string(selection.size()));
+  span.AddAttr("partial", "true");
   ChargeMicros(config_.costs.per_response_tuple_us *
                static_cast<double>(selection.size()));
   sql::ResultXmlAttrs attrs;
@@ -324,7 +518,10 @@ void FunctionProxy::CacheResult(
     const QueryTemplate& qt, const std::string& nonspatial_fp,
     const std::string& param_fp, const geometry::Region& region,
     sql::ColumnarTable result,
-    const std::vector<std::string>& coordinate_columns, bool truncated) {
+    const std::vector<std::string>& coordinate_columns, bool truncated,
+    obs::QueryTrace* trace) {
+  obs::ScopedSpan span(trace, "cache_admit", clock_, ins_.phase_cache_admit);
+  span.AddAttr("rows", std::to_string(result.num_rows()));
   // Resolve coordinate columns to contiguous double arrays now, while the
   // entry is still private to this thread; after Insert the entry is frozen
   // behind shared_ptr<const CacheEntry> and scanned concurrently.
@@ -349,25 +546,30 @@ void FunctionProxy::CacheResult(
 }
 
 HttpResponse FunctionProxy::HandlePassive(const HttpRequest& request,
-                                          QueryRecord* record) {
+                                          QueryRecord* record,
+                                          obs::QueryTrace* trace) {
   std::string key = request.path + "?" + FullParamFingerprint(request.query_params);
   {
+    obs::ScopedSpan lookup(trace, "cache_lookup", clock_,
+                           ins_.phase_cache_lookup);
     util::MutexLock lock(passive_mu_);
     auto it = passive_items_.find(key);
     if (it != passive_items_.end()) {
+      lookup.AddAttr("outcome", "exact_hit");
       it->second.last_access = clock_->NowMicros();
       record->tuples_total = it->second.rows;
       record->tuples_from_cache = it->second.rows;
-      counters_.exact_hits.fetch_add(1, kRelaxed);
+      ins_.exact_hits->Increment();
       ChargeMicros(config_.costs.per_response_tuple_us *
                    static_cast<double>(it->second.rows));
       HttpResponse response;
       response.body = it->second.body;
       return response;
     }
+    lookup.AddAttr("outcome", "miss");
   }
-  counters_.misses.fetch_add(1, kRelaxed);
-  HttpResponse response = Forward(request, record);
+  ins_.misses->Increment();
+  HttpResponse response = Forward(request, record, trace);
   // Admission control: only well-formed result documents from 2xx responses
   // enter the cache — a 200 carrying garbage must not poison future hits.
   if (response.ok() && sql::TableFromXml(response.body).ok()) {
@@ -401,7 +603,8 @@ HttpResponse FunctionProxy::HandlePassive(const HttpRequest& request,
 HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
                                          const QueryTemplate& qt,
                                          const FunctionTemplate& ft,
-                                         QueryRecord* record) {
+                                         QueryRecord* record,
+                                         obs::QueryTrace* trace) {
   // --- Instantiate: parameters, region, fingerprints. ---
   std::map<std::string, Value> params;
   for (const auto& [key, text] : request.query_params) {
@@ -409,32 +612,40 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
   }
   auto args = qt.FunctionArgs(params);
   if (!args.ok()) {
-    return Forward(request, record);
+    return Forward(request, record, trace);
   }
   auto region_or = ft.BuildRegion(*args);
   if (!region_or.ok()) {
-    return Forward(request, record);
+    return Forward(request, record, trace);
   }
   std::unique_ptr<geometry::Region> region = std::move(*region_or);
   auto nonspatial_fp = qt.NonSpatialFingerprint(params);
   if (!nonspatial_fp.ok()) {
-    return Forward(request, record);
+    return Forward(request, record, trace);
   }
   std::string param_fp = FullParamFingerprint(request.query_params);
 
   // --- Relationship check against the cache description. The returned
   // snapshots stay valid even if a concurrent admission evicts the entries
   // before this request finishes using them. ---
+  obs::ScopedSpan lookup(trace, "cache_lookup", clock_,
+                         ins_.phase_cache_lookup);
   RelationshipResult rel =
       CheckRelationship(*cache_, qt.id(), *nonspatial_fp, *region);
   double check_micros =
       DescriptionCostMicros(rel.description_comparisons) +
       config_.costs.per_relation_check_us *
           static_cast<double>(rel.regions_checked);
-  counters_.check_micros.fetch_add(static_cast<int64_t>(check_micros),
-                                   kRelaxed);
+  ins_.check_micros->Increment(static_cast<uint64_t>(check_micros));
   ChargeMicros(check_micros);
   record->status = rel.status;
+  ins_.region_compare[static_cast<size_t>(rel.status)]->Observe(
+      static_cast<int64_t>(check_micros));
+  lookup.AddAttr("relation", geometry::RegionRelationName(rel.status));
+  lookup.AddAttr("description_comparisons",
+                 std::to_string(rel.description_comparisons));
+  lookup.AddAttr("regions_checked", std::to_string(rel.regions_checked));
+  lookup.Finish();
 
   // Templates whose projection carries function-computed values (e.g. a
   // distance to the query point) cannot reuse cached tuples for a different
@@ -449,7 +660,7 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
   switch (rel.status) {
     case RegionRelation::kEqual: {
       // Case (a): serve the cached result directly.
-      counters_.exact_hits.fetch_add(1, kRelaxed);
+      ins_.exact_hits->Increment();
       const std::shared_ptr<const CacheEntry>& entry = rel.matched;
       cache_->Touch(entry->id, clock_->NowMicros());
       record->tuples_total = entry->result.num_rows();
@@ -457,46 +668,53 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       if (BreakerOpen()) {
         // Served entirely from cache while the origin is down: a degraded
         // answer that happens to be complete.
-        counters_.degraded_full.fetch_add(1, kRelaxed);
+        ins_.degraded_full->Increment();
         record->degraded = true;
       }
-      return Respond(entry->result);
+      return Respond(entry->result, trace);
     }
 
     case RegionRelation::kContainedBy: {
       if (exact_only) break;  // Stale function-computed values; miss path.
       // Case (b): local spatial selection over the containing entry.
-      counters_.containment_hits.fetch_add(1, kRelaxed);
+      ins_.containment_hits->Increment();
       const std::shared_ptr<const CacheEntry>& entry = rel.matched;
       cache_->Touch(entry->id, clock_->NowMicros());
       // Columnar scan: membership kernel over the entry's pre-resolved
       // coordinate arrays, yielding a selection vector that flows through
       // order/top and straight into serialization — no row materialization.
+      obs::ScopedSpan eval(trace, "local_eval", clock_, ins_.phase_local_eval);
       auto selected =
           SelectInRegion(entry->result, *region, ft.coordinate_columns());
       if (!selected.ok()) {
         FNPROXY_LOG(kWarning) << "local evaluation failed: "
                               << selected.status().ToString();
-        return Forward(request, record);
+        eval.Finish();
+        return Forward(request, record, trace);
       }
       double eval_micros = config_.costs.per_cached_tuple_scan_us *
                            static_cast<double>(selected->tuples_scanned);
-      counters_.local_eval_micros.fetch_add(static_cast<int64_t>(eval_micros),
-                                            kRelaxed);
+      ins_.local_eval_micros->Increment(static_cast<uint64_t>(eval_micros));
       ChargeMicros(eval_micros);
+      eval.AddAttr("tuples_scanned", std::to_string(selected->tuples_scanned));
+      eval.AddAttr("selected", std::to_string(selected->selection.size()));
       auto stmt = qt.Instantiate(params);
-      if (!stmt.ok()) return Forward(request, record);
+      if (!stmt.ok()) {
+        eval.Finish();
+        return Forward(request, record, trace);
+      }
       auto final_selection = ApplyOrderAndTop(
           entry->result, std::move(selected->selection), *stmt);
-      if (!final_selection.ok()) return Forward(request, record);
+      eval.Finish();
+      if (!final_selection.ok()) return Forward(request, record, trace);
       record->tuples_total = final_selection->size();
       record->tuples_from_cache = final_selection->size();
       if (BreakerOpen()) {
-        counters_.degraded_full.fetch_add(1, kRelaxed);
+        ins_.degraded_full->Increment();
         record->degraded = true;
       }
       // Not cached: the result is already covered by the container (§3.2).
-      return Respond(entry->result, *final_selection);
+      return Respond(entry->result, *final_selection, trace);
     }
 
     case RegionRelation::kContains:
@@ -515,48 +733,57 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       std::vector<ColumnarSlice> probe_slices;
       std::vector<std::unique_ptr<std::vector<uint32_t>>> probe_selections;
       size_t scanned = 0;
-      for (const auto& entry : rel.contained) {
-        cache_->Touch(entry->id, clock_->NowMicros());
-        // Contained regions lie fully inside the query: their result files
-        // are merged wholesale, with no per-tuple spatial filtering.
-        probe_slices.push_back({&entry->result, nullptr});
-      }
-      if (handle_overlap) {
-        for (const auto& entry : rel.overlapping) {
+      {
+        obs::ScopedSpan eval(trace, "local_eval", clock_,
+                             ins_.phase_local_eval);
+        for (const auto& entry : rel.contained) {
           cache_->Touch(entry->id, clock_->NowMicros());
-          auto selected =
-              SelectInRegion(entry->result, *region, ft.coordinate_columns());
-          if (!selected.ok()) continue;
-          scanned += selected->tuples_scanned;
-          probe_selections.push_back(std::make_unique<std::vector<uint32_t>>(
-              std::move(selected->selection)));
-          probe_slices.push_back(
-              {&entry->result, probe_selections.back().get()});
-          used.push_back(entry);
+          // Contained regions lie fully inside the query: their result files
+          // are merged wholesale, with no per-tuple spatial filtering.
+          probe_slices.push_back({&entry->result, nullptr});
         }
+        if (handle_overlap) {
+          for (const auto& entry : rel.overlapping) {
+            cache_->Touch(entry->id, clock_->NowMicros());
+            auto selected =
+                SelectInRegion(entry->result, *region, ft.coordinate_columns());
+            if (!selected.ok()) continue;
+            scanned += selected->tuples_scanned;
+            probe_selections.push_back(std::make_unique<std::vector<uint32_t>>(
+                std::move(selected->selection)));
+            probe_slices.push_back(
+                {&entry->result, probe_selections.back().get()});
+            used.push_back(entry);
+          }
+        }
+        double eval_micros = config_.costs.per_cached_tuple_scan_us *
+                             static_cast<double>(scanned);
+        ins_.local_eval_micros->Increment(static_cast<uint64_t>(eval_micros));
+        ChargeMicros(eval_micros);
+        eval.AddAttr("tuples_scanned", std::to_string(scanned));
+        eval.AddAttr("probe_slices", std::to_string(probe_slices.size()));
       }
-      double eval_micros = config_.costs.per_cached_tuple_scan_us *
-                           static_cast<double>(scanned);
-      counters_.local_eval_micros.fetch_add(static_cast<int64_t>(eval_micros),
-                                            kRelaxed);
-      ChargeMicros(eval_micros);
 
       // Remainder query excludes every region whose tuples the probe holds.
+      auto stmt = qt.Instantiate(params);
+      if (!stmt.ok()) return Forward(request, record, trace);
+      obs::ScopedSpan build(trace, "remainder_build", clock_,
+                            ins_.phase_remainder_build);
       std::vector<const geometry::Region*> excluded;
       for (const auto& entry : used) {
         excluded.push_back(entry->region.get());
       }
-      auto stmt = qt.Instantiate(params);
-      if (!stmt.ok()) return Forward(request, record);
+      build.AddAttr("excluded_regions", std::to_string(excluded.size()));
       auto remainder_stmt =
           BuildRemainderQuery(*stmt, excluded, ft.coordinate_columns());
-      if (!remainder_stmt.ok()) return Forward(request, record);
-      auto remainder_table = FetchRemainder(*remainder_stmt, record);
+      build.Finish();
+      if (!remainder_stmt.ok()) return Forward(request, record, trace);
+      auto remainder_table = FetchRemainder(*remainder_stmt, record, trace);
       if (!remainder_table.ok()) {
         // Origin without a remainder facility: fall back to the original
         // query (paper §3.2: "the proxy has no choice but always sends the
         // original query").
-        auto full = FetchFromOrigin(request, record);
+        auto full = FetchFromOrigin(request, record, trace);
         if (!full.ok()) {
           // kInternal means the origin answered with a client error — that
           // is not unavailability, so it is not eligible for degradation.
@@ -565,6 +792,7 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
             // Degraded mode: the origin is unreachable, but the probe parts
             // are known-correct tuples for their regions — serve them as a
             // partial answer annotated with the covered volume fraction.
+            obs::ScopedSpan merge(trace, "merge", clock_, ins_.phase_merge);
             auto probe_only = MergeDistinctColumnar(probe_slices);
             util::StatusOr<std::vector<uint32_t>> partial_selection =
                 probe_only.status();
@@ -578,16 +806,18 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
               double partial_merge_micros =
                   config_.costs.per_merge_tuple_us *
                   static_cast<double>(probe_only->num_rows());
-              counters_.merge_micros.fetch_add(
-                  static_cast<int64_t>(partial_merge_micros), kRelaxed);
+              ins_.merge_micros->Increment(
+                  static_cast<uint64_t>(partial_merge_micros));
               ChargeMicros(partial_merge_micros);
+              merge.AddAttr("rows", std::to_string(probe_only->num_rows()));
+              merge.Finish();
               std::vector<const geometry::Region*> part_regions;
               for (const auto& entry : used) {
                 part_regions.push_back(entry->region.get());
               }
               double coverage =
                   geometry::EstimateCoverageFraction(*region, part_regions);
-              counters_.degraded_partial.fetch_add(1, kRelaxed);
+              ins_.degraded_partial->Increment();
               {
                 util::MutexLock lock(records_mu_);
                 coverage_served_ += coverage;
@@ -596,9 +826,11 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
               record->coverage = coverage;
               record->tuples_total = partial_selection->size();
               record->tuples_from_cache = partial_selection->size();
-              return RespondPartial(*probe_only, *partial_selection, coverage);
+              return RespondPartial(*probe_only, *partial_selection, coverage,
+                                    trace);
             }
-            counters_.degraded_unavailable.fetch_add(1, kRelaxed);
+            merge.Finish();
+            ins_.degraded_unavailable->Increment();
             record->degraded = true;
             return ServiceUnavailable();
           }
@@ -609,29 +841,38 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
                     ft.coordinate_columns(),
                     qt.has_top() && stmt->top_n.has_value() &&
                         full->num_rows() ==
-                            static_cast<size_t>(*stmt->top_n));
-        counters_.misses.fetch_add(1, kRelaxed);
-        return Respond(*full);
+                            static_cast<size_t>(*stmt->top_n),
+                    trace);
+        ins_.misses->Increment();
+        return Respond(*full, trace);
       }
 
       if (is_region_containment) {
-        counters_.region_containments.fetch_add(1, kRelaxed);
+        ins_.region_containments->Increment();
       } else {
-        counters_.overlaps_handled.fetch_add(1, kRelaxed);
+        ins_.overlaps_handled->Increment();
       }
 
       // Merge probe slices and the remainder (converted to columnar once).
+      obs::ScopedSpan merge(trace, "merge", clock_, ins_.phase_merge);
       auto probe = MergeDistinctColumnar(probe_slices);
-      if (!probe.ok()) return Forward(request, record);
+      if (!probe.ok()) {
+        merge.Finish();
+        return Forward(request, record, trace);
+      }
       sql::ColumnarTable remainder_columnar(std::move(*remainder_table));
       auto merged = MergeDistinctColumnar(std::vector<ColumnarSlice>{
           {&*probe, nullptr}, {&remainder_columnar, nullptr}});
-      if (!merged.ok()) return Forward(request, record);
+      if (!merged.ok()) {
+        merge.Finish();
+        return Forward(request, record, trace);
+      }
       double merge_micros = config_.costs.per_merge_tuple_us *
                             static_cast<double>(merged->num_rows());
-      counters_.merge_micros.fetch_add(static_cast<int64_t>(merge_micros),
-                                       kRelaxed);
+      ins_.merge_micros->Increment(static_cast<uint64_t>(merge_micros));
       ChargeMicros(merge_micros);
+      merge.AddAttr("rows", std::to_string(merged->num_rows()));
+      merge.Finish();
 
       record->tuples_total = merged->num_rows();
       record->tuples_from_cache = probe->num_rows();
@@ -645,19 +886,19 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
           ChargeMicros(DescriptionCostMicros(removal_comparisons));
         }
         CacheResult(qt, *nonspatial_fp, param_fp, *region, *merged,
-                    ft.coordinate_columns(), /*truncated=*/false);
+                    ft.coordinate_columns(), /*truncated=*/false, trace);
       } else {
         // General overlap: cache the new query's full result; overlapped
         // entries remain (they are not subsumed).
         CacheResult(qt, *nonspatial_fp, param_fp, *region, *merged,
-                    ft.coordinate_columns(), /*truncated=*/false);
+                    ft.coordinate_columns(), /*truncated=*/false, trace);
       }
 
       std::vector<uint32_t> all_rows(merged->num_rows());
       std::iota(all_rows.begin(), all_rows.end(), 0u);
       auto final_selection = ApplyOrderAndTop(*merged, std::move(all_rows), *stmt);
-      if (!final_selection.ok()) return Forward(request, record);
-      return Respond(*merged, *final_selection);
+      if (!final_selection.ok()) return Forward(request, record, trace);
+      return Respond(*merged, *final_selection, trace);
     }
 
     case RegionRelation::kDisjoint:
@@ -666,14 +907,14 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
 
   // Case (d) or a case this scheme does not handle: fetch the original
   // query from the origin and cache the result.
-  counters_.misses.fetch_add(1, kRelaxed);
-  auto table = FetchFromOrigin(request, record);
+  ins_.misses->Increment();
+  auto table = FetchFromOrigin(request, record, trace);
   if (!table.ok()) {
     if (config_.degraded_mode &&
         table.status().code() != util::StatusCode::kInternal) {
       // The cache contributes nothing to this query: refuse honestly with a
       // Retry-After instead of a bare gateway error.
-      counters_.degraded_unavailable.fetch_add(1, kRelaxed);
+      ins_.degraded_unavailable->Increment();
       record->degraded = true;
       return ServiceUnavailable();
     }
@@ -688,8 +929,8 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
                 table->num_rows() == static_cast<size_t>(*stmt->top_n);
   }
   CacheResult(qt, *nonspatial_fp, param_fp, *region, *table,
-              ft.coordinate_columns(), truncated);
-  return Respond(*table);
+              ft.coordinate_columns(), truncated, trace);
+  return Respond(*table, trace);
 }
 
 util::Status FunctionProxy::SaveCache(const std::string& directory) const {
@@ -700,58 +941,131 @@ util::StatusOr<size_t> FunctionProxy::LoadCache(const std::string& directory) {
   return LoadCacheSnapshot(directory, cache_.get());
 }
 
-HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
-  if (request.path == "/proxy/stats") {
-    // Admin endpoint: one consistent snapshot (single pass over the atomics
-    // and one lock acquisition), then rendered without re-reading live state.
-    ProxyStats snapshot = stats();
-    HttpResponse response;
-    response.body = snapshot.ToXml();
-    response.body += "<Cache entries=\"" +
-                     std::to_string(cache_->num_entries()) + "\" bytes=\"" +
-                     std::to_string(cache_->bytes_used()) + "\" evictions=\"" +
-                     std::to_string(cache_->evictions()) + "\" description=\"" +
-                     (config_.use_rtree_description ? "rtree" : "array") +
-                     "\" shards=\"" + std::to_string(cache_->num_shards()) +
-                     "\" mode=\"" + CachingModeName(config_.mode) + "\"/>\n";
-    char breaker_line[160];
-    std::snprintf(breaker_line, sizeof(breaker_line),
-                  "<CircuitBreaker enabled=\"%d\" state=\"%s\""
-                  " transitions=\"%llu\" failureRate=\"%.3f\"/>\n",
-                  config_.breaker.enabled ? 1 : 0,
-                  BreakerStateName(breaker_->state()),
-                  static_cast<unsigned long long>(snapshot.breaker_transitions),
-                  breaker_->FailureRate());
-    response.body += breaker_line;
-    return response;
-  }
+HttpResponse FunctionProxy::HandleStats() {
+  // Admin endpoint: one consistent snapshot (single pass over the atomics
+  // and one lock acquisition), then rendered without re-reading live state.
+  // The same registry instruments back GET /metrics, so the two endpoints
+  // agree up to scrape-time skew.
+  ProxyStats snapshot = stats();
+  HttpResponse response;
+  response.body = snapshot.ToXml();
+  response.body += "<Cache entries=\"" +
+                   std::to_string(cache_->num_entries()) + "\" bytes=\"" +
+                   std::to_string(cache_->bytes_used()) + "\" evictions=\"" +
+                   std::to_string(cache_->evictions()) + "\" description=\"" +
+                   (config_.use_rtree_description ? "rtree" : "array") +
+                   "\" shards=\"" + std::to_string(cache_->num_shards()) +
+                   "\" mode=\"" + CachingModeName(config_.mode) + "\"/>\n";
+  char breaker_line[160];
+  std::snprintf(breaker_line, sizeof(breaker_line),
+                "<CircuitBreaker enabled=\"%d\" state=\"%s\""
+                " transitions=\"%llu\" failureRate=\"%.3f\"/>\n",
+                config_.breaker.enabled ? 1 : 0,
+                BreakerStateName(breaker_->state()),
+                static_cast<unsigned long long>(snapshot.breaker_transitions),
+                breaker_->FailureRate());
+  response.body += breaker_line;
+  return response;
+}
 
-  counters_.requests.fetch_add(1, kRelaxed);
+HttpResponse FunctionProxy::HandleMetrics() {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = registry_.RenderPrometheus();
+  return response;
+}
+
+HttpResponse FunctionProxy::HandleTrace(const HttpRequest& request) {
+  size_t last = 16;
+  auto it = request.query_params.find("last");
+  if (it != request.query_params.end()) {
+    last = 0;
+    for (char c : it->second) {
+      if (c < '0' || c > '9') {
+        return HttpResponse::MakeError(400, "last must be a non-negative integer");
+      }
+      last = last * 10 + static_cast<size_t>(c - '0');
+    }
+  }
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body.push_back('[');
+  bool first = true;
+  for (const auto& trace : trace_ring_.Last(last)) {
+    if (!first) response.body.push_back(',');
+    first = false;
+    trace->AppendJson(&response.body);
+  }
+  response.body.append("]\n");
+  return response;
+}
+
+HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
+  // Reserved admin endpoints: answered from proxy state, never forwarded,
+  // never counted as query traffic.
+  if (request.path == "/proxy/stats") return HandleStats();
+  if (request.path == "/metrics") return HandleMetrics();
+  if (request.path == "/proxy/trace") return HandleTrace(request);
+
+  ins_.requests->Increment();
+
+  // Span recording is on whenever the ring or an external sink wants the
+  // completed trace; histograms observe either way (null-trace spans).
+  std::shared_ptr<obs::QueryTrace> owned_trace;
+  obs::QueryTrace* trace = nullptr;
+  if (config_.trace_ring_capacity > 0 || config_.trace_sink != nullptr) {
+    owned_trace = std::make_shared<obs::QueryTrace>(
+        next_trace_id_.fetch_add(1, kRelaxed), request.path);
+    owned_trace->AddAttr("mode", CachingModeName(config_.mode));
+    trace = owned_trace.get();
+  }
+  obs::ScopedSpan root(trace, "request", clock_, ins_.request_duration,
+                       ins_.request_wall);
+
   ChargeMicros(config_.costs.request_parse_ms * 1000.0);
 
   QueryRecord record;
-  const QueryTemplate* qt = templates_->FindByPath(request.path);
-  const FunctionTemplate* ft =
-      qt == nullptr ? nullptr
-                    : templates_->FindFunctionTemplate(qt->function_name());
+  const QueryTemplate* qt;
+  const FunctionTemplate* ft;
+  {
+    obs::ScopedSpan match(trace, "template_match", clock_,
+                          ins_.phase_template_match);
+    qt = templates_->FindByPath(request.path);
+    ft = qt == nullptr ? nullptr
+                       : templates_->FindFunctionTemplate(qt->function_name());
+    match.AddAttr("matched", ft != nullptr ? "true" : "false");
+  }
 
   HttpResponse response;
   if (config_.mode == CachingMode::kNoCache || qt == nullptr ||
       ft == nullptr) {
-    response = Forward(request, &record);
+    response = Forward(request, &record, trace);
   } else {
-    counters_.template_requests.fetch_add(1, kRelaxed);
+    ins_.template_requests->Increment();
     record.handled_by_template = true;
     if (config_.mode == CachingMode::kPassive) {
-      response = HandlePassive(request, &record);
+      response = HandlePassive(request, &record, trace);
     } else {
-      response = HandleActive(request, *qt, *ft, &record);
+      response = HandleActive(request, *qt, *ft, &record, trace);
     }
   }
   record.failed = !response.ok();
   {
     util::MutexLock lock(records_mu_);
     records_.push_back(record);
+  }
+  root.Finish();
+  if (owned_trace != nullptr) {
+    owned_trace->AddAttr("status", std::to_string(response.status_code));
+    if (record.handled_by_template) {
+      owned_trace->AddAttr("relation",
+                           geometry::RegionRelationName(record.status));
+    }
+    if (record.degraded) owned_trace->AddAttr("degraded", "true");
+    if (config_.trace_sink != nullptr) {
+      config_.trace_sink->Consume(*owned_trace);
+    }
+    trace_ring_.Push(std::move(owned_trace));
   }
   return response;
 }

@@ -14,6 +14,8 @@
 #include "geometry/region.h"
 #include "net/http.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -89,6 +91,14 @@ struct ProxyConfig {
   bool degraded_mode = true;
   /// Retry-After value on 503s when no breaker cooldown gives a better one.
   int64_t retry_after_seconds = 30;
+  /// Capacity of the in-memory ring of recent per-query traces served by
+  /// GET /proxy/trace?last=N. 0 disables span recording entirely (the
+  /// per-phase histograms behind GET /metrics stay on either way).
+  size_t trace_ring_capacity = 64;
+  /// Optional sink receiving every completed query trace (not owned; must
+  /// outlive the proxy). `run_trace --trace-out=PATH` plugs a JSONL writer
+  /// in here for offline analysis.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Per-query bookkeeping used by the experiment harness. Cache efficiency is
@@ -197,6 +207,17 @@ class FunctionProxy final : public net::HttpHandler {
   const ProxyConfig& config() const { return config_; }
   const CircuitBreaker& breaker() const { return *breaker_; }
 
+  /// The metrics registry behind GET /metrics. All proxy counters and
+  /// per-phase latency histograms live here (see docs/OBSERVABILITY.md for
+  /// the catalog); /proxy/stats renders from the same instruments, so the
+  /// two endpoints can never disagree. The mutable overload lets the
+  /// experiment harness co-register its own instruments (e.g. client-side
+  /// latency) so one scrape covers the whole pipeline.
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+  obs::MetricsRegistry& metrics() { return registry_; }
+  /// Ring of recent completed query traces (GET /proxy/trace?last=N).
+  const obs::TraceRing& trace_ring() const { return trace_ring_; }
+
   /// Persists the active cache (result files + manifest) to `directory`,
   /// which must exist — the paper's proxy keeps its cached query results as
   /// XML files on disk.
@@ -213,57 +234,90 @@ class FunctionProxy final : public net::HttpHandler {
     int64_t last_access = 0;
   };
 
-  /// Live statistics: lock-free counters incremented from any worker.
-  struct AtomicCounters {
-    std::atomic<uint64_t> requests{0};
-    std::atomic<uint64_t> template_requests{0};
-    std::atomic<uint64_t> exact_hits{0};
-    std::atomic<uint64_t> containment_hits{0};
-    std::atomic<uint64_t> region_containments{0};
-    std::atomic<uint64_t> overlaps_handled{0};
-    std::atomic<uint64_t> misses{0};
-    std::atomic<uint64_t> origin_form_requests{0};
-    std::atomic<uint64_t> origin_sql_requests{0};
-    std::atomic<uint64_t> origin_failures{0};
-    std::atomic<uint64_t> breaker_open_rejections{0};
-    std::atomic<uint64_t> degraded_full{0};
-    std::atomic<uint64_t> degraded_partial{0};
-    std::atomic<uint64_t> degraded_unavailable{0};
-    std::atomic<int64_t> check_micros{0};
-    std::atomic<int64_t> local_eval_micros{0};
-    std::atomic<int64_t> merge_micros{0};
+  /// Live statistics: raw pointers into registry-owned instruments (stable
+  /// for the proxy's lifetime; every increment is one relaxed atomic add).
+  /// The same instruments back GET /metrics, stats() / ProxyStats::ToXml()
+  /// and the per-phase histograms — one set of atomics, three renderings.
+  struct Instruments {
+    obs::Counter* requests = nullptr;
+    obs::Counter* template_requests = nullptr;
+    obs::Counter* exact_hits = nullptr;
+    obs::Counter* containment_hits = nullptr;
+    obs::Counter* region_containments = nullptr;
+    obs::Counter* overlaps_handled = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* origin_form_requests = nullptr;
+    obs::Counter* origin_sql_requests = nullptr;
+    obs::Counter* origin_failures = nullptr;
+    obs::Counter* breaker_open_rejections = nullptr;
+    obs::Counter* degraded_full = nullptr;
+    obs::Counter* degraded_partial = nullptr;
+    obs::Counter* degraded_unavailable = nullptr;
+    /// Modeled virtual-time totals (exact computed costs, deterministic even
+    /// under concurrency — unlike span durations read off the shared clock).
+    obs::Counter* check_micros = nullptr;
+    obs::Counter* local_eval_micros = nullptr;
+    obs::Counter* merge_micros = nullptr;
+    /// End-to-end request latency, virtual and wall clock.
+    obs::Histogram* request_duration = nullptr;
+    obs::Histogram* request_wall = nullptr;
+    /// Per-phase virtual-time latency, one histogram per pipeline phase.
+    obs::Histogram* phase_template_match = nullptr;
+    obs::Histogram* phase_cache_lookup = nullptr;
+    obs::Histogram* phase_local_eval = nullptr;
+    obs::Histogram* phase_remainder_build = nullptr;
+    obs::Histogram* phase_origin_roundtrip = nullptr;
+    obs::Histogram* phase_merge = nullptr;
+    obs::Histogram* phase_serialize = nullptr;
+    obs::Histogram* phase_cache_admit = nullptr;
+    /// Relationship-check cost by resulting relation, indexed by
+    /// geometry::RegionRelation.
+    obs::Histogram* region_compare[5] = {};
   };
 
+  /// Registers every instrument and render-time callback (cache, breaker,
+  /// origin channel) into registry_. Constructor-only.
+  void RegisterInstruments();
+
   net::HttpResponse Forward(const net::HttpRequest& request,
-                            QueryRecord* record);
+                            QueryRecord* record, obs::QueryTrace* trace);
   net::HttpResponse HandlePassive(const net::HttpRequest& request,
-                                  QueryRecord* record);
+                                  QueryRecord* record, obs::QueryTrace* trace);
   net::HttpResponse HandleActive(const net::HttpRequest& request,
                                  const QueryTemplate& qt,
                                  const FunctionTemplate& ft,
-                                 QueryRecord* record);
+                                 QueryRecord* record, obs::QueryTrace* trace);
+
+  /// Admin endpoints (reserved paths, never forwarded to the origin).
+  net::HttpResponse HandleStats();
+  net::HttpResponse HandleMetrics();
+  net::HttpResponse HandleTrace(const net::HttpRequest& request);
 
   /// Fetches from the origin via the form endpoint, parses the XML result
   /// and returns the table; advances the clock for parsing. Null status on
   /// origin error.
   util::StatusOr<sql::Table> FetchFromOrigin(const net::HttpRequest& request,
-                                             QueryRecord* record);
+                                             QueryRecord* record,
+                                             obs::QueryTrace* trace);
   /// Ships a remainder statement through /sql and parses the result.
   util::StatusOr<sql::Table> FetchRemainder(const sql::SelectStatement& stmt,
-                                            QueryRecord* record);
+                                            QueryRecord* record,
+                                            obs::QueryTrace* trace);
 
   /// Serializes and returns `table` as the response, charging assembly time.
-  net::HttpResponse Respond(const sql::Table& table);
+  net::HttpResponse Respond(const sql::Table& table, obs::QueryTrace* trace);
   /// Columnar responses: serialize straight from the cached representation —
   /// whole table, or just the rows in `selection` (zero row materialization).
-  net::HttpResponse Respond(const sql::ColumnarTable& table);
   net::HttpResponse Respond(const sql::ColumnarTable& table,
-                            const std::vector<uint32_t>& selection);
+                            obs::QueryTrace* trace);
+  net::HttpResponse Respond(const sql::ColumnarTable& table,
+                            const std::vector<uint32_t>& selection,
+                            obs::QueryTrace* trace);
   /// Respond() with partial="true" and the coverage fraction on the root
   /// element (degraded-mode overlap answers).
   net::HttpResponse RespondPartial(const sql::ColumnarTable& table,
                                    const std::vector<uint32_t>& selection,
-                                   double coverage);
+                                   double coverage, obs::QueryTrace* trace);
   /// 503 + Retry-After (breaker cooldown when open, config default
   /// otherwise) — the degraded-mode refusal when the cache holds nothing.
   net::HttpResponse ServiceUnavailable();
@@ -291,7 +345,7 @@ class FunctionProxy final : public net::HttpHandler {
                    const std::string& param_fp,
                    const geometry::Region& region, sql::ColumnarTable result,
                    const std::vector<std::string>& coordinate_columns,
-                   bool truncated);
+                   bool truncated, obs::QueryTrace* trace);
 
   void ChargeMicros(double micros) {
     clock_->Advance(static_cast<int64_t>(micros));
@@ -313,7 +367,12 @@ class FunctionProxy final : public net::HttpHandler {
   std::map<std::string, PassiveItem> passive_items_ GUARDED_BY(passive_mu_);
   size_t passive_bytes_ GUARDED_BY(passive_mu_) = 0;
 
-  AtomicCounters counters_;
+  /// Registry first: instruments in ins_ point into it, and callbacks it
+  /// holds read cache_/breaker_/origin_ (all outlive renders).
+  obs::MetricsRegistry registry_;
+  Instruments ins_;
+  obs::TraceRing trace_ring_;
+  std::atomic<uint64_t> next_trace_id_{0};
   /// Guards records_ and coverage_served_ (doubles have no atomic +=).
   mutable util::Mutex records_mu_;
   std::vector<QueryRecord> records_ GUARDED_BY(records_mu_);

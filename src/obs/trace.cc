@@ -1,0 +1,200 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "util/string_util.h"
+
+namespace fnproxy::obs {
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendAttrsJson(
+    std::string* out,
+    const std::vector<std::pair<std::string, std::string>>& attrs) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : attrs) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->push_back('"');
+    AppendJsonEscaped(out, key);
+    out->append("\":\"");
+    AppendJsonEscaped(out, value);
+    out->push_back('"');
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+int64_t WallNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+size_t QueryTrace::BeginSpan(std::string name, int64_t virtual_now_micros) {
+  TraceSpan span;
+  span.name = std::move(name);
+  span.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  span.virtual_start_micros = virtual_now_micros;
+  span.wall_start_micros = WallNowMicros();
+  size_t index = spans_.size();
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(static_cast<int>(index));
+  return index;
+}
+
+void QueryTrace::EndSpan(size_t index, int64_t virtual_now_micros) {
+  if (index >= spans_.size()) return;
+  spans_[index].virtual_end_micros = virtual_now_micros;
+  spans_[index].wall_end_micros = WallNowMicros();
+  if (!open_stack_.empty() &&
+      open_stack_.back() == static_cast<int>(index)) {
+    open_stack_.pop_back();
+  }
+}
+
+void QueryTrace::AddSpanAttr(size_t index, std::string key,
+                             std::string value) {
+  if (index >= spans_.size()) return;
+  spans_[index].attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void QueryTrace::AppendJson(std::string* out) const {
+  out->append("{\"trace_id\":");
+  util::AppendInt64(*out, static_cast<int64_t>(id_));
+  out->append(",\"path\":\"");
+  AppendJsonEscaped(out, path_);
+  out->append("\",\"attrs\":");
+  AppendAttrsJson(out, attrs_);
+  out->append(",\"spans\":[");
+  bool first = true;
+  for (const TraceSpan& span : spans_) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append("{\"name\":\"");
+    AppendJsonEscaped(out, span.name);
+    out->append("\",\"parent\":");
+    util::AppendInt64(*out, span.parent);
+    out->append(",\"virtual_start_us\":");
+    util::AppendInt64(*out, span.virtual_start_micros);
+    out->append(",\"virtual_end_us\":");
+    util::AppendInt64(*out, span.virtual_end_micros);
+    out->append(",\"wall_start_us\":");
+    util::AppendInt64(*out, span.wall_start_micros);
+    out->append(",\"wall_end_us\":");
+    util::AppendInt64(*out, span.wall_end_micros);
+    out->append(",\"attrs\":");
+    AppendAttrsJson(out, span.attrs);
+    out->push_back('}');
+  }
+  out->append("]}");
+}
+
+ScopedSpan::ScopedSpan(QueryTrace* trace, const char* name,
+                       const util::SimulatedClock* clock, Histogram* histogram,
+                       Histogram* wall_histogram)
+    : trace_(trace),
+      clock_(clock),
+      histogram_(histogram),
+      wall_histogram_(wall_histogram) {
+  virtual_start_micros_ = clock_ != nullptr ? clock_->NowMicros() : 0;
+  wall_start_micros_ = WallNowMicros();
+  if (trace_ != nullptr) {
+    span_index_ = trace_->BeginSpan(name, virtual_start_micros_);
+  }
+}
+
+void ScopedSpan::AddAttr(std::string key, std::string value) {
+  if (trace_ != nullptr && !finished_) {
+    trace_->AddSpanAttr(span_index_, std::move(key), std::move(value));
+  }
+}
+
+void ScopedSpan::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  int64_t virtual_now = clock_ != nullptr ? clock_->NowMicros() : 0;
+  if (trace_ != nullptr) trace_->EndSpan(span_index_, virtual_now);
+  if (histogram_ != nullptr) {
+    histogram_->Observe(virtual_now - virtual_start_micros_);
+  }
+  if (wall_histogram_ != nullptr) {
+    wall_histogram_->Observe(WallNowMicros() - wall_start_micros_);
+  }
+}
+
+void TraceRing::Push(std::shared_ptr<const QueryTrace> trace) {
+  if (capacity_ == 0) return;
+  util::MutexLock lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ring_[pushed_ % capacity_] = std::move(trace);
+  }
+  ++pushed_;
+}
+
+std::vector<std::shared_ptr<const QueryTrace>> TraceRing::Last(
+    size_t n) const {
+  util::MutexLock lock(mu_);
+  std::vector<std::shared_ptr<const QueryTrace>> out;
+  size_t available = ring_.size();
+  if (n > available) n = available;
+  out.reserve(n);
+  // `pushed_` is the index one past the newest; walk the last n slots in
+  // chronological order.
+  for (size_t i = 0; i < n; ++i) {
+    size_t logical = pushed_ - n + i;
+    out.push_back(ring_[logical % capacity_]);
+  }
+  return out;
+}
+
+uint64_t TraceRing::total_pushed() const {
+  util::MutexLock lock(mu_);
+  return pushed_;
+}
+
+util::StatusOr<std::unique_ptr<JsonlTraceWriter>> JsonlTraceWriter::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return util::Status::InvalidArgument("cannot open trace output file: " +
+                                         path);
+  }
+  return std::unique_ptr<JsonlTraceWriter>(new JsonlTraceWriter(file));
+}
+
+JsonlTraceWriter::~JsonlTraceWriter() {
+  util::MutexLock lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlTraceWriter::Consume(const QueryTrace& trace) {
+  std::string line;
+  trace.AppendJson(&line);
+  line.push_back('\n');
+  util::MutexLock lock(mu_);
+  if (file_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+  }
+}
+
+}  // namespace fnproxy::obs

@@ -1,0 +1,168 @@
+#ifndef FNPROXY_OBS_TRACE_H_
+#define FNPROXY_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace fnproxy::obs {
+
+/// One timed phase of a query's trip through the proxy pipeline. Spans
+/// nest: `parent` is the index of the enclosing span in the trace's span
+/// list (-1 for the root), so the flat list encodes the span tree.
+///
+/// Every span carries both clocks: `virtual_*` are SimulatedClock
+/// microseconds (deterministic modeled cost; under concurrent load the
+/// shared clock accumulates all threads' work, so treat virtual durations
+/// as exact single-threaded and indicative otherwise), `wall_*` are
+/// process steady-clock microseconds (honest elapsed time, any thread
+/// count).
+struct TraceSpan {
+  std::string name;
+  int parent = -1;
+  int64_t virtual_start_micros = 0;
+  int64_t virtual_end_micros = 0;
+  int64_t wall_start_micros = 0;
+  int64_t wall_end_micros = 0;
+  /// Free-form key/value annotations (relation kind, origin status, ...).
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// Steady-clock now in microseconds (arbitrary process-wide epoch).
+int64_t WallNowMicros();
+
+/// The record of one query's trip through the pipeline: an id, the request
+/// path, trace-level attributes, and the span tree. Recording is
+/// single-threaded (one trace belongs to one in-flight request); completed
+/// traces are immutable and shared via shared_ptr<const QueryTrace>.
+class QueryTrace {
+ public:
+  QueryTrace(uint64_t id, std::string path)
+      : id_(id), path_(std::move(path)) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& path() const { return path_; }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  void AddAttr(std::string key, std::string value) {
+    attrs_.emplace_back(std::move(key), std::move(value));
+  }
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+
+  /// Opens a span as a child of the innermost open span; returns its index
+  /// for EndSpan/AddSpanAttr. Spans must be closed innermost-first
+  /// (ScopedSpan guarantees this).
+  size_t BeginSpan(std::string name, int64_t virtual_now_micros);
+  void EndSpan(size_t index, int64_t virtual_now_micros);
+  void AddSpanAttr(size_t index, std::string key, std::string value);
+
+  /// Appends the trace as one JSON object (no trailing newline):
+  ///   {"trace_id":N,"path":"/radial","attrs":{...},"spans":[{...},...]}
+  /// Span fields: name, parent, virtual_start_us, virtual_end_us,
+  /// wall_start_us, wall_end_us, attrs. See docs/OBSERVABILITY.md.
+  void AppendJson(std::string* out) const;
+
+ private:
+  uint64_t id_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<TraceSpan> spans_;
+  std::vector<int> open_stack_;
+};
+
+/// RAII span recorder: opens a span on construction, closes it on
+/// destruction (or an explicit Finish()), and feeds the span's virtual
+/// duration into `histogram` and its wall duration into `wall_histogram`
+/// when given. Every pointer may be null: a null trace records no span but
+/// histograms still observe, so instrumentation reads the same whether
+/// tracing is enabled or not.
+class ScopedSpan {
+ public:
+  ScopedSpan(QueryTrace* trace, const char* name,
+             const util::SimulatedClock* clock, Histogram* histogram = nullptr,
+             Histogram* wall_histogram = nullptr);
+  ~ScopedSpan() { Finish(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void AddAttr(std::string key, std::string value);
+  /// Closes the span now; later calls (and the destructor) are no-ops.
+  void Finish();
+
+ private:
+  QueryTrace* trace_;
+  const util::SimulatedClock* clock_;
+  Histogram* histogram_;
+  Histogram* wall_histogram_;
+  size_t span_index_ = 0;
+  int64_t virtual_start_micros_ = 0;
+  int64_t wall_start_micros_ = 0;
+  bool finished_ = false;
+};
+
+/// Consumer of completed traces (e.g. a JSONL exporter). Consume may be
+/// called concurrently from any request thread; implementations serialize
+/// internally.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Consume(const QueryTrace& trace) = 0;
+};
+
+/// Fixed-capacity ring of the most recent completed traces, behind a small
+/// mutex (pushed once per request — never on the per-phase hot path).
+/// Backs the proxy's /proxy/trace?last=N endpoint.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+
+  void Push(std::shared_ptr<const QueryTrace> trace) EXCLUDES(mu_);
+
+  /// The most recent min(n, size) traces, oldest first.
+  std::vector<std::shared_ptr<const QueryTrace>> Last(size_t n) const
+      EXCLUDES(mu_);
+
+  /// Total traces ever pushed (wrapped-out ones included).
+  uint64_t total_pushed() const EXCLUDES(mu_);
+
+ private:
+  const size_t capacity_;
+  mutable util::Mutex mu_;
+  std::vector<std::shared_ptr<const QueryTrace>> ring_ GUARDED_BY(mu_);
+  uint64_t pushed_ GUARDED_BY(mu_) = 0;
+};
+
+/// TraceSink writing one JSON object per line (JSONL) to a file — the
+/// `run_trace --trace-out=PATH` exporter for offline analysis.
+class JsonlTraceWriter : public TraceSink {
+ public:
+  /// Opens (truncates) `path` for writing.
+  static util::StatusOr<std::unique_ptr<JsonlTraceWriter>> Open(
+      const std::string& path);
+  ~JsonlTraceWriter() override;
+
+  void Consume(const QueryTrace& trace) override EXCLUDES(mu_);
+
+ private:
+  explicit JsonlTraceWriter(std::FILE* file) : file_(file) {}
+
+  util::Mutex mu_;
+  std::FILE* file_ GUARDED_BY(mu_);
+};
+
+}  // namespace fnproxy::obs
+
+#endif  // FNPROXY_OBS_TRACE_H_

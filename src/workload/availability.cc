@@ -101,6 +101,8 @@ AvailabilityResult AvailabilityExperiment::RunProfile(
   result.cache_bytes_final = proxy.cache().bytes_used();
   result.virtual_duration_micros = clock.NowMicros();
   result.outages = faults.outages;
+  result.phases = obs::PhaseBreakdownFromRegistry(
+      proxy.metrics(), "fnproxy_phase_duration_micros");
   return result;
 }
 
@@ -109,6 +111,7 @@ int64_t AvailabilityExperiment::HealthyDurationMicros(
   AvailabilityOptions healthy = options;
   healthy.faults = net::HealthyProfile();
   healthy.outage_fractions.clear();
+  healthy.proxy.trace_sink = nullptr;  // Calibration is not user-visible.
   return RunProfile(sky_->trace(), healthy, healthy.faults)
       .virtual_duration_micros;
 }
@@ -126,6 +129,7 @@ AvailabilityResult AvailabilityExperiment::RunTrace(
     AvailabilityOptions healthy = options;
     healthy.faults = net::HealthyProfile();
     healthy.outage_fractions.clear();
+    healthy.proxy.trace_sink = nullptr;  // Calibration is not user-visible.
     healthy_micros = RunProfile(trace, healthy, healthy.faults)
                          .virtual_duration_micros;
     for (const auto& [start_frac, length_frac] : options.outage_fractions) {

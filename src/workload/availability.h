@@ -88,6 +88,9 @@ struct AvailabilityResult {
   int64_t healthy_duration_micros = 0;
   /// The absolute outage windows the run actually used.
   std::vector<net::OutageWindow> outages;
+  /// Per-phase latency breakdown from the proxy's
+  /// fnproxy_phase_duration_micros histograms (run_trace prints this).
+  std::vector<obs::PhaseBreakdown> phases;
 };
 
 /// Replays a SkyExperiment's trace through the full fault pipeline

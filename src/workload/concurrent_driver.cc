@@ -48,7 +48,9 @@ ConcurrentRunResult ConcurrentDriver::Replay(const Trace& trace,
         net::HttpRequest request = MakeRequest(trace, trace.queries[i]);
         util::Stopwatch stopwatch;
         net::HttpResponse response = channel_->RoundTrip(request);
-        latencies.push_back(stopwatch.ElapsedMicros());
+        int64_t elapsed = stopwatch.ElapsedMicros();
+        latencies.push_back(elapsed);
+        if (latency_histogram_ != nullptr) latency_histogram_->Observe(elapsed);
         if (!response.ok()) errors.fetch_add(1, std::memory_order_relaxed);
       }
     });

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "workload/trace.h"
 
@@ -54,9 +55,18 @@ class ConcurrentDriver {
   /// until every query has completed.
   ConcurrentRunResult Replay(const Trace& trace, size_t num_threads);
 
+  /// Optional histogram receiving every per-request wall latency as it is
+  /// measured (not owned; must outlive Replay). The experiment harness
+  /// registers fnproxy_client_latency_micros here so client-observed tail
+  /// latency lands in the same registry as the proxy's phase histograms.
+  void set_latency_histogram(obs::Histogram* histogram) {
+    latency_histogram_ = histogram;
+  }
+
  private:
   net::SimulatedChannel* channel_;
   util::SimulatedClock* clock_;
+  obs::Histogram* latency_histogram_ = nullptr;
 };
 
 }  // namespace fnproxy::workload

@@ -51,6 +51,29 @@ void Check(const util::Status& status, const char* what) {
   }
 }
 
+/// Registers origin-side serving counters into the proxy's registry so one
+/// /metrics scrape covers the whole pipeline (the web app keeps the atomics;
+/// callbacks read them at render time).
+void RegisterOriginMetrics(core::FunctionProxy* proxy,
+                           server::OriginWebApp* app) {
+  obs::MetricsRegistry& registry = proxy->metrics();
+  registry.AddCallback(
+      "fnproxy_origin_queries_served_total",
+      "Queries the origin web app answered, by endpoint kind",
+      /*is_counter=*/true, {{"endpoint", "form"}},
+      [app] { return static_cast<double>(app->form_queries_served()); });
+  registry.AddCallback(
+      "fnproxy_origin_queries_served_total",
+      "Queries the origin web app answered, by endpoint kind",
+      /*is_counter=*/true, {{"endpoint", "sql"}},
+      [app] { return static_cast<double>(app->sql_queries_served()); });
+  registry.AddCallback(
+      "fnproxy_origin_processing_micros_total",
+      "Virtual time the origin spent executing queries",
+      /*is_counter=*/true, {},
+      [app] { return static_cast<double>(app->total_processing_micros()); });
+}
+
 }  // namespace
 
 SkyExperiment::SkyExperiment(Options options) : options_(std::move(options)) {
@@ -134,6 +157,7 @@ SkyExperiment::RunResult SkyExperiment::RunTrace(
   Check(app.RegisterForm("/rect", kRectTemplateSql), "register /rect");
   net::SimulatedChannel wan_channel(&app, options_.wan, &clock);
   core::FunctionProxy proxy(proxy_config, &templates_, &wan_channel, &clock);
+  RegisterOriginMetrics(&proxy, &app);
   net::SimulatedChannel lan_channel(&proxy, options_.lan, &clock);
   RemoteBrowserEmulator rbe(&lan_channel, &clock);
 
@@ -144,6 +168,8 @@ SkyExperiment::RunResult SkyExperiment::RunTrace(
   result.origin_bytes_received = wan_channel.total_bytes_received();
   result.cache_entries_final = proxy.cache().num_entries();
   result.cache_bytes_final = proxy.cache().bytes_used();
+  result.phases = obs::PhaseBreakdownFromRegistry(
+      proxy.metrics(), "fnproxy_phase_duration_micros");
   return result;
 }
 
@@ -157,8 +183,12 @@ SkyExperiment::ConcurrentRunOutput SkyExperiment::RunTraceConcurrent(
   Check(app.RegisterForm("/rect", kRectTemplateSql), "register /rect");
   net::SimulatedChannel wan_channel(&app, options_.wan, &clock);
   core::FunctionProxy proxy(proxy_config, &templates_, &wan_channel, &clock);
+  RegisterOriginMetrics(&proxy, &app);
   net::SimulatedChannel lan_channel(&proxy, options_.lan, &clock);
   ConcurrentDriver driver(&lan_channel, &clock);
+  driver.set_latency_histogram(proxy.metrics().AddHistogram(
+      "fnproxy_client_latency_micros",
+      "Client-observed wall-clock latency per request"));
 
   ConcurrentRunOutput result;
   result.driver = driver.Replay(trace, num_threads);
@@ -167,6 +197,8 @@ SkyExperiment::ConcurrentRunOutput SkyExperiment::RunTraceConcurrent(
   result.origin_bytes_received = wan_channel.total_bytes_received();
   result.cache_entries_final = proxy.cache().num_entries();
   result.cache_bytes_final = proxy.cache().bytes_used();
+  result.phases = obs::PhaseBreakdownFromRegistry(
+      proxy.metrics(), "fnproxy_phase_duration_micros");
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "core/proxy.h"
 #include "core/template_registry.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "server/cost_model.h"
 #include "server/database.h"
 #include "server/sky_functions.h"
@@ -83,6 +84,9 @@ class SkyExperiment {
     uint64_t origin_bytes_received = 0;
     size_t cache_entries_final = 0;
     size_t cache_bytes_final = 0;
+    /// Per-phase latency breakdown (count/total/p50/p95/p99 in virtual µs)
+    /// from the proxy's fnproxy_phase_duration_micros histograms.
+    std::vector<obs::PhaseBreakdown> phases;
   };
 
   /// Replays the built-in Radial trace through a fresh proxy.
@@ -100,6 +104,8 @@ class SkyExperiment {
     uint64_t origin_bytes_received = 0;
     size_t cache_entries_final = 0;
     size_t cache_bytes_final = 0;
+    /// Per-phase latency breakdown, as in RunResult::phases.
+    std::vector<obs::PhaseBreakdown> phases;
   };
 
   /// Replays a trace through a fresh proxy pipeline from `num_threads`

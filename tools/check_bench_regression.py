@@ -23,8 +23,15 @@ def load_metric(path, metric, agg):
             if not line:
                 continue
             record = json.loads(line)
-            if record.get("name") == metric:
-                values.append(float(record["value"]))
+            # Records carry bench-specific extra fields (e.g. per-phase
+            # latency columns) and some may omit name/value entirely; skip
+            # anything that is not a (name, value) measurement of `metric`.
+            if record.get("name") != metric:
+                continue
+            value = record.get("value")
+            if value is None:
+                continue
+            values.append(float(value))
     if not values:
         sys.exit(f"error: metric '{metric}' not found in {path}")
     # The files are append-only: a baseline takes its most recent record; a

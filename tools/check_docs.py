@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Static checks for the repo's documentation.
+
+Two gates, run from the repo root (CI's docs job):
+
+1. Intra-repo markdown links. Every relative link target in a tracked
+   markdown file must exist on disk. External schemes (http, https,
+   mailto) and pure in-page anchors are skipped; anchors on relative
+   links are stripped before the existence check.
+
+2. Metric-name catalog. docs/OBSERVABILITY.md is the catalog of every
+   metric the code registers. Each `fnproxy_*` token mentioned in the
+   docs (after stripping the Prometheus histogram-expansion suffixes
+   _bucket/_sum/_count) must be a name registered somewhere in src/, and
+   every name registered in src/ must be documented in the catalog — so
+   the doc can neither drift ahead of the code nor fall behind it.
+
+Usage:
+  check_docs.py [--root DIR]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+METRIC_RE = re.compile(r"fnproxy_[a-z0-9_]+")
+# Quoted literals only: metric names are always registered as strings, and
+# this keeps CMake target names like fnproxy_core out of the catalog.
+SRC_METRIC_RE = re.compile(r'"(fnproxy_[a-z0-9_]+)"')
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+# Research-material digests dropped in by the paper pipeline, not
+# hand-maintained docs; their links point at assets that were never vendored.
+SKIP_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def markdown_files(root):
+    skip_dirs = {"build", ".git", "third_party"}
+    for path in sorted(root.rglob("*.md")):
+        if any(part in skip_dirs for part in path.parts):
+            continue
+        if path.name in SKIP_FILES:
+            continue
+        yield path
+
+
+def check_links(root):
+    errors = []
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (md.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md.relative_to(root)}: broken link -> {match.group(1)}"
+                )
+    return errors
+
+
+def strip_histogram_suffix(name, families):
+    """_bucket/_sum/_count are render-time expansions, not family names."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return name
+
+
+def check_metric_catalog(root):
+    errors = []
+    catalog_path = root / "docs" / "OBSERVABILITY.md"
+    if not catalog_path.exists():
+        return [f"missing metric catalog: {catalog_path.relative_to(root)}"]
+
+    registered = set()
+    for src in sorted((root / "src").rglob("*")):
+        if src.suffix not in (".cc", ".h"):
+            continue
+        registered.update(SRC_METRIC_RE.findall(src.read_text(encoding="utf-8")))
+
+    # CMake library names (fnproxy_obs, fnproxy_core, ...) and tool binaries
+    # (fnproxy_lint) share the prefix; they are not metrics.
+    non_metrics = {
+        f"fnproxy_{d.name}" for d in (root / "src").iterdir() if d.is_dir()
+    }
+    non_metrics.update(
+        f"fnproxy_{t.stem.removeprefix('fnproxy_')}"
+        for t in (root / "tools").glob("fnproxy_*")
+    )
+
+    documented_raw = set(
+        METRIC_RE.findall(catalog_path.read_text(encoding="utf-8"))
+    )
+    documented = {
+        strip_histogram_suffix(name, registered)
+        for name in documented_raw
+        if name not in non_metrics
+    }
+
+    for name in sorted(documented - registered):
+        errors.append(
+            f"docs/OBSERVABILITY.md documents '{name}' but no src/ file "
+            "registers it"
+        )
+    for name in sorted(registered - documented):
+        errors.append(
+            f"src/ registers '{name}' but docs/OBSERVABILITY.md does not "
+            "document it"
+        )
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", default=".")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root).resolve()
+
+    errors = check_links(root) + check_metric_catalog(root)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if errors:
+        sys.exit(f"{len(errors)} documentation problem(s)")
+    print("docs ok: links resolve, metric catalog matches src/")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,13 +3,15 @@
 // chosen caching scheme and prints the run summary:
 //
 //   run_trace <trace-file> [scheme] [cache-bytes] [--fault-profile=<name>]
-//             [--threads=N]
+//             [--threads=N] [--trace-out=PATH]
 //
 // scheme: nc | pc | full | region | containment   (default: full)
 // cache-bytes: result-store budget, 0 = unlimited (default).
 // threads: closed-loop client workers sharing one proxy (default 1, the
 //   classic sequential replay). N > 1 replays through the concurrent driver
 //   (sharded cache, wall-clock latencies) and requires the healthy profile.
+// trace-out: write one JSON span tree per query (JSONL) to PATH; the schema
+//   is documented in docs/OBSERVABILITY.md.
 // fault-profile:
 //   healthy — no faults (default); the pipeline behaves as before.
 //   flaky   — intermittent 500s, connection drops, garbage bodies and
@@ -23,17 +25,40 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "workload/availability.h"
 #include "workload/experiment.h"
 
 using namespace fnproxy;
 
+namespace {
+
+/// Per-phase latency table shared by both replay paths.
+void PrintPhases(const std::vector<obs::PhaseBreakdown>& phases) {
+  if (phases.empty()) return;
+  std::printf("phase breakdown (virtual micros):\n");
+  std::printf("  %-18s %10s %14s %10s %10s %10s\n", "phase", "count",
+              "total", "p50", "p95", "p99");
+  for (const obs::PhaseBreakdown& row : phases) {
+    std::printf("  %-18s %10lu %14lld %10lld %10lld %10lld\n",
+                row.phase.c_str(), static_cast<unsigned long>(row.count),
+                static_cast<long long>(row.total_micros),
+                static_cast<long long>(row.p50_micros),
+                static_cast<long long>(row.p95_micros),
+                static_cast<long long>(row.p99_micros));
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string fault_profile = "healthy";
+  std::string trace_out;
   size_t num_threads = 1;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -42,6 +67,8 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       num_threads = static_cast<size_t>(std::atoll(argv[i] + 10));
       if (num_threads == 0) num_threads = 1;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
     } else {
       positional.push_back(argv[i]);
     }
@@ -50,7 +77,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: run_trace <trace-file> [nc|pc|full|region|containment]"
                  " [cache-bytes] [--fault-profile=healthy|flaky|outage]"
-                 " [--threads=N]\n");
+                 " [--threads=N] [--trace-out=PATH]\n");
     return 2;
   }
   if (num_threads > 1 && fault_profile != "healthy") {
@@ -104,11 +131,23 @@ int main(int argc, char** argv) {
   sky_options.trace.num_queries = 1;  // Placeholder; we replay the file.
   workload::SkyExperiment experiment(sky_options);
 
+  std::unique_ptr<obs::JsonlTraceWriter> trace_writer;
+  if (!trace_out.empty()) {
+    auto writer = obs::JsonlTraceWriter::Open(trace_out);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", trace_out.c_str(),
+                   writer.status().ToString().c_str());
+      return 1;
+    }
+    trace_writer = std::move(*writer);
+  }
+
   if (num_threads > 1) {
     core::ProxyConfig proxy_config;
     proxy_config.mode = mode;
     proxy_config.max_cache_bytes = cache_bytes;
     proxy_config.cache_shards = 8;  // Spread lock contention across shards.
+    proxy_config.trace_sink = trace_writer.get();
     workload::SkyExperiment::ConcurrentRunOutput output =
         experiment.RunTraceConcurrent(*trace, proxy_config, num_threads,
                                       /*real_time_scale=*/0.01);
@@ -146,6 +185,7 @@ int main(int argc, char** argv) {
     std::printf("final cache:         %zu entries, %.1f MB\n",
                 output.cache_entries_final,
                 static_cast<double>(output.cache_bytes_final) / (1024 * 1024));
+    PrintPhases(output.phases);
     return run.errors == 0 ? 0 : 1;
   }
 
@@ -154,6 +194,7 @@ int main(int argc, char** argv) {
   workload::AvailabilityOptions options;
   options.proxy.mode = mode;
   options.proxy.max_cache_bytes = cache_bytes;
+  options.proxy.trace_sink = trace_writer.get();
   if (fault_profile != "healthy") {
     // An unreliable origin warrants retries and a breaker.
     options.proxy.breaker.enabled = true;
@@ -210,6 +251,7 @@ int main(int argc, char** argv) {
   std::printf("final cache:         %zu entries, %.1f MB\n",
               result.cache_entries_final,
               static_cast<double>(result.cache_bytes_final) / (1024 * 1024));
+  PrintPhases(result.phases);
   if (fault_profile != "healthy") {
     std::printf(
         "availability:        %.1f%% (%lu ok, %lu partial, %lu failed), "
