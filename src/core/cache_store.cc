@@ -71,8 +71,14 @@ uint64_t CacheStore::PickVictim() const {
 }
 
 uint64_t CacheStore::Insert(CacheEntry entry, size_t* comparisons) {
+  return Insert(std::move(entry), comparisons, nullptr);
+}
+
+uint64_t CacheStore::Insert(CacheEntry entry, size_t* comparisons,
+                            std::shared_ptr<const CacheEntry>* snapshot_out) {
   assert(entry.region != nullptr);
   *comparisons = 0;
+  if (snapshot_out != nullptr) snapshot_out->reset();
   entry.bytes = entry.result.ByteSize() + 256;  // Entry metadata overhead.
   if (max_bytes_ != 0 && entry.bytes > max_bytes_) {
     return 0;  // Larger than the whole cache; not cacheable.
@@ -100,6 +106,7 @@ uint64_t CacheStore::Insert(CacheEntry entry, size_t* comparisons) {
   int64_t last_access = entry.last_access_micros;
   uint64_t accesses = entry.access_count;
   auto snapshot = std::make_shared<const CacheEntry>(std::move(entry));
+  if (snapshot_out != nullptr) *snapshot_out = snapshot;
 
   Shard& shard = ShardFor(id);
   {

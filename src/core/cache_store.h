@@ -93,6 +93,13 @@ class CacheStore {
   /// description work).
   uint64_t Insert(CacheEntry entry, size_t* comparisons);
 
+  /// As above, but also hands back the immutable admitted snapshot (null
+  /// when the entry was not cacheable). Single-flight leaders use it to
+  /// publish the admitted entry to followers without a racy re-lookup (the
+  /// entry may already be evicted by the time a Find would run).
+  uint64_t Insert(CacheEntry entry, size_t* comparisons,
+                  std::shared_ptr<const CacheEntry>* snapshot);
+
   /// Removes an entry by id. `comparisons` receives description-removal
   /// comparisons.
   bool Remove(uint64_t id, size_t* comparisons);

@@ -1,7 +1,10 @@
 #include "core/proxy.h"
 
 #include <algorithm>
+#include <chrono>
+#include <future>
 #include <numeric>
+#include <optional>
 
 #include "core/cache_snapshot.h"
 #include "core/local_eval.h"
@@ -53,6 +56,8 @@ std::string ProxyStats::ToXml() const {
       "  <Breaker transitions=\"%llu\" openRejections=\"%llu\"/>\n"
       "  <Degraded full=\"%llu\" partial=\"%llu\" unavailable=\"%llu\""
       " coverageServed=\"%.4f\"/>\n"
+      "  <Overload collapsed=\"%llu\" shed=\"%llu\""
+      " deadlineExceeded=\"%llu\"/>\n"
       "  <TimingMicros check=\"%lld\" localEval=\"%lld\" merge=\"%lld\"/>\n"
       "  <AverageCacheEfficiency>%.4f</AverageCacheEfficiency>\n"
       "</ProxyStats>\n",
@@ -72,6 +77,9 @@ std::string ProxyStats::ToXml() const {
       static_cast<unsigned long long>(degraded_full),
       static_cast<unsigned long long>(degraded_partial),
       static_cast<unsigned long long>(degraded_unavailable), coverage_served,
+      static_cast<unsigned long long>(collapsed),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(deadline_exceeded),
       static_cast<long long>(check_micros),
       static_cast<long long>(local_eval_micros),
       static_cast<long long>(merge_micros), AverageCacheEfficiency());
@@ -188,6 +196,21 @@ void FunctionProxy::RegisterInstruments() {
       registry_.AddCounter("fnproxy_degraded_answers_total", degraded_help,
                            {{"kind", "unavailable"}});
 
+  ins_.inflight_collapsed = registry_.AddCounter(
+      "fnproxy_inflight_collapsed_total",
+      "Requests served off another request's in-flight origin fetch");
+  const char* shed_help =
+      "Requests shed by admission control, by reason";
+  ins_.shed_overload = registry_.AddCounter("fnproxy_shed_total", shed_help,
+                                            {{"reason", "overload"}});
+  ins_.shed_origin_backlog = registry_.AddCounter(
+      "fnproxy_shed_total", shed_help, {{"reason", "origin_backlog"}});
+  ins_.shed_deadline = registry_.AddCounter("fnproxy_shed_total", shed_help,
+                                            {{"reason", "deadline"}});
+  ins_.deadline_exceeded = registry_.AddCounter(
+      "fnproxy_deadline_exceeded_total",
+      "Requests whose client deadline expired before an answer could fit");
+
   const char* busy_help =
       "Modeled virtual-time spent per phase (exact computed costs)";
   ins_.check_micros = registry_.AddCounter("fnproxy_phase_busy_micros_total",
@@ -302,6 +325,18 @@ void FunctionProxy::RegisterInstruments() {
       "fnproxy_traces_recorded_total", "Completed query traces recorded",
       /*is_counter=*/true, {},
       [this] { return static_cast<double>(trace_ring_.total_pushed()); });
+
+  registry_.AddCallback(
+      "fnproxy_queue_depth",
+      "Requests concurrently admitted (admission-control gauge)",
+      /*is_counter=*/false, {}, [this] {
+        return static_cast<double>(inflight_requests_.load(kRelaxed));
+      });
+  registry_.AddCallback(
+      "fnproxy_inflight_flights",
+      "Origin fetches currently in flight in the single-flight table",
+      /*is_counter=*/false, {},
+      [this] { return static_cast<double>(inflight_.inflight()); });
 }
 
 ProxyStats FunctionProxy::stats() const {
@@ -320,6 +355,10 @@ ProxyStats FunctionProxy::stats() const {
   s.degraded_full = ins_.degraded_full->Value();
   s.degraded_partial = ins_.degraded_partial->Value();
   s.degraded_unavailable = ins_.degraded_unavailable->Value();
+  s.collapsed = ins_.inflight_collapsed->Value();
+  s.shed = ins_.shed_overload->Value() + ins_.shed_origin_backlog->Value() +
+           ins_.shed_deadline->Value();
+  s.deadline_exceeded = ins_.deadline_exceeded->Value();
   s.check_micros = static_cast<int64_t>(ins_.check_micros->Value());
   s.local_eval_micros = static_cast<int64_t>(ins_.local_eval_micros->Value());
   s.merge_micros = static_cast<int64_t>(ins_.merge_micros->Value());
@@ -350,32 +389,65 @@ void FunctionProxy::NoteOriginOutcome(bool usable) {
   }
 }
 
-HttpResponse FunctionProxy::ServiceUnavailable() {
+bool FunctionProxy::OriginBacklogged() const {
+  if (config_.max_queue_depth == 0) return false;
+  double watermark = config_.origin_shed_watermark *
+                     static_cast<double>(config_.max_queue_depth);
+  return static_cast<double>(inflight_requests_.load(kRelaxed)) > watermark;
+}
+
+bool FunctionProxy::DeadlineTooTightForOrigin(int64_t deadline_micros,
+                                              size_t request_bytes) const {
+  if (deadline_micros == 0) return false;
+  int64_t remaining = deadline_micros - clock_->NowMicros();
+  if (remaining <= 0) return true;
+  // The cheapest possible origin round trip: ship the request, get back a
+  // minimal response. If even that cannot fit, the WAN trip is doomed and
+  // the budget is better spent on a local degraded answer.
+  const net::LinkConfig& link = origin_->link();
+  int64_t floor = link.TransferMicros(request_bytes) + link.TransferMicros(64);
+  return remaining < floor;
+}
+
+HttpResponse FunctionProxy::Unavailable(const std::string& reason) {
   HttpResponse response;
   response.status_code = 503;
-  response.body = "<Error code=\"503\" reason=\"origin-unreachable\"/>\n";
+  response.body = "<Error code=\"503\" reason=\"" + reason + "\"/>\n";
   int64_t cooldown = breaker_->CooldownRemainingMicros();
   int64_t seconds = cooldown > 0 ? (cooldown + 999'999) / 1'000'000
                                  : config_.retry_after_seconds;
   response.headers["Retry-After"] = std::to_string(seconds);
+  response.headers["X-Shed-Reason"] = reason;
   return response;
 }
 
 HttpResponse FunctionProxy::Forward(const HttpRequest& request,
+                                    int64_t deadline_micros,
                                     QueryRecord* record,
                                     obs::QueryTrace* trace) {
   if (!OriginAllowed()) {
     ins_.breaker_open_rejections->Increment();
     ins_.degraded_unavailable->Increment();
     record->degraded = true;
-    return ServiceUnavailable();
+    return Unavailable("origin-unreachable");
+  }
+  if (OriginBacklogged()) {
+    ins_.shed_origin_backlog->Increment();
+    record->shed = true;
+    return Unavailable("origin-backlog");
+  }
+  if (DeadlineTooTightForOrigin(deadline_micros, request.ByteSize())) {
+    ins_.deadline_exceeded->Increment();
+    ins_.shed_deadline->Increment();
+    record->shed = true;
+    return Unavailable("deadline-exceeded");
   }
   record->contacted_origin = true;
   ins_.origin_form_requests->Increment();
   obs::ScopedSpan span(trace, "origin_roundtrip", clock_,
                        ins_.phase_origin_roundtrip);
   span.AddAttr("endpoint", "form");
-  HttpResponse response = origin_->RoundTrip(request);
+  HttpResponse response = origin_->RoundTrip(request, deadline_micros);
   span.AddAttr("status", std::to_string(response.status_code));
   NoteOriginOutcome(!net::RetryPolicy::Retryable(response));
   if (response.ok()) {
@@ -385,18 +457,24 @@ HttpResponse FunctionProxy::Forward(const HttpRequest& request,
 }
 
 StatusOr<Table> FunctionProxy::FetchFromOrigin(const HttpRequest& request,
+                                               int64_t deadline_micros,
                                                QueryRecord* record,
                                                obs::QueryTrace* trace) {
   if (!OriginAllowed()) {
     ins_.breaker_open_rejections->Increment();
     return Status::Unavailable("circuit breaker open");
   }
+  // kResourceExhausted is this layer's deadline marker: the caller turns it
+  // into a deadline-reasoned degraded answer instead of blaming the origin.
+  if (DeadlineTooTightForOrigin(deadline_micros, request.ByteSize())) {
+    return Status::ResourceExhausted("deadline cannot fit an origin trip");
+  }
   record->contacted_origin = true;
   ins_.origin_form_requests->Increment();
   obs::ScopedSpan span(trace, "origin_roundtrip", clock_,
                        ins_.phase_origin_roundtrip);
   span.AddAttr("endpoint", "form");
-  HttpResponse response = origin_->RoundTrip(request);
+  HttpResponse response = origin_->RoundTrip(request, deadline_micros);
   span.AddAttr("status", std::to_string(response.status_code));
   if (!response.ok()) {
     bool origin_down = net::RetryPolicy::Retryable(response);
@@ -419,21 +497,25 @@ StatusOr<Table> FunctionProxy::FetchFromOrigin(const HttpRequest& request,
 }
 
 StatusOr<Table> FunctionProxy::FetchRemainder(const sql::SelectStatement& stmt,
+                                              int64_t deadline_micros,
                                               QueryRecord* record,
                                               obs::QueryTrace* trace) {
   if (!OriginAllowed()) {
     ins_.breaker_open_rejections->Increment();
     return Status::Unavailable("circuit breaker open");
   }
-  record->contacted_origin = true;
-  ins_.origin_sql_requests->Increment();
   HttpRequest request;
   request.path = "/sql";
   request.query_params["q"] = sql::SelectToSql(stmt);
+  if (DeadlineTooTightForOrigin(deadline_micros, request.ByteSize())) {
+    return Status::ResourceExhausted("deadline cannot fit an origin trip");
+  }
+  record->contacted_origin = true;
+  ins_.origin_sql_requests->Increment();
   obs::ScopedSpan span(trace, "origin_roundtrip", clock_,
                        ins_.phase_origin_roundtrip);
   span.AddAttr("endpoint", "sql");
-  HttpResponse response = origin_->RoundTrip(request);
+  HttpResponse response = origin_->RoundTrip(request, deadline_micros);
   span.AddAttr("status", std::to_string(response.status_code));
   if (!response.ok()) {
     bool origin_down = net::RetryPolicy::Retryable(response);
@@ -490,7 +572,7 @@ HttpResponse FunctionProxy::Respond(const sql::ColumnarTable& table,
 
 HttpResponse FunctionProxy::RespondPartial(
     const sql::ColumnarTable& table, const std::vector<uint32_t>& selection,
-    double coverage, obs::QueryTrace* trace) {
+    double coverage, const std::string& reason, obs::QueryTrace* trace) {
   obs::ScopedSpan span(trace, "serialize", clock_, ins_.phase_serialize);
   span.AddAttr("rows", std::to_string(selection.size()));
   span.AddAttr("partial", "true");
@@ -499,7 +581,7 @@ HttpResponse FunctionProxy::RespondPartial(
   sql::ResultXmlAttrs attrs;
   attrs.partial = true;
   attrs.coverage = coverage;
-  attrs.degraded_reason = "origin-unreachable";
+  attrs.degraded_reason = reason;
   HttpResponse response;
   response.body =
       sql::TableToXml(table, attrs, selection.data(), selection.size());
@@ -514,7 +596,7 @@ double FunctionProxy::DescriptionCostMicros(size_t comparisons) const {
          static_cast<double>(comparisons);
 }
 
-void FunctionProxy::CacheResult(
+std::shared_ptr<const CacheEntry> FunctionProxy::CacheResult(
     const QueryTemplate& qt, const std::string& nonspatial_fp,
     const std::string& param_fp, const geometry::Region& region,
     sql::ColumnarTable result,
@@ -541,11 +623,14 @@ void FunctionProxy::CacheResult(
   entry.last_access_micros = clock_->NowMicros();
   entry.access_count = 1;
   size_t comparisons = 0;
-  cache_->Insert(std::move(entry), &comparisons);
+  std::shared_ptr<const CacheEntry> snapshot;
+  cache_->Insert(std::move(entry), &comparisons, &snapshot);
   ChargeMicros(DescriptionCostMicros(comparisons));
+  return snapshot;
 }
 
 HttpResponse FunctionProxy::HandlePassive(const HttpRequest& request,
+                                          int64_t deadline_micros,
                                           QueryRecord* record,
                                           obs::QueryTrace* trace) {
   std::string key = request.path + "?" + FullParamFingerprint(request.query_params);
@@ -569,7 +654,7 @@ HttpResponse FunctionProxy::HandlePassive(const HttpRequest& request,
     lookup.AddAttr("outcome", "miss");
   }
   ins_.misses->Increment();
-  HttpResponse response = Forward(request, record, trace);
+  HttpResponse response = Forward(request, deadline_micros, record, trace);
   // Admission control: only well-formed result documents from 2xx responses
   // enter the cache — a 200 carrying garbage must not poison future hits.
   if (response.ok() && sql::TableFromXml(response.body).ok()) {
@@ -600,9 +685,71 @@ HttpResponse FunctionProxy::HandlePassive(const HttpRequest& request,
   return response;
 }
 
+std::optional<HttpResponse> FunctionProxy::CollapseOrLead(
+    const QueryTemplate& qt, const FunctionTemplate& ft,
+    const geometry::Region& region, const std::string& nonspatial_fp,
+    const std::map<std::string, Value>& params, QueryRecord* record,
+    obs::QueryTrace* trace, FlightGuard* guard) {
+  const bool exact_only = qt.function_dependent_projection();
+  // A few rounds: when a leader fails, one of its followers becomes the
+  // next round's leader, so a transient leader error wakes the herd one
+  // request at a time instead of fanning everyone out to the origin.
+  for (int round = 0; round < 3; ++round) {
+    SingleFlightTable::Ticket ticket =
+        inflight_.JoinOrLead(qt.id(), nonspatial_fp, region);
+    if (ticket.leader) {
+      *guard = FlightGuard(&inflight_, ticket.token);
+      return std::nullopt;
+    }
+    if (ticket.result.wait_for(std::chrono::milliseconds(
+            config_.collapse_wait_millis)) != std::future_status::ready) {
+      // Leader wedged past the bound: fetch solo rather than hang. The
+      // flight stays registered; its own guard will complete it eventually.
+      return std::nullopt;
+    }
+    FlightOutcome outcome = ticket.result.get();
+    if (!outcome.ok || outcome.entry == nullptr) continue;
+    const CacheEntry& entry = *outcome.entry;
+    const bool equal = geometry::Equals(*entry.region, region);
+    // Truncated (TOP-cut) entries serve exact regions only, and templates
+    // with function-computed projections cannot reuse a larger region's
+    // tuples (the computed values would be stale) — fetch solo instead.
+    if (!equal && (exact_only || entry.truncated)) return std::nullopt;
+    ins_.inflight_collapsed->Increment();
+    record->collapsed = true;
+    if (equal) {
+      record->tuples_total = entry.result.num_rows();
+      record->tuples_from_cache = entry.result.num_rows();
+      return Respond(entry.result, trace);
+    }
+    // The leader's region strictly contains ours: local spatial selection
+    // over the admitted entry, exactly the containment-hit path.
+    obs::ScopedSpan eval(trace, "local_eval", clock_, ins_.phase_local_eval);
+    auto selected =
+        SelectInRegion(entry.result, region, ft.coordinate_columns());
+    if (!selected.ok()) return std::nullopt;
+    double eval_micros = config_.costs.per_cached_tuple_scan_us *
+                         static_cast<double>(selected->tuples_scanned);
+    ins_.local_eval_micros->Increment(static_cast<uint64_t>(eval_micros));
+    ChargeMicros(eval_micros);
+    eval.AddAttr("tuples_scanned", std::to_string(selected->tuples_scanned));
+    auto stmt = qt.Instantiate(params);
+    if (!stmt.ok()) return std::nullopt;
+    auto final_selection =
+        ApplyOrderAndTop(entry.result, std::move(selected->selection), *stmt);
+    eval.Finish();
+    if (!final_selection.ok()) return std::nullopt;
+    record->tuples_total = final_selection->size();
+    record->tuples_from_cache = final_selection->size();
+    return Respond(entry.result, *final_selection, trace);
+  }
+  return std::nullopt;  // Rounds exhausted: fetch solo without leading.
+}
+
 HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
                                          const QueryTemplate& qt,
                                          const FunctionTemplate& ft,
+                                         int64_t deadline_micros,
                                          QueryRecord* record,
                                          obs::QueryTrace* trace) {
   // --- Instantiate: parameters, region, fingerprints. ---
@@ -612,16 +759,16 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
   }
   auto args = qt.FunctionArgs(params);
   if (!args.ok()) {
-    return Forward(request, record, trace);
+    return Forward(request, deadline_micros, record, trace);
   }
   auto region_or = ft.BuildRegion(*args);
   if (!region_or.ok()) {
-    return Forward(request, record, trace);
+    return Forward(request, deadline_micros, record, trace);
   }
   std::unique_ptr<geometry::Region> region = std::move(*region_or);
   auto nonspatial_fp = qt.NonSpatialFingerprint(params);
   if (!nonspatial_fp.ok()) {
-    return Forward(request, record, trace);
+    return Forward(request, deadline_micros, record, trace);
   }
   std::string param_fp = FullParamFingerprint(request.query_params);
 
@@ -690,7 +837,7 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
         FNPROXY_LOG(kWarning) << "local evaluation failed: "
                               << selected.status().ToString();
         eval.Finish();
-        return Forward(request, record, trace);
+        return Forward(request, deadline_micros, record, trace);
       }
       double eval_micros = config_.costs.per_cached_tuple_scan_us *
                            static_cast<double>(selected->tuples_scanned);
@@ -701,12 +848,12 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       auto stmt = qt.Instantiate(params);
       if (!stmt.ok()) {
         eval.Finish();
-        return Forward(request, record, trace);
+        return Forward(request, deadline_micros, record, trace);
       }
       auto final_selection = ApplyOrderAndTop(
           entry->result, std::move(selected->selection), *stmt);
       eval.Finish();
-      if (!final_selection.ok()) return Forward(request, record, trace);
+      if (!final_selection.ok()) return Forward(request, deadline_micros, record, trace);
       record->tuples_total = final_selection->size();
       record->tuples_from_cache = final_selection->size();
       if (BreakerOpen()) {
@@ -723,6 +870,23 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       bool handled = is_region_containment ? handle_region_containment
                                            : handle_overlap;
       if (!handled) break;  // Fall through to miss handling below.
+
+      // Origin-bound from here: collapse onto an in-flight leader covering
+      // this query, or become the leader — the guard completes the flight as
+      // failed on every early exit, so followers are never stranded.
+      FlightGuard flight;
+      if (config_.collapse_inflight) {
+        auto collapsed = CollapseOrLead(qt, ft, *region, *nonspatial_fp,
+                                        params, record, trace, &flight);
+        if (collapsed.has_value()) return *collapsed;
+      }
+      // Soft shed: past the watermark, new origin-bound work is refused
+      // while the cheap cache-served lane above keeps draining.
+      if (OriginBacklogged()) {
+        ins_.shed_origin_backlog->Increment();
+        record->shed = true;
+        return Unavailable("origin-backlog");
+      }
 
       // Cases (c) and the region-containment special case: assemble the
       // probe from cached entries, ship a remainder query, merge. `used`
@@ -766,7 +930,7 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
 
       // Remainder query excludes every region whose tuples the probe holds.
       auto stmt = qt.Instantiate(params);
-      if (!stmt.ok()) return Forward(request, record, trace);
+      if (!stmt.ok()) return Forward(request, deadline_micros, record, trace);
       obs::ScopedSpan build(trace, "remainder_build", clock_,
                             ins_.phase_remainder_build);
       std::vector<const geometry::Region*> excluded;
@@ -777,18 +941,30 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       auto remainder_stmt =
           BuildRemainderQuery(*stmt, excluded, ft.coordinate_columns());
       build.Finish();
-      if (!remainder_stmt.ok()) return Forward(request, record, trace);
-      auto remainder_table = FetchRemainder(*remainder_stmt, record, trace);
+      if (!remainder_stmt.ok()) return Forward(request, deadline_micros, record, trace);
+      auto remainder_table =
+          FetchRemainder(*remainder_stmt, deadline_micros, record, trace);
       if (!remainder_table.ok()) {
         // Origin without a remainder facility: fall back to the original
         // query (paper §3.2: "the proxy has no choice but always sends the
         // original query").
-        auto full = FetchFromOrigin(request, record, trace);
+        auto full = remainder_table.status().code() ==
+                            util::StatusCode::kResourceExhausted
+                        ? StatusOr<Table>(remainder_table.status())
+                        : FetchFromOrigin(request, deadline_micros, record,
+                                          trace);
         if (!full.ok()) {
+          // kResourceExhausted is the deadline marker from Fetch*: the
+          // remaining client budget cannot fit any origin trip, so the probe
+          // is all this request will ever get — serve it now.
+          const bool deadline_blocked = full.status().code() ==
+                                        util::StatusCode::kResourceExhausted;
+          if (deadline_blocked) ins_.deadline_exceeded->Increment();
           // kInternal means the origin answered with a client error — that
           // is not unavailability, so it is not eligible for degradation.
-          if (config_.degraded_mode &&
-              full.status().code() != util::StatusCode::kInternal) {
+          if (deadline_blocked ||
+              (config_.degraded_mode &&
+               full.status().code() != util::StatusCode::kInternal)) {
             // Degraded mode: the origin is unreachable, but the probe parts
             // are known-correct tuples for their regions — serve them as a
             // partial answer annotated with the covered volume fraction.
@@ -827,22 +1003,30 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
               record->tuples_total = partial_selection->size();
               record->tuples_from_cache = partial_selection->size();
               return RespondPartial(*probe_only, *partial_selection, coverage,
+                                    deadline_blocked ? "deadline-exceeded"
+                                                     : "origin-unreachable",
                                     trace);
             }
             merge.Finish();
+            if (deadline_blocked) {
+              ins_.shed_deadline->Increment();
+              record->shed = true;
+              return Unavailable("deadline-exceeded");
+            }
             ins_.degraded_unavailable->Increment();
             record->degraded = true;
-            return ServiceUnavailable();
+            return Unavailable("origin-unreachable");
           }
           return HttpResponse::MakeError(502, full.status().ToString());
         }
         record->tuples_total = full->num_rows();
-        CacheResult(qt, *nonspatial_fp, param_fp, *region, *full,
-                    ft.coordinate_columns(),
-                    qt.has_top() && stmt->top_n.has_value() &&
-                        full->num_rows() ==
-                            static_cast<size_t>(*stmt->top_n),
-                    trace);
+        auto admitted = CacheResult(
+            qt, *nonspatial_fp, param_fp, *region, *full,
+            ft.coordinate_columns(),
+            qt.has_top() && stmt->top_n.has_value() &&
+                full->num_rows() == static_cast<size_t>(*stmt->top_n),
+            trace);
+        flight.Fulfill({admitted != nullptr, admitted});
         ins_.misses->Increment();
         return Respond(*full, trace);
       }
@@ -858,14 +1042,14 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       auto probe = MergeDistinctColumnar(probe_slices);
       if (!probe.ok()) {
         merge.Finish();
-        return Forward(request, record, trace);
+        return Forward(request, deadline_micros, record, trace);
       }
       sql::ColumnarTable remainder_columnar(std::move(*remainder_table));
       auto merged = MergeDistinctColumnar(std::vector<ColumnarSlice>{
           {&*probe, nullptr}, {&remainder_columnar, nullptr}});
       if (!merged.ok()) {
         merge.Finish();
-        return Forward(request, record, trace);
+        return Forward(request, deadline_micros, record, trace);
       }
       double merge_micros = config_.costs.per_merge_tuple_us *
                             static_cast<double>(merged->num_rows());
@@ -885,19 +1069,19 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
           cache_->Remove(entry->id, &removal_comparisons);
           ChargeMicros(DescriptionCostMicros(removal_comparisons));
         }
-        CacheResult(qt, *nonspatial_fp, param_fp, *region, *merged,
-                    ft.coordinate_columns(), /*truncated=*/false, trace);
-      } else {
-        // General overlap: cache the new query's full result; overlapped
-        // entries remain (they are not subsumed).
-        CacheResult(qt, *nonspatial_fp, param_fp, *region, *merged,
-                    ft.coordinate_columns(), /*truncated=*/false, trace);
       }
+      // Both cases cache the full merged result (for general overlap the
+      // overlapped entries remain — they are not subsumed); the admitted
+      // snapshot is what single-flight followers get.
+      auto admitted =
+          CacheResult(qt, *nonspatial_fp, param_fp, *region, *merged,
+                      ft.coordinate_columns(), /*truncated=*/false, trace);
+      flight.Fulfill({admitted != nullptr, admitted});
 
       std::vector<uint32_t> all_rows(merged->num_rows());
       std::iota(all_rows.begin(), all_rows.end(), 0u);
       auto final_selection = ApplyOrderAndTop(*merged, std::move(all_rows), *stmt);
-      if (!final_selection.ok()) return Forward(request, record, trace);
+      if (!final_selection.ok()) return Forward(request, deadline_micros, record, trace);
       return Respond(*merged, *final_selection, trace);
     }
 
@@ -906,17 +1090,37 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
   }
 
   // Case (d) or a case this scheme does not handle: fetch the original
-  // query from the origin and cache the result.
+  // query from the origin and cache the result. Origin-bound, so the same
+  // overload controls apply: collapse, soft shed, deadline short-circuit.
+  FlightGuard flight;
+  if (config_.collapse_inflight) {
+    auto collapsed = CollapseOrLead(qt, ft, *region, *nonspatial_fp, params,
+                                    record, trace, &flight);
+    if (collapsed.has_value()) return *collapsed;
+  }
+  if (OriginBacklogged()) {
+    ins_.shed_origin_backlog->Increment();
+    record->shed = true;
+    return Unavailable("origin-backlog");
+  }
   ins_.misses->Increment();
-  auto table = FetchFromOrigin(request, record, trace);
+  auto table = FetchFromOrigin(request, deadline_micros, record, trace);
   if (!table.ok()) {
+    if (table.status().code() == util::StatusCode::kResourceExhausted) {
+      // The remaining client budget cannot fit a WAN trip and the cache
+      // holds nothing for this region: refuse within the budget.
+      ins_.deadline_exceeded->Increment();
+      ins_.shed_deadline->Increment();
+      record->shed = true;
+      return Unavailable("deadline-exceeded");
+    }
     if (config_.degraded_mode &&
         table.status().code() != util::StatusCode::kInternal) {
       // The cache contributes nothing to this query: refuse honestly with a
       // Retry-After instead of a bare gateway error.
       ins_.degraded_unavailable->Increment();
       record->degraded = true;
-      return ServiceUnavailable();
+      return Unavailable("origin-unreachable");
     }
     return HttpResponse::MakeError(502, table.status().ToString());
   }
@@ -928,8 +1132,9 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
     truncated = stmt.ok() && stmt->top_n.has_value() &&
                 table->num_rows() == static_cast<size_t>(*stmt->top_n);
   }
-  CacheResult(qt, *nonspatial_fp, param_fp, *region, *table,
-              ft.coordinate_columns(), truncated, trace);
+  auto admitted = CacheResult(qt, *nonspatial_fp, param_fp, *region, *table,
+                              ft.coordinate_columns(), truncated, trace);
+  flight.Fulfill({admitted != nullptr, admitted});
   return Respond(*table, trace);
 }
 
@@ -1009,6 +1214,32 @@ HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
 
   ins_.requests->Increment();
 
+  // Admission control: hard shed above max_queue_depth, before any real
+  // work — an overloaded proxy that answers 503 fast keeps its goodput.
+  struct AdmissionGuard {
+    std::atomic<int64_t>* counter;
+    ~AdmissionGuard() { counter->fetch_sub(1, kRelaxed); }
+  } admission{&inflight_requests_};
+  const int64_t depth = inflight_requests_.fetch_add(1, kRelaxed) + 1;
+  if (config_.max_queue_depth > 0 &&
+      depth > static_cast<int64_t>(config_.max_queue_depth)) {
+    ins_.shed_overload->Increment();
+    QueryRecord record;
+    record.shed = true;
+    record.failed = true;
+    {
+      util::MutexLock lock(records_mu_);
+      records_.push_back(record);
+    }
+    return Unavailable("overload");
+  }
+
+  // Client deadline: a relative budget header, pinned to an absolute
+  // virtual-clock deadline at receipt.
+  const int64_t deadline_budget = net::DeadlineBudgetMicros(request);
+  const int64_t deadline_micros =
+      deadline_budget > 0 ? clock_->NowMicros() + deadline_budget : 0;
+
   // Span recording is on whenever the ring or an external sink wants the
   // completed trace; histograms observe either way (null-trace spans).
   std::shared_ptr<obs::QueryTrace> owned_trace;
@@ -1039,14 +1270,15 @@ HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
   HttpResponse response;
   if (config_.mode == CachingMode::kNoCache || qt == nullptr ||
       ft == nullptr) {
-    response = Forward(request, &record, trace);
+    response = Forward(request, deadline_micros, &record, trace);
   } else {
     ins_.template_requests->Increment();
     record.handled_by_template = true;
     if (config_.mode == CachingMode::kPassive) {
-      response = HandlePassive(request, &record, trace);
+      response = HandlePassive(request, deadline_micros, &record, trace);
     } else {
-      response = HandleActive(request, *qt, *ft, &record, trace);
+      response =
+          HandleActive(request, *qt, *ft, deadline_micros, &record, trace);
     }
   }
   record.failed = !response.ok();

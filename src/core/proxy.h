@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/cache_store.h"
 #include "core/circuit_breaker.h"
+#include "core/single_flight.h"
 #include "core/template_registry.h"
 #include "geometry/region.h"
 #include "net/http.h"
@@ -91,6 +93,25 @@ struct ProxyConfig {
   bool degraded_mode = true;
   /// Retry-After value on 503s when no breaker cooldown gives a better one.
   int64_t retry_after_seconds = 30;
+  /// Single-flight collapsing: concurrent origin-bound requests for the
+  /// same (template, non-spatial fingerprint) whose region is covered by an
+  /// in-flight leader's region share that leader's origin fetch instead of
+  /// issuing their own (the thundering-herd defense for flash crowds).
+  bool collapse_inflight = true;
+  /// How long a follower waits (wall clock) for its leader before giving up
+  /// and fetching on its own. Generous by default: a leader that dies
+  /// completes the flight as failed immediately, so this bound only guards
+  /// against a leader wedged inside the origin channel.
+  int64_t collapse_wait_millis = 30'000;
+  /// Admission control: maximum concurrently admitted requests. Above this
+  /// the proxy sheds with 503 + Retry-After instead of queuing unboundedly.
+  /// 0 disables admission control.
+  size_t max_queue_depth = 0;
+  /// Soft watermark (fraction of max_queue_depth): once in-flight requests
+  /// exceed it, new *origin-bound* work is shed while cache hits, subsumed
+  /// queries and single-flight followers still pass — the cheap lane keeps
+  /// draining when the expensive lane is saturated.
+  double origin_shed_watermark = 0.75;
   /// Capacity of the in-memory ring of recent per-query traces served by
   /// GET /proxy/trace?last=N. 0 disables span recording entirely (the
   /// per-phase histograms behind GET /metrics stay on either way).
@@ -112,6 +133,11 @@ struct QueryRecord {
   bool failed = false;
   /// Answered (fully, partially, or refused) without a live origin.
   bool degraded = false;
+  /// Served from another request's in-flight origin fetch (single-flight
+  /// follower) — no origin round trip of its own.
+  bool collapsed = false;
+  /// Rejected by admission control (overload / origin backlog / deadline).
+  bool shed = false;
   /// Fraction of the query's region volume the answer covers; 1 except for
   /// degraded partial answers.
   double coverage = 1.0;
@@ -169,6 +195,12 @@ struct ProxyStats {
   uint64_t degraded_full = 0;
   uint64_t degraded_partial = 0;
   uint64_t degraded_unavailable = 0;
+  /// Overload-control counters: requests served off another request's
+  /// origin fetch, requests shed by admission control (all reasons), and
+  /// requests whose client deadline expired before an answer could fit.
+  uint64_t collapsed = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
   /// Sum of coverage fractions over degraded partial answers.
   double coverage_served = 0.0;
   int64_t check_micros = 0;
@@ -253,6 +285,13 @@ class FunctionProxy final : public net::HttpHandler {
     obs::Counter* degraded_full = nullptr;
     obs::Counter* degraded_partial = nullptr;
     obs::Counter* degraded_unavailable = nullptr;
+    /// Overload control: single-flight followers served off a leader's
+    /// fetch, sheds by reason, and deadline expirations.
+    obs::Counter* inflight_collapsed = nullptr;
+    obs::Counter* shed_overload = nullptr;
+    obs::Counter* shed_origin_backlog = nullptr;
+    obs::Counter* shed_deadline = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
     /// Modeled virtual-time totals (exact computed costs, deterministic even
     /// under concurrency — unlike span durations read off the shared clock).
     obs::Counter* check_micros = nullptr;
@@ -279,14 +318,20 @@ class FunctionProxy final : public net::HttpHandler {
   /// origin channel) into registry_. Constructor-only.
   void RegisterInstruments();
 
+  /// `deadline_micros` is the client's absolute virtual-clock deadline
+  /// (0 = none), parsed from X-Deadline-Micros by Handle and threaded down
+  /// to every origin round trip.
   net::HttpResponse Forward(const net::HttpRequest& request,
-                            QueryRecord* record, obs::QueryTrace* trace);
+                            int64_t deadline_micros, QueryRecord* record,
+                            obs::QueryTrace* trace);
   net::HttpResponse HandlePassive(const net::HttpRequest& request,
-                                  QueryRecord* record, obs::QueryTrace* trace);
+                                  int64_t deadline_micros, QueryRecord* record,
+                                  obs::QueryTrace* trace);
   net::HttpResponse HandleActive(const net::HttpRequest& request,
                                  const QueryTemplate& qt,
                                  const FunctionTemplate& ft,
-                                 QueryRecord* record, obs::QueryTrace* trace);
+                                 int64_t deadline_micros, QueryRecord* record,
+                                 obs::QueryTrace* trace);
 
   /// Admin endpoints (reserved paths, never forwarded to the origin).
   net::HttpResponse HandleStats();
@@ -297,10 +342,12 @@ class FunctionProxy final : public net::HttpHandler {
   /// and returns the table; advances the clock for parsing. Null status on
   /// origin error.
   util::StatusOr<sql::Table> FetchFromOrigin(const net::HttpRequest& request,
+                                             int64_t deadline_micros,
                                              QueryRecord* record,
                                              obs::QueryTrace* trace);
   /// Ships a remainder statement through /sql and parses the result.
   util::StatusOr<sql::Table> FetchRemainder(const sql::SelectStatement& stmt,
+                                            int64_t deadline_micros,
                                             QueryRecord* record,
                                             obs::QueryTrace* trace);
 
@@ -317,10 +364,12 @@ class FunctionProxy final : public net::HttpHandler {
   /// element (degraded-mode overlap answers).
   net::HttpResponse RespondPartial(const sql::ColumnarTable& table,
                                    const std::vector<uint32_t>& selection,
-                                   double coverage, obs::QueryTrace* trace);
-  /// 503 + Retry-After (breaker cooldown when open, config default
-  /// otherwise) — the degraded-mode refusal when the cache holds nothing.
-  net::HttpResponse ServiceUnavailable();
+                                   double coverage, const std::string& reason,
+                                   obs::QueryTrace* trace);
+  /// 503 with Retry-After (breaker cooldown when open, config default
+  /// otherwise) and the machine-readable reason mirrored in both the body
+  /// and an X-Shed-Reason header for the driver to record.
+  net::HttpResponse Unavailable(const std::string& reason);
 
   /// Breaker admission check for the origin channel. False means no round
   /// trip may be made now.
@@ -333,6 +382,30 @@ class FunctionProxy final : public net::HttpHandler {
   /// responses whose body failed to parse (garbage).
   void NoteOriginOutcome(bool usable);
 
+  /// Single-flight collapsing: joins an in-flight leader whose region
+  /// covers (template, fingerprint, region) and serves this request locally
+  /// from the leader's admitted entry (returns the response), or arms
+  /// `guard` as the new leader (nullopt, guard armed), or decides this
+  /// request should fetch solo — collapsing off for this query shape,
+  /// unusable leader result, or retry rounds exhausted (nullopt, guard
+  /// unarmed).
+  std::optional<net::HttpResponse> CollapseOrLead(
+      const QueryTemplate& qt, const FunctionTemplate& ft,
+      const geometry::Region& region, const std::string& nonspatial_fp,
+      const std::map<std::string, sql::Value>& params, QueryRecord* record,
+      obs::QueryTrace* trace, FlightGuard* guard);
+
+  /// Soft-shed check for the two-priority lane: true once in-flight
+  /// requests exceed origin_shed_watermark * max_queue_depth, meaning new
+  /// origin-bound work should be refused while cache-served work passes.
+  bool OriginBacklogged() const;
+  /// True when the remaining client budget cannot fit even one origin round
+  /// trip (propagation delay + transfer of `request_bytes` and a minimal
+  /// response) — the short-circuit that turns a doomed WAN trip into an
+  /// immediate degraded answer.
+  bool DeadlineTooTightForOrigin(int64_t deadline_micros,
+                                 size_t request_bytes) const;
+
   /// Virtual cost of `comparisons` box comparisons in the cache description
   /// (R-tree comparisons cost more per unit; see ProxyCostModel).
   double DescriptionCostMicros(size_t comparisons) const;
@@ -340,12 +413,15 @@ class FunctionProxy final : public net::HttpHandler {
   /// Inserts a result into the cache (active modes). Accepts the columnar
   /// form directly (row-wise tables convert implicitly) and pre-resolves
   /// `coordinate_columns` to contiguous double arrays before the entry is
-  /// frozen, so later region scans run without conversion.
-  void CacheResult(const QueryTemplate& qt, const std::string& nonspatial_fp,
-                   const std::string& param_fp,
-                   const geometry::Region& region, sql::ColumnarTable result,
-                   const std::vector<std::string>& coordinate_columns,
-                   bool truncated, obs::QueryTrace* trace);
+  /// frozen, so later region scans run without conversion. Returns the
+  /// admitted immutable snapshot (null when not cacheable) so single-flight
+  /// leaders can publish it to their followers.
+  std::shared_ptr<const CacheEntry> CacheResult(
+      const QueryTemplate& qt, const std::string& nonspatial_fp,
+      const std::string& param_fp, const geometry::Region& region,
+      sql::ColumnarTable result,
+      const std::vector<std::string>& coordinate_columns, bool truncated,
+      obs::QueryTrace* trace);
 
   void ChargeMicros(double micros) {
     clock_->Advance(static_cast<int64_t>(micros));
@@ -357,6 +433,11 @@ class FunctionProxy final : public net::HttpHandler {
   util::SimulatedClock* clock_;
   std::unique_ptr<CacheStore> cache_;
   std::unique_ptr<CircuitBreaker> breaker_;
+  /// Single-flight in-flight table (request collapsing).
+  SingleFlightTable inflight_;
+  /// Concurrently admitted requests (admission-control gauge; admin
+  /// endpoints are not counted).
+  std::atomic<int64_t> inflight_requests_{0};
   /// Channel retry counters at construction (channels may be shared).
   uint64_t channel_retries_baseline_ = 0;
 

@@ -1,0 +1,58 @@
+#include "core/single_flight.h"
+
+namespace fnproxy::core {
+
+SingleFlightTable::Ticket SingleFlightTable::JoinOrLead(
+    const std::string& template_id, const std::string& nonspatial_fingerprint,
+    const geometry::Region& region) {
+  util::MutexLock lock(mu_);
+  for (auto& [token, flight] : flights_) {
+    if (flight.template_id != template_id) continue;
+    if (flight.nonspatial_fingerprint != nonspatial_fingerprint) continue;
+    // Join only when the leader's answer is guaranteed to cover this query:
+    // the in-flight region equals or contains ours.
+    if (!geometry::Equals(*flight.region, region) &&
+        !geometry::Contains(*flight.region, region)) {
+      continue;
+    }
+    joins_total_.fetch_add(1, std::memory_order_relaxed);
+    Ticket ticket;
+    ticket.leader = false;
+    ticket.result = flight.future;
+    return ticket;
+  }
+
+  const uint64_t token = next_token_++;
+  Flight& flight = flights_[token];
+  flight.template_id = template_id;
+  flight.nonspatial_fingerprint = nonspatial_fingerprint;
+  flight.region = region.Clone();
+  flight.future = flight.promise.get_future().share();
+  flights_total_.fetch_add(1, std::memory_order_relaxed);
+
+  Ticket ticket;
+  ticket.leader = true;
+  ticket.token = token;
+  return ticket;
+}
+
+void SingleFlightTable::Complete(uint64_t token, FlightOutcome outcome) {
+  std::promise<FlightOutcome> promise;
+  {
+    util::MutexLock lock(mu_);
+    auto it = flights_.find(token);
+    if (it == flights_.end()) return;
+    promise = std::move(it->second.promise);
+    flights_.erase(it);
+  }
+  // Fulfilled outside the lock: set_value wakes every follower, and none of
+  // them should contend on mu_ just to be released.
+  promise.set_value(std::move(outcome));
+}
+
+size_t SingleFlightTable::inflight() const {
+  util::MutexLock lock(mu_);
+  return flights_.size();
+}
+
+}  // namespace fnproxy::core

@@ -122,7 +122,26 @@ std::string HttpRequest::ToUrl() const {
 }
 
 size_t HttpRequest::ByteSize() const {
-  return ToUrl().size() + body.size() + 128;  // Headers approximation.
+  size_t size = ToUrl().size() + body.size() + 128;  // Headers approximation.
+  for (const auto& [key, value] : headers) {
+    size += key.size() + value.size() + 4;  // ": " + CRLF.
+  }
+  return size;
+}
+
+int64_t DeadlineBudgetMicros(const HttpRequest& request) {
+  auto it = request.headers.find(kDeadlineBudgetHeader);
+  if (it == request.headers.end()) {
+    it = request.headers.find("x-deadline-micros");  // Wire-parsed form.
+    if (it == request.headers.end()) return 0;
+  }
+  int64_t budget = 0;
+  for (char c : it->second) {
+    if (c < '0' || c > '9') return 0;
+    budget = budget * 10 + (c - '0');
+    if (budget > (int64_t{1} << 60)) return 0;  // Absurd; treat as malformed.
+  }
+  return budget;
 }
 
 HttpResponse HttpResponse::MakeError(int code, std::string message) {

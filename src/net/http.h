@@ -29,6 +29,10 @@ struct HttpRequest {
   std::string method = "GET";
   std::string path;
   std::map<std::string, std::string> query_params;
+  /// Extra request headers (e.g. X-Deadline-Micros). Host, Connection and
+  /// Content-Length are synthesized by the wire serializer; parsed requests
+  /// carry header names lowercased (HTTP header names are case-insensitive).
+  std::map<std::string, std::string> headers;
   std::string body;
 
   /// Builds a GET request from "path?query".
@@ -40,6 +44,16 @@ struct HttpRequest {
   /// Approximate wire size, used by the simulated network's transfer cost.
   size_t ByteSize() const;
 };
+
+/// Client deadline budget header: the number of virtual microseconds the
+/// client is still willing to wait, measured from the proxy's receipt of the
+/// request. The proxy converts it to an absolute deadline on arrival and
+/// caps every origin round trip by the remaining budget.
+inline constexpr const char* kDeadlineBudgetHeader = "X-Deadline-Micros";
+
+/// The parsed X-Deadline-Micros budget (canonical or lowercased header
+/// name), or 0 when absent or malformed.
+int64_t DeadlineBudgetMicros(const HttpRequest& request);
 
 struct HttpResponse {
   /// Status 0 is reserved for transport-level failures (connection drop or

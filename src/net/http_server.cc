@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -37,6 +38,20 @@ bool ReadMessage(int fd, std::string* buffer) {
     if (buffer->size() > (64u << 20)) return false;  // 64 MB sanity cap.
   }
   return true;
+}
+
+/// True for requests that should ride the pool's high-priority lane: the
+/// admin surface (metrics scrapes, stats, traces) must stay responsive
+/// even when query traffic has the normal lane backed up.
+bool IsHighPriority(const std::string& buffer) {
+  size_t line_end = buffer.find("\r\n");
+  std::string_view line(buffer.data(),
+                        line_end == std::string::npos ? buffer.size()
+                                                      : line_end);
+  size_t path_start = line.find(' ');
+  if (path_start == std::string_view::npos) return false;
+  std::string_view path = line.substr(path_start + 1);
+  return path.rfind("/metrics", 0) == 0 || path.rfind("/proxy/", 0) == 0;
 }
 
 bool WriteAll(int fd, std::string_view data) {
@@ -85,7 +100,10 @@ Status HttpServer::Start(uint16_t port) {
   }
   running_.store(true);
   if (worker_threads_ > 0) {
-    pool_ = std::make_unique<util::ThreadPool>(worker_threads_);
+    util::ThreadPool::Options options;
+    options.num_threads = worker_threads_;
+    options.max_queue_depth = max_queue_depth_;
+    pool_ = std::make_unique<util::ThreadPool>(options);
   }
   thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
@@ -115,11 +133,39 @@ void HttpServer::AcceptLoop() {
       break;  // Socket closed by Stop().
     }
     if (pool_ != nullptr) {
-      bool submitted = pool_->Submit([this, connection_fd] {
-        ServeConnection(connection_fd);
+      // Read and classify on the accept thread (with a receive timeout so a
+      // stalled client cannot wedge accepting) — classification needs the
+      // request line, and the admission decision must be made before the
+      // request can consume a queue slot's worth of latency.
+      timeval receive_timeout{/*tv_sec=*/2, /*tv_usec=*/0};
+      ::setsockopt(connection_fd, SOL_SOCKET, SO_RCVTIMEO, &receive_timeout,
+                   sizeof(receive_timeout));
+      auto buffer = std::make_shared<std::string>();
+      if (!ReadMessage(connection_fd, buffer.get())) {
         ::close(connection_fd);
-      });
-      if (!submitted) ::close(connection_fd);  // Pool shutting down.
+        continue;
+      }
+      util::TaskPriority priority = IsHighPriority(*buffer)
+                                        ? util::TaskPriority::kHigh
+                                        : util::TaskPriority::kNormal;
+      bool submitted = pool_->Submit(
+          [this, connection_fd, buffer] {
+            ServeBuffered(connection_fd, *buffer);
+            ::close(connection_fd);
+          },
+          priority);
+      if (!submitted) {
+        // Queue full (or shutting down): shed with an explicit 503 rather
+        // than silently dropping the connection — the client learns it may
+        // retry, and the shed is visible in metrics.
+        shed_total_.fetch_add(1, std::memory_order_relaxed);
+        HttpResponse response =
+            HttpResponse::MakeError(503, "server worker queue full");
+        response.headers["Retry-After"] = "1";
+        response.headers["X-Shed-Reason"] = "queue-full";
+        WriteAll(connection_fd, SerializeResponse(response));
+        ::close(connection_fd);
+      }
     } else {
       ServeConnection(connection_fd);
       ::close(connection_fd);
@@ -130,6 +176,10 @@ void HttpServer::AcceptLoop() {
 void HttpServer::ServeConnection(int connection_fd) {
   std::string buffer;
   if (!ReadMessage(connection_fd, &buffer)) return;
+  ServeBuffered(connection_fd, buffer);
+}
+
+void HttpServer::ServeBuffered(int connection_fd, const std::string& buffer) {
   HttpResponse response;
   auto request = ParseWireRequest(buffer);
   if (!request.ok()) {

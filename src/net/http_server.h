@@ -14,19 +14,28 @@ namespace fnproxy::net {
 
 /// A small blocking HTTP/1.1 server over real POSIX sockets (loopback
 /// deployments — the paper's proxy ran as a servlet reachable over real
-/// HTTP). One accept thread dispatches connections to a worker thread pool
-/// (`worker_threads` concurrent in-flight requests against one shared
-/// handler, which must be thread-safe — FunctionProxy and OriginWebApp
-/// are); Connection: close. Intended for the live examples and loopback
-/// tests; the benchmark pipeline stays on the in-process simulated
-/// transport for determinism.
+/// HTTP). One accept thread reads and classifies each request, then
+/// dispatches it to a worker thread pool (`worker_threads` concurrent
+/// in-flight requests against one shared handler, which must be
+/// thread-safe — FunctionProxy and OriginWebApp are); Connection: close.
+/// Intended for the live examples and loopback tests; the benchmark
+/// pipeline stays on the in-process simulated transport for determinism.
+///
+/// Overload behavior: with `max_queue_depth` set, requests the pool cannot
+/// absorb are answered with 503 (Retry-After + X-Shed-Reason: queue-full)
+/// instead of being silently dropped. Admin endpoints (/metrics,
+/// /proxy/stats, /proxy/trace) ride the pool's high-priority lane so
+/// observability stays responsive while query traffic queues.
 class HttpServer {
  public:
   /// `handler` must outlive the server. `worker_threads == 0` serves
   /// connections inline on the accept thread (the seed's sequential
-  /// behavior).
-  explicit HttpServer(HttpHandler* handler, size_t worker_threads = 4)
-      : handler_(handler), worker_threads_(worker_threads) {}
+  /// behavior). `max_queue_depth == 0` leaves the pool queue unbounded.
+  explicit HttpServer(HttpHandler* handler, size_t worker_threads = 4,
+                      size_t max_queue_depth = 0)
+      : handler_(handler),
+        worker_threads_(worker_threads),
+        max_queue_depth_(max_queue_depth) {}
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -39,12 +48,22 @@ class HttpServer {
   /// Stops accepting, drains in-flight connections and joins. Idempotent.
   void Stop();
 
+  /// Connections answered 503 because the worker queue was full.
+  uint64_t shed_total() const {
+    return shed_total_.load(std::memory_order_relaxed);
+  }
+
  private:
   void AcceptLoop();
   void ServeConnection(int connection_fd);
+  /// Parses and handles an already-read request buffer, writing the
+  /// response to `connection_fd` (which stays owned by the caller).
+  void ServeBuffered(int connection_fd, const std::string& buffer);
 
   HttpHandler* handler_;
   size_t worker_threads_;
+  size_t max_queue_depth_;
+  std::atomic<uint64_t> shed_total_{0};
   /// Atomic: Stop() resets it while the accept thread reads it.
   std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;

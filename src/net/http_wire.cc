@@ -85,6 +85,9 @@ std::string SerializeRequest(const HttpRequest& request,
   out += "Host: " + std::string(host) + "\r\n";
   out += "Connection: close\r\n";
   out += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  for (const auto& [key, value] : request.headers) {
+    out += key + ": " + value + "\r\n";
+  }
   out += "\r\n";
   out += request.body;
   return out;
@@ -99,6 +102,12 @@ StatusOr<HttpRequest> ParseWireRequest(std::string_view text) {
   }
   FNPROXY_ASSIGN_OR_RETURN(HttpRequest request, HttpRequest::Get(parts[1]));
   request.method = parts[0];
+  for (const auto& [key, value] : block.headers) {
+    if (key == "host" || key == "content-length" || key == "connection") {
+      continue;
+    }
+    request.headers[key] = value;  // Keys arrive lowercased from the parser.
+  }
   size_t length = ContentLength(block);
   if (text.size() < block.body_offset + length) {
     return Status::ParseError("truncated HTTP request body");

@@ -49,7 +49,8 @@ ChannelRetryStats SimulatedChannel::retry_stats() const {
   return stats;
 }
 
-HttpResponse SimulatedChannel::Attempt(const HttpRequest& request) {
+HttpResponse SimulatedChannel::Attempt(const HttpRequest& request,
+                                       int64_t timeout_micros) {
   total_requests_.fetch_add(1, std::memory_order_relaxed);
   attempts_.fetch_add(1, std::memory_order_relaxed);
   int64_t start = clock_->NowMicros();
@@ -61,7 +62,7 @@ HttpResponse SimulatedChannel::Attempt(const HttpRequest& request) {
   total_bytes_received_.fetch_add(response_bytes, std::memory_order_relaxed);
   clock_->Advance(link_.TransferMicros(response_bytes));
 
-  int64_t timeout = retry_policy_.per_attempt_timeout_micros;
+  int64_t timeout = timeout_micros;
   if (timeout > 0) {
     int64_t elapsed = clock_->NowMicros() - start;
     if (elapsed > timeout) {
@@ -90,18 +91,43 @@ int64_t SimulatedChannel::NextBackoffMicros(int64_t prev_backoff) {
 }
 
 HttpResponse SimulatedChannel::RoundTrip(const HttpRequest& request) {
+  return RoundTrip(request, /*deadline_micros=*/0);
+}
+
+HttpResponse SimulatedChannel::RoundTrip(const HttpRequest& request,
+                                         int64_t deadline_micros) {
   const int max_attempts = std::max(1, retry_policy_.max_attempts);
   const int64_t overall_start = clock_->NowMicros();
   int64_t prev_backoff = retry_policy_.base_backoff_micros;
   HttpResponse response;
   for (int attempt = 1;; ++attempt) {
-    response = Attempt(request);
+    // Effective attempt timeout: the policy's clamp, tightened by whatever
+    // remains of the caller's deadline.
+    int64_t timeout = retry_policy_.per_attempt_timeout_micros;
+    if (deadline_micros > 0) {
+      int64_t remaining = deadline_micros - clock_->NowMicros();
+      if (remaining <= 0) {
+        // Budget already gone: the client has stopped waiting, so putting
+        // the request on the wire could not help anyone.
+        deadline_exhausted_.fetch_add(1, std::memory_order_relaxed);
+        failed_round_trips_.fetch_add(1, std::memory_order_relaxed);
+        return FaultInjector::MakeTimeout();
+      }
+      timeout = timeout > 0 ? std::min(timeout, remaining) : remaining;
+    }
+    response = Attempt(request, timeout);
     if (!RetryPolicy::Retryable(response)) return response;
     if (attempt >= max_attempts) break;
     int64_t backoff = NextBackoffMicros(prev_backoff);
     if (retry_policy_.overall_deadline_micros > 0 &&
         (clock_->NowMicros() - overall_start) + backoff >
             retry_policy_.overall_deadline_micros) {
+      deadline_exhausted_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (deadline_micros > 0 &&
+        clock_->NowMicros() + backoff >= deadline_micros) {
+      // Another attempt could not complete inside the client's budget.
       deadline_exhausted_.fetch_add(1, std::memory_order_relaxed);
       break;
     }

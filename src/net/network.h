@@ -94,6 +94,16 @@ class SimulatedChannel {
 
   HttpResponse RoundTrip(const HttpRequest& request);
 
+  /// RoundTrip capped by an absolute virtual-clock deadline (0 = none): each
+  /// attempt's timeout is clamped to the remaining budget, and no retry or
+  /// backoff is started past the deadline. A request arriving with no budget
+  /// left fails immediately as a client-side timeout without touching the
+  /// wire. The policy's own per-attempt timeout and overall deadline still
+  /// apply; the effective limit is the tighter of the two.
+  HttpResponse RoundTrip(const HttpRequest& request, int64_t deadline_micros);
+
+  const LinkConfig& link() const { return link_; }
+
   /// Wire requests actually sent (each retry attempt counts).
   uint64_t total_requests() const {
     return total_requests_.load(std::memory_order_relaxed);
@@ -108,9 +118,9 @@ class SimulatedChannel {
   ChannelRetryStats retry_stats() const;
 
  private:
-  /// One attempt: request transfer, handler, response transfer. Applies the
-  /// per-attempt timeout clamp.
-  HttpResponse Attempt(const HttpRequest& request);
+  /// One attempt: request transfer, handler, response transfer. Applies
+  /// `timeout_micros` as the attempt's abort threshold (0 = none).
+  HttpResponse Attempt(const HttpRequest& request, int64_t timeout_micros);
   /// Next decorrelated-jitter backoff given the previous one.
   int64_t NextBackoffMicros(int64_t prev_backoff) EXCLUDES(jitter_mu_);
 

@@ -4,8 +4,12 @@
 
 namespace fnproxy::util {
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  size_t count = std::max<size_t>(1, num_threads);
+ThreadPool::ThreadPool(size_t num_threads)
+    : ThreadPool(Options{num_threads, 0}) {}
+
+ThreadPool::ThreadPool(const Options& options)
+    : max_queue_depth_(options.max_queue_depth) {
+  size_t count = std::max<size_t>(1, options.num_threads);
   workers_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -14,11 +18,20 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-bool ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task, TaskPriority priority) {
   {
     MutexLock lock(mu_);
     if (shutting_down_) return false;
-    queue_.push_back(std::move(task));
+    if (max_queue_depth_ > 0 &&
+        high_queue_.size() + normal_queue_.size() >= max_queue_depth_) {
+      rejected_total_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (priority == TaskPriority::kHigh) {
+      high_queue_.push_back(std::move(task));
+    } else {
+      normal_queue_.push_back(std::move(task));
+    }
   }
   work_available_.notify_one();
   return true;
@@ -28,7 +41,9 @@ void ThreadPool::Wait() {
   MutexLock lock(mu_);
   // Explicit wait loop (not the predicate overload) so the thread-safety
   // analysis sees the guarded members read with mu_ held.
-  while (!(queue_.empty() && active_ == 0)) idle_.wait(lock);
+  while (!(high_queue_.empty() && normal_queue_.empty() && active_ == 0)) {
+    idle_.wait(lock);
+  }
 }
 
 void ThreadPool::Shutdown() {
@@ -47,22 +62,35 @@ void ThreadPool::Shutdown() {
   }
 }
 
+size_t ThreadPool::queue_depth() const {
+  MutexLock lock(mu_);
+  return high_queue_.size() + normal_queue_.size();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
       MutexLock lock(mu_);
-      while (!shutting_down_ && queue_.empty()) work_available_.wait(lock);
-      if (queue_.empty()) return;  // Shutting down with a drained queue.
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      while (!shutting_down_ && high_queue_.empty() && normal_queue_.empty()) {
+        work_available_.wait(lock);
+      }
+      if (high_queue_.empty() && normal_queue_.empty()) {
+        return;  // Shutting down with a drained queue.
+      }
+      std::deque<std::function<void()>>& queue =
+          high_queue_.empty() ? normal_queue_ : high_queue_;
+      task = std::move(queue.front());
+      queue.pop_front();
       ++active_;
     }
     task();
     {
       MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (high_queue_.empty() && normal_queue_.empty() && active_ == 0) {
+        idle_.notify_all();
+      }
     }
   }
 }

@@ -1,8 +1,10 @@
 #ifndef FNPROXY_UTIL_THREAD_POOL_H_
 #define FNPROXY_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -13,25 +15,48 @@
 
 namespace fnproxy::util {
 
-/// A fixed-size pool of worker threads draining a FIFO task queue. The
+/// Scheduling lane for a submitted task. High-priority tasks are always
+/// dequeued before normal ones, so cheap latency-sensitive work (cache hits,
+/// metrics scrapes) is not starved behind a backlog of origin-bound work.
+enum class TaskPriority {
+  kHigh,
+  kNormal,
+};
+
+/// A fixed-size pool of worker threads draining a two-lane task queue. The
 /// proxy-side users are HttpServer (N in-flight connections against one
 /// shared handler) and the concurrent workload drivers; everything they run
 /// through the pool must therefore be thread-safe.
+///
+/// Admission: with `max_queue_depth` set, Submit rejects (returns false)
+/// once the number of queued-but-not-started tasks reaches the bound, so an
+/// overloaded server fails fast instead of queueing unboundedly. The caller
+/// owns the rejection response (HttpServer answers 503).
 ///
 /// Shutdown semantics: the destructor (and Shutdown()) stops accepting new
 /// work, drains tasks already queued, and joins the workers — so by the time
 /// the pool is gone, every submitted task has run to completion.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (at least 1).
+  struct Options {
+    size_t num_threads = 1;
+    /// Maximum queued (not yet running) tasks across both lanes; 0 = no
+    /// bound. Submissions past the bound return false.
+    size_t max_queue_depth = 0;
+  };
+
+  /// Spawns `num_threads` workers (at least 1) with an unbounded queue.
   explicit ThreadPool(size_t num_threads);
+  explicit ThreadPool(const Options& options);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Returns false (dropping the task) after Shutdown().
-  bool Submit(std::function<void()> task) EXCLUDES(mu_);
+  /// Enqueues a task. Returns false (dropping the task) after Shutdown() or
+  /// when the queue bound is hit; `rejected_total` distinguishes the latter.
+  bool Submit(std::function<void()> task,
+              TaskPriority priority = TaskPriority::kNormal) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and every worker is idle. Concurrent
   /// Submit calls may keep the pool busy past the return.
@@ -43,15 +68,27 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks currently queued (not yet running) across both lanes.
+  size_t queue_depth() const EXCLUDES(mu_);
+
+  /// Submissions rejected because the queue bound was hit (shutdown
+  /// rejections are not counted — those are lifecycle, not load).
+  uint64_t rejected_total() const {
+    return rejected_total_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop() EXCLUDES(mu_);
 
-  Mutex mu_;
+  const size_t max_queue_depth_;
+  mutable Mutex mu_;
   std::condition_variable_any work_available_;
   std::condition_variable_any idle_;
-  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::deque<std::function<void()>> high_queue_ GUARDED_BY(mu_);
+  std::deque<std::function<void()>> normal_queue_ GUARDED_BY(mu_);
   size_t active_ GUARDED_BY(mu_) = 0;
   bool shutting_down_ GUARDED_BY(mu_) = false;
+  std::atomic<uint64_t> rejected_total_{0};
   /// Written only by the constructor; joined (outside the lock — joining
   /// under mu_ would deadlock with workers reacquiring it) by Shutdown.
   std::vector<std::thread> workers_;

@@ -23,6 +23,12 @@ int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
 
 ConcurrentRunResult ConcurrentDriver::Replay(const Trace& trace,
                                              size_t num_threads) {
+  return Replay(trace, num_threads, /*deadline_budget_micros=*/0);
+}
+
+ConcurrentRunResult ConcurrentDriver::Replay(const Trace& trace,
+                                             size_t num_threads,
+                                             int64_t deadline_budget_micros) {
   if (num_threads == 0) num_threads = 1;
   ConcurrentRunResult result;
   result.num_threads = num_threads;
@@ -30,6 +36,8 @@ ConcurrentRunResult ConcurrentDriver::Replay(const Trace& trace,
 
   std::atomic<size_t> next_query{0};
   std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> partials{0};
   std::vector<std::vector<int64_t>> per_thread_latencies(num_threads);
 
   const int64_t virtual_start =
@@ -39,19 +47,32 @@ ConcurrentRunResult ConcurrentDriver::Replay(const Trace& trace,
   std::vector<std::thread> workers;
   workers.reserve(num_threads);
   for (size_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([this, &trace, &next_query, &errors,
+    workers.emplace_back([this, &trace, &next_query, &errors, &shed,
+                          &partials, deadline_budget_micros,
                           &per_thread_latencies, t] {
       std::vector<int64_t>& latencies = per_thread_latencies[t];
       for (;;) {
         size_t i = next_query.fetch_add(1, std::memory_order_relaxed);
         if (i >= trace.queries.size()) break;
         net::HttpRequest request = MakeRequest(trace, trace.queries[i]);
+        if (deadline_budget_micros > 0) {
+          request.headers[net::kDeadlineBudgetHeader] =
+              std::to_string(deadline_budget_micros);
+        }
         util::Stopwatch stopwatch;
         net::HttpResponse response = channel_->RoundTrip(request);
         int64_t elapsed = stopwatch.ElapsedMicros();
         latencies.push_back(elapsed);
         if (latency_histogram_ != nullptr) latency_histogram_->Observe(elapsed);
-        if (!response.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+        if (!response.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          if (response.status_code == 503) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (response.body.find("partial=\"true\"") !=
+                   std::string::npos) {
+          partials.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     });
   }
@@ -59,6 +80,9 @@ ConcurrentRunResult ConcurrentDriver::Replay(const Trace& trace,
 
   result.wall_millis = static_cast<double>(wall.ElapsedMicros()) / 1000.0;
   result.errors = errors.load();
+  result.shed = shed.load();
+  result.partials = partials.load();
+  result.goodput_requests = result.requests - result.errors;
   if (clock_ != nullptr) {
     result.virtual_micros = clock_->NowMicros() - virtual_start;
   }

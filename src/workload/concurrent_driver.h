@@ -20,6 +20,15 @@ struct ConcurrentRunResult {
   size_t num_threads = 0;
   uint64_t requests = 0;
   uint64_t errors = 0;
+  /// Requests answered 503 (admission control / circuit breaker sheds) —
+  /// a subset of `errors`.
+  uint64_t shed = 0;
+  /// Requests answered with a degraded partial result (body marked
+  /// partial="true"); these count as successes, not errors.
+  uint64_t partials = 0;
+  /// Successful full-or-partial answers (requests - errors): the goodput
+  /// numerator for the overload experiments.
+  uint64_t goodput_requests = 0;
   /// Wall-clock duration of the whole replay (start of first request to
   /// completion of the last) and the derived closed-loop throughput.
   double wall_millis = 0.0;
@@ -54,6 +63,12 @@ class ConcurrentDriver {
   /// Replays the trace from `num_threads` workers (at least 1) and blocks
   /// until every query has completed.
   ConcurrentRunResult Replay(const Trace& trace, size_t num_threads);
+
+  /// Same, but every request carries an X-Deadline-Micros budget header
+  /// (`deadline_budget_micros` > 0), exercising the proxy's end-to-end
+  /// deadline propagation. 0 behaves exactly like the two-arg overload.
+  ConcurrentRunResult Replay(const Trace& trace, size_t num_threads,
+                             int64_t deadline_budget_micros);
 
   /// Optional histogram receiving every per-request wall latency as it is
   /// measured (not owned; must outlive Replay). The experiment harness

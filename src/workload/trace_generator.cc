@@ -297,6 +297,57 @@ struct Box {
 
 }  // namespace
 
+Trace GenerateFlashCrowdTrace(const FlashCrowdTraceConfig& config) {
+  Trace trace = GenerateRadialTrace(config.base);
+  util::Random rng(config.seed);
+
+  const size_t n = trace.queries.size();
+  const size_t burst_start = static_cast<size_t>(
+      static_cast<double>(n) * std::clamp(config.burst_start_fraction, 0.0, 1.0));
+  const size_t burst_end = static_cast<size_t>(
+      static_cast<double>(n) * std::clamp(config.burst_end_fraction, 0.0, 1.0));
+
+  Cone hot;
+  hot.ra = RoundTo(config.hot_ra, 4);
+  hot.dec = RoundTo(config.hot_dec, 4);
+  hot.radius_arcmin = RoundTo(config.hot_radius_arcmin, 2);
+
+  auto hot_query = [&](const Cone& cone, RegionRelation intended) {
+    TraceQuery query;
+    query.params["ra"] = FormatFixed(cone.ra, 4);
+    query.params["dec"] = FormatFixed(cone.dec, 4);
+    query.params["radius"] = FormatFixed(cone.radius_arcmin, 2);
+    query.intended = intended;
+    return query;
+  };
+
+  bool hot_seen = false;
+  for (size_t i = burst_start; i < burst_end && i < n; ++i) {
+    if (!rng.NextBool(config.burst_hot_fraction)) continue;
+    if (!hot_seen) {
+      // First touch: the query that makes the hot cone cacheable.
+      trace.queries[i] = hot_query(hot, RegionRelation::kDisjoint);
+      hot_seen = true;
+      continue;
+    }
+    if (rng.NextBool(config.hot_subsumed_fraction)) {
+      // Same center, smaller radius: contained in the hot cone by
+      // construction (verified anyway so the label stays ground truth).
+      Cone child = hot;
+      child.radius_arcmin =
+          RoundTo(hot.radius_arcmin * rng.NextDouble(0.4, 0.9), 2);
+      if (child.radius_arcmin >= 0.5 &&
+          geometry::Contains(hot.Sphere(), child.Sphere()) &&
+          !geometry::Equals(hot.Sphere(), child.Sphere())) {
+        trace.queries[i] = hot_query(child, RegionRelation::kContainedBy);
+        continue;
+      }
+    }
+    trace.queries[i] = hot_query(hot, RegionRelation::kEqual);
+  }
+  return trace;
+}
+
 Trace GenerateRectTrace(const RectTraceConfig& config) {
   util::Random rng(config.seed);
   util::ZipfDistribution hotspot_pick(config.num_hotspots,

@@ -72,6 +72,37 @@ struct RectTraceConfig {
 /// dec_max (degrees).
 Trace GenerateRectTrace(const RectTraceConfig& config);
 
+/// Flash-crowd variant of the Radial trace: a normal background mix, except
+/// that inside a burst window most queries slam one hotspot cone — exact
+/// repeats plus same-center shrunken variants (every variant's region is
+/// contained in the hot cone, so a semantic cache needs exactly one origin
+/// fetch to serve the whole crowd). This is the overload workload for the
+/// single-flight / admission-control experiments: without collapsing, every
+/// concurrent miss on the hot cone turns into its own origin round trip.
+struct FlashCrowdTraceConfig {
+  /// Background traffic (also sets footprint, seed does not apply).
+  RadialTraceConfig base;
+  /// Burst window as fractions of the trace, [start, end).
+  double burst_start_fraction = 0.25;
+  double burst_end_fraction = 0.85;
+  /// Probability a burst-window query targets the hot cone.
+  double burst_hot_fraction = 0.85;
+  /// Of the hot queries, the fraction that are shrunken (contained)
+  /// variants rather than exact repeats.
+  double hot_subsumed_fraction = 0.30;
+  /// The hot cone itself. Center defaults inside the standard footprint.
+  double hot_ra = 185.0;
+  double hot_dec = 30.0;
+  double hot_radius_arcmin = 20.0;
+  uint64_t seed = 2026;
+};
+
+/// Generates the flash-crowd trace. Hot-query labels are relative to the
+/// hot cone: the first hot query is kDisjoint (first touch), later exact
+/// repeats are kEqual and shrunken variants kContainedBy (verified with
+/// geometry::Contains against the hot cone).
+Trace GenerateFlashCrowdTrace(const FlashCrowdTraceConfig& config);
+
 }  // namespace fnproxy::workload
 
 #endif  // FNPROXY_WORKLOAD_TRACE_GENERATOR_H_

@@ -319,7 +319,7 @@ TEST_F(ConcurrentProxyTest, StatsTotalsEqualPerThreadSums) {
   EXPECT_EQ(stats.records.size(), issued);
   EXPECT_EQ(stats.exact_hits + stats.containment_hits +
                 stats.region_containments + stats.overlaps_handled +
-                stats.misses,
+                stats.misses + stats.collapsed,
             stats.template_requests);
   EXPECT_EQ(stats.origin_failures, 0u);
   // The cache saw real concurrency and stayed balanced.

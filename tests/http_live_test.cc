@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "catalog/sky_catalog.h"
 #include "core/proxy.h"
@@ -131,6 +136,56 @@ TEST(HttpServerTest, ConnectToClosedPortFails) {
   uint16_t port = server.port();
   server.Stop();
   EXPECT_FALSE(HttpGet(port, "/gone").ok());
+}
+
+/// Saturating a bounded worker pool must never silently drop connections:
+/// every client gets either its answer or an explicit 503 with shed headers.
+TEST(HttpServerTest, SaturationShedsWith503) {
+  class SlowHandler : public HttpHandler {
+   public:
+    HttpResponse Handle(const HttpRequest& request) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      HttpResponse response;
+      response.body = "slow:" + request.path;
+      return response;
+    }
+  } handler;
+  HttpServer server(&handler, /*worker_threads=*/1, /*max_queue_depth=*/1);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::mutex mu;
+  std::vector<util::StatusOr<HttpResponse>> results;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      auto result = HttpGet(server.port(), "/q" + std::to_string(i));
+      std::lock_guard<std::mutex> lock(mu);
+      results.push_back(std::move(result));
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  server.Stop();
+
+  int served = 0;
+  int shed = 0;
+  for (const auto& result : results) {
+    // No transport-level failures: the server answered every connection.
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (result->ok()) {
+      ++served;
+    } else {
+      ASSERT_EQ(result->status_code, 503);
+      // Wire headers come back lowercased from the parser.
+      EXPECT_EQ(result->headers.at("x-shed-reason"), "queue-full");
+      EXPECT_EQ(result->headers.count("retry-after"), 1u);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(served + shed, kClients);
+  EXPECT_GT(served, 0);
+  EXPECT_GT(shed, 0);
+  EXPECT_EQ(server.shed_total(), static_cast<uint64_t>(shed));
 }
 
 /// Full live deployment: synthetic SkyServer behind one real socket server,

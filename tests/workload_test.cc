@@ -3,6 +3,7 @@
 #include <map>
 
 #include "geometry/celestial.h"
+#include "geometry/hypersphere.h"
 #include "geometry/region.h"
 #include "util/string_util.h"
 #include "workload/experiment.h"
@@ -111,6 +112,76 @@ TEST(RadialTraceGeneratorTest, QueriesInsideFootprint) {
     EXPECT_LE(ra, config.ra_max + 2.0);
     EXPECT_GE(dec, config.dec_min - 2.0);
     EXPECT_LE(dec, config.dec_max + 2.0);
+  }
+}
+
+TEST(FlashCrowdTraceTest, BurstWindowSlamsHotCone) {
+  FlashCrowdTraceConfig config;
+  config.base = SmallTrace(2000);
+  Trace trace = GenerateFlashCrowdTrace(config);
+  ASSERT_EQ(trace.queries.size(), 2000u);
+  EXPECT_EQ(trace.form_path, "/radial");
+
+  const std::string hot_ra = "185.0000";
+  const std::string hot_dec = "30.0000";
+  size_t burst_start = static_cast<size_t>(2000 * config.burst_start_fraction);
+  size_t burst_end = static_cast<size_t>(2000 * config.burst_end_fraction);
+  size_t hot_in_burst = 0;
+  size_t hot_outside = 0;
+  for (size_t i = 0; i < trace.queries.size(); ++i) {
+    const TraceQuery& q = trace.queries[i];
+    bool hot = q.params.at("ra") == hot_ra && q.params.at("dec") == hot_dec;
+    if (i >= burst_start && i < burst_end) {
+      hot_in_burst += hot ? 1 : 0;
+    } else {
+      hot_outside += hot ? 1 : 0;
+    }
+  }
+  // ~85% of the burst window hits the hot cone; outside it, background
+  // traffic essentially never lands on that exact center.
+  double window = static_cast<double>(burst_end - burst_start);
+  EXPECT_GT(static_cast<double>(hot_in_burst) / window, 0.7);
+  EXPECT_LT(hot_outside, 5u);
+}
+
+TEST(FlashCrowdTraceTest, HotVariantsContainedInHotCone) {
+  FlashCrowdTraceConfig config;
+  config.base = SmallTrace(2000);
+  Trace trace = GenerateFlashCrowdTrace(config);
+  geometry::Hypersphere hot = geometry::ConeToHypersphere(
+      config.hot_ra, config.hot_dec, config.hot_radius_arcmin);
+  size_t exact = 0;
+  size_t contained = 0;
+  for (const TraceQuery& q : trace.queries) {
+    if (q.params.at("ra") != "185.0000" || q.params.at("dec") != "30.0000") {
+      continue;
+    }
+    double radius = *util::ParseDouble(q.params.at("radius"));
+    geometry::Hypersphere sphere =
+        geometry::ConeToHypersphere(config.hot_ra, config.hot_dec, radius);
+    if (q.intended == RegionRelation::kContainedBy) {
+      EXPECT_TRUE(geometry::Contains(hot, sphere));
+      EXPECT_FALSE(geometry::Equals(hot, sphere));
+      ++contained;
+    } else {
+      EXPECT_TRUE(geometry::Equals(hot, sphere));
+      ++exact;
+    }
+  }
+  // Both flavors are present: exact repeats dominate, shrunken variants are
+  // a meaningful minority (hot_subsumed_fraction = 0.3).
+  EXPECT_GT(exact, contained);
+  EXPECT_GT(contained, 50u);
+}
+
+TEST(FlashCrowdTraceTest, DeterministicInSeed) {
+  FlashCrowdTraceConfig config;
+  config.base = SmallTrace(500);
+  Trace a = GenerateFlashCrowdTrace(config);
+  Trace b = GenerateFlashCrowdTrace(config);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].params, b.queries[i].params);
   }
 }
 

@@ -2,12 +2,16 @@
 """Fails CI when a benchmark metric regresses beyond tolerance.
 
 Both inputs are BENCH_results.json files (one JSON object per line, see
-docs/FORMATS.md): the committed baseline and a fresh run. The compared
-metric is higher-is-better (the columnar-scan speedup ratio); the gate
-fails when the fresh value drops more than --tolerance below the baseline.
+docs/FORMATS.md): the committed baseline and a fresh run. Compared metrics
+are higher-is-better (e.g. the columnar-scan speedup ratio, the overload
+sweep's goodput retention); the gate fails when any fresh value drops more
+than --tolerance below its baseline.
 
 Usage:
-  check_bench_regression.py BASELINE FRESH [--metric NAME] [--tolerance F]
+  check_bench_regression.py BASELINE FRESH [--metric NAME]... [--tolerance F]
+
+--metric may repeat to gate several metrics in one invocation; with no
+--metric flag the historical default (subsumed_scan/speedup) is used.
 """
 
 import argparse
@@ -44,20 +48,25 @@ def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("baseline")
     parser.add_argument("fresh")
-    parser.add_argument("--metric", default="subsumed_scan/speedup")
+    parser.add_argument("--metric", action="append", dest="metrics")
     parser.add_argument("--tolerance", type=float, default=0.20)
     args = parser.parse_args()
+    metrics = args.metrics or ["subsumed_scan/speedup"]
 
-    baseline = load_metric(args.baseline, args.metric, "last")
-    fresh = load_metric(args.fresh, args.metric, "max")
-    drop = (baseline - fresh) / baseline if baseline > 0 else 0.0
+    failed = []
+    for metric in metrics:
+        baseline = load_metric(args.baseline, metric, "last")
+        fresh = load_metric(args.fresh, metric, "max")
+        drop = (baseline - fresh) / baseline if baseline > 0 else 0.0
 
-    print(
-        f"{args.metric}: baseline={baseline:.4f} fresh={fresh:.4f} "
-        f"drop={drop * 100:.1f}% (tolerance {args.tolerance * 100:.0f}%)"
-    )
-    if drop > args.tolerance:
-        sys.exit(f"error: {args.metric} regressed beyond tolerance")
+        print(
+            f"{metric}: baseline={baseline:.4f} fresh={fresh:.4f} "
+            f"drop={drop * 100:.1f}% (tolerance {args.tolerance * 100:.0f}%)"
+        )
+        if drop > args.tolerance:
+            failed.append(metric)
+    if failed:
+        sys.exit(f"error: regressed beyond tolerance: {', '.join(failed)}")
     print("ok")
 
 
