@@ -1,0 +1,86 @@
+#include "core/hash_ring.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/hyperrectangle.h"
+#include "geometry/point.h"
+
+namespace fnproxy::core {
+
+HashRing::HashRing(size_t vnodes_per_node)
+    : vnodes_per_node_(vnodes_per_node == 0 ? 1 : vnodes_per_node) {}
+
+uint64_t HashRing::HashKey(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+void HashRing::AddNode(const std::string& node_id) {
+  if (HasNode(node_id)) return;
+  nodes_.push_back(node_id);
+  std::sort(nodes_.begin(), nodes_.end());
+  for (size_t i = 0; i < vnodes_per_node_; ++i) {
+    std::string vnode = node_id;
+    vnode += '#';
+    vnode += std::to_string(i);
+    ring_.emplace_back(HashKey(vnode), node_id);
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+void HashRing::RemoveNode(const std::string& node_id) {
+  nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node_id),
+               nodes_.end());
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [&](const auto& p) { return p.second == node_id; }),
+              ring_.end());
+}
+
+bool HashRing::HasNode(std::string_view node_id) const {
+  return std::find(nodes_.begin(), nodes_.end(), node_id) != nodes_.end();
+}
+
+const std::string* HashRing::OwnerForHash(uint64_t hash) const {
+  if (ring_.empty()) return nullptr;
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const auto& p, uint64_t h) { return p.first < h; });
+  if (it == ring_.end()) it = ring_.begin();
+  return &it->second;
+}
+
+const std::string* HashRing::Owner(std::string_view key) const {
+  return OwnerForHash(HashKey(key));
+}
+
+std::string RegionOwnershipKey(std::string_view template_id,
+                               std::string_view nonspatial_fingerprint,
+                               const geometry::Region& region,
+                               double cell_size) {
+  if (cell_size <= 0.0) cell_size = 1.0;
+  geometry::Hyperrectangle box = region.BoundingBox();
+  std::string key;
+  key.reserve(template_id.size() + nonspatial_fingerprint.size() + 32);
+  key.append(template_id);
+  key += '|';
+  key.append(nonspatial_fingerprint);
+  for (size_t d = 0; d < box.lo().size(); ++d) {
+    double center = 0.5 * (box.lo()[d] + box.hi()[d]);
+    key += '|';
+    key += std::to_string(
+        static_cast<long long>(std::floor(center / cell_size)));
+  }
+  return key;
+}
+
+}  // namespace fnproxy::core

@@ -1,6 +1,7 @@
 #include "core/proxy.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <future>
 #include <numeric>
@@ -58,6 +59,7 @@ std::string ProxyStats::ToXml() const {
       " coverageServed=\"%.4f\"/>\n"
       "  <Overload collapsed=\"%llu\" shed=\"%llu\""
       " deadlineExceeded=\"%llu\"/>\n"
+      "  <Peer lookups=\"%llu\" hits=\"%llu\" failures=\"%llu\"/>\n"
       "  <TimingMicros check=\"%lld\" localEval=\"%lld\" merge=\"%lld\"/>\n"
       "  <AverageCacheEfficiency>%.4f</AverageCacheEfficiency>\n"
       "</ProxyStats>\n",
@@ -80,6 +82,9 @@ std::string ProxyStats::ToXml() const {
       static_cast<unsigned long long>(collapsed),
       static_cast<unsigned long long>(shed),
       static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(peer_lookups),
+      static_cast<unsigned long long>(peer_hits),
+      static_cast<unsigned long long>(peer_failures),
       static_cast<long long>(check_micros),
       static_cast<long long>(local_eval_micros),
       static_cast<long long>(merge_micros), AverageCacheEfficiency());
@@ -128,6 +133,48 @@ std::string FullParamFingerprint(
   return fingerprint;
 }
 
+// --- Peer wire format helpers ----------------------------------------------
+//
+// Peer metadata travels in X-Peer-* headers; the body is the entry's region
+// document followed by its result document, split at the first "<Result "
+// (neither document nests the other, so the split is unambiguous).
+
+/// Header lookup tolerant of the wire parser's lowercasing.
+const std::string* PeerHeader(const std::map<std::string, std::string>& headers,
+                              const std::string& name) {
+  auto it = headers.find(name);
+  if (it != headers.end()) return &it->second;
+  std::string lower = name;
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  it = headers.find(lower);
+  return it != headers.end() ? &it->second : nullptr;
+}
+
+std::string PeerHeaderOr(const std::map<std::string, std::string>& headers,
+                         const std::string& name, const char* fallback) {
+  const std::string* value = PeerHeader(headers, name);
+  return value != nullptr ? *value : fallback;
+}
+
+bool SplitPeerBody(const std::string& body, std::string_view* region_xml,
+                   std::string_view* result_xml) {
+  size_t pos = body.find("<Result ");
+  if (pos == std::string::npos) return false;
+  std::string_view view(body);
+  *region_xml = view.substr(0, pos);
+  *result_xml = view.substr(pos);
+  return true;
+}
+
+uint64_t ParsePeerToken(const std::string& text) {
+  uint64_t token = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return 0;
+    token = token * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return token;
+}
+
 }  // namespace
 
 FunctionProxy::FunctionProxy(ProxyConfig config,
@@ -147,7 +194,7 @@ FunctionProxy::FunctionProxy(ProxyConfig config,
   cache_ = std::make_unique<CacheStore>(factory, config_.cache_shards,
                                         config_.max_cache_bytes,
                                         config_.replacement);
-  breaker_ = std::make_unique<CircuitBreaker>(config_.breaker, clock_);
+  breaker_ = std::make_unique<net::CircuitBreaker>(config_.breaker, clock_);
   channel_retries_baseline_ = origin_->retry_stats().retries;
   RegisterInstruments();
 }
@@ -211,6 +258,36 @@ void FunctionProxy::RegisterInstruments() {
       "fnproxy_deadline_exceeded_total",
       "Requests whose client deadline expired before an answer could fit");
 
+  const char* peer_lookup_help =
+      "Probes sent to the owning tier sibling on a local miss, by outcome";
+  ins_.peer_lookup_hit = registry_.AddCounter(
+      "fnproxy_peer_lookups_total", peer_lookup_help, {{"outcome", "hit"}});
+  ins_.peer_lookup_flight = registry_.AddCounter(
+      "fnproxy_peer_lookups_total", peer_lookup_help, {{"outcome", "flight"}});
+  ins_.peer_lookup_lead = registry_.AddCounter(
+      "fnproxy_peer_lookups_total", peer_lookup_help, {{"outcome", "lead"}});
+  ins_.peer_lookup_miss = registry_.AddCounter(
+      "fnproxy_peer_lookups_total", peer_lookup_help, {{"outcome", "miss"}});
+  ins_.peer_lookup_error = registry_.AddCounter(
+      "fnproxy_peer_lookups_total", peer_lookup_help, {{"outcome", "error"}});
+  ins_.peer_lookup_breaker_open =
+      registry_.AddCounter("fnproxy_peer_lookups_total", peer_lookup_help,
+                           {{"outcome", "breaker_open"}});
+  ins_.peer_failures = registry_.AddCounter(
+      "fnproxy_peer_failures_total",
+      "Peer round trips that failed or returned an unusable body");
+  const char* peer_entries_help =
+      "Cache entries exchanged with tier siblings, by direction";
+  ins_.peer_entries_pushed = registry_.AddCounter(
+      "fnproxy_peer_entries_total", peer_entries_help,
+      {{"direction", "pushed"}});
+  ins_.peer_entries_received = registry_.AddCounter(
+      "fnproxy_peer_entries_total", peer_entries_help,
+      {{"direction", "received"}});
+  ins_.peer_flight_joins = registry_.AddCounter(
+      "fnproxy_peer_flight_joins_total",
+      "Remote probers served off this proxy's in-flight origin fetches");
+
   const char* busy_help =
       "Modeled virtual-time spent per phase (exact computed costs)";
   ins_.check_micros = registry_.AddCounter("fnproxy_phase_busy_micros_total",
@@ -242,6 +319,7 @@ void FunctionProxy::RegisterInstruments() {
       {"merge", &ins_.phase_merge},
       {"serialize", &ins_.phase_serialize},
       {"cache_admit", &ins_.phase_cache_admit},
+      {"peer_lookup", &ins_.phase_peer_lookup},
   };
   for (const PhaseSlot& s : slots) {
     *s.slot = registry_.AddHistogram("fnproxy_phase_duration_micros",
@@ -269,7 +347,7 @@ void FunctionProxy::RegisterInstruments() {
                         /*is_counter=*/true, {},
                         [cache] { return static_cast<double>(cache->evictions()); });
 
-  CircuitBreaker* breaker = breaker_.get();
+  net::CircuitBreaker* breaker = breaker_.get();
   registry_.AddCallback(
       "fnproxy_breaker_state",
       "Circuit breaker state (0 closed, 1 open, 2 half-open)",
@@ -359,6 +437,15 @@ ProxyStats FunctionProxy::stats() const {
   s.shed = ins_.shed_overload->Value() + ins_.shed_origin_backlog->Value() +
            ins_.shed_deadline->Value();
   s.deadline_exceeded = ins_.deadline_exceeded->Value();
+  s.peer_lookups = ins_.peer_lookup_hit->Value() +
+                   ins_.peer_lookup_flight->Value() +
+                   ins_.peer_lookup_lead->Value() +
+                   ins_.peer_lookup_miss->Value() +
+                   ins_.peer_lookup_error->Value() +
+                   ins_.peer_lookup_breaker_open->Value();
+  s.peer_hits =
+      ins_.peer_lookup_hit->Value() + ins_.peer_lookup_flight->Value();
+  s.peer_failures = ins_.peer_failures->Value();
   s.check_micros = static_cast<int64_t>(ins_.check_micros->Value());
   s.local_eval_micros = static_cast<int64_t>(ins_.local_eval_micros->Value());
   s.merge_micros = static_cast<int64_t>(ins_.merge_micros->Value());
@@ -377,7 +464,7 @@ bool FunctionProxy::OriginAllowed() {
 }
 
 bool FunctionProxy::BreakerOpen() const {
-  return config_.breaker.enabled && breaker_->state() == BreakerState::kOpen;
+  return config_.breaker.enabled && breaker_->state() == net::BreakerState::kOpen;
 }
 
 void FunctionProxy::NoteOriginOutcome(bool usable) {
@@ -1103,6 +1190,18 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
     record->shed = true;
     return Unavailable("origin-backlog");
   }
+  // Cooperative tier: before paying the WAN round trip, probe the sibling
+  // owning this region's key space — it may hold a covering entry or an
+  // in-flight fetch this request can ride. A "lead" outcome arms the guard:
+  // this request is now the tier-wide leader and must push its origin
+  // result (or failure) back to the owner on every exit path.
+  PeerFlightGuard peer_flight;
+  {
+    auto peer_served = ProbePeer(qt, ft, *region, *nonspatial_fp, params,
+                                 deadline_micros, record, trace, &flight,
+                                 &peer_flight);
+    if (peer_served.has_value()) return *peer_served;
+  }
   ins_.misses->Increment();
   auto table = FetchFromOrigin(request, deadline_micros, record, trace);
   if (!table.ok()) {
@@ -1135,6 +1234,7 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
   auto admitted = CacheResult(qt, *nonspatial_fp, param_fp, *region, *table,
                               ft.coordinate_columns(), truncated, trace);
   flight.Fulfill({admitted != nullptr, admitted});
+  peer_flight.Fulfill(admitted);
   return Respond(*table, trace);
 }
 
@@ -1166,7 +1266,7 @@ HttpResponse FunctionProxy::HandleStats() {
                 "<CircuitBreaker enabled=\"%d\" state=\"%s\""
                 " transitions=\"%llu\" failureRate=\"%.3f\"/>\n",
                 config_.breaker.enabled ? 1 : 0,
-                BreakerStateName(breaker_->state()),
+                net::BreakerStateName(breaker_->state()),
                 static_cast<unsigned long long>(snapshot.breaker_transitions),
                 breaker_->FailureRate());
   response.body += breaker_line;
@@ -1205,13 +1305,342 @@ HttpResponse FunctionProxy::HandleTrace(const HttpRequest& request) {
   return response;
 }
 
+// --- Cooperative tier -------------------------------------------------------
+
+void FunctionProxy::ReapExpiredPeerFlights() {
+  std::vector<uint64_t> expired;
+  {
+    util::MutexLock lock(peer_mu_);
+    if (pending_peer_flights_.empty()) return;
+    const int64_t now = clock_->NowMicros();
+    for (auto it = pending_peer_flights_.begin();
+         it != pending_peer_flights_.end();) {
+      if (it->second <= now) {
+        expired.push_back(it->first);
+        it = pending_peer_flights_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Complete() on an already-completed token is a no-op, so racing with a
+  // late /peer/entry push is safe: whichever side wins resolves the flight.
+  for (uint64_t token : expired) {
+    inflight_.Complete(token, FlightOutcome{});
+  }
+}
+
+HttpResponse FunctionProxy::HandlePeerLookup(const HttpRequest& request) {
+  ReapExpiredPeerFlights();
+  const std::string* template_id = PeerHeader(request.headers, "X-Peer-Template");
+  const std::string* fp = PeerHeader(request.headers, "X-Peer-Fp");
+  if (template_id == nullptr || fp == nullptr) {
+    return HttpResponse::MakeError(400, "missing X-Peer-Template / X-Peer-Fp");
+  }
+  const QueryTemplate* qt = templates_->FindById(*template_id);
+  auto region_or = RegionFromXml(request.body);
+  if (qt == nullptr || !region_or.ok()) {
+    return HttpResponse::MakeError(400, "unknown template or bad region");
+  }
+  std::unique_ptr<geometry::Region> region = std::move(*region_or);
+  const bool exact_only = qt->function_dependent_projection();
+
+  // Serves a covering entry: the full entry (its region and result), never a
+  // locally filtered subset — the prober runs its own spatial selection, so
+  // this proxy pays serialization only, not the scan.
+  auto serve = [&](const CacheEntry& entry,
+                   const char* outcome) -> HttpResponse {
+    ChargeMicros(config_.costs.per_response_tuple_us *
+                 static_cast<double>(entry.result.num_rows()));
+    HttpResponse response;
+    response.headers["X-Peer-Outcome"] = outcome;
+    response.headers["X-Peer-Truncated"] = entry.truncated ? "1" : "0";
+    response.headers["X-Peer-Paramfp"] = entry.param_fingerprint;
+    response.body = RegionToXml(*entry.region);
+    response.body += sql::TableToXml(entry.result);
+    return response;
+  };
+  auto miss = [](const char* outcome) -> HttpResponse {
+    HttpResponse response;
+    response.status_code = 404;
+    response.headers["X-Peer-Outcome"] = outcome;
+    response.body = "<PeerMiss/>\n";
+    return response;
+  };
+
+  RelationshipResult rel =
+      CheckRelationship(*cache_, qt->id(), *fp, *region);
+  ChargeMicros(DescriptionCostMicros(rel.description_comparisons) +
+               config_.costs.per_relation_check_us *
+                   static_cast<double>(rel.regions_checked));
+  if (rel.status == RegionRelation::kEqual) {
+    cache_->Touch(rel.matched->id, clock_->NowMicros());
+    return serve(*rel.matched, "hit");
+  }
+  if (rel.status == RegionRelation::kContainedBy && !exact_only &&
+      !rel.matched->truncated) {
+    cache_->Touch(rel.matched->id, clock_->NowMicros());
+    return serve(*rel.matched, "hit");
+  }
+
+  // No covering entry. Fold the prober into this proxy's single-flight
+  // table: join an in-flight fetch for a covering region, or hand the
+  // prober a peer-flight ticket making it the tier-wide leader.
+  SingleFlightTable::Ticket ticket =
+      inflight_.JoinOrLead(qt->id(), *fp, *region);
+  if (ticket.leader) {
+    {
+      util::MutexLock lock(peer_mu_);
+      pending_peer_flights_[ticket.token] =
+          clock_->NowMicros() + config_.collapse_wait_millis * 1000;
+    }
+    HttpResponse response = miss("lead");
+    response.headers["X-Peer-Flight-Token"] = std::to_string(ticket.token);
+    return response;
+  }
+  if (ticket.result.wait_for(std::chrono::milliseconds(
+          config_.collapse_wait_millis)) == std::future_status::ready) {
+    FlightOutcome outcome = ticket.result.get();
+    if (outcome.ok && outcome.entry != nullptr) {
+      const CacheEntry& entry = *outcome.entry;
+      const bool equal = geometry::Equals(*entry.region, *region);
+      const bool usable =
+          equal || (!exact_only && !entry.truncated &&
+                    geometry::Contains(*entry.region, *region));
+      if (usable) {
+        ins_.peer_flight_joins->Increment();
+        return serve(entry, "flight");
+      }
+    }
+  }
+  return miss("miss");
+}
+
+HttpResponse FunctionProxy::HandlePeerEntry(const HttpRequest& request) {
+  ReapExpiredPeerFlights();
+  const uint64_t token =
+      ParsePeerToken(PeerHeaderOr(request.headers, "X-Peer-Token", ""));
+  if (token == 0) {
+    return HttpResponse::MakeError(400, "missing X-Peer-Token");
+  }
+  {
+    util::MutexLock lock(peer_mu_);
+    pending_peer_flights_.erase(token);
+  }
+  if (PeerHeaderOr(request.headers, "X-Peer-Failed", "0") == "1") {
+    inflight_.Complete(token, FlightOutcome{});
+    HttpResponse response;
+    response.body = "<PeerAck/>\n";
+    return response;
+  }
+  const std::string* template_id = PeerHeader(request.headers, "X-Peer-Template");
+  const std::string* fp = PeerHeader(request.headers, "X-Peer-Fp");
+  const QueryTemplate* qt =
+      template_id != nullptr ? templates_->FindById(*template_id) : nullptr;
+  const FunctionTemplate* ft =
+      qt != nullptr ? templates_->FindFunctionTemplate(qt->function_name())
+                    : nullptr;
+  std::string_view region_xml, result_xml;
+  if (fp == nullptr || ft == nullptr ||
+      !SplitPeerBody(request.body, &region_xml, &result_xml)) {
+    inflight_.Complete(token, FlightOutcome{});
+    return HttpResponse::MakeError(400, "malformed peer entry");
+  }
+  auto region_or = RegionFromXml(region_xml);
+  auto table = sql::TableFromXml(result_xml);
+  if (!region_or.ok() || !table.ok()) {
+    inflight_.Complete(token, FlightOutcome{});
+    return HttpResponse::MakeError(400, "unparseable peer entry");
+  }
+  ins_.peer_entries_received->Increment();
+  auto admitted = CacheResult(
+      *qt, *fp, PeerHeaderOr(request.headers, "X-Peer-Paramfp", ""),
+      **region_or, std::move(*table), ft->coordinate_columns(),
+      PeerHeaderOr(request.headers, "X-Peer-Truncated", "0") == "1",
+      /*trace=*/nullptr);
+  inflight_.Complete(token, FlightOutcome{admitted != nullptr, admitted});
+  HttpResponse response;
+  response.body = "<PeerAck/>\n";
+  return response;
+}
+
+void FunctionProxy::PushPeerEntry(
+    net::PeerChannel* peer, uint64_t token,
+    const std::shared_ptr<const CacheEntry>& entry) {
+  // A refused push is fine: the owner reaps the expired flight on its own
+  // virtual deadline, so followers are delayed, never stranded.
+  if (!peer->Allow()) return;
+  HttpRequest push;
+  push.method = "POST";
+  push.path = "/peer/entry";
+  push.headers["X-Peer-Token"] = std::to_string(token);
+  if (entry == nullptr) {
+    push.headers["X-Peer-Failed"] = "1";
+  } else {
+    push.headers["X-Peer-Template"] = entry->template_id;
+    push.headers["X-Peer-Fp"] = entry->nonspatial_fingerprint;
+    push.headers["X-Peer-Paramfp"] = entry->param_fingerprint;
+    push.headers["X-Peer-Truncated"] = entry->truncated ? "1" : "0";
+    push.body = RegionToXml(*entry->region);
+    push.body += sql::TableToXml(entry->result);
+  }
+  ins_.peer_entries_pushed->Increment();
+  HttpResponse response = peer->RoundTrip(push, /*deadline_micros=*/0);
+  if (net::RetryPolicy::Retryable(response)) {
+    ins_.peer_failures->Increment();
+  }
+}
+
+std::optional<HttpResponse> FunctionProxy::ProbePeer(
+    const QueryTemplate& qt, const FunctionTemplate& ft,
+    const geometry::Region& region, const std::string& nonspatial_fp,
+    const std::map<std::string, Value>& params, int64_t deadline_micros,
+    QueryRecord* record, obs::QueryTrace* trace, FlightGuard* local_flight,
+    PeerFlightGuard* peer_flight) {
+  if (!has_peers_) return std::nullopt;
+  const std::string key = RegionOwnershipKey(
+      qt.id(), nonspatial_fp, region, config_.peer_ownership_cell);
+  const std::string* owner = peer_group_.ring->Owner(key);
+  if (owner == nullptr || *owner == peer_group_.self_id) return std::nullopt;
+  auto peer_it = peer_group_.peers.find(*owner);
+  if (peer_it == peer_group_.peers.end()) return std::nullopt;
+  net::PeerChannel* peer = peer_it->second;
+  if (!peer->Allow()) {
+    ins_.peer_lookup_breaker_open->Increment();
+    record->peer_degraded = true;
+    return std::nullopt;
+  }
+
+  HttpRequest probe;
+  probe.method = "POST";
+  probe.path = "/peer/lookup";
+  probe.headers["X-Peer-Template"] = qt.id();
+  probe.headers["X-Peer-Fp"] = nonspatial_fp;
+  probe.body = RegionToXml(region);
+  obs::ScopedSpan span(trace, "peer_lookup", clock_, ins_.phase_peer_lookup);
+  span.AddAttr("owner", *owner);
+  HttpResponse response = peer->RoundTrip(probe, deadline_micros);
+  span.AddAttr("status", std::to_string(response.status_code));
+  if (net::RetryPolicy::Retryable(response)) {
+    // Outage or overload on the sibling: fall back to the origin. The
+    // channel already fed the per-peer breaker.
+    ins_.peer_lookup_error->Increment();
+    ins_.peer_failures->Increment();
+    record->peer_degraded = true;
+    return std::nullopt;
+  }
+  const std::string outcome =
+      PeerHeaderOr(response.headers, "X-Peer-Outcome", "miss");
+  span.AddAttr("outcome", outcome);
+  if (!response.ok()) {
+    if (outcome == "lead") {
+      const uint64_t token = ParsePeerToken(
+          PeerHeaderOr(response.headers, "X-Peer-Flight-Token", ""));
+      if (token != 0) {
+        // This request is now the tier-wide leader: remote followers block
+        // on the owner's flight until the guard pushes our origin result.
+        ins_.peer_lookup_lead->Increment();
+        peer_flight->Arm(this, peer, token);
+        return std::nullopt;
+      }
+    }
+    ins_.peer_lookup_miss->Increment();
+    return std::nullopt;
+  }
+
+  // 200 with a covering entry (direct hit or completed flight join).
+  std::string_view region_xml, result_xml;
+  auto garbage = [&]() -> std::optional<HttpResponse> {
+    peer->NoteGarbage();
+    ins_.peer_lookup_error->Increment();
+    ins_.peer_failures->Increment();
+    record->peer_degraded = true;
+    return std::nullopt;
+  };
+  if (!SplitPeerBody(response.body, &region_xml, &result_xml)) {
+    return garbage();
+  }
+  auto peer_region_or = RegionFromXml(region_xml);
+  auto table = sql::TableFromXml(result_xml);
+  if (!peer_region_or.ok() || !table.ok()) return garbage();
+  std::unique_ptr<geometry::Region> peer_region = std::move(*peer_region_or);
+  const bool truncated =
+      PeerHeaderOr(response.headers, "X-Peer-Truncated", "0") == "1";
+  const bool equal = geometry::Equals(*peer_region, region);
+  const bool exact_only = qt.function_dependent_projection();
+  if (!equal && (exact_only || truncated ||
+                 !geometry::Contains(*peer_region, region))) {
+    // Transport-clean but not usable for this query (e.g. the owner served
+    // under rules a newer config disagrees with): treat as a miss, not as a
+    // faulty peer.
+    ins_.peer_lookup_miss->Increment();
+    return std::nullopt;
+  }
+  ChargeMicros(config_.costs.per_origin_response_tuple_us *
+               static_cast<double>(table->num_rows()));
+
+  // Admit the sibling's entry locally — future queries in this region hit
+  // without the hop, and local single-flight followers get the snapshot.
+  sql::ColumnarTable columnar(std::move(*table));
+  auto admitted = CacheResult(
+      qt, nonspatial_fp, PeerHeaderOr(response.headers, "X-Peer-Paramfp", ""),
+      *peer_region, columnar, ft.coordinate_columns(), truncated, trace);
+  local_flight->Fulfill(FlightOutcome{admitted != nullptr, admitted});
+  // Serve from the admitted snapshot when possible (its coordinate views
+  // are pre-resolved); the local copy covers the not-cacheable case. The
+  // outcome counter is bumped only once the response is certain, so every
+  // probe lands in exactly one fnproxy_peer_lookups_total series.
+  const sql::ColumnarTable& served =
+      admitted != nullptr ? admitted->result : columnar;
+  obs::Counter* outcome_counter =
+      outcome == "flight" ? ins_.peer_lookup_flight : ins_.peer_lookup_hit;
+  if (equal) {
+    outcome_counter->Increment();
+    record->peer_hit = true;
+    record->tuples_total = served.num_rows();
+    record->tuples_from_cache = served.num_rows();
+    return Respond(served, trace);
+  }
+  // The sibling's region strictly contains ours: local spatial selection,
+  // exactly the containment-hit path.
+  obs::ScopedSpan eval(trace, "local_eval", clock_, ins_.phase_local_eval);
+  auto selected = SelectInRegion(served, region, ft.coordinate_columns());
+  auto stmt = qt.Instantiate(params);
+  if (!selected.ok() || !stmt.ok()) {
+    ins_.peer_lookup_miss->Increment();
+    return std::nullopt;
+  }
+  double eval_micros = config_.costs.per_cached_tuple_scan_us *
+                       static_cast<double>(selected->tuples_scanned);
+  ins_.local_eval_micros->Increment(static_cast<uint64_t>(eval_micros));
+  ChargeMicros(eval_micros);
+  eval.AddAttr("tuples_scanned", std::to_string(selected->tuples_scanned));
+  auto final_selection =
+      ApplyOrderAndTop(served, std::move(selected->selection), *stmt);
+  eval.Finish();
+  if (!final_selection.ok()) {
+    ins_.peer_lookup_miss->Increment();
+    return std::nullopt;
+  }
+  outcome_counter->Increment();
+  record->peer_hit = true;
+  record->tuples_total = final_selection->size();
+  record->tuples_from_cache = final_selection->size();
+  return Respond(served, *final_selection, trace);
+}
+
 HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
   // Reserved admin endpoints: answered from proxy state, never forwarded,
   // never counted as query traffic.
   if (request.path == "/proxy/stats") return HandleStats();
   if (request.path == "/metrics") return HandleMetrics();
   if (request.path == "/proxy/trace") return HandleTrace(request);
+  // Cooperative-tier endpoints: sibling traffic, never counted as query
+  // traffic and never subject to client admission control.
+  if (request.path == "/peer/lookup") return HandlePeerLookup(request);
+  if (request.path == "/peer/entry") return HandlePeerEntry(request);
 
+  if (has_peers_) ReapExpiredPeerFlights();
   ins_.requests->Increment();
 
   // Admission control: hard shed above max_queue_depth, before any real
@@ -1282,6 +1711,11 @@ HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
     }
   }
   record.failed = !response.ok();
+  // Tier-visible outcome headers: X-Peer-Served marks answers that avoided
+  // an origin trip via a sibling; X-Peer-Degraded marks origin fallbacks
+  // forced by a failed or breaker-opened peer path.
+  if (record.peer_hit) response.headers["X-Peer-Served"] = "1";
+  if (record.peer_degraded) response.headers["X-Peer-Degraded"] = "1";
   {
     util::MutexLock lock(records_mu_);
     records_.push_back(record);
@@ -1294,6 +1728,8 @@ HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
                            geometry::RegionRelationName(record.status));
     }
     if (record.degraded) owned_trace->AddAttr("degraded", "true");
+    if (record.peer_hit) owned_trace->AddAttr("peer", "served");
+    if (record.peer_degraded) owned_trace->AddAttr("peer", "degraded");
     if (config_.trace_sink != nullptr) {
       config_.trace_sink->Consume(*owned_trace);
     }

@@ -10,12 +10,14 @@
 #include <vector>
 
 #include "core/cache_store.h"
-#include "core/circuit_breaker.h"
+#include "core/hash_ring.h"
+#include "net/circuit_breaker.h"
 #include "core/single_flight.h"
 #include "core/template_registry.h"
 #include "geometry/region.h"
 #include "net/http.h"
 #include "net/network.h"
+#include "net/peer_channel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/clock.h"
@@ -84,7 +86,7 @@ struct ProxyConfig {
   size_t cache_shards = 1;
   ProxyCostModel costs;
   /// Circuit breaker guarding the origin channel (disabled by default).
-  CircuitBreakerConfig breaker;
+  net::CircuitBreakerConfig breaker;
   /// When the origin is unreachable (breaker open or retries exhausted), an
   /// active proxy answers subsumed queries from the cache, serves the cached
   /// portion of overlapping queries annotated partial="true" with a coverage
@@ -103,6 +105,11 @@ struct ProxyConfig {
   /// completes the flight as failed immediately, so this bound only guards
   /// against a leader wedged inside the origin channel.
   int64_t collapse_wait_millis = 30'000;
+  /// Cooperative tier: quantization cell (per dimension) of the region
+  /// ownership key. Queries whose bounding-box centers fall in the same cell
+  /// map to the same owning proxy, so exact repeats and concentric contained
+  /// variants probe the sibling that actually holds the covering entry.
+  double peer_ownership_cell = 0.05;
   /// Admission control: maximum concurrently admitted requests. Above this
   /// the proxy sheds with 503 + Retry-After instead of queuing unboundedly.
   /// 0 disables admission control.
@@ -138,6 +145,12 @@ struct QueryRecord {
   bool collapsed = false;
   /// Rejected by admission control (overload / origin backlog / deadline).
   bool shed = false;
+  /// Served from a cooperative-tier sibling (peer hit or peer-flight join)
+  /// — no origin round trip of its own.
+  bool peer_hit = false;
+  /// A peer probe failed (outage, garbage, or open peer breaker) and the
+  /// request fell back to the origin.
+  bool peer_degraded = false;
   /// Fraction of the query's region volume the answer covers; 1 except for
   /// degraded partial answers.
   double coverage = 1.0;
@@ -201,6 +214,12 @@ struct ProxyStats {
   uint64_t collapsed = 0;
   uint64_t shed = 0;
   uint64_t deadline_exceeded = 0;
+  /// Cooperative tier: probes sent to owning siblings (all outcomes),
+  /// requests answered from a sibling's cache or in-flight fetch, and peer
+  /// round trips that failed or returned garbage.
+  uint64_t peer_lookups = 0;
+  uint64_t peer_hits = 0;
+  uint64_t peer_failures = 0;
   /// Sum of coverage fractions over degraded partial answers.
   double coverage_served = 0.0;
   int64_t check_micros = 0;
@@ -209,6 +228,17 @@ struct ProxyStats {
   std::vector<QueryRecord> records;
 
   double AverageCacheEfficiency() const;
+};
+
+/// A proxy's membership in a cooperative tier: its own node id, the shared
+/// consistent-hash ring mapping region ownership keys to proxies, and one
+/// breaker-guarded channel per sibling (keyed by node id, self excluded).
+/// The ring and channels are owned by the tier topology (workload::ProxyTier)
+/// and must outlive the proxy; configure before traffic starts.
+struct PeerGroup {
+  std::string self_id;
+  const HashRing* ring = nullptr;
+  std::map<std::string, net::PeerChannel*> peers;
 };
 
 /// The function proxy (paper Fig. 4): an HTTP handler that intercepts
@@ -237,7 +267,16 @@ class FunctionProxy final : public net::HttpHandler {
   ProxyStats stats() const;
   const CacheStore& cache() const { return *cache_; }
   const ProxyConfig& config() const { return config_; }
-  const CircuitBreaker& breaker() const { return *breaker_; }
+  const net::CircuitBreaker& breaker() const { return *breaker_; }
+
+  /// Joins a cooperative tier (see PeerGroup). Not thread-safe with respect
+  /// to Handle(): call during topology setup, before traffic.
+  void set_peer_group(PeerGroup group) {
+    peer_group_ = std::move(group);
+    has_peers_ =
+        peer_group_.ring != nullptr && !peer_group_.peers.empty();
+  }
+  const PeerGroup& peer_group() const { return peer_group_; }
 
   /// The metrics registry behind GET /metrics. All proxy counters and
   /// per-phase latency histograms live here (see docs/OBSERVABILITY.md for
@@ -292,6 +331,18 @@ class FunctionProxy final : public net::HttpHandler {
     obs::Counter* shed_origin_backlog = nullptr;
     obs::Counter* shed_deadline = nullptr;
     obs::Counter* deadline_exceeded = nullptr;
+    /// Cooperative tier: peer lookups by outcome, failed peer round trips,
+    /// entries exchanged by direction, and remote single-flight joins.
+    obs::Counter* peer_lookup_hit = nullptr;
+    obs::Counter* peer_lookup_flight = nullptr;
+    obs::Counter* peer_lookup_lead = nullptr;
+    obs::Counter* peer_lookup_miss = nullptr;
+    obs::Counter* peer_lookup_error = nullptr;
+    obs::Counter* peer_lookup_breaker_open = nullptr;
+    obs::Counter* peer_failures = nullptr;
+    obs::Counter* peer_entries_pushed = nullptr;
+    obs::Counter* peer_entries_received = nullptr;
+    obs::Counter* peer_flight_joins = nullptr;
     /// Modeled virtual-time totals (exact computed costs, deterministic even
     /// under concurrency — unlike span durations read off the shared clock).
     obs::Counter* check_micros = nullptr;
@@ -309,6 +360,7 @@ class FunctionProxy final : public net::HttpHandler {
     obs::Histogram* phase_merge = nullptr;
     obs::Histogram* phase_serialize = nullptr;
     obs::Histogram* phase_cache_admit = nullptr;
+    obs::Histogram* phase_peer_lookup = nullptr;
     /// Relationship-check cost by resulting relation, indexed by
     /// geometry::RegionRelation.
     obs::Histogram* region_compare[5] = {};
@@ -337,6 +389,67 @@ class FunctionProxy final : public net::HttpHandler {
   net::HttpResponse HandleStats();
   net::HttpResponse HandleMetrics();
   net::HttpResponse HandleTrace(const net::HttpRequest& request);
+
+  /// RAII for a peer-flight ticket: the remote owner made this request the
+  /// tier-wide leader for its subsumption class (X-Peer-Outcome: lead), so
+  /// remote followers block on the owner's flight until this request pushes
+  /// its origin result — or its failure — via /peer/entry. Unless Fulfill()
+  /// ran with an admitted entry, the destructor pushes a failure so no exit
+  /// path (error return, shed, exception) strands remote followers past the
+  /// owner's reap deadline.
+  class PeerFlightGuard {
+   public:
+    PeerFlightGuard() = default;
+    PeerFlightGuard(const PeerFlightGuard&) = delete;
+    PeerFlightGuard& operator=(const PeerFlightGuard&) = delete;
+    ~PeerFlightGuard() {
+      if (proxy_ != nullptr) proxy_->PushPeerEntry(peer_, token_, entry_);
+    }
+    void Arm(FunctionProxy* proxy, net::PeerChannel* peer, uint64_t token) {
+      proxy_ = proxy;
+      peer_ = peer;
+      token_ = token;
+    }
+    void Fulfill(std::shared_ptr<const CacheEntry> entry) {
+      entry_ = std::move(entry);
+    }
+
+   private:
+    FunctionProxy* proxy_ = nullptr;
+    net::PeerChannel* peer_ = nullptr;
+    uint64_t token_ = 0;
+    std::shared_ptr<const CacheEntry> entry_;
+  };
+
+  /// Cooperative-tier peer endpoints (reserved paths; siblings only).
+  /// /peer/lookup: serves a covering cached entry, joins an in-flight local
+  /// fetch on the caller's behalf, or hands the caller a peer-flight ticket.
+  net::HttpResponse HandlePeerLookup(const net::HttpRequest& request);
+  /// /peer/entry: a tier leader pushing its origin result (or failure) back
+  /// to complete the flight this proxy holds open for it.
+  net::HttpResponse HandlePeerEntry(const net::HttpRequest& request);
+
+  /// Local miss: probes the sibling owning this query's region key before
+  /// paying the origin round trip. Returns the response when the peer
+  /// served the query (entry admitted locally, local flight fulfilled);
+  /// nullopt means proceed to the origin — with `peer_flight` armed when
+  /// the owner made this request the tier-wide leader.
+  std::optional<net::HttpResponse> ProbePeer(
+      const QueryTemplate& qt, const FunctionTemplate& ft,
+      const geometry::Region& region, const std::string& nonspatial_fp,
+      const std::map<std::string, sql::Value>& params,
+      int64_t deadline_micros, QueryRecord* record, obs::QueryTrace* trace,
+      FlightGuard* local_flight, PeerFlightGuard* peer_flight);
+
+  /// Pushes `entry` (null = the fetch failed) to the owner holding flight
+  /// `token` open. Called by PeerFlightGuard.
+  void PushPeerEntry(net::PeerChannel* peer, uint64_t token,
+                     const std::shared_ptr<const CacheEntry>& entry);
+
+  /// Completes (as failed) peer-led flights whose leader never pushed
+  /// within the collapse-wait bound, so local followers are not stranded by
+  /// a crashed or partitioned remote leader.
+  void ReapExpiredPeerFlights();
 
   /// Fetches from the origin via the form endpoint, parses the XML result
   /// and returns the table; advances the clock for parsing. Null status on
@@ -432,7 +545,7 @@ class FunctionProxy final : public net::HttpHandler {
   net::SimulatedChannel* origin_;
   util::SimulatedClock* clock_;
   std::unique_ptr<CacheStore> cache_;
-  std::unique_ptr<CircuitBreaker> breaker_;
+  std::unique_ptr<net::CircuitBreaker> breaker_;
   /// Single-flight in-flight table (request collapsing).
   SingleFlightTable inflight_;
   /// Concurrently admitted requests (admission-control gauge; admin
@@ -440,6 +553,13 @@ class FunctionProxy final : public net::HttpHandler {
   std::atomic<int64_t> inflight_requests_{0};
   /// Channel retry counters at construction (channels may be shared).
   uint64_t channel_retries_baseline_ = 0;
+  /// Cooperative-tier membership (empty when running standalone).
+  PeerGroup peer_group_;
+  bool has_peers_ = false;
+  /// Flights led by a remote prober: token -> virtual-clock deadline by
+  /// which the /peer/entry push must arrive before the flight is reaped.
+  util::Mutex peer_mu_;
+  std::map<uint64_t, int64_t> pending_peer_flights_ GUARDED_BY(peer_mu_);
 
   // Passive-mode storage: exact-URL-keyed raw responses with LRU eviction
   // (a plain map: passive mode is the paper's baseline, not the

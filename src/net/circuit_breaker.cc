@@ -1,6 +1,6 @@
-#include "core/circuit_breaker.h"
+#include "net/circuit_breaker.h"
 
-namespace fnproxy::core {
+namespace fnproxy::net {
 
 const char* BreakerStateName(BreakerState state) {
   switch (state) {
@@ -121,4 +121,4 @@ void CircuitBreaker::RecordFailure() {
   }
 }
 
-}  // namespace fnproxy::core
+}  // namespace fnproxy::net

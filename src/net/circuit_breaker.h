@@ -1,5 +1,5 @@
-#ifndef FNPROXY_CORE_CIRCUIT_BREAKER_H_
-#define FNPROXY_CORE_CIRCUIT_BREAKER_H_
+#ifndef FNPROXY_NET_CIRCUIT_BREAKER_H_
+#define FNPROXY_NET_CIRCUIT_BREAKER_H_
 
 #include <atomic>
 #include <cstddef>
@@ -12,7 +12,7 @@
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
-namespace fnproxy::core {
+namespace fnproxy::net {
 
 /// Circuit-breaker parameters guarding the proxy→origin channel. Disabled
 /// by default; the availability experiment and the fault-profile CLI turn it
@@ -88,6 +88,6 @@ class CircuitBreaker {
   std::vector<std::pair<int64_t, BreakerState>> history_ GUARDED_BY(mu_);
 };
 
-}  // namespace fnproxy::core
+}  // namespace fnproxy::net
 
-#endif  // FNPROXY_CORE_CIRCUIT_BREAKER_H_
+#endif  // FNPROXY_NET_CIRCUIT_BREAKER_H_

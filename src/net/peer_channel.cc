@@ -1,0 +1,23 @@
+#include "net/peer_channel.h"
+
+namespace fnproxy::net {
+
+HttpResponse PeerChannel::RoundTrip(const HttpRequest& request,
+                                    int64_t deadline_micros) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  HttpResponse response = channel_->RoundTrip(request, deadline_micros);
+  if (RetryPolicy::Retryable(response)) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    breaker_.RecordFailure();
+  } else {
+    breaker_.RecordSuccess();
+  }
+  return response;
+}
+
+void PeerChannel::NoteGarbage() {
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  breaker_.RecordFailure();
+}
+
+}  // namespace fnproxy::net

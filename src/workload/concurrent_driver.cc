@@ -63,7 +63,9 @@ ConcurrentRunResult ConcurrentDriver::Replay(const Trace& trace,
         net::HttpResponse response = channel_->RoundTrip(request);
         int64_t elapsed = stopwatch.ElapsedMicros();
         latencies.push_back(elapsed);
-        if (latency_histogram_ != nullptr) latency_histogram_->Observe(elapsed);
+        if (latency_histogram_ != nullptr && !calibration_) {
+          latency_histogram_->Observe(elapsed);
+        }
         if (!response.ok()) {
           errors.fetch_add(1, std::memory_order_relaxed);
           if (response.status_code == 503) {

@@ -78,10 +78,21 @@ class ConcurrentDriver {
     latency_histogram_ = histogram;
   }
 
+  /// Calibration mode: replays still return their own ConcurrentRunResult
+  /// (with per-run percentile arrays), but the latency-histogram hook stays
+  /// silent, so warm-up/calibration samples never pollute the measured
+  /// distribution behind fnproxy_client_latency_micros. PR 5 excluded
+  /// calibration replays from sinks but not from this hook; benches run
+  /// their calibration pass with this set and clear it for the measured
+  /// pass.
+  void set_calibration(bool calibration) { calibration_ = calibration; }
+  bool calibration() const { return calibration_; }
+
  private:
   net::SimulatedChannel* channel_;
   util::SimulatedClock* clock_;
   obs::Histogram* latency_histogram_ = nullptr;
+  bool calibration_ = false;
 };
 
 }  // namespace fnproxy::workload

@@ -1,0 +1,168 @@
+#ifndef FNPROXY_WORKLOAD_MULTI_PROXY_H_
+#define FNPROXY_WORKLOAD_MULTI_PROXY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/hash_ring.h"
+#include "core/proxy.h"
+#include "core/template_registry.h"
+#include "net/fault.h"
+#include "net/http.h"
+#include "net/network.h"
+#include "net/peer_channel.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+#include "workload/concurrent_driver.h"
+#include "workload/experiment.h"
+#include "workload/trace.h"
+
+namespace fnproxy::workload {
+
+/// Topology knobs for a cooperative proxy tier.
+struct ProxyTierOptions {
+  size_t num_proxies = 4;
+  /// Per-proxy configuration (every proxy gets a copy).
+  core::ProxyConfig proxy;
+  /// Each proxy's own link to the shared origin (the expensive hop).
+  net::LinkConfig origin_link;
+  /// Sibling-to-sibling link: same machine room, ~two orders of magnitude
+  /// cheaper than the WAN — the whole point of probing a peer first.
+  net::LinkConfig peer_link;
+  /// Retry schedule on every peer channel (default: no retries — a failed
+  /// probe falls back to the origin instead of waiting on a sick sibling).
+  net::RetryPolicy peer_retry;
+  /// Per-peer circuit breaker configuration (enabled by default).
+  net::CircuitBreakerConfig peer_breaker;
+  size_t ring_vnodes = 128;
+  /// Closed worker pool per proxy: at most this many router requests are in
+  /// service on one proxy at a time (0 = unlimited). Models the finite
+  /// capacity of a single proxy box — the thing a tier multiplies — so the
+  /// throughput bench sees real scaling instead of a free infinite server.
+  /// Sibling /peer/* traffic bypasses the pool (a worker blocked on a full
+  /// sibling must not be able to deadlock the tier).
+  size_t proxy_workers = 0;
+  /// Scripted faults on a proxy's *inbound* peer traffic, keyed by proxy
+  /// index: every sibling probing that proxy goes through the injector
+  /// (the prober's breaker sees the faults; the target stays healthy for
+  /// its own clients). Used by the peer-outage fault tests.
+  std::map<size_t, net::FaultProfile> peer_faults;
+
+  ProxyTierOptions() : origin_link(net::WanLink()) {
+    peer_link.latency_ms = 0.3;
+    peer_link.bandwidth_kbps = 200000.0;
+    peer_breaker.enabled = true;
+  }
+};
+
+/// A cooperative tier of FunctionProxy instances behind a round-robin
+/// router. Construction wires the whole topology: per-proxy origin channels
+/// to the shared origin handler, the consistent-hash ring ("proxy-0" ..
+/// "proxy-N-1"), and a breaker-guarded PeerChannel for every ordered sibling
+/// pair (optionally through a FaultInjector on the target's inbound side).
+///
+/// The tier itself is an HttpHandler: Handle() dispatches each request to
+/// the next proxy round-robin, so an unmodified ConcurrentDriver (or a LAN
+/// SimulatedChannel) drives N proxies exactly like one.
+class ProxyTier final : public net::HttpHandler {
+ public:
+  /// `templates`, `origin` and `clock` must outlive the tier.
+  ProxyTier(const ProxyTierOptions& options,
+            const core::TemplateRegistry* templates, net::HttpHandler* origin,
+            util::SimulatedClock* clock);
+
+  net::HttpResponse Handle(const net::HttpRequest& request) override;
+
+  size_t num_proxies() const { return proxies_.size(); }
+  core::FunctionProxy& proxy(size_t i) { return *proxies_[i]; }
+  const core::FunctionProxy& proxy(size_t i) const { return *proxies_[i]; }
+  const core::HashRing& ring() const { return ring_; }
+  /// The channel proxy `from` uses to probe proxy `to` (from != to).
+  net::PeerChannel& peer_channel(size_t from, size_t to) {
+    return *peer_channels_[from * proxies_.size() + to];
+  }
+  /// Fault injector on proxy `i`'s inbound peer traffic (null when no
+  /// profile was configured for it).
+  net::FaultInjector* peer_fault_injector(size_t i) {
+    return peer_inbound_faults_[i].get();
+  }
+  /// Proxy `i`'s private channel to the origin.
+  net::SimulatedChannel& origin_channel(size_t i) {
+    return *origin_channels_[i];
+  }
+  /// Wire requests the tier sent to the origin, across all proxies.
+  uint64_t origin_requests_total() const;
+
+  /// Field-wise sum of every proxy's statistics (records concatenated in
+  /// proxy order) — the tier-wide view the invariant tests check.
+  core::ProxyStats AggregateStats() const;
+
+  static std::string NodeId(size_t index);
+
+ private:
+  ProxyTierOptions options_;
+  core::HashRing ring_;
+  std::vector<std::unique_ptr<net::SimulatedChannel>> origin_channels_;
+  std::vector<std::unique_ptr<core::FunctionProxy>> proxies_;
+  /// Inbound-side fault injectors, indexed by target proxy (may be null).
+  std::vector<std::unique_ptr<net::FaultInjector>> peer_inbound_faults_;
+  /// Dense N×N matrices indexed [from * N + to]; diagonal entries are null.
+  std::vector<std::unique_ptr<net::SimulatedChannel>> peer_links_;
+  std::vector<std::unique_ptr<net::PeerChannel>> peer_channels_;
+  std::atomic<uint64_t> next_proxy_{0};
+
+  /// Counting semaphore for the per-proxy worker pool (wall-clock).
+  struct WorkerPool {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t free = 0;
+  };
+  std::vector<std::unique_ptr<WorkerPool>> worker_pools_;
+};
+
+/// Per-run knobs for RunTraceTier.
+struct TierRunOptions {
+  size_t num_threads = 8;
+  /// See SkyExperiment::RunTraceConcurrent.
+  double real_time_scale = 0.0;
+  int64_t deadline_budget_micros = 0;
+  /// Calibration replays keep the client-latency histogram silent (see
+  /// ConcurrentDriver::set_calibration).
+  bool calibration = false;
+};
+
+/// What one tier replay measured.
+struct TierRunOutput {
+  ConcurrentRunResult driver;
+  core::ProxyStats aggregate;
+  std::vector<core::ProxyStats> per_proxy;
+  /// Queries the origin web app actually executed, by endpoint.
+  uint64_t origin_form_queries = 0;
+  uint64_t origin_sql_queries = 0;
+  /// Wire requests on the tier's origin channels (each retry counts).
+  uint64_t origin_requests = 0;
+  size_t cache_entries_final = 0;
+  /// Tier-wide per-phase breakdown: counts and totals are summed across
+  /// proxies; the percentile columns carry the *worst* per-proxy value
+  /// (histograms cannot be merged exactly, and the conservative bound is
+  /// the right side to gate on).
+  std::vector<obs::PhaseBreakdown> phases;
+};
+
+/// Replays `trace` through a fresh ProxyTier wired to `sky`'s catalog and
+/// templates: origin web app → per-proxy origin channels → tier router →
+/// one LAN channel → ConcurrentDriver. The single-proxy twin of
+/// SkyExperiment::RunTraceConcurrent, for 1..N proxies.
+TierRunOutput RunTraceTier(SkyExperiment& sky, const Trace& trace,
+                           const ProxyTierOptions& options,
+                           const TierRunOptions& run);
+
+}  // namespace fnproxy::workload
+
+#endif  // FNPROXY_WORKLOAD_MULTI_PROXY_H_

@@ -309,7 +309,7 @@ TEST_F(FailureInjectionTest, DegradedModeServesFromCacheDuringOutage) {
   for (int i = 0; i < 4; ++i) {
     EXPECT_FALSE(active.Handle(Radial(179.0 + 0.5 * i, 29, 5)).ok());
   }
-  ASSERT_EQ(active.breaker().state(), core::BreakerState::kOpen);
+  ASSERT_EQ(active.breaker().state(), net::BreakerState::kOpen);
   EXPECT_EQ(active.stats().origin_failures, 3u);
   EXPECT_GE(active.stats().breaker_open_rejections, 1u);
 
@@ -365,7 +365,7 @@ TEST_F(FailureInjectionTest, DegradedModeServesFromCacheDuringOutage) {
   clock_->Advance(400'000'000);
   HttpResponse recovered = active.Handle(Radial(190.5, 38, 10));
   EXPECT_TRUE(recovered.ok());
-  EXPECT_EQ(active.breaker().state(), core::BreakerState::kClosed);
+  EXPECT_EQ(active.breaker().state(), net::BreakerState::kClosed);
   EXPECT_EQ(active.cache().num_entries(), 2u);
   EXPECT_GE(active.stats().breaker_transitions, 3u);
 }

@@ -1,0 +1,360 @@
+// Tier-wide oracle and invariant suite for the cooperative proxy tier:
+// a 4-proxy tier answers byte-for-byte what a single proxy answers, the
+// aggregated statistics respect the stats-sum invariant, a cross-proxy
+// thundering herd fetches the origin exactly once, and a scripted peer
+// outage trips the prober's per-peer breaker, falls back to the origin
+// (never serving garbage), and recovers through half-open.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/proxy.h"
+#include "net/circuit_breaker.h"
+#include "net/fault.h"
+#include "net/http.h"
+#include "server/web_app.h"
+#include "util/clock.h"
+#include "workload/experiment.h"
+#include "workload/multi_proxy.h"
+#include "workload/rbe.h"
+#include "workload/trace.h"
+
+namespace fnproxy {
+namespace {
+
+using workload::ProxyTier;
+using workload::ProxyTierOptions;
+
+std::string Fixed(double value, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+workload::TraceQuery MakeQuery(double ra, double dec, double radius_arcmin) {
+  workload::TraceQuery query;
+  query.params["ra"] = Fixed(ra, 4);
+  query.params["dec"] = Fixed(dec, 4);
+  query.params["radius"] = Fixed(radius_arcmin, 2);
+  return query;
+}
+
+/// Sum the ISSUE's tier-wide stats invariant terms: every template request
+/// is accounted for by exactly one outcome.
+uint64_t OutcomeSum(const core::ProxyStats& s) {
+  return s.exact_hits + s.containment_hits + s.region_containments +
+         s.overlaps_handled + s.peer_hits + s.misses + s.collapsed + s.shed;
+}
+
+/// One self-contained pipeline: origin web app + tier, on a private clock.
+struct TierStack {
+  util::SimulatedClock clock;
+  std::unique_ptr<server::OriginWebApp> app;
+  std::unique_ptr<ProxyTier> tier;
+
+  TierStack(workload::SkyExperiment& sky, const ProxyTierOptions& options) {
+    app = std::make_unique<server::OriginWebApp>(sky.database(), &clock,
+                                                 sky.options().server_costs);
+    EXPECT_TRUE(app->RegisterForm("/radial", workload::kRadialTemplateSql).ok());
+    tier = std::make_unique<ProxyTier>(options, &sky.templates(), app.get(),
+                                       &clock);
+  }
+};
+
+/// Bases are mutually disjoint cones inside the synthetic catalog footprint
+/// (ra 120..250, dec -5..65); each base is followed by an exact repeat and a
+/// concentric smaller-radius (contained) variant, the relations the tier
+/// serves from peers.
+workload::Trace OracleTrace() {
+  workload::Trace trace;
+  trace.form_path = "/radial";
+  constexpr int kBases = 6;
+  std::vector<workload::TraceQuery> variants;
+  for (int i = 0; i < kBases; ++i) {
+    const double ra = 130.0 + 18.0 * i;
+    const double dec = 10.0 + 6.0 * i;
+    trace.queries.push_back(MakeQuery(ra, dec, 24.0));
+    variants.push_back(MakeQuery(ra, dec, 24.0));        // Exact repeat.
+    variants.push_back(MakeQuery(ra, dec, 9.0));         // Concentric subset.
+  }
+  for (auto& v : variants) trace.queries.push_back(std::move(v));
+  return trace;
+}
+
+ProxyTierOptions TierOptions(size_t num_proxies) {
+  ProxyTierOptions options;
+  options.num_proxies = num_proxies;
+  options.proxy.mode = core::CachingMode::kActiveFull;
+  return options;
+}
+
+// The oracle: replaying the same trace sequentially through a 4-proxy tier
+// and through a single proxy yields byte-identical XML answers per query,
+// with the same number of origin executions.
+TEST(MultiProxyTier, FourProxyTierMatchesSingleProxyByteForByte) {
+  workload::SkyExperiment::Options sky_options;
+  sky_options.trace.num_queries = 1;  // Placeholder; queries are hand-built.
+  workload::SkyExperiment sky(sky_options);
+  const workload::Trace trace = OracleTrace();
+
+  TierStack quad(sky, TierOptions(4));
+  TierStack solo(sky, TierOptions(1));
+  for (size_t i = 0; i < trace.queries.size(); ++i) {
+    net::HttpRequest request = workload::MakeRequest(trace, trace.queries[i]);
+    net::HttpResponse from_quad = quad.tier->Handle(request);
+    net::HttpResponse from_solo = solo.tier->Handle(request);
+    ASSERT_EQ(from_quad.status_code, 200) << "query " << i;
+    ASSERT_EQ(from_solo.status_code, 200) << "query " << i;
+    // Headers legitimately differ (X-Peer-Served); the answer must not.
+    ASSERT_EQ(from_quad.body, from_solo.body) << "query " << i;
+  }
+
+  const core::ProxyStats quad_stats = quad.tier->AggregateStats();
+  const core::ProxyStats solo_stats = solo.tier->AggregateStats();
+  // Same origin workload: cooperation must not cost extra origin fetches.
+  EXPECT_EQ(quad.app->form_queries_served(), solo.app->form_queries_served());
+  EXPECT_EQ(quad.app->form_queries_served(), 6u);
+  // The tier actually cooperated (repeat/variant queries landing on a proxy
+  // other than their base's were served by the owning sibling).
+  EXPECT_GT(quad_stats.peer_hits, 0u);
+  EXPECT_EQ(solo_stats.peer_hits, 0u);
+  // Stats-sum invariant on the aggregate.
+  EXPECT_EQ(OutcomeSum(quad_stats), quad_stats.template_requests);
+  EXPECT_EQ(quad_stats.template_requests, trace.queries.size());
+  EXPECT_EQ(OutcomeSum(solo_stats), solo_stats.template_requests);
+}
+
+// The invariant holds under a concurrent replay of a generated trace with
+// the full relationship mix, and the replay is error-free.
+TEST(MultiProxyTier, StatsSumInvariantUnderConcurrentReplay) {
+  workload::SkyExperiment::Options sky_options;
+  sky_options.trace.num_queries = 200;
+  workload::SkyExperiment sky(sky_options);
+
+  workload::TierRunOptions run;
+  run.num_threads = 4;
+  workload::TierRunOutput output =
+      workload::RunTraceTier(sky, sky.trace(), TierOptions(4), run);
+
+  EXPECT_EQ(output.driver.errors, 0u);
+  const core::ProxyStats& stats = output.aggregate;
+  EXPECT_EQ(stats.template_requests, 200u);
+  EXPECT_EQ(OutcomeSum(stats), stats.template_requests);
+  // Peer accounting consistency: every peer hit came from some probe, and
+  // per-proxy stats sum to the aggregate.
+  EXPECT_GE(stats.peer_lookups, stats.peer_hits);
+  uint64_t per_proxy_requests = 0;
+  for (const core::ProxyStats& p : output.per_proxy) {
+    per_proxy_requests += p.template_requests;
+    EXPECT_EQ(OutcomeSum(p), p.template_requests);
+  }
+  EXPECT_EQ(per_proxy_requests, stats.template_requests);
+}
+
+// Cross-proxy thundering herd: eight concurrent clients ask four proxies
+// for the same cold region; the tier elects exactly one origin fetch and
+// everyone else rides it (local single-flight followers or peer-flight
+// joins on the owning sibling).
+TEST(MultiProxyTier, CrossProxyThunderingHerdFetchesOriginOnce) {
+  workload::SkyExperiment::Options sky_options;
+  sky_options.trace.num_queries = 1;
+  workload::SkyExperiment sky(sky_options);
+
+  workload::Trace herd;
+  herd.form_path = "/radial";
+  for (int i = 0; i < 8; ++i) {
+    herd.queries.push_back(MakeQuery(187.0, 31.0, 12.0));
+  }
+  workload::TierRunOptions run;
+  run.num_threads = 8;
+  workload::TierRunOutput output =
+      workload::RunTraceTier(sky, herd, TierOptions(4), run);
+
+  EXPECT_EQ(output.driver.errors, 0u);
+  EXPECT_EQ(output.origin_form_queries, 1u)
+      << "the herd must collapse onto one origin fetch";
+  const core::ProxyStats& stats = output.aggregate;
+  EXPECT_EQ(stats.template_requests, 8u);
+  EXPECT_EQ(OutcomeSum(stats), 8u);
+  EXPECT_EQ(stats.misses, 1u) << "only the tier-wide leader misses";
+}
+
+// --- Peer-fault suite -------------------------------------------------------
+
+/// Sends `query` through proxy `prober` and returns the index of the sibling
+/// it probed (or `prober` itself when it owned the key locally), by diffing
+/// the per-peer wire counters around the call.
+size_t ProbeTarget(ProxyTier& tier, size_t prober,
+                   const workload::Trace& trace,
+                   const workload::TraceQuery& query) {
+  const size_t n = tier.num_proxies();
+  std::vector<uint64_t> before(n, 0);
+  for (size_t to = 0; to < n; ++to) {
+    if (to != prober) before[to] = tier.peer_channel(prober, to).requests();
+  }
+  net::HttpResponse response =
+      tier.proxy(prober).Handle(workload::MakeRequest(trace, query));
+  EXPECT_EQ(response.status_code, 200);
+  for (size_t to = 0; to < n; ++to) {
+    if (to != prober &&
+        tier.peer_channel(prober, to).requests() > before[to]) {
+      return to;
+    }
+  }
+  return prober;
+}
+
+/// Finds >= `want` fresh disjoint queries all owned by the same sibling of
+/// proxy 0, using a throwaway discovery tier (ring placement is a pure
+/// function of the node ids, so the result transfers to any equal-size
+/// tier). Returns {owner, queries}.
+std::pair<size_t, std::vector<workload::TraceQuery>> QueriesOwnedBySibling(
+    workload::SkyExperiment& sky, const workload::Trace& trace, size_t want) {
+  TierStack discovery(sky, TierOptions(4));
+  std::map<size_t, std::vector<workload::TraceQuery>> by_owner;
+  for (int i = 0; i < 40; ++i) {
+    workload::TraceQuery query =
+        MakeQuery(125.0 + 3.0 * i, -2.0 + 1.5 * i, 8.0);
+    size_t owner = ProbeTarget(*discovery.tier, 0, trace, query);
+    if (owner == 0) continue;  // Proxy 0 owns it: no peer involved.
+    by_owner[owner].push_back(query);
+    if (by_owner[owner].size() >= want) return {owner, by_owner[owner]};
+  }
+  ADD_FAILURE() << "discovery did not find enough sibling-owned queries";
+  return {1, {}};
+}
+
+TEST(MultiProxyTier, PeerOutageTripsBreakerFallsBackAndRecovers) {
+  workload::SkyExperiment::Options sky_options;
+  sky_options.trace.num_queries = 1;
+  workload::SkyExperiment sky(sky_options);
+  workload::Trace shape;  // Only provides the form path for MakeRequest.
+  shape.form_path = "/radial";
+
+  auto [owner, owned] = QueriesOwnedBySibling(sky, shape, 4);
+  ASSERT_GE(owned.size(), 4u);
+
+  ProxyTierOptions options = TierOptions(4);
+  options.peer_breaker.enabled = true;
+  options.peer_breaker.window_size = 8;
+  options.peer_breaker.min_samples = 2;
+  options.peer_breaker.failure_threshold = 0.5;
+  options.peer_breaker.open_cooldown_micros = 5'000'000;
+  options.peer_breaker.half_open_successes = 1;
+  const int64_t outage_end = 120'000'000;  // Virtual two minutes.
+  options.peer_faults[owner] = net::OutageProfile(0, outage_end);
+  TierStack stack(sky, options);
+  ProxyTier& tier = *stack.tier;
+  const net::CircuitBreaker& breaker = tier.peer_channel(0, owner).breaker();
+
+  // During the outage every probe to the owner fails; the request falls
+  // back to the origin with the degraded marker, and the per-peer breaker
+  // accumulates failures until it opens.
+  uint64_t origin_before = stack.app->form_queries_served();
+  for (size_t i = 0; i < 2; ++i) {
+    net::HttpResponse response =
+        tier.proxy(0).Handle(workload::MakeRequest(shape, owned[i]));
+    ASSERT_EQ(response.status_code, 200) << "fallback must still answer";
+    EXPECT_NE(response.body.find("<Result"), std::string::npos);
+    EXPECT_EQ(response.headers.at("X-Peer-Degraded"), "1");
+    EXPECT_EQ(response.headers.count("X-Peer-Served"), 0u);
+  }
+  EXPECT_EQ(breaker.state(), net::BreakerState::kOpen);
+  EXPECT_GE(tier.proxy(0).stats().peer_failures, 2u);
+  EXPECT_EQ(stack.app->form_queries_served(), origin_before + 2)
+      << "every degraded request was answered by the origin";
+
+  // Open breaker: the next owned query is refused locally — no wire traffic
+  // to the sick peer — and still answered from the origin.
+  const uint64_t wire_before = tier.peer_channel(0, owner).requests();
+  net::HttpResponse shortcut =
+      tier.proxy(0).Handle(workload::MakeRequest(shape, owned[2]));
+  ASSERT_EQ(shortcut.status_code, 200);
+  EXPECT_EQ(shortcut.headers.at("X-Peer-Degraded"), "1");
+  EXPECT_EQ(tier.peer_channel(0, owner).requests(), wire_before);
+
+  // Past the outage and the cooldown, the half-open trial probe goes
+  // through, succeeds (a clean miss is a healthy answer), closes the
+  // breaker, and the tier cooperates again.
+  stack.clock.Advance(outage_end + options.peer_breaker.open_cooldown_micros);
+  net::HttpResponse trial =
+      tier.proxy(0).Handle(workload::MakeRequest(shape, owned[3]));
+  ASSERT_EQ(trial.status_code, 200);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kClosed);
+  EXPECT_GT(tier.peer_channel(0, owner).requests(), wire_before);
+
+  // The recovered path serves peer hits again: proxy 0 fetched owned[3]
+  // from the origin as tier leader and pushed the entry to the owner, so a
+  // different prober now gets it from the owner without an origin trip.
+  const size_t other = owner == 1 ? 2 : 1;
+  const uint64_t origin_mid = stack.app->form_queries_served();
+  net::HttpResponse peer_served =
+      tier.proxy(other).Handle(workload::MakeRequest(shape, owned[3]));
+  ASSERT_EQ(peer_served.status_code, 200);
+  EXPECT_EQ(peer_served.headers.at("X-Peer-Served"), "1");
+  EXPECT_EQ(stack.app->form_queries_served(), origin_mid);
+  EXPECT_GT(tier.proxy(other).stats().peer_hits, 0u);
+}
+
+// A sibling that answers 200s full of garbage must never poison the
+// requester: the probe is counted as a peer failure, the request falls back
+// to the origin, and the answer matches a tier that never spoke to a peer.
+TEST(MultiProxyTier, GarbagePeerResponsesAreNeverServed) {
+  workload::SkyExperiment::Options sky_options;
+  sky_options.trace.num_queries = 1;
+  workload::SkyExperiment sky(sky_options);
+  workload::Trace shape;
+  shape.form_path = "/radial";
+
+  auto [owner, owned] = QueriesOwnedBySibling(sky, shape, 2);
+  ASSERT_GE(owned.size(), 2u);
+
+  ProxyTierOptions options = TierOptions(4);
+  net::FaultProfile garbage;
+  garbage.garbage_rate = 1.0;
+  options.peer_faults[owner] = garbage;
+  TierStack faulty(sky, options);
+  TierStack clean(sky, TierOptions(1));
+
+  // Seed the owner so probes are answered with a 200 entry — the response
+  // the injector then corrupts. A direct client request to the owning proxy
+  // bypasses the inbound-peer fault layer, like router traffic does.
+  for (size_t i = 0; i < 2; ++i) {
+    ASSERT_EQ(faulty.tier->proxy(owner)
+                  .Handle(workload::MakeRequest(shape, owned[i]))
+                  .status_code,
+              200);
+  }
+
+  for (size_t i = 0; i < 2; ++i) {
+    net::HttpRequest request = workload::MakeRequest(shape, owned[i]);
+    net::HttpResponse from_faulty = faulty.tier->proxy(0).Handle(request);
+    net::HttpResponse reference = clean.tier->Handle(request);
+    ASSERT_EQ(from_faulty.status_code, 200);
+    EXPECT_EQ(from_faulty.body, reference.body)
+        << "garbage from the peer must not reach the client";
+    std::string header_dump;
+    for (const auto& [k, v] : from_faulty.headers) {
+      header_dump += k + "=" + v + " ";
+    }
+    ASSERT_EQ(from_faulty.headers.count("X-Peer-Degraded"), 1u)
+        << "headers: " << header_dump;
+    EXPECT_EQ(from_faulty.headers.at("X-Peer-Degraded"), "1");
+  }
+  EXPECT_GE(faulty.tier->proxy(0).stats().peer_failures, 1u);
+  EXPECT_EQ(faulty.tier->AggregateStats().peer_hits, 0u);
+  // Repeats are served from the requester's own (clean) cache.
+  net::HttpResponse repeat =
+      faulty.tier->proxy(0).Handle(workload::MakeRequest(shape, owned[0]));
+  EXPECT_EQ(repeat.status_code, 200);
+  EXPECT_EQ(repeat.body, clean.tier->Handle(
+                             workload::MakeRequest(shape, owned[0])).body);
+}
+
+}  // namespace
+}  // namespace fnproxy

@@ -8,7 +8,7 @@
 #include <algorithm>
 #include <vector>
 
-#include "core/circuit_breaker.h"
+#include "net/circuit_breaker.h"
 #include "net/fault.h"
 #include "net/http.h"
 #include "net/network.h"
@@ -196,8 +196,8 @@ TEST(RetryPolicyTest, SuccessNeedsNoRetries) {
   EXPECT_EQ(clock.NowMicros(), 0);
 }
 
-core::CircuitBreakerConfig TestBreakerConfig() {
-  core::CircuitBreakerConfig config;
+net::CircuitBreakerConfig TestBreakerConfig() {
+  net::CircuitBreakerConfig config;
   config.enabled = true;
   config.window_size = 4;
   config.min_samples = 4;
@@ -209,20 +209,20 @@ core::CircuitBreakerConfig TestBreakerConfig() {
 
 TEST(CircuitBreakerTest, FullTransitionCycleWithTimestamps) {
   util::SimulatedClock clock;
-  core::CircuitBreaker breaker(TestBreakerConfig(), &clock);
+  net::CircuitBreaker breaker(TestBreakerConfig(), &clock);
 
-  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kClosed);
   EXPECT_TRUE(breaker.Allow());
 
   // Three failures: under min_samples, still closed.
   for (int i = 0; i < 3; ++i) breaker.RecordFailure();
-  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kClosed);
   EXPECT_TRUE(breaker.Allow());
 
   // Fourth failure fills the window at 100% failure rate: open.
   clock.Advance(1'000'000);
   breaker.RecordFailure();
-  EXPECT_EQ(breaker.state(), core::BreakerState::kOpen);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kOpen);
   EXPECT_FALSE(breaker.Allow());
   EXPECT_EQ(breaker.CooldownRemainingMicros(), 10'000'000);
 
@@ -234,64 +234,64 @@ TEST(CircuitBreakerTest, FullTransitionCycleWithTimestamps) {
   // Cooldown elapsed: the next admission check flips to half-open.
   clock.Advance(5'000'000);
   EXPECT_TRUE(breaker.Allow());
-  EXPECT_EQ(breaker.state(), core::BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kHalfOpen);
 
   // The probe fails: trip again, cooldown restarts from now.
   breaker.RecordFailure();
-  EXPECT_EQ(breaker.state(), core::BreakerState::kOpen);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kOpen);
   EXPECT_EQ(breaker.CooldownRemainingMicros(), 10'000'000);
 
   clock.Advance(10'000'000);
   EXPECT_TRUE(breaker.Allow());
-  EXPECT_EQ(breaker.state(), core::BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kHalfOpen);
 
   // Two probe successes close the breaker.
   breaker.RecordSuccess();
-  EXPECT_EQ(breaker.state(), core::BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kHalfOpen);
   breaker.RecordSuccess();
-  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kClosed);
 
   // History: open@1s, half-open@11s, open@11s, half-open@21s, closed@21s.
   const auto history = breaker.HistorySnapshot();
   ASSERT_EQ(history.size(), 5u);
   EXPECT_EQ(history[0],
-            std::make_pair<int64_t>(1'000'000, core::BreakerState::kOpen));
+            std::make_pair<int64_t>(1'000'000, net::BreakerState::kOpen));
   EXPECT_EQ(history[1], std::make_pair<int64_t>(11'000'000,
-                                                core::BreakerState::kHalfOpen));
+                                                net::BreakerState::kHalfOpen));
   EXPECT_EQ(history[2],
-            std::make_pair<int64_t>(11'000'000, core::BreakerState::kOpen));
+            std::make_pair<int64_t>(11'000'000, net::BreakerState::kOpen));
   EXPECT_EQ(history[3], std::make_pair<int64_t>(21'000'000,
-                                                core::BreakerState::kHalfOpen));
+                                                net::BreakerState::kHalfOpen));
   EXPECT_EQ(history[4],
-            std::make_pair<int64_t>(21'000'000, core::BreakerState::kClosed));
+            std::make_pair<int64_t>(21'000'000, net::BreakerState::kClosed));
   EXPECT_EQ(breaker.transitions(), 5u);
 }
 
 TEST(CircuitBreakerTest, StaysClosedBelowThreshold) {
   util::SimulatedClock clock;
-  core::CircuitBreaker breaker(TestBreakerConfig(), &clock);
+  net::CircuitBreaker breaker(TestBreakerConfig(), &clock);
   // Alternating success/failure keeps the rate at 50%... threshold is >=,
   // so push it just below with one extra success per window.
   breaker.RecordSuccess();
   breaker.RecordSuccess();
   breaker.RecordSuccess();
   breaker.RecordFailure();
-  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kClosed);
   EXPECT_DOUBLE_EQ(breaker.FailureRate(), 0.25);
 
   // Two failures push the 4-wide window to {S, F, F, F}: 75% >= 50%, open.
   breaker.RecordFailure();
   breaker.RecordFailure();
-  EXPECT_EQ(breaker.state(), core::BreakerState::kOpen);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kOpen);
 }
 
 TEST(CircuitBreakerTest, DisabledBreakerNeverBlocks) {
   util::SimulatedClock clock;
-  core::CircuitBreakerConfig config;  // enabled = false
-  core::CircuitBreaker breaker(config, &clock);
+  net::CircuitBreakerConfig config;  // enabled = false
+  net::CircuitBreaker breaker(config, &clock);
   for (int i = 0; i < 100; ++i) breaker.RecordFailure();
   EXPECT_TRUE(breaker.Allow());
-  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  EXPECT_EQ(breaker.state(), net::BreakerState::kClosed);
   EXPECT_EQ(breaker.transitions(), 0u);
 }
 

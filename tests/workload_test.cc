@@ -5,7 +5,12 @@
 #include "geometry/celestial.h"
 #include "geometry/hypersphere.h"
 #include "geometry/region.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "server/web_app.h"
+#include "util/clock.h"
 #include "util/string_util.h"
+#include "workload/concurrent_driver.h"
 #include "workload/experiment.h"
 #include "workload/rbe.h"
 #include "workload/trace.h"
@@ -292,6 +297,37 @@ TEST_F(ExperimentSmokeTest, RunsAreDeterministic) {
   EXPECT_EQ(r1.proxy_stats.AverageCacheEfficiency(),
             r2.proxy_stats.AverageCacheEfficiency());
   EXPECT_EQ(r1.origin_bytes_received, r2.origin_bytes_received);
+}
+
+// Regression: calibration replays must leave the client-latency histogram
+// untouched — the hook used to observe every sample, so warm-up passes
+// polluted the measured fnproxy_client_latency_micros distribution.
+TEST_F(ExperimentSmokeTest, CalibrationReplayKeepsLatencyHistogramSilent) {
+  util::SimulatedClock clock;
+  server::OriginWebApp app(experiment_->database(), &clock,
+                           experiment_->options().server_costs);
+  ASSERT_TRUE(app.RegisterForm("/radial", kRadialTemplateSql).ok());
+  net::SimulatedChannel lan(&app, experiment_->options().lan, &clock);
+  ConcurrentDriver driver(&lan, &clock);
+  obs::MetricsRegistry registry;
+  obs::Histogram* histogram = registry.AddHistogram(
+      "fnproxy_client_latency_micros", "client latency");
+  driver.set_latency_histogram(histogram);
+
+  driver.set_calibration(true);
+  ConcurrentRunResult calibration = driver.Replay(experiment_->trace(), 2);
+  EXPECT_EQ(calibration.errors, 0u);
+  // The run still measures its own percentiles...
+  EXPECT_EQ(calibration.latencies_micros.size(),
+            experiment_->trace().queries.size());
+  // ...but the shared histogram stays silent.
+  EXPECT_EQ(histogram->snapshot().count, 0u);
+
+  driver.set_calibration(false);
+  ConcurrentRunResult measured = driver.Replay(experiment_->trace(), 2);
+  EXPECT_EQ(measured.errors, 0u);
+  EXPECT_EQ(histogram->snapshot().count,
+            experiment_->trace().queries.size());
 }
 
 }  // namespace

@@ -3,13 +3,17 @@
 // chosen caching scheme and prints the run summary:
 //
 //   run_trace <trace-file> [scheme] [cache-bytes] [--fault-profile=<name>]
-//             [--threads=N] [--trace-out=PATH]
+//             [--threads=N] [--proxies=N] [--trace-out=PATH]
 //
 // scheme: nc | pc | full | region | containment   (default: full)
 // cache-bytes: result-store budget, 0 = unlimited (default).
 // threads: closed-loop client workers sharing one proxy (default 1, the
 //   classic sequential replay). N > 1 replays through the concurrent driver
 //   (sharded cache, wall-clock latencies) and requires the healthy profile.
+// proxies: size of the cooperative tier (default 1, the classic single
+//   proxy). N > 1 wires a ProxyTier — round-robin router, consistent-hash
+//   ownership, peer lookups before origin trips — and requires the healthy
+//   profile; see docs/FORMATS.md.
 // trace-out: write one JSON span tree per query (JSONL) to PATH; the schema
 //   is documented in docs/OBSERVABILITY.md.
 // fault-profile:
@@ -33,6 +37,7 @@
 #include "obs/trace.h"
 #include "workload/availability.h"
 #include "workload/experiment.h"
+#include "workload/multi_proxy.h"
 
 using namespace fnproxy;
 
@@ -60,6 +65,7 @@ int main(int argc, char** argv) {
   std::string fault_profile = "healthy";
   std::string trace_out;
   size_t num_threads = 1;
+  size_t num_proxies = 1;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--fault-profile=", 16) == 0) {
@@ -67,6 +73,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       num_threads = static_cast<size_t>(std::atoll(argv[i] + 10));
       if (num_threads == 0) num_threads = 1;
+    } else if (std::strncmp(argv[i], "--proxies=", 10) == 0) {
+      num_proxies = static_cast<size_t>(std::atoll(argv[i] + 10));
+      if (num_proxies == 0) num_proxies = 1;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
     } else {
@@ -77,12 +86,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: run_trace <trace-file> [nc|pc|full|region|containment]"
                  " [cache-bytes] [--fault-profile=healthy|flaky|outage]"
-                 " [--threads=N] [--trace-out=PATH]\n");
+                 " [--threads=N] [--proxies=N] [--trace-out=PATH]\n");
     return 2;
   }
-  if (num_threads > 1 && fault_profile != "healthy") {
+  if ((num_threads > 1 || num_proxies > 1) && fault_profile != "healthy") {
     std::fprintf(stderr,
-                 "--threads=N > 1 requires --fault-profile=healthy\n");
+                 "--threads/--proxies > 1 require --fault-profile=healthy\n");
     return 2;
   }
   if (fault_profile != "healthy" && fault_profile != "flaky" &&
@@ -140,6 +149,58 @@ int main(int argc, char** argv) {
       return 1;
     }
     trace_writer = std::move(*writer);
+  }
+
+  if (num_proxies > 1) {
+    workload::ProxyTierOptions tier_options;
+    tier_options.num_proxies = num_proxies;
+    tier_options.proxy.mode = mode;
+    tier_options.proxy.max_cache_bytes = cache_bytes;
+    tier_options.proxy.cache_shards = 8;
+    tier_options.proxy.trace_sink = trace_writer.get();
+    workload::TierRunOptions run_options;
+    run_options.num_threads = num_threads;
+    run_options.real_time_scale = 0.01;
+    workload::TierRunOutput output =
+        workload::RunTraceTier(experiment, *trace, tier_options, run_options);
+    const workload::ConcurrentRunResult& run = output.driver;
+    const core::ProxyStats& stats = output.aggregate;
+    std::printf("scheme:              %s\n", core::CachingModeName(mode));
+    std::printf("proxies:             %zu (threads: %zu)\n", num_proxies,
+                run_options.num_threads);
+    std::printf("queries:             %zu (%lu errors)\n",
+                trace->queries.size(),
+                static_cast<unsigned long>(run.errors));
+    std::printf("wall time:           %.1f ms (%.0f req/s)\n", run.wall_millis,
+                run.requests_per_second);
+    std::printf("latency (wall):      p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, "
+                "max %.2f ms\n",
+                static_cast<double>(run.p50_micros) / 1000.0,
+                static_cast<double>(run.p95_micros) / 1000.0,
+                static_cast<double>(run.p99_micros) / 1000.0,
+                static_cast<double>(run.max_micros) / 1000.0);
+    std::printf("cache efficiency:    %.3f\n", stats.AverageCacheEfficiency());
+    std::printf("hits:                exact %lu, containment %lu, "
+                "region-containment %lu, overlap %lu\n",
+                static_cast<unsigned long>(stats.exact_hits),
+                static_cast<unsigned long>(stats.containment_hits),
+                static_cast<unsigned long>(stats.region_containments),
+                static_cast<unsigned long>(stats.overlaps_handled));
+    std::printf("peer lookups:        %lu (%lu served by a sibling, "
+                "%lu failures)\n",
+                static_cast<unsigned long>(stats.peer_lookups),
+                static_cast<unsigned long>(stats.peer_hits),
+                static_cast<unsigned long>(stats.peer_failures));
+    std::printf("misses:              %lu\n",
+                static_cast<unsigned long>(stats.misses));
+    std::printf("origin queries:      %lu form, %lu sql (%lu wire requests)\n",
+                static_cast<unsigned long>(output.origin_form_queries),
+                static_cast<unsigned long>(output.origin_sql_queries),
+                static_cast<unsigned long>(output.origin_requests));
+    std::printf("final cache:         %zu entries across the tier\n",
+                output.cache_entries_final);
+    PrintPhases(output.phases);
+    return run.errors == 0 ? 0 : 1;
   }
 
   if (num_threads > 1) {
