@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/proxy.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 #include "workload/experiment.h"
 
@@ -75,6 +76,14 @@ class BenchJson {
       line += "\":";
       AppendJsonNumber(&line, number);
     }
+    // Every record carries the CPU capability it ran under, so regressions
+    // can be compared within one dispatch path (an AVX2 baseline against a
+    // scalar fresh run is not a regression, it is a different machine).
+    line += ",\"simd_width\":";
+    AppendJsonNumber(&line, static_cast<double>(util::simd::SimdWidth()));
+    line += ",\"dispatch\":\"";
+    AppendJsonEscaped(&line, util::simd::DispatchPathName());
+    line += "\"";
     line += "}\n";
     std::fwrite(line.data(), 1, line.size(), f);
     std::fclose(f);

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "core/simd_kernels.h"
 #include "geometry/hyperrectangle.h"
 #include "geometry/hypersphere.h"
+#include "geometry/polytope.h"
 #include "sql/eval.h"
+#include "util/arena.h"
 
 namespace fnproxy::core {
 
@@ -13,6 +16,19 @@ using sql::Table;
 using sql::Value;
 using util::Status;
 using util::StatusOr;
+
+namespace {
+
+/// Per-worker scratch arena for the probe/merge hot path: selection staging,
+/// dedup hash tables and kernel parameter blocks all bump-allocate here and
+/// are recycled wholesale at the next query instead of churning malloc.
+/// Callers Reset() on entry, so scratch never outlives one call.
+util::Arena& ScratchArena() {
+  static thread_local util::Arena arena;
+  return arena;
+}
+
+}  // namespace
 
 StatusOr<LocalEvalResult> SelectInRegion(
     const Table& cached, const geometry::Region& region,
@@ -61,11 +77,14 @@ namespace {
 /// caller on hash match, so 64-bit collisions stay correct.
 class RowHashSet {
  public:
-  explicit RowHashSet(size_t expected) {
+  /// Backing arrays live in `arena` (not owned); the set is valid until the
+  /// arena is reset.
+  RowHashSet(size_t expected, util::Arena* arena) {
     size_t cap = 16;
     while (cap < expected * 2) cap <<= 1;
-    slots_.assign(cap, kEmpty);
-    hashes_.resize(cap);
+    slots_ = arena->AllocateArray<uint32_t>(cap);
+    hashes_ = arena->AllocateArray<uint64_t>(cap);
+    std::fill_n(slots_, cap, kEmpty);
     mask_ = cap - 1;
   }
 
@@ -86,8 +105,8 @@ class RowHashSet {
 
  private:
   static constexpr uint32_t kEmpty = 0xFFFFFFFFu;
-  std::vector<uint32_t> slots_;
-  std::vector<uint64_t> hashes_;
+  uint32_t* slots_ = nullptr;
+  uint64_t* hashes_ = nullptr;
   size_t mask_ = 0;
 };
 
@@ -108,7 +127,9 @@ StatusOr<Table> MergeDistinct(const std::vector<const Table*>& parts) {
     total_rows += part->num_rows();
   }
   Table merged(schema);
-  RowHashSet seen(total_rows);
+  util::Arena& arena = ScratchArena();
+  arena.Reset();
+  RowHashSet seen(total_rows, &arena);
   for (const Table* part : parts) {
     for (const Row& row : part->rows()) {
       bool inserted = seen.InsertIfAbsent(
@@ -211,104 +232,91 @@ StatusOr<ColumnarSelection> SelectInRegion(
   size_t num_rows = cached.num_rows();
   ColumnarSelection out;
   out.tuples_scanned = num_rows;
-  bool any_bitmap = false;
-  for (size_t i = 0; i < dims; ++i) {
-    if (views[i].valid != nullptr) any_bitmap = true;
-  }
-  auto row_valid = [&](size_t r) {
-    for (size_t i = 0; i < dims; ++i) {
-      if (views[i].valid != nullptr && !ViewBit(views[i].valid, r)) {
-        return false;
-      }
-    }
-    return true;
-  };
 
-  // Batched membership kernels. Each replicates its shape's
+  // Runtime-dispatched membership kernels (core/simd_kernels.h): 8-wide
+  // AVX2/NEON with a scalar fallback, each replicating its shape's
   // Region::ContainsPoint float semantics operation-for-operation, so the
-  // selected set is bit-identical to the row-wise scan. The 2-D
-  // fully-numeric case (the paper's celestial radial/rectangle templates
-  // over prepared views) gets branch-free tight loops.
+  // selected set is bit-identical to the row-wise scan on every dispatch
+  // path. Kernel parameter blocks live in the worker's scratch arena; the
+  // selection is written dense and trimmed to the matched count.
+  util::Arena& arena = ScratchArena();
+  arena.Reset();
+  auto* cols = arena.AllocateArray<kernels::Column>(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    cols[i] = kernels::Column{views[i].data, views[i].valid};
+  }
+  out.selection.resize(num_rows);
+  uint32_t* sel = out.selection.data();
+  size_t count = 0;
   switch (region.kind()) {
     case geometry::ShapeKind::kHypersphere: {
       const auto& sphere = static_cast<const geometry::Hypersphere&>(region);
-      const geometry::Point& center = sphere.center();
       double limit = sphere.radius() + geometry::kGeomEpsilon;
       limit *= limit;
-      if (dims == 2 && !any_bitmap) {
-        const double* xs = views[0].data;
-        const double* ys = views[1].data;
-        double cx = center[0];
-        double cy = center[1];
-        for (size_t r = 0; r < num_rows; ++r) {
-          double dx = xs[r] - cx;
-          double dy = ys[r] - cy;
-          if (dx * dx + dy * dy <= limit) {
-            out.selection.push_back(static_cast<uint32_t>(r));
-          }
-        }
-        break;
-      }
-      for (size_t r = 0; r < num_rows; ++r) {
-        if (!row_valid(r)) continue;
-        double sum = 0.0;
-        for (size_t i = 0; i < dims; ++i) {
-          double diff = views[i].data[r] - center[i];
-          sum += diff * diff;
-        }
-        if (sum <= limit) out.selection.push_back(static_cast<uint32_t>(r));
-      }
+      double* center = arena.AllocateArray<double>(dims);
+      for (size_t i = 0; i < dims; ++i) center[i] = sphere.center()[i];
+      count = kernels::SelectSphere(cols, dims, num_rows, center, limit, sel);
       break;
     }
     case geometry::ShapeKind::kHyperrectangle: {
       const auto& rect = static_cast<const geometry::Hyperrectangle&>(region);
       size_t rect_dims = std::min(dims, rect.lo().size());
-      std::vector<double> lo(rect_dims), hi(rect_dims);
+      double* lo = arena.AllocateArray<double>(rect_dims);
+      double* hi = arena.AllocateArray<double>(rect_dims);
       for (size_t i = 0; i < rect_dims; ++i) {
         lo[i] = rect.lo()[i] - geometry::kGeomEpsilon;
         hi[i] = rect.hi()[i] + geometry::kGeomEpsilon;
       }
-      if (rect_dims == 2 && dims == 2 && !any_bitmap) {
-        const double* xs = views[0].data;
-        const double* ys = views[1].data;
-        double lo0 = lo[0], hi0 = hi[0], lo1 = lo[1], hi1 = hi[1];
-        for (size_t r = 0; r < num_rows; ++r) {
-          double x = xs[r];
-          double y = ys[r];
-          if (x >= lo0 && x <= hi0 && y >= lo1 && y <= hi1) {
-            out.selection.push_back(static_cast<uint32_t>(r));
-          }
-        }
-        break;
-      }
-      for (size_t r = 0; r < num_rows; ++r) {
-        if (!row_valid(r)) continue;
-        bool inside = true;
-        for (size_t i = 0; i < rect_dims; ++i) {
-          double x = views[i].data[r];
-          if (x < lo[i] || x > hi[i]) {
-            inside = false;
-            break;
-          }
-        }
-        if (inside) out.selection.push_back(static_cast<uint32_t>(r));
-      }
+      count =
+          kernels::SelectRect(cols, dims, rect_dims, num_rows, lo, hi, sel);
       break;
     }
     case geometry::ShapeKind::kPolytope: {
-      // Halfspace tests need the full point anyway; gather per row and reuse
-      // the shape's own predicate.
+      const auto& poly = static_cast<const geometry::Polytope&>(region);
+      const auto& halfspaces = poly.halfspaces();
+      bool flat = true;
+      for (const geometry::Halfspace& h : halfspaces) {
+        if (h.normal.size() != dims) flat = false;
+      }
+      if (flat) {
+        // Flatten to halfspace-major normals plus precomputed thresholds
+        // (offset + eps * |normal| is row-invariant, so hoisting it out of
+        // the row loop is bit-identical to ContainsPoint's per-row compute).
+        double* normals = arena.AllocateArray<double>(halfspaces.size() * dims);
+        double* thresholds = arena.AllocateArray<double>(halfspaces.size());
+        for (size_t h = 0; h < halfspaces.size(); ++h) {
+          for (size_t d = 0; d < dims; ++d) {
+            normals[h * dims + d] = halfspaces[h].normal[d];
+          }
+          thresholds[h] =
+              halfspaces[h].offset +
+              geometry::kGeomEpsilon * geometry::Norm(halfspaces[h].normal);
+        }
+        count = kernels::SelectPolytope(cols, dims, num_rows, normals,
+                                        thresholds, halfspaces.size(), sel);
+        break;
+      }
+      // Dimension mismatch between halfspaces and coordinate columns:
+      // gather per row and defer to the shape's own predicate.
       geometry::Point point(dims);
       for (size_t r = 0; r < num_rows; ++r) {
-        if (!row_valid(r)) continue;
+        bool valid = true;
+        for (size_t i = 0; i < dims; ++i) {
+          if (views[i].valid != nullptr && !ViewBit(views[i].valid, r)) {
+            valid = false;
+            break;
+          }
+        }
+        if (!valid) continue;
         for (size_t i = 0; i < dims; ++i) point[i] = views[i].data[r];
         if (region.ContainsPoint(point)) {
-          out.selection.push_back(static_cast<uint32_t>(r));
+          sel[count++] = static_cast<uint32_t>(r);
         }
       }
       break;
     }
   }
+  out.selection.resize(count);
   return out;
 }
 
@@ -334,27 +342,34 @@ StatusOr<ColumnarTable> MergeDistinctColumnar(const std::vector<ColumnarSlice>& 
     uint32_t part;
     uint32_t row;
   };
-  std::vector<KeptRef> kept;
-  kept.reserve(total_rows);
-  std::vector<uint64_t> hashes;
-  RowHashSet seen(total_rows);
+  util::Arena& arena = ScratchArena();
+  arena.Reset();
+  KeptRef* kept = arena.AllocateArray<KeptRef>(total_rows);
+  size_t kept_count = 0;
+  size_t max_part_rows = 0;
+  for (const ColumnarSlice& part : parts) {
+    max_part_rows = std::max(
+        max_part_rows,
+        part.selection ? part.selection->size() : part.table->num_rows());
+  }
+  uint64_t* hashes = arena.AllocateArray<uint64_t>(max_part_rows);
+  RowHashSet seen(total_rows, &arena);
   for (size_t p = 0; p < parts.size(); ++p) {
     const ColumnarTable& table = *parts[p].table;
     const uint32_t* rows =
         parts[p].selection ? parts[p].selection->data() : nullptr;
     size_t count =
         parts[p].selection ? parts[p].selection->size() : table.num_rows();
-    hashes.resize(count);
-    table.RowDedupHashes(rows, count, hashes.data());
+    table.RowDedupHashes(rows, count, hashes);
     for (size_t i = 0; i < count; ++i) {
       uint32_t row = rows ? rows[i] : static_cast<uint32_t>(i);
       bool inserted = seen.InsertIfAbsent(
-          hashes[i], static_cast<uint32_t>(kept.size()), [&](uint32_t k) {
+          hashes[i], static_cast<uint32_t>(kept_count), [&](uint32_t k) {
             return ColumnarTable::RowsDedupEqual(*parts[kept[k].part].table,
                                                  kept[k].row, table, row);
           });
       if (inserted) {
-        kept.push_back({static_cast<uint32_t>(p), row});
+        kept[kept_count++] = {static_cast<uint32_t>(p), row};
       }
     }
   }
@@ -362,14 +377,14 @@ StatusOr<ColumnarTable> MergeDistinctColumnar(const std::vector<ColumnarSlice>& 
   // of rows from the same part (first occurrence wins, in part order, so the
   // runs are long).
   ColumnarTable merged(schema);
-  merged.Reserve(kept.size());
-  std::vector<uint32_t> run;
+  merged.Reserve(kept_count);
+  uint32_t* run = arena.AllocateArray<uint32_t>(kept_count);
   size_t i = 0;
-  while (i < kept.size()) {
+  while (i < kept_count) {
     uint32_t part = kept[i].part;
-    run.clear();
-    while (i < kept.size() && kept[i].part == part) run.push_back(kept[i++].row);
-    merged.AppendRowsFrom(*parts[part].table, run.data(), run.size());
+    size_t run_len = 0;
+    while (i < kept_count && kept[i].part == part) run[run_len++] = kept[i++].row;
+    merged.AppendRowsFrom(*parts[part].table, run, run_len);
   }
   return merged;
 }

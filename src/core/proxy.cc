@@ -195,6 +195,12 @@ FunctionProxy::FunctionProxy(ProxyConfig config,
                                         config_.max_cache_bytes,
                                         config_.replacement);
   breaker_ = std::make_unique<net::CircuitBreaker>(config_.breaker, clock_);
+  if (config_.async_origin) {
+    net::OriginChannelOptions async_options;
+    async_options.num_dispatchers = config_.origin_dispatchers;
+    async_options.coalesce = config_.coalesce_remainders;
+    origin_async_ = std::make_unique<net::OriginChannel>(origin_, async_options);
+  }
   channel_retries_baseline_ = origin_->retry_stats().retries;
   RegisterInstruments();
 }
@@ -391,6 +397,35 @@ void FunctionProxy::RegisterInstruments() {
       "fnproxy_origin_channel_bytes_total", "Bytes moved on the origin channel",
       /*is_counter=*/true, {{"direction", "received"}},
       [origin] { return static_cast<double>(origin->total_bytes_received()); });
+
+  // Async origin channel (remainder pipelining + batch coalescing). The
+  // families render 0 when async_origin is off so the catalog is stable
+  // across configurations.
+  net::OriginChannel* async_channel = origin_async_.get();
+  registry_.AddCallback(
+      "fnproxy_origin_async_requests_total",
+      "Remainder fetches issued through the async origin channel",
+      /*is_counter=*/true, {}, [async_channel] {
+        return async_channel == nullptr
+                   ? 0.0
+                   : static_cast<double>(async_channel->async_requests());
+      });
+  registry_.AddCallback(
+      "fnproxy_origin_batches_total",
+      "Coalesced /sql/batch wire requests sent to the origin",
+      /*is_counter=*/true, {}, [async_channel] {
+        return async_channel == nullptr
+                   ? 0.0
+                   : static_cast<double>(async_channel->batches_sent());
+      });
+  registry_.AddCallback(
+      "fnproxy_origin_batched_requests_total",
+      "Remainder fetches that travelled inside a coalesced batch",
+      /*is_counter=*/true, {}, [async_channel] {
+        return async_channel == nullptr
+                   ? 0.0
+                   : static_cast<double>(async_channel->requests_batched());
+      });
 
   registry_.AddCallback(
       "fnproxy_degraded_coverage_served_total",
@@ -619,6 +654,60 @@ StatusOr<Table> FunctionProxy::FetchRemainder(const sql::SelectStatement& stmt,
   ChargeMicros(config_.costs.per_origin_response_tuple_us *
                static_cast<double>(table->num_rows()));
   span.AddAttr("rows", std::to_string(table->num_rows()));
+  return table;
+}
+
+StatusOr<FunctionProxy::RemainderFlight> FunctionProxy::StartRemainder(
+    const sql::SelectStatement& stmt, int64_t deadline_micros,
+    QueryRecord* record, obs::QueryTrace* trace,
+    std::optional<obs::ScopedSpan>* origin_span) {
+  if (!OriginAllowed()) {
+    ins_.breaker_open_rejections->Increment();
+    return Status::Unavailable("circuit breaker open");
+  }
+  HttpRequest request;
+  request.path = "/sql";
+  request.query_params["q"] = sql::SelectToSql(stmt);
+  if (DeadlineTooTightForOrigin(deadline_micros, request.ByteSize())) {
+    return Status::ResourceExhausted("deadline cannot fit an origin trip");
+  }
+  record->contacted_origin = true;
+  ins_.origin_sql_requests->Increment();
+  // Span first, then enqueue: the start stamp must be read before a
+  // dispatcher thread can begin advancing the shared virtual clock.
+  origin_span->emplace(trace, "origin_roundtrip", clock_,
+                       ins_.phase_origin_roundtrip);
+  (*origin_span)->AddAttr("endpoint", "sql");
+  (*origin_span)->AddAttr("pipelined", "true");
+  RemainderFlight flight;
+  flight.response =
+      origin_async_->RoundTripAsync(std::move(request), deadline_micros);
+  return flight;
+}
+
+StatusOr<Table> FunctionProxy::AwaitRemainder(RemainderFlight flight,
+                                              obs::ScopedSpan* span) {
+  HttpResponse response = flight.response.get();
+  if (span != nullptr) {
+    span->AddAttr("status", std::to_string(response.status_code));
+  }
+  if (!response.ok()) {
+    bool origin_down = net::RetryPolicy::Retryable(response);
+    NoteOriginOutcome(!origin_down);
+    std::string message = "origin /sql error " +
+                          std::to_string(response.status_code) + ": " +
+                          response.body;
+    return origin_down ? Status::Unavailable(std::move(message))
+                       : Status::Internal(std::move(message));
+  }
+  auto table = sql::TableFromXml(response.body);
+  NoteOriginOutcome(table.ok());
+  if (!table.ok()) return table.status();
+  ChargeMicros(config_.costs.per_origin_response_tuple_us *
+               static_cast<double>(table->num_rows()));
+  if (span != nullptr) {
+    span->AddAttr("rows", std::to_string(table->num_rows()));
+  }
   return table;
 }
 
@@ -980,39 +1069,29 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       // keeps snapshots of every entry contributing tuples to the probe; the
       // probe itself is a list of zero-copy slices (cached table + optional
       // selection vector), never copied row tables.
+      //
+      // The probe's membership is decided here, before any scan runs: a
+      // columnar SelectInRegion can only fail when the entry lacks a
+      // coordinate column, so checking schemas up front fixes the
+      // excluded-region list — and therefore the remainder SQL — without
+      // evaluating anything. That is what lets the async path issue the
+      // remainder first and scan during the WAN round trip with output
+      // byte-identical to the serialized order.
       std::vector<std::shared_ptr<const CacheEntry>> used = rel.contained;
-      std::vector<ColumnarSlice> probe_slices;
-      std::vector<std::unique_ptr<std::vector<uint32_t>>> probe_selections;
-      size_t scanned = 0;
-      {
-        obs::ScopedSpan eval(trace, "local_eval", clock_,
-                             ins_.phase_local_eval);
-        for (const auto& entry : rel.contained) {
-          cache_->Touch(entry->id, clock_->NowMicros());
-          // Contained regions lie fully inside the query: their result files
-          // are merged wholesale, with no per-tuple spatial filtering.
-          probe_slices.push_back({&entry->result, nullptr});
-        }
-        if (handle_overlap) {
-          for (const auto& entry : rel.overlapping) {
-            cache_->Touch(entry->id, clock_->NowMicros());
-            auto selected =
-                SelectInRegion(entry->result, *region, ft.coordinate_columns());
-            if (!selected.ok()) continue;
-            scanned += selected->tuples_scanned;
-            probe_selections.push_back(std::make_unique<std::vector<uint32_t>>(
-                std::move(selected->selection)));
-            probe_slices.push_back(
-                {&entry->result, probe_selections.back().get()});
-            used.push_back(entry);
+      std::vector<std::shared_ptr<const CacheEntry>> scan_entries;
+      if (handle_overlap) {
+        for (const auto& entry : rel.overlapping) {
+          bool has_coords = true;
+          for (const std::string& name : ft.coordinate_columns()) {
+            if (!entry->result.schema().FindColumn(name).has_value()) {
+              has_coords = false;
+              break;
+            }
           }
+          if (!has_coords) continue;  // Same skip the probe scan would take.
+          scan_entries.push_back(entry);
+          used.push_back(entry);
         }
-        double eval_micros = config_.costs.per_cached_tuple_scan_us *
-                             static_cast<double>(scanned);
-        ins_.local_eval_micros->Increment(static_cast<uint64_t>(eval_micros));
-        ChargeMicros(eval_micros);
-        eval.AddAttr("tuples_scanned", std::to_string(scanned));
-        eval.AddAttr("probe_slices", std::to_string(probe_slices.size()));
       }
 
       // Remainder query excludes every region whose tuples the probe holds.
@@ -1029,8 +1108,74 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
           BuildRemainderQuery(*stmt, excluded, ft.coordinate_columns());
       build.Finish();
       if (!remainder_stmt.ok()) return Forward(request, deadline_micros, record, trace);
-      auto remainder_table =
-          FetchRemainder(*remainder_stmt, deadline_micros, record, trace);
+
+      // Async pipelining: put the remainder on the wire now, scan the cached
+      // portion while it is in flight, and merge on completion. The
+      // origin_roundtrip span stays open across the overlapped scan (the
+      // local_eval span nests inside it), which is exactly the overlap the
+      // trace should show.
+      const bool pipelined = origin_async_ != nullptr;
+      util::Status start_status = util::Status::Ok();
+      RemainderFlight rflight;
+      std::optional<obs::ScopedSpan> origin_span;
+      if (pipelined) {
+        auto started = StartRemainder(*remainder_stmt, deadline_micros, record,
+                                      trace, &origin_span);
+        if (started.ok()) {
+          rflight = std::move(*started);
+        } else {
+          start_status = started.status();
+        }
+      }
+
+      std::vector<ColumnarSlice> probe_slices;
+      std::vector<std::unique_ptr<std::vector<uint32_t>>> probe_selections;
+      size_t scanned = 0;
+      {
+        // No histogram on the span: the dispatcher may be advancing the
+        // shared clock during this window (the overlapped round trip), so a
+        // clock-delta observation would be nondeterministic. The modeled
+        // eval cost is observed directly below — the same value the
+        // serialized path's clock delta yields.
+        obs::ScopedSpan eval(trace, "local_eval", clock_);
+        for (const auto& entry : rel.contained) {
+          cache_->Touch(entry->id, clock_->NowMicros());
+          // Contained regions lie fully inside the query: their result files
+          // are merged wholesale, with no per-tuple spatial filtering.
+          probe_slices.push_back({&entry->result, nullptr});
+        }
+        for (const auto& entry : scan_entries) {
+          cache_->Touch(entry->id, clock_->NowMicros());
+          auto selected =
+              SelectInRegion(entry->result, *region, ft.coordinate_columns());
+          if (!selected.ok()) continue;
+          scanned += selected->tuples_scanned;
+          probe_selections.push_back(std::make_unique<std::vector<uint32_t>>(
+              std::move(selected->selection)));
+          probe_slices.push_back(
+              {&entry->result, probe_selections.back().get()});
+        }
+        double eval_micros = config_.costs.per_cached_tuple_scan_us *
+                             static_cast<double>(scanned);
+        ins_.local_eval_micros->Increment(static_cast<uint64_t>(eval_micros));
+        ChargeMicros(eval_micros);
+        ins_.phase_local_eval->Observe(static_cast<int64_t>(eval_micros));
+        eval.AddAttr("tuples_scanned", std::to_string(scanned));
+        eval.AddAttr("probe_slices", std::to_string(probe_slices.size()));
+      }
+
+      auto remainder_table = [&]() -> StatusOr<Table> {
+        if (!pipelined) {
+          return FetchRemainder(*remainder_stmt, deadline_micros, record,
+                                trace);
+        }
+        if (!start_status.ok()) return start_status;
+        auto table = AwaitRemainder(
+            std::move(rflight),
+            origin_span.has_value() ? &*origin_span : nullptr);
+        if (origin_span.has_value()) origin_span->Finish();
+        return table;
+      }();
       if (!remainder_table.ok()) {
         // Origin without a remainder facility: fall back to the original
         // query (paper §3.2: "the proxy has no choice but always sends the

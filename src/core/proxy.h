@@ -17,6 +17,7 @@
 #include "geometry/region.h"
 #include "net/http.h"
 #include "net/network.h"
+#include "net/origin_channel.h"
 #include "net/peer_channel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -119,6 +120,19 @@ struct ProxyConfig {
   /// queries and single-flight followers still pass — the cheap lane keeps
   /// draining when the expensive lane is saturated.
   double origin_shed_watermark = 0.75;
+  /// Async pipelined origin channel: the remainder query is issued *before*
+  /// the cached portion is evaluated, so the WAN round trip overlaps the
+  /// probe scan and the proxy merges on completion. Off = the historical
+  /// serialized order (evaluate, then fetch).
+  bool async_origin = true;
+  /// Coalesce queued deadline-free remainder fetches from concurrent
+  /// requests into one /sql/batch wire request (requires async_origin; the
+  /// origin advertises support by answering the endpoint, see
+  /// net::OriginChannel).
+  bool coalesce_remainders = true;
+  /// Dispatcher threads in the async origin channel; bounds concurrent
+  /// origin wire requests issued through it.
+  size_t origin_dispatchers = 8;
   /// Capacity of the in-memory ring of recent per-query traces served by
   /// GET /proxy/trace?last=N. 0 disables span recording entirely (the
   /// per-phase histograms behind GET /metrics stay on either way).
@@ -464,6 +478,28 @@ class FunctionProxy final : public net::HttpHandler {
                                             QueryRecord* record,
                                             obs::QueryTrace* trace);
 
+  /// A remainder fetch in flight on the async origin channel, issued ahead
+  /// of probe evaluation so the WAN round trip overlaps local work.
+  struct RemainderFlight {
+    std::future<net::HttpResponse> response;
+  };
+  /// Issues `stmt` through the async origin channel after FetchRemainder's
+  /// breaker and deadline admission checks. On success, `origin_span` is
+  /// emplaced with the origin_roundtrip span *before* the request reaches a
+  /// dispatcher thread — once enqueued the dispatcher advances the shared
+  /// virtual clock concurrently, and a later start stamp would
+  /// nondeterministically exclude those advances from the observed
+  /// duration. The returned flight must be passed to AwaitRemainder.
+  util::StatusOr<RemainderFlight> StartRemainder(
+      const sql::SelectStatement& stmt, int64_t deadline_micros,
+      QueryRecord* record, obs::QueryTrace* trace,
+      std::optional<obs::ScopedSpan>* origin_span);
+  /// Blocks on the flight and applies FetchRemainder's error mapping,
+  /// parsing and cost accounting. `span` is the origin_roundtrip span the
+  /// caller opened at issue time (annotated here, finished by the caller).
+  util::StatusOr<sql::Table> AwaitRemainder(RemainderFlight flight,
+                                            obs::ScopedSpan* span);
+
   /// Serializes and returns `table` as the response, charging assembly time.
   net::HttpResponse Respond(const sql::Table& table, obs::QueryTrace* trace);
   /// Columnar responses: serialize straight from the cached representation —
@@ -543,6 +579,9 @@ class FunctionProxy final : public net::HttpHandler {
   ProxyConfig config_;
   const TemplateRegistry* templates_;
   net::SimulatedChannel* origin_;
+  /// Async front-end over origin_ (remainder pipelining + coalescing);
+  /// created only when config_.async_origin is set.
+  std::unique_ptr<net::OriginChannel> origin_async_;
   util::SimulatedClock* clock_;
   std::unique_ptr<CacheStore> cache_;
   std::unique_ptr<net::CircuitBreaker> breaker_;

@@ -1,0 +1,404 @@
+// Membership kernels: runtime-dispatched 8-wide SIMD (AVX2 / NEON) with a
+// scalar reference path. Bit-identical selection across paths is a hard
+// requirement (the proxy's responses must not depend on the host CPU), which
+// constrains the vector code in two ways:
+//  * per-row operation order matches the scalar code exactly — rows are
+//    assigned to lanes, dimensions stay a sequential inner loop, so each
+//    lane accumulates in the same order the scalar loop does;
+//  * no fused multiply-add — this translation unit is built with
+//    -ffp-contract=off (see src/core/CMakeLists.txt) so mul+add pairs are
+//    never contracted into FMA, whose single rounding would diverge from the
+//    scalar path's two roundings.
+// Selection-vector compaction is branchless: every lane stores its row index
+// at out[count] and the mask bit advances the cursor, so match density does
+// not perturb the branch predictor.
+
+#include "core/simd_kernels.h"
+
+#include "util/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define FNPROXY_KERNELS_HAVE_AVX2 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define FNPROXY_KERNELS_HAVE_NEON 1
+#endif
+
+namespace fnproxy::core::kernels {
+
+namespace {
+
+/// Validity bits for rows [r, r+8) as an 8-bit mask; `r` must be a multiple
+/// of 8, so the eight bits never straddle a bitmap word.
+inline uint32_t ValidMask8(const Column* cols, size_t dims, size_t r) {
+  uint32_t mask = 0xFFu;
+  for (size_t d = 0; d < dims; ++d) {
+    if (cols[d].valid != nullptr) {
+      mask &= static_cast<uint32_t>((cols[d].valid[r >> 6] >> (r & 63)) &
+                                    0xFFu);
+    }
+  }
+  return mask;
+}
+
+inline bool RowValid(const Column* cols, size_t dims, size_t r) {
+  for (size_t d = 0; d < dims; ++d) {
+    if (cols[d].valid != nullptr &&
+        ((cols[d].valid[r >> 6] >> (r & 63)) & 1u) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool SphereRow(const Column* cols, size_t dims, size_t r,
+                      const double* center, double limit_sq) {
+  double sum = 0.0;
+  for (size_t d = 0; d < dims; ++d) {
+    double diff = cols[d].data[r] - center[d];
+    sum += diff * diff;
+  }
+  return sum <= limit_sq;
+}
+
+inline bool RectRow(const Column* cols, size_t rect_dims, size_t r,
+                    const double* lo, const double* hi) {
+  for (size_t d = 0; d < rect_dims; ++d) {
+    double x = cols[d].data[r];
+    if (x < lo[d] || x > hi[d]) return false;
+  }
+  return true;
+}
+
+inline bool PolytopeRow(const Column* cols, size_t dims, size_t r,
+                        const double* normals, const double* thresholds,
+                        size_t num_halfspaces) {
+  for (size_t h = 0; h < num_halfspaces; ++h) {
+    const double* normal = normals + h * dims;
+    double dot = 0.0;
+    for (size_t d = 0; d < dims; ++d) dot += normal[d] * cols[d].data[r];
+    if (dot > thresholds[h]) return false;
+  }
+  return true;
+}
+
+/// Stores rows [r, r+8) whose mask bit is set, branch-free.
+inline size_t Compact8(uint32_t mask, size_t r, uint32_t* out, size_t count) {
+  for (size_t lane = 0; lane < 8; ++lane) {
+    out[count] = static_cast<uint32_t>(r + lane);
+    count += (mask >> lane) & 1u;
+  }
+  return count;
+}
+
+#if defined(FNPROXY_KERNELS_HAVE_AVX2)
+
+__attribute__((target("avx2"))) size_t SelectSphereAvx2(
+    const Column* cols, size_t dims, size_t num_rows, const double* center,
+    double limit_sq, uint32_t* out) {
+  size_t count = 0;
+  size_t r = 0;
+  const __m256d limit = _mm256_set1_pd(limit_sq);
+  for (; r + 8 <= num_rows; r += 8) {
+    __m256d sum0 = _mm256_setzero_pd();
+    __m256d sum1 = _mm256_setzero_pd();
+    for (size_t d = 0; d < dims; ++d) {
+      const __m256d c = _mm256_set1_pd(center[d]);
+      const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(cols[d].data + r), c);
+      const __m256d d1 =
+          _mm256_sub_pd(_mm256_loadu_pd(cols[d].data + r + 4), c);
+      sum0 = _mm256_add_pd(sum0, _mm256_mul_pd(d0, d0));
+      sum1 = _mm256_add_pd(sum1, _mm256_mul_pd(d1, d1));
+    }
+    uint32_t mask = static_cast<uint32_t>(_mm256_movemask_pd(
+                        _mm256_cmp_pd(sum0, limit, _CMP_LE_OQ))) |
+                    (static_cast<uint32_t>(_mm256_movemask_pd(
+                         _mm256_cmp_pd(sum1, limit, _CMP_LE_OQ)))
+                     << 4);
+    mask &= ValidMask8(cols, dims, r);
+    count = Compact8(mask, r, out, count);
+  }
+  for (; r < num_rows; ++r) {
+    bool keep =
+        RowValid(cols, dims, r) && SphereRow(cols, dims, r, center, limit_sq);
+    out[count] = static_cast<uint32_t>(r);
+    count += keep ? 1u : 0u;
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) size_t SelectRectAvx2(
+    const Column* cols, size_t dims, size_t rect_dims, size_t num_rows,
+    const double* lo, const double* hi, uint32_t* out) {
+  size_t count = 0;
+  size_t r = 0;
+  for (; r + 8 <= num_rows; r += 8) {
+    uint32_t mask = ValidMask8(cols, dims, r);
+    for (size_t d = 0; d < rect_dims && mask != 0; ++d) {
+      const __m256d lod = _mm256_set1_pd(lo[d]);
+      const __m256d hid = _mm256_set1_pd(hi[d]);
+      const __m256d x0 = _mm256_loadu_pd(cols[d].data + r);
+      const __m256d x1 = _mm256_loadu_pd(cols[d].data + r + 4);
+      const __m256d in0 = _mm256_and_pd(_mm256_cmp_pd(x0, lod, _CMP_GE_OQ),
+                                        _mm256_cmp_pd(x0, hid, _CMP_LE_OQ));
+      const __m256d in1 = _mm256_and_pd(_mm256_cmp_pd(x1, lod, _CMP_GE_OQ),
+                                        _mm256_cmp_pd(x1, hid, _CMP_LE_OQ));
+      mask &= static_cast<uint32_t>(_mm256_movemask_pd(in0)) |
+              (static_cast<uint32_t>(_mm256_movemask_pd(in1)) << 4);
+    }
+    count = Compact8(mask, r, out, count);
+  }
+  for (; r < num_rows; ++r) {
+    bool keep =
+        RowValid(cols, dims, r) && RectRow(cols, rect_dims, r, lo, hi);
+    out[count] = static_cast<uint32_t>(r);
+    count += keep ? 1u : 0u;
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) size_t SelectPolytopeAvx2(
+    const Column* cols, size_t dims, size_t num_rows, const double* normals,
+    const double* thresholds, size_t num_halfspaces, uint32_t* out) {
+  size_t count = 0;
+  size_t r = 0;
+  for (; r + 8 <= num_rows; r += 8) {
+    uint32_t mask = ValidMask8(cols, dims, r);
+    for (size_t h = 0; h < num_halfspaces && mask != 0; ++h) {
+      const double* normal = normals + h * dims;
+      __m256d dot0 = _mm256_setzero_pd();
+      __m256d dot1 = _mm256_setzero_pd();
+      for (size_t d = 0; d < dims; ++d) {
+        const __m256d n = _mm256_set1_pd(normal[d]);
+        dot0 = _mm256_add_pd(
+            dot0, _mm256_mul_pd(n, _mm256_loadu_pd(cols[d].data + r)));
+        dot1 = _mm256_add_pd(
+            dot1, _mm256_mul_pd(n, _mm256_loadu_pd(cols[d].data + r + 4)));
+      }
+      const __m256d t = _mm256_set1_pd(thresholds[h]);
+      mask &= static_cast<uint32_t>(_mm256_movemask_pd(
+                  _mm256_cmp_pd(dot0, t, _CMP_LE_OQ))) |
+              (static_cast<uint32_t>(_mm256_movemask_pd(
+                   _mm256_cmp_pd(dot1, t, _CMP_LE_OQ)))
+               << 4);
+    }
+    count = Compact8(mask, r, out, count);
+  }
+  for (; r < num_rows; ++r) {
+    bool keep = RowValid(cols, dims, r) &&
+                PolytopeRow(cols, dims, r, normals, thresholds,
+                            num_halfspaces);
+    out[count] = static_cast<uint32_t>(r);
+    count += keep ? 1u : 0u;
+  }
+  return count;
+}
+
+#endif  // FNPROXY_KERNELS_HAVE_AVX2
+
+#if defined(FNPROXY_KERNELS_HAVE_NEON)
+
+/// Lane-0 and lane-1 compare bits of a float64x2 predicate as a 2-bit mask.
+inline uint32_t Mask2(uint64x2_t m) {
+  return static_cast<uint32_t>(vgetq_lane_u64(m, 0) & 1u) |
+         (static_cast<uint32_t>(vgetq_lane_u64(m, 1) & 1u) << 1);
+}
+
+size_t SelectSphereNeon(const Column* cols, size_t dims, size_t num_rows,
+                        const double* center, double limit_sq, uint32_t* out) {
+  size_t count = 0;
+  size_t r = 0;
+  const float64x2_t limit = vdupq_n_f64(limit_sq);
+  for (; r + 8 <= num_rows; r += 8) {
+    float64x2_t sum[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                          vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+    for (size_t d = 0; d < dims; ++d) {
+      const float64x2_t c = vdupq_n_f64(center[d]);
+      for (size_t k = 0; k < 4; ++k) {
+        const float64x2_t diff =
+            vsubq_f64(vld1q_f64(cols[d].data + r + 2 * k), c);
+        sum[k] = vaddq_f64(sum[k], vmulq_f64(diff, diff));
+      }
+    }
+    uint32_t mask = 0;
+    for (size_t k = 0; k < 4; ++k) {
+      mask |= Mask2(vcleq_f64(sum[k], limit)) << (2 * k);
+    }
+    mask &= ValidMask8(cols, dims, r);
+    count = Compact8(mask, r, out, count);
+  }
+  for (; r < num_rows; ++r) {
+    bool keep =
+        RowValid(cols, dims, r) && SphereRow(cols, dims, r, center, limit_sq);
+    out[count] = static_cast<uint32_t>(r);
+    count += keep ? 1u : 0u;
+  }
+  return count;
+}
+
+size_t SelectRectNeon(const Column* cols, size_t dims, size_t rect_dims,
+                      size_t num_rows, const double* lo, const double* hi,
+                      uint32_t* out) {
+  size_t count = 0;
+  size_t r = 0;
+  for (; r + 8 <= num_rows; r += 8) {
+    uint32_t mask = ValidMask8(cols, dims, r);
+    for (size_t d = 0; d < rect_dims && mask != 0; ++d) {
+      const float64x2_t lod = vdupq_n_f64(lo[d]);
+      const float64x2_t hid = vdupq_n_f64(hi[d]);
+      uint32_t in = 0;
+      for (size_t k = 0; k < 4; ++k) {
+        const float64x2_t x = vld1q_f64(cols[d].data + r + 2 * k);
+        in |= Mask2(vandq_u64(vcgeq_f64(x, lod), vcleq_f64(x, hid)))
+              << (2 * k);
+      }
+      mask &= in;
+    }
+    count = Compact8(mask, r, out, count);
+  }
+  for (; r < num_rows; ++r) {
+    bool keep =
+        RowValid(cols, dims, r) && RectRow(cols, rect_dims, r, lo, hi);
+    out[count] = static_cast<uint32_t>(r);
+    count += keep ? 1u : 0u;
+  }
+  return count;
+}
+
+size_t SelectPolytopeNeon(const Column* cols, size_t dims, size_t num_rows,
+                          const double* normals, const double* thresholds,
+                          size_t num_halfspaces, uint32_t* out) {
+  size_t count = 0;
+  size_t r = 0;
+  for (; r + 8 <= num_rows; r += 8) {
+    uint32_t mask = ValidMask8(cols, dims, r);
+    for (size_t h = 0; h < num_halfspaces && mask != 0; ++h) {
+      const double* normal = normals + h * dims;
+      float64x2_t dot[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                            vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+      for (size_t d = 0; d < dims; ++d) {
+        const float64x2_t n = vdupq_n_f64(normal[d]);
+        for (size_t k = 0; k < 4; ++k) {
+          dot[k] = vaddq_f64(
+              dot[k], vmulq_f64(n, vld1q_f64(cols[d].data + r + 2 * k)));
+        }
+      }
+      const float64x2_t t = vdupq_n_f64(thresholds[h]);
+      uint32_t in = 0;
+      for (size_t k = 0; k < 4; ++k) {
+        in |= Mask2(vcleq_f64(dot[k], t)) << (2 * k);
+      }
+      mask &= in;
+    }
+    count = Compact8(mask, r, out, count);
+  }
+  for (; r < num_rows; ++r) {
+    bool keep = RowValid(cols, dims, r) &&
+                PolytopeRow(cols, dims, r, normals, thresholds,
+                            num_halfspaces);
+    out[count] = static_cast<uint32_t>(r);
+    count += keep ? 1u : 0u;
+  }
+  return count;
+}
+
+#endif  // FNPROXY_KERNELS_HAVE_NEON
+
+}  // namespace
+
+size_t SelectSphereScalar(const Column* cols, size_t dims, size_t num_rows,
+                          const double* center, double limit_sq,
+                          uint32_t* out) {
+  size_t count = 0;
+  for (size_t r = 0; r < num_rows; ++r) {
+    bool keep =
+        RowValid(cols, dims, r) && SphereRow(cols, dims, r, center, limit_sq);
+    out[count] = static_cast<uint32_t>(r);
+    count += keep ? 1u : 0u;
+  }
+  return count;
+}
+
+size_t SelectRectScalar(const Column* cols, size_t dims, size_t rect_dims,
+                        size_t num_rows, const double* lo, const double* hi,
+                        uint32_t* out) {
+  size_t count = 0;
+  for (size_t r = 0; r < num_rows; ++r) {
+    bool keep =
+        RowValid(cols, dims, r) && RectRow(cols, rect_dims, r, lo, hi);
+    out[count] = static_cast<uint32_t>(r);
+    count += keep ? 1u : 0u;
+  }
+  return count;
+}
+
+size_t SelectPolytopeScalar(const Column* cols, size_t dims, size_t num_rows,
+                            const double* normals, const double* thresholds,
+                            size_t num_halfspaces, uint32_t* out) {
+  size_t count = 0;
+  for (size_t r = 0; r < num_rows; ++r) {
+    bool keep = RowValid(cols, dims, r) &&
+                PolytopeRow(cols, dims, r, normals, thresholds,
+                            num_halfspaces);
+    out[count] = static_cast<uint32_t>(r);
+    count += keep ? 1u : 0u;
+  }
+  return count;
+}
+
+size_t SelectSphere(const Column* cols, size_t dims, size_t num_rows,
+                    const double* center, double limit_sq, uint32_t* out) {
+  switch (util::simd::ActivePath()) {
+#if defined(FNPROXY_KERNELS_HAVE_AVX2)
+    case util::simd::DispatchPath::kAvx2:
+      return SelectSphereAvx2(cols, dims, num_rows, center, limit_sq, out);
+#endif
+#if defined(FNPROXY_KERNELS_HAVE_NEON)
+    case util::simd::DispatchPath::kNeon:
+      return SelectSphereNeon(cols, dims, num_rows, center, limit_sq, out);
+#endif
+    default:
+      return SelectSphereScalar(cols, dims, num_rows, center, limit_sq, out);
+  }
+}
+
+size_t SelectRect(const Column* cols, size_t dims, size_t rect_dims,
+                  size_t num_rows, const double* lo, const double* hi,
+                  uint32_t* out) {
+  switch (util::simd::ActivePath()) {
+#if defined(FNPROXY_KERNELS_HAVE_AVX2)
+    case util::simd::DispatchPath::kAvx2:
+      return SelectRectAvx2(cols, dims, rect_dims, num_rows, lo, hi, out);
+#endif
+#if defined(FNPROXY_KERNELS_HAVE_NEON)
+    case util::simd::DispatchPath::kNeon:
+      return SelectRectNeon(cols, dims, rect_dims, num_rows, lo, hi, out);
+#endif
+    default:
+      return SelectRectScalar(cols, dims, rect_dims, num_rows, lo, hi, out);
+  }
+}
+
+size_t SelectPolytope(const Column* cols, size_t dims, size_t num_rows,
+                      const double* normals, const double* thresholds,
+                      size_t num_halfspaces, uint32_t* out) {
+  switch (util::simd::ActivePath()) {
+#if defined(FNPROXY_KERNELS_HAVE_AVX2)
+    case util::simd::DispatchPath::kAvx2:
+      return SelectPolytopeAvx2(cols, dims, num_rows, normals, thresholds,
+                                num_halfspaces, out);
+#endif
+#if defined(FNPROXY_KERNELS_HAVE_NEON)
+    case util::simd::DispatchPath::kNeon:
+      return SelectPolytopeNeon(cols, dims, num_rows, normals, thresholds,
+                                num_halfspaces, out);
+#endif
+    default:
+      return SelectPolytopeScalar(cols, dims, num_rows, normals, thresholds,
+                                  num_halfspaces, out);
+  }
+}
+
+}  // namespace fnproxy::core::kernels

@@ -1,0 +1,217 @@
+#include "net/origin_channel.h"
+
+#include <utility>
+
+namespace fnproxy::net {
+
+namespace {
+
+/// Parses a `<fields...>\n<len bytes>` frame header line starting at `pos`.
+/// Returns false on malformed input; on success `*line` holds the header
+/// (without the newline) and `*pos` points at the first payload byte.
+bool ReadFrameLine(const std::string& body, size_t* pos, std::string* line) {
+  size_t nl = body.find('\n', *pos);
+  if (nl == std::string::npos) return false;
+  line->assign(body, *pos, nl - *pos);
+  *pos = nl + 1;
+  return true;
+}
+
+bool ParseSize(const std::string& text, size_t* out) {
+  if (text.empty()) return false;
+  size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeSqlBatchRequest(const std::vector<std::string>& statements) {
+  std::string body;
+  for (const std::string& sql : statements) {
+    body += std::to_string(sql.size());
+    body += '\n';
+    body += sql;
+  }
+  return body;
+}
+
+bool DecodeSqlBatchRequest(const std::string& body,
+                           std::vector<std::string>* statements) {
+  statements->clear();
+  size_t pos = 0;
+  while (pos < body.size()) {
+    std::string header;
+    size_t len = 0;
+    if (!ReadFrameLine(body, &pos, &header) || !ParseSize(header, &len) ||
+        pos + len > body.size()) {
+      return false;
+    }
+    statements->push_back(body.substr(pos, len));
+    pos += len;
+  }
+  return !statements->empty();
+}
+
+std::string EncodeSqlBatchResponse(const std::vector<HttpResponse>& responses) {
+  std::string body;
+  for (const HttpResponse& response : responses) {
+    body += std::to_string(response.status_code);
+    body += ' ';
+    body += std::to_string(response.body.size());
+    body += '\n';
+    body += response.body;
+  }
+  return body;
+}
+
+bool DecodeSqlBatchResponse(const std::string& body,
+                            std::vector<HttpResponse>* responses) {
+  responses->clear();
+  size_t pos = 0;
+  while (pos < body.size()) {
+    std::string header;
+    if (!ReadFrameLine(body, &pos, &header)) return false;
+    size_t space = header.find(' ');
+    if (space == std::string::npos) return false;
+    size_t status = 0;
+    size_t len = 0;
+    if (!ParseSize(header.substr(0, space), &status) ||
+        !ParseSize(header.substr(space + 1), &len) ||
+        pos + len > body.size()) {
+      return false;
+    }
+    HttpResponse sub;
+    sub.status_code = static_cast<int>(status);
+    sub.body = body.substr(pos, len);
+    pos += len;
+    responses->push_back(std::move(sub));
+  }
+  return !responses->empty();
+}
+
+OriginChannel::OriginChannel(SimulatedChannel* channel,
+                             OriginChannelOptions options)
+    : channel_(channel), options_(options) {
+  size_t n = options_.num_dispatchers == 0 ? 1 : options_.num_dispatchers;
+  dispatchers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    dispatchers_.emplace_back([this] { DispatchLoop(); });
+  }
+}
+
+OriginChannel::~OriginChannel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+}
+
+std::future<HttpResponse> OriginChannel::RoundTripAsync(
+    HttpRequest request, int64_t deadline_micros) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.deadline_micros = deadline_micros;
+  std::future<HttpResponse> future = pending.promise.get_future();
+  async_requests_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+bool OriginChannel::Batchable(const Pending& pending) const {
+  return options_.coalesce &&
+         batch_supported_.load(std::memory_order_relaxed) &&
+         pending.deadline_micros == 0 && pending.request.method == "GET" &&
+         pending.request.path == "/sql" &&
+         pending.request.query_params.count("q") > 0;
+}
+
+void OriginChannel::DispatchLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ and fully drained.
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // Piggyback queued deadline-free remainder fetches onto this wire
+      // request. Only adjacent batchable entries are taken so non-batchable
+      // requests are never starved behind a forming batch.
+      if (Batchable(batch.front())) {
+        while (batch.size() < options_.max_batch && !queue_.empty() &&
+               Batchable(queue_.front())) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
+    }
+    if (batch.size() == 1) {
+      Pending& solo = batch.front();
+      solo.promise.set_value(
+          channel_->RoundTrip(solo.request, solo.deadline_micros));
+      continue;
+    }
+    DispatchBatch(std::move(batch));
+  }
+}
+
+void OriginChannel::DispatchBatch(std::vector<Pending> batch) {
+  std::vector<std::string> statements;
+  statements.reserve(batch.size());
+  for (const Pending& pending : batch) {
+    statements.push_back(pending.request.query_params.at("q"));
+  }
+  HttpRequest wire;
+  wire.method = "POST";
+  wire.path = "/sql/batch";
+  wire.body = EncodeSqlBatchRequest(statements);
+  HttpResponse response = channel_->RoundTrip(wire);
+
+  if (response.status_code == 404) {
+    // Origin does not implement /sql/batch (paper §3.2: a site may or may
+    // not support modified query facilities). Remember and go solo.
+    batch_supported_.store(false, std::memory_order_relaxed);
+    for (Pending& pending : batch) {
+      pending.promise.set_value(
+          channel_->RoundTrip(pending.request, pending.deadline_micros));
+    }
+    return;
+  }
+
+  std::vector<HttpResponse> subs;
+  if (response.status_code != 200 ||
+      !DecodeSqlBatchResponse(response.body, &subs) ||
+      subs.size() != batch.size()) {
+    // Transport error, origin failure, or malformed framing: every member
+    // observes the same failure it would have seen solo (transport errors
+    // propagate verbatim; anything else surfaces as a 502 so callers take
+    // their normal retry/fallback path).
+    HttpResponse failure =
+        response.status_code == 0 || response.status_code >= 400
+            ? response
+            : HttpResponse::MakeError(502, "malformed /sql/batch response");
+    for (Pending& pending : batch) {
+      pending.promise.set_value(failure);
+    }
+    return;
+  }
+
+  batches_sent_.fetch_add(1, std::memory_order_relaxed);
+  requests_batched_.fetch_add(batch.size(), std::memory_order_relaxed);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(subs[i]));
+  }
+}
+
+}  // namespace fnproxy::net

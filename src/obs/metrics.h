@@ -47,16 +47,20 @@ class Gauge {
 
 /// Fixed-bucket log-scale latency histogram over microsecond durations.
 ///
-/// Bucket upper bounds are the powers of two 1, 2, 4, ..., 2^24 µs (~16.8 s)
+/// Bucket upper bounds are the powers of two 1, 2, 4, ..., 2^29 µs (~537 s)
 /// plus a final +Inf overflow bucket: every Observe is a bit_width plus one
 /// relaxed add, no locks, no allocation. The log-2 scale keeps relative
 /// quantile error under 2x across nine decades, which is the right trade for
 /// a proxy whose phases span sub-microsecond merges to multi-second WAN
-/// round trips with retries.
+/// round trips with retries. The top finite bound must comfortably exceed
+/// the slowest modeled origin round trip (a large response over the ~6 KB/s
+/// WAN link runs to tens of seconds), or phase_origin_roundtrip tails
+/// collapse into the overflow bucket and p95/p99 read "off the scale"
+/// instead of a number.
 class Histogram {
  public:
   /// Number of finite buckets; bucket i covers (2^(i-1), 2^i] µs.
-  static constexpr size_t kNumFiniteBuckets = 25;
+  static constexpr size_t kNumFiniteBuckets = 30;
   /// Total buckets including the +Inf overflow bucket.
   static constexpr size_t kNumBuckets = kNumFiniteBuckets + 1;
 
@@ -92,7 +96,7 @@ class Histogram {
     /// Nearest-rank quantile resolved to a bucket upper bound: the smallest
     /// bound whose cumulative count reaches rank ceil(q * count). Ranks in
     /// the overflow bucket report one doubling past the largest finite
-    /// bound (2^25 µs) — "off the scale", not a measured value. 0 if empty.
+    /// bound (2^30 µs) — "off the scale", not a measured value. 0 if empty.
     int64_t QuantileUpperBoundMicros(double q) const;
   };
 

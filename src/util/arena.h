@@ -1,0 +1,89 @@
+#ifndef FNPROXY_UTIL_ARENA_H_
+#define FNPROXY_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fnproxy::util {
+
+/// Bump allocator for per-query scratch memory (probe selection staging,
+/// merge hash tables, remainder-build buffers). Blocks are retained across
+/// Reset(), so a worker thread that evaluates thousands of queries reuses
+/// the same few slabs instead of round-tripping every scratch vector through
+/// malloc. Allocations are never individually freed; Reset() recycles
+/// everything at once.
+///
+/// Not thread-safe: each worker owns its own arena (see
+/// core::ScratchArena()'s thread_local instance).
+class Arena {
+ public:
+  explicit Arena(size_t min_block_bytes = 1 << 16)
+      : min_block_bytes_(min_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage aligned to `align` (a power of
+  /// two, at most alignof(std::max_align_t)).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    while (current_ < blocks_.size()) {
+      Block& block = blocks_[current_];
+      size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+      if (aligned + bytes <= block.size) {
+        offset_ = aligned + bytes;
+        return block.data.get() + aligned;
+      }
+      ++current_;
+      offset_ = 0;
+    }
+    size_t size = min_block_bytes_;
+    if (!blocks_.empty()) size = blocks_.back().size * 2;
+    if (size < bytes) size = bytes;
+    blocks_.push_back(Block{std::unique_ptr<char[]>(new char[size]), size});
+    current_ = blocks_.size() - 1;
+    offset_ = bytes;
+    return blocks_.back().data.get();
+  }
+
+  /// Uninitialized array of `count` trivially-destructible Ts. The arena
+  /// never runs destructors, so non-trivial element types are rejected at
+  /// compile time.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without destructor calls");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Recycles every allocation; retained blocks are reused by later
+  /// Allocate calls.
+  void Reset() {
+    current_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes of slab capacity currently retained.
+  size_t capacity_bytes() const {
+    size_t total = 0;
+    for (const Block& block : blocks_) total += block.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  const size_t min_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;
+  size_t offset_ = 0;
+};
+
+}  // namespace fnproxy::util
+
+#endif  // FNPROXY_UTIL_ARENA_H_

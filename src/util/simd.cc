@@ -1,0 +1,53 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fnproxy::util::simd {
+
+namespace {
+
+DispatchPath Resolve() {
+  const char* force = std::getenv("FNPROXY_FORCE_SCALAR");
+  if (force != nullptr && std::strcmp(force, "0") != 0 &&
+      std::strcmp(force, "") != 0) {
+    return DispatchPath::kScalar;
+  }
+#if defined(__AVX2__)
+  // Compiled with -mavx2: the whole binary assumes the feature anyway.
+  return DispatchPath::kAvx2;
+#elif defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") ? DispatchPath::kAvx2
+                                        : DispatchPath::kScalar;
+#elif defined(__aarch64__)
+  // NEON (ASIMD) is architecturally mandatory on AArch64.
+  return DispatchPath::kNeon;
+#else
+  return DispatchPath::kScalar;
+#endif
+}
+
+}  // namespace
+
+DispatchPath ActivePath() {
+  static const DispatchPath path = Resolve();
+  return path;
+}
+
+const char* DispatchPathName() {
+  switch (ActivePath()) {
+    case DispatchPath::kScalar:
+      return "scalar";
+    case DispatchPath::kAvx2:
+      return "avx2";
+    case DispatchPath::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+size_t SimdWidth() {
+  return ActivePath() == DispatchPath::kScalar ? 1 : 8;
+}
+
+}  // namespace fnproxy::util::simd

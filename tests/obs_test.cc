@@ -120,7 +120,7 @@ TEST(HistogramQuantileTest, ExactSmallDistribution) {
 
 TEST(HistogramQuantileTest, OverflowReportsOneDoubingPastScale) {
   Histogram h;
-  h.Observe(int64_t{1} << 30);  // Beyond the 2^24 top finite bound.
+  h.Observe(int64_t{1} << 30);  // Beyond the 2^29 top finite bound.
   Histogram::Snapshot snap = h.snapshot();
   EXPECT_EQ(snap.QuantileUpperBoundMicros(1.0),
             Histogram::BucketUpperBoundMicros(Histogram::kNumFiniteBuckets));
@@ -199,7 +199,7 @@ TEST(PrometheusRenderTest, GoldenOutput) {
       "test_queue_depth 2.5\n"
       "# HELP test_lat_micros Latency\n"
       "# TYPE test_lat_micros histogram\n";
-  // 25 finite buckets: cumulative 1 at le=1, 2 from le=4 on, then +Inf 3.
+  // 30 finite buckets: cumulative 1 at le=1, 2 from le=4 on, then +Inf 3.
   uint64_t cumulative = 0;
   for (size_t i = 0; i < Histogram::kNumFiniteBuckets; ++i) {
     if (i == 0) cumulative = 1;
