@@ -1,0 +1,1666 @@
+#include "analysis/lockcheck.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace fnproxy::analysis {
+namespace {
+
+using lint::Diagnostic;
+using lint::Severity;
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+// ---------------------------------------------------------------------------
+// Token stream
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind = kPunct;
+  std::string text;
+  size_t line = 0;
+  size_t column = 0;
+};
+
+struct ScannedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  /// line -> check-ids suppressed on that line. A `lockcheck-ok(id,...)`
+  /// comment covers its own line and the one below it.
+  std::map<size_t, std::set<std::string>> suppressions;
+};
+
+bool IsIdentStart(char c) {
+  return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+bool IsIdentChar(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+void RecordSuppressions(std::string_view comment, size_t line,
+                        ScannedFile& out) {
+  const size_t at = comment.find("lockcheck-ok(");
+  if (at == std::string_view::npos) return;
+  size_t i = at + 13;
+  std::string id;
+  for (; i < comment.size(); ++i) {
+    const char c = comment[i];
+    if (c == ',' || c == ')') {
+      while (!id.empty() && id.front() == ' ') id.erase(id.begin());
+      while (!id.empty() && id.back() == ' ') id.pop_back();
+      if (!id.empty()) {
+        out.suppressions[line].insert(id);
+        out.suppressions[line + 1].insert(id);
+      }
+      id.clear();
+      if (c == ')') break;
+    } else {
+      id.push_back(c);
+    }
+  }
+}
+
+/// Lexes C++ source: skips comments (mining them for `lockcheck-ok`),
+/// string/char/raw-string literals and preprocessor lines, and folds
+/// multi-character operators into single punctuation tokens.
+ScannedFile Lex(const SourceFile& in) {
+  ScannedFile out;
+  out.path = in.path;
+  const std::string& s = in.content;
+  size_t i = 0, line = 1, col = 1;
+  bool at_line_start = true;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n && i < s.size(); ++k, ++i) {
+      if (s[i] == '\n') {
+        ++line;
+        col = 1;
+        at_line_start = true;
+      } else {
+        ++col;
+        if (s[i] != ' ' && s[i] != '\t' && s[i] != '\r') at_line_start = false;
+      }
+    }
+  };
+  static const char* kThree[] = {"<<=", ">>=", "->*", "...", nullptr};
+  static const char* kTwo[] = {"::", "->", "++", "--", "==", "!=", "<=",
+                               ">=", "&&", "||", "+=", "-=", "*=", "/=",
+                               "%=", "&=", "|=", "^=", "<<", ">>", nullptr};
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor line, honoring backslash continuations.
+      while (i < s.size()) {
+        if (s[i] == '\\' && i + 1 < s.size() && s[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (s[i] == '\n') break;
+        advance(1);
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      const size_t start = i, start_line = line;
+      while (i < s.size() && s[i] != '\n') advance(1);
+      RecordSuppressions(std::string_view(s).substr(start, i - start),
+                         start_line, out);
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      const size_t start = i, start_line = line;
+      advance(2);
+      while (i + 1 < s.size() && !(s[i] == '*' && s[i + 1] == '/')) advance(1);
+      advance(2);
+      RecordSuppressions(std::string_view(s).substr(start, i - start),
+                         start_line, out);
+      continue;
+    }
+    if (c == 'R' && i + 1 < s.size() && s[i + 1] == '"') {
+      // Raw string literal R"delim( ... )delim".
+      size_t d = i + 2;
+      std::string delim;
+      while (d < s.size() && s[d] != '(') delim.push_back(s[d++]);
+      const std::string closer = ")" + delim + "\"";
+      const size_t end = s.find(closer, d);
+      const Token t{Token::kString, "\"\"", line, col};
+      advance((end == std::string::npos ? s.size() : end + closer.size()) - i);
+      out.tokens.push_back(t);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const Token t{Token::kString, std::string(1, c), line, col};
+      advance(1);
+      while (i < s.size() && s[i] != c) {
+        if (s[i] == '\\') advance(1);
+        advance(1);
+      }
+      advance(1);
+      out.tokens.push_back(t);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < s.size() && IsIdentChar(s[j])) ++j;
+      out.tokens.push_back({Token::kIdent, s.substr(i, j - i), line, col});
+      advance(j - i);
+      continue;
+    }
+    if (IsDigit(c)) {
+      size_t j = i;
+      while (j < s.size() && (IsIdentChar(s[j]) || s[j] == '.' ||
+                              s[j] == '\'')) {
+        ++j;
+      }
+      out.tokens.push_back({Token::kNumber, s.substr(i, j - i), line, col});
+      advance(j - i);
+      continue;
+    }
+    size_t len = 1;
+    for (const char** p = kThree; *p; ++p) {
+      if (s.compare(i, 3, *p) == 0) {
+        len = 3;
+        break;
+      }
+    }
+    if (len == 1) {
+      for (const char** p = kTwo; *p; ++p) {
+        if (s.compare(i, 2, *p) == 0) {
+          len = 2;
+          break;
+        }
+      }
+    }
+    out.tokens.push_back({Token::kPunct, s.substr(i, len), line, col});
+    advance(len);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+bool Is(const std::vector<Token>& t, size_t i, std::string_view text) {
+  return i < t.size() && t[i].text == text;
+}
+bool IsIdent(const std::vector<Token>& t, size_t i) {
+  return i < t.size() && t[i].kind == Token::kIdent;
+}
+
+/// Index of the punctuation matching t[i] (one of ( [ {), or kNpos.
+size_t Match(const std::vector<Token>& t, size_t i, std::string_view open,
+             std::string_view close) {
+  int depth = 0;
+  for (size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != Token::kPunct) continue;
+    if (t[j].text == open) ++depth;
+    if (t[j].text == close && --depth == 0) return j;
+  }
+  return kNpos;
+}
+size_t MatchParen(const std::vector<Token>& t, size_t i) {
+  return Match(t, i, "(", ")");
+}
+size_t MatchBrace(const std::vector<Token>& t, size_t i) {
+  return Match(t, i, "{", "}");
+}
+size_t MatchBracket(const std::vector<Token>& t, size_t i) {
+  return Match(t, i, "[", "]");
+}
+
+/// Balances a template-argument list starting at `<`; `>>` closes two
+/// levels. Returns the closing index, or kNpos when the `<` turns out to be
+/// a comparison (statement punctuation or a scan budget is hit first).
+size_t MatchAngle(const std::vector<Token>& t, size_t i) {
+  int depth = 0;
+  const size_t limit = std::min(t.size(), i + 256);
+  for (size_t j = i; j < limit; ++j) {
+    const std::string& x = t[j].text;
+    if (t[j].kind != Token::kPunct) continue;
+    if (x == "<") ++depth;
+    if (x == "(") {
+      j = MatchParen(t, j);
+      if (j == kNpos) return kNpos;
+      continue;
+    }
+    if (x == ";" || x == "{" || x == "}" || x == "&&" || x == "||") {
+      return kNpos;
+    }
+    if (x == ">" && --depth == 0) return j;
+    if (x == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j;
+    }
+  }
+  return kNpos;
+}
+
+bool IsKeyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "if",       "while",    "for",      "switch",  "return", "sizeof",
+      "catch",    "new",      "delete",   "do",      "else",   "case",
+      "default",  "break",    "continue", "throw",   "static_assert",
+      "alignof",  "decltype", "noexcept", "typedef", "using",  "namespace",
+      "typename", "template", "operator", "const",   "static", "constexpr",
+      "mutable",  "explicit", "virtual",  "inline",  "public", "private",
+      "protected"};
+  return kw.count(s) > 0;
+}
+
+bool IsAnnotationMacro(const std::string& s) {
+  static const std::set<std::string> m = {
+      "CAPABILITY",       "SCOPED_CAPABILITY", "GUARDED_BY",
+      "PT_GUARDED_BY",    "REQUIRES",          "REQUIRES_SHARED",
+      "ACQUIRE",          "ACQUIRE_SHARED",    "RELEASE",
+      "RELEASE_SHARED",   "RELEASE_GENERIC",   "TRY_ACQUIRE",
+      "TRY_ACQUIRE_SHARED", "EXCLUDES",        "RETURN_CAPABILITY",
+      "ASSERT_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS"};
+  return m.count(s) > 0;
+}
+
+bool IsQualifierIdent(const std::string& s) {
+  return s == "const" || s == "noexcept" || s == "override" || s == "final" ||
+         s == "mutable" || s == "volatile";
+}
+
+/// Last identifier token in [begin, end) — used to reduce annotation
+/// arguments like `mu_` or `this->mu_` to a member name.
+std::string LastIdent(const std::vector<Token>& t, size_t begin, size_t end) {
+  std::string last;
+  for (size_t j = begin; j < end && j < t.size(); ++j) {
+    if (t[j].kind == Token::kIdent) last = t[j].text;
+  }
+  return last;
+}
+
+// ---------------------------------------------------------------------------
+// Program model
+// ---------------------------------------------------------------------------
+
+struct MemberVar {
+  std::string name;
+  std::string guarded_by;   // member name the GUARDED_BY argument reduces to
+  size_t line = 0, column = 0;
+  bool is_mutex = false;        // util::Mutex
+  bool is_shared_mutex = false; // util::SharedMutex
+  bool is_raw_mutex = false;    // std::mutex / std::shared_mutex
+  bool is_atomic = false;
+  bool is_cv = false;
+  bool is_thread_vec = false;
+  bool is_const = false;
+  bool is_static = false;
+  std::vector<std::string> type_idents;  // identifiers in the declared type
+
+  bool IsAnyMutex() const {
+    return is_mutex || is_shared_mutex || is_raw_mutex;
+  }
+};
+
+struct Annotation {
+  std::string macro;
+  size_t args_begin = 0, args_end = 0;  // token range inside the parens
+  size_t line = 0, column = 0;
+};
+
+struct ClassInfo;
+
+struct MethodDecl {
+  std::string name;
+  size_t line = 0, column = 0;
+  const ScannedFile* file = nullptr;
+  bool is_public = false;
+  bool is_ctor = false, is_dtor = false;
+  bool no_analysis = false;
+  bool has_empty_acquire = false;
+  size_t empty_acquire_line = 0, empty_acquire_column = 0;
+  std::vector<std::string> requires_caps;  // member names from REQUIRES[_SHARED]
+  std::vector<std::string> excludes_caps;  // member names from EXCLUDES
+  std::vector<std::string> acquires_caps;  // member names from ACQUIRE-family
+  const ScannedFile* body_file = nullptr;
+  size_t body_open = 0, body_close = 0;    // token indices of { and }
+  size_t params_open = 0, params_close = 0;
+};
+
+struct ClassInfo {
+  std::string qualified;  // Outer::Inner
+  std::string bare;
+  bool has_capability = false;
+  bool has_scoped_capability = false;
+  size_t line = 0;
+  const ScannedFile* file = nullptr;
+  std::vector<MemberVar> members;
+  std::vector<std::unique_ptr<MethodDecl>> methods;
+
+  MemberVar* FindMember(const std::string& n) {
+    for (auto& m : members) {
+      if (m.name == n) return &m;
+    }
+    return nullptr;
+  }
+  MethodDecl* FindMethod(const std::string& n) {
+    for (auto& m : methods) {
+      if (m->name == n) return m.get();
+    }
+    return nullptr;
+  }
+};
+
+struct Model {
+  std::vector<std::unique_ptr<ClassInfo>> classes;
+  std::map<std::string, ClassInfo*> by_qualified;
+  std::map<std::string, std::vector<ClassInfo*>> by_bare;
+
+  ClassInfo* UniqueBare(const std::string& n) const {
+    auto it = by_bare.find(n);
+    return (it != by_bare.end() && it->second.size() == 1) ? it->second[0]
+                                                           : nullptr;
+  }
+  /// Resolves a class that has an is_cv member with this name (any class —
+  /// used for receiver-qualified waits like `pool.cv.wait(...)`).
+  bool AnyClassHasCvMember(const std::string& n) const {
+    for (const auto& c : classes) {
+      for (const auto& m : c->members) {
+        if (m.is_cv && m.name == n) return true;
+      }
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Declaration parsing
+// ---------------------------------------------------------------------------
+
+size_t ParseClassDef(ScannedFile& f, size_t i, Model& model,
+                     const std::string& outer);
+
+/// Splits an annotation's argument token range on top-level commas and
+/// reduces each argument to its last identifier.
+std::vector<std::string> AnnotationArgs(const std::vector<Token>& t,
+                                        const Annotation& a) {
+  std::vector<std::string> out;
+  size_t start = a.args_begin;
+  int depth = 0;
+  for (size_t j = a.args_begin; j <= a.args_end && j < t.size(); ++j) {
+    const bool at_end = (j == a.args_end);
+    const std::string& x = t[j].text;
+    if (!at_end && t[j].kind == Token::kPunct) {
+      if (x == "(" || x == "[" || x == "{" || x == "<") ++depth;
+      if (x == ")" || x == "]" || x == "}" || x == ">") --depth;
+    }
+    if (at_end || (depth == 0 && x == ",")) {
+      const std::string id = LastIdent(t, start, j);
+      if (!id.empty()) out.push_back(id);
+      start = j + 1;
+    }
+  }
+  return out;
+}
+
+/// Parses one member statement of a class body starting at `i`. Returns the
+/// index just past the statement (past `;`, or past a member function body).
+size_t ParseMemberStatement(ScannedFile& f, size_t i, ClassInfo& cls,
+                            bool is_public) {
+  const std::vector<Token>& t = f.tokens;
+  const size_t start = i;
+  bool saw_eq = false;
+  bool no_analysis = false;
+  size_t func_name_idx = kNpos;
+  size_t params_open = kNpos, params_close = kNpos;
+  size_t body_open = kNpos, body_close = kNpos;
+  std::vector<Annotation> annotations;
+  size_t end = t.size();  // index of terminating ';' (or body close)
+
+  while (i < t.size()) {
+    const Token& tok = t[i];
+    if (tok.kind == Token::kIdent) {
+      if (tok.text == "NO_THREAD_SAFETY_ANALYSIS") no_analysis = true;
+      ++i;
+      continue;
+    }
+    if (tok.text == ";") {
+      end = i;
+      ++i;
+      break;
+    }
+    if (tok.text == "(") {
+      const size_t close = MatchParen(t, i);
+      if (close == kNpos) return t.size();
+      if (i > start && IsIdent(t, i - 1) &&
+          IsAnnotationMacro(t[i - 1].text)) {
+        annotations.push_back(
+            {t[i - 1].text, i + 1, close, t[i - 1].line, t[i - 1].column});
+      } else if (func_name_idx == kNpos && !saw_eq && i > start &&
+                 IsIdent(t, i - 1) && !IsKeyword(t[i - 1].text)) {
+        func_name_idx = i - 1;
+        params_open = i;
+        params_close = close;
+      }
+      i = close + 1;
+      continue;
+    }
+    if (tok.text == "<" && func_name_idx == kNpos && !saw_eq && i > start &&
+        IsIdent(t, i - 1)) {
+      const size_t close = MatchAngle(t, i);
+      if (close != kNpos) {
+        i = close + 1;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if (tok.text == "{") {
+      const std::string prev = (i > start) ? t[i - 1].text : "";
+      const bool body =
+          func_name_idx != kNpos &&
+          (prev == ")" || prev == "}" ||
+           (IsIdent(t, i - 1) && IsQualifierIdent(prev)));
+      if (body) {
+        body_open = i;
+        body_close = MatchBrace(t, i);
+        if (body_close == kNpos) return t.size();
+        end = body_close;
+        i = body_close + 1;
+        // Tolerate a trailing ';' after an inline body.
+        if (Is(t, i, ";")) ++i;
+        break;
+      }
+      const size_t close = MatchBrace(t, i);
+      if (close == kNpos) return t.size();
+      i = close + 1;
+      continue;
+    }
+    if (tok.text == "=") saw_eq = true;
+    ++i;
+  }
+
+  // Classify: any GUARDED_BY-style annotation wins as variable; otherwise a
+  // detected parameter list (or a function-only annotation) means function.
+  bool is_var_annot = false, is_func_annot = false;
+  for (const auto& a : annotations) {
+    if (a.macro == "GUARDED_BY" || a.macro == "PT_GUARDED_BY") {
+      is_var_annot = true;
+    } else if (a.macro != "CAPABILITY" && a.macro != "SCOPED_CAPABILITY") {
+      is_func_annot = true;
+    }
+  }
+
+  if (!is_var_annot && (func_name_idx != kNpos || is_func_annot)) {
+    if (func_name_idx == kNpos) return i;
+    auto m = std::make_unique<MethodDecl>();
+    m->name = t[func_name_idx].text;
+    if (m->name == "operator") return i;  // operators are never call targets
+    m->line = t[func_name_idx].line;
+    m->column = t[func_name_idx].column;
+    m->file = &f;
+    m->is_public = is_public;
+    m->is_ctor = (m->name == cls.bare);
+    m->is_dtor = (func_name_idx > start && t[func_name_idx - 1].text == "~");
+    m->no_analysis = no_analysis;
+    m->params_open = params_open;
+    m->params_close = params_close;
+    for (const auto& a : annotations) {
+      std::vector<std::string> args = AnnotationArgs(t, a);
+      if (a.macro == "REQUIRES" || a.macro == "REQUIRES_SHARED") {
+        m->requires_caps.insert(m->requires_caps.end(), args.begin(),
+                                args.end());
+      } else if (a.macro == "EXCLUDES") {
+        m->excludes_caps.insert(m->excludes_caps.end(), args.begin(),
+                                args.end());
+      } else if (a.macro == "ACQUIRE" || a.macro == "ACQUIRE_SHARED" ||
+                 a.macro == "RELEASE" || a.macro == "RELEASE_SHARED" ||
+                 a.macro == "RELEASE_GENERIC" || a.macro == "TRY_ACQUIRE" ||
+                 a.macro == "TRY_ACQUIRE_SHARED") {
+        if (a.macro == "TRY_ACQUIRE" || a.macro == "TRY_ACQUIRE_SHARED") {
+          // First argument is the success value, not a capability.
+          if (!args.empty()) args.erase(args.begin());
+        }
+        if (args.empty()) {
+          if (!m->has_empty_acquire) {
+            m->has_empty_acquire = true;
+            m->empty_acquire_line = a.line;
+            m->empty_acquire_column = a.column;
+          }
+        } else {
+          m->acquires_caps.insert(m->acquires_caps.end(), args.begin(),
+                                  args.end());
+        }
+      }
+    }
+    if (body_open != kNpos) {
+      m->body_file = &f;
+      m->body_open = body_open;
+      m->body_close = body_close;
+    }
+    cls.methods.push_back(std::move(m));
+    return i;
+  }
+
+  // Variable: name is the last depth-0 identifier before '=', an
+  // annotation, or the terminator.
+  MemberVar v;
+  std::vector<std::string> type_idents;
+  size_t j = start;
+  const size_t name_stop =
+      annotations.empty() ? end
+                          : std::min(end, annotations.front().args_begin - 2);
+  size_t name_idx = kNpos;
+  while (j < name_stop && j < t.size()) {
+    const Token& tok = t[j];
+    if (tok.text == "=" || tok.text == "{") break;
+    if (tok.text == "(") {
+      j = MatchParen(t, j);
+      if (j == kNpos) return i;
+      ++j;
+      continue;
+    }
+    if (tok.text == "<" && j > start && IsIdent(t, j - 1)) {
+      const size_t close = MatchAngle(t, j);
+      if (close != kNpos) {
+        // Template arguments still describe the type (vector<std::thread>).
+        for (size_t k = j + 1; k < close; ++k) {
+          if (t[k].kind == Token::kIdent) type_idents.push_back(t[k].text);
+        }
+        j = close + 1;
+        continue;
+      }
+    }
+    if (tok.kind == Token::kIdent && !IsAnnotationMacro(tok.text)) {
+      if (name_idx != kNpos) type_idents.push_back(t[name_idx].text);
+      name_idx = j;
+    }
+    ++j;
+  }
+  if (name_idx == kNpos) return i;
+  v.name = t[name_idx].text;
+  v.line = t[name_idx].line;
+  v.column = t[name_idx].column;
+  if (v.name == "using" || v.name == "typedef" || v.name == "friend") return i;
+  bool has_pointer = false;
+  for (size_t k = start; k < name_idx; ++k) {
+    if (t[k].text == "*") has_pointer = true;
+  }
+  for (const std::string& id : type_idents) {
+    if (id == "Mutex") v.is_mutex = true;
+    if (id == "SharedMutex") v.is_shared_mutex = true;
+    if (id == "mutex" || id == "shared_mutex" || id == "recursive_mutex") {
+      v.is_raw_mutex = true;
+    }
+    if (id.rfind("atomic", 0) == 0) v.is_atomic = true;
+    if (id.rfind("condition_variable", 0) == 0) v.is_cv = true;
+    if (id == "static") v.is_static = true;
+    if (id == "const" && !has_pointer) v.is_const = true;
+    if (id == "constexpr") v.is_const = true;
+  }
+  bool has_vector = false, has_thread = false;
+  for (const std::string& id : type_idents) {
+    if (id == "vector") has_vector = true;
+    if (id == "thread") has_thread = true;
+  }
+  v.is_thread_vec = has_vector && has_thread;
+  v.type_idents = type_idents;
+  for (const auto& a : annotations) {
+    if (a.macro == "GUARDED_BY" || a.macro == "PT_GUARDED_BY") {
+      v.guarded_by = LastIdent(t, a.args_begin, a.args_end);
+    }
+  }
+  cls.members.push_back(std::move(v));
+  return i;
+}
+
+/// Parses a class/struct definition whose class-key is at `i`; registers it
+/// (and nested classes, recursively) in the model. Returns the index past
+/// the definition.
+size_t ParseClassDef(ScannedFile& f, size_t i, Model& model,
+                     const std::string& outer) {
+  const std::vector<Token>& t = f.tokens;
+  const bool is_struct = t[i].text == "struct";
+  ++i;
+  auto cls = std::make_unique<ClassInfo>();
+  cls->file = &f;
+  // Header: attributes + name, until '{' (definition), ';' (forward decl)
+  // or ':' (base clause).
+  while (i < t.size()) {
+    const Token& tok = t[i];
+    if (tok.text == ";") return i + 1;  // forward declaration
+    if (tok.text == "{" || tok.text == ":") break;
+    if (tok.kind == Token::kIdent) {
+      if (tok.text == "CAPABILITY" || tok.text == "SCOPED_CAPABILITY") {
+        if (tok.text == "CAPABILITY") cls->has_capability = true;
+        if (tok.text == "SCOPED_CAPABILITY") cls->has_scoped_capability = true;
+        if (Is(t, i + 1, "(")) {
+          const size_t close = MatchParen(t, i + 1);
+          if (close == kNpos) return t.size();
+          i = close + 1;
+          continue;
+        }
+      } else if (tok.text != "final" && tok.text != "alignas") {
+        cls->bare = tok.text;
+        cls->line = tok.line;
+      }
+    }
+    if (tok.text == "[" && Is(t, i + 1, "[")) {
+      const size_t close = MatchBracket(t, i);
+      if (close == kNpos) return t.size();
+      i = close + 1;
+      continue;
+    }
+    ++i;
+  }
+  if (i >= t.size()) return t.size();
+  if (t[i].text == ":") {
+    // Base clause: skip to the body '{' (template args handled via angles).
+    while (i < t.size() && t[i].text != "{" && t[i].text != ";") {
+      if (t[i].text == "<" && IsIdent(t, i - 1)) {
+        const size_t close = MatchAngle(t, i);
+        if (close != kNpos) {
+          i = close + 1;
+          continue;
+        }
+      }
+      ++i;
+    }
+    if (i >= t.size() || t[i].text == ";") return i + 1;
+  }
+  const size_t body_open = i;
+  const size_t body_close = MatchBrace(t, body_open);
+  if (body_close == kNpos) return t.size();
+  if (cls->bare.empty()) return body_close + 1;  // anonymous — skip
+  cls->qualified = outer.empty() ? cls->bare : outer + "::" + cls->bare;
+
+  // Body walk: access labels, nested types, member statements.
+  bool is_public = is_struct;
+  i = body_open + 1;
+  while (i < body_close) {
+    const Token& tok = t[i];
+    if (tok.kind == Token::kIdent &&
+        (tok.text == "public" || tok.text == "private" ||
+         tok.text == "protected") &&
+        Is(t, i + 1, ":")) {
+      is_public = (tok.text == "public");
+      i += 2;
+      continue;
+    }
+    if (tok.kind == Token::kIdent &&
+        (tok.text == "class" || tok.text == "struct") &&
+        !(i > 0 && t[i - 1].text == "friend") &&
+        !(i > 0 && t[i - 1].text == "enum")) {
+      i = ParseClassDef(f, i, model, cls->qualified);
+      if (Is(t, i, ";")) ++i;
+      continue;
+    }
+    if (tok.kind == Token::kIdent && tok.text == "enum") {
+      while (i < body_close && t[i].text != "{" && t[i].text != ";") ++i;
+      if (i < body_close && t[i].text == "{") i = MatchBrace(t, i);
+      while (i < body_close && t[i].text != ";") ++i;
+      ++i;
+      continue;
+    }
+    if (tok.kind == Token::kIdent &&
+        (tok.text == "using" || tok.text == "typedef" ||
+         tok.text == "friend" || tok.text == "static_assert")) {
+      while (i < body_close && t[i].text != ";") {
+        if (t[i].text == "(") {
+          const size_t c = MatchParen(t, i);
+          if (c == kNpos || c > body_close) break;
+          i = c;
+        }
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    if (tok.kind == Token::kIdent && tok.text == "template" &&
+        Is(t, i + 1, "<")) {
+      const size_t close = MatchAngle(t, i + 1);
+      i = (close == kNpos) ? i + 1 : close + 1;
+      continue;
+    }
+    if (tok.text == ";") {
+      ++i;
+      continue;
+    }
+    i = ParseMemberStatement(f, i, *cls, is_public);
+  }
+
+  ClassInfo* raw = cls.get();
+  model.by_qualified[raw->qualified] = raw;
+  model.by_bare[raw->bare].push_back(raw);
+  model.classes.push_back(std::move(cls));
+  return body_close + 1;
+}
+
+/// Pass 1 over a file: find every class/struct definition at any scope.
+void ParseClasses(ScannedFile& f, Model& model) {
+  const std::vector<Token>& t = f.tokens;
+  size_t i = 0;
+  while (i < t.size()) {
+    if (t[i].kind == Token::kIdent &&
+        (t[i].text == "class" || t[i].text == "struct") &&
+        !(i > 0 && (t[i - 1].text == "enum" || t[i - 1].text == "friend" ||
+                    t[i - 1].text == "<" || t[i - 1].text == ","))) {
+      // Only definitions register; forward decls fall through quickly.
+      i = ParseClassDef(f, i, model, "");
+      continue;
+    }
+    if (t[i].kind == Token::kIdent && t[i].text == "template" &&
+        Is(t, i + 1, "<")) {
+      const size_t close = MatchAngle(t, i + 1);
+      i = (close == kNpos) ? i + 1 : close + 1;
+      continue;
+    }
+    ++i;
+  }
+}
+
+/// Pass 2 over a file: attach out-of-line method definitions
+/// (`Class::Method(...) ... {`) to their declarations.
+void AttachOutOfLineBodies(ScannedFile& f, Model& model) {
+  const std::vector<Token>& t = f.tokens;
+  size_t i = 0;
+  while (i + 2 < t.size()) {
+    if (!(t[i].kind == Token::kIdent && Is(t, i + 1, "::"))) {
+      ++i;
+      continue;
+    }
+    // Token before the chain must look like a definition head, not an
+    // expression (rules out `return Foo::Bar(...)`, `x = Foo::Bar(...)`).
+    if (i > 0) {
+      const Token& p = t[i - 1];
+      const bool ok =
+          (p.kind == Token::kPunct &&
+           (p.text == ";" || p.text == "}" || p.text == "{" ||
+            p.text == "*" || p.text == "&" || p.text == ">")) ||
+          (p.kind == Token::kIdent && !IsKeyword(p.text) &&
+           !IsAnnotationMacro(p.text));
+      if (!ok) {
+        ++i;
+        continue;
+      }
+    }
+    // Collect the qualified chain: A::B::...::name or A::~A.
+    std::vector<std::string> segs;
+    size_t j = i;
+    bool dtor = false;
+    while (IsIdent(t, j) && Is(t, j + 1, "::")) {
+      segs.push_back(t[j].text);
+      j += 2;
+      if (Is(t, j, "~")) {
+        dtor = true;
+        ++j;
+      }
+    }
+    if (segs.empty() || !IsIdent(t, j) || !Is(t, j + 1, "(")) {
+      ++i;
+      continue;
+    }
+    const std::string method_name = t[j].text;
+    // Resolve the class from the chain: longest qualified suffix first.
+    ClassInfo* cls = nullptr;
+    std::string joined;
+    for (const std::string& s : segs) {
+      joined += (joined.empty() ? "" : "::") + s;
+    }
+    auto q = model.by_qualified.find(joined);
+    if (q != model.by_qualified.end()) {
+      cls = q->second;
+    } else {
+      cls = model.UniqueBare(segs.back());
+    }
+    if (cls == nullptr || method_name == "operator") {
+      ++i;
+      continue;
+    }
+    const size_t params_open = j + 1;
+    const size_t params_close = MatchParen(t, params_open);
+    if (params_close == kNpos) {
+      ++i;
+      continue;
+    }
+    // Scan qualifiers / ctor-init-list until the body '{' or a ';'.
+    size_t k = params_close + 1;
+    size_t body_open = kNpos;
+    while (k < t.size()) {
+      const std::string& x = t[k].text;
+      if (x == ";") break;
+      if (x == "(") {
+        const size_t c = MatchParen(t, k);
+        if (c == kNpos) break;
+        k = c + 1;
+        continue;
+      }
+      if (x == "{") {
+        const std::string prev = t[k - 1].text;
+        const bool body = prev == ")" || prev == "}" ||
+                          (IsIdent(t, k - 1) && IsQualifierIdent(prev)) ||
+                          prev == ":" || prev == ",";
+        if (body && !(IsIdent(t, k - 1) && !IsQualifierIdent(prev))) {
+          body_open = k;
+          break;
+        }
+        const size_t c = MatchBrace(t, k);
+        if (c == kNpos) break;
+        k = c + 1;
+        continue;
+      }
+      ++k;
+    }
+    if (body_open == kNpos) {
+      i = params_close + 1;
+      continue;
+    }
+    const size_t body_close = MatchBrace(t, body_open);
+    if (body_close == kNpos) return;
+    MethodDecl* decl =
+        dtor ? cls->FindMethod("~" + method_name) : cls->FindMethod(method_name);
+    if (decl == nullptr && dtor) decl = cls->FindMethod(method_name);
+    if (decl == nullptr) {
+      auto m = std::make_unique<MethodDecl>();
+      m->name = method_name;
+      m->line = t[j].line;
+      m->column = t[j].column;
+      m->file = &f;
+      m->is_ctor = (!dtor && method_name == cls->bare);
+      m->is_dtor = dtor;
+      decl = m.get();
+      cls->methods.push_back(std::move(m));
+    }
+    if (decl->body_file == nullptr) {
+      decl->body_file = &f;
+      decl->body_open = body_open;
+      decl->body_close = body_close;
+      decl->params_open = params_open;
+      decl->params_close = params_close;
+    }
+    i = body_close + 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Body analysis  (implemented below Checker)
+// ---------------------------------------------------------------------------
+
+struct Site {
+  const ScannedFile* file = nullptr;
+  size_t line = 0, column = 0;
+};
+
+struct AcqEvent {
+  std::string node;  // "Class::member"; empty when unresolved
+  std::vector<std::string> held;
+  Site site;
+};
+
+struct CallEvent {
+  std::vector<std::string> callees;  // method keys "Class::name"
+  std::vector<std::string> held;
+  Site site;
+};
+
+struct BodyInfo {
+  ClassInfo* cls = nullptr;
+  MethodDecl* decl = nullptr;  // null for lambdas
+  std::string method_key;      // "Class::name" (methods only)
+  std::set<std::string> direct;
+  std::vector<AcqEvent> acqs;
+  std::vector<CallEvent> calls;
+};
+
+bool IsMutator(const std::string& s) {
+  static const std::set<std::string> m = {
+      "push_back", "pop_back",     "push_front", "pop_front", "emplace_back",
+      "emplace_front", "emplace",  "insert",     "erase",     "clear",
+      "resize",    "assign",       "reset",      "swap"};
+  return m.count(s) > 0;
+}
+
+bool IsLockClassName(const std::string& s) {
+  return s == "MutexLock" || s == "WriterMutexLock" ||
+         s == "ReaderMutexLock" || s == "lock_guard" || s == "unique_lock" ||
+         s == "scoped_lock" || s == "shared_lock";
+}
+
+/// Splits a node "Outer::Inner::member" into the class part and member name.
+void SplitNode(const std::string& node, std::string* cls, std::string* member) {
+  const size_t at = node.rfind("::");
+  if (at == std::string::npos) {
+    cls->clear();
+    *member = node;
+  } else {
+    *cls = node.substr(0, at);
+    *member = node.substr(at + 2);
+  }
+}
+
+class Checker {
+ public:
+  explicit Checker(std::vector<ScannedFile>* files) : files_(files) {}
+
+  std::vector<Diagnostic> Run() {
+    for (auto& f : *files_) ParseClasses(f, model_);
+    for (auto& f : *files_) AttachOutOfLineBodies(f, model_);
+    CheckAcquireWithoutCapability();
+    AnalyzeAllBodies();
+    CheckLockOrder();
+    CheckExcludesMissing();
+    return std::move(diags_);
+  }
+
+ private:
+  void Diag(const ScannedFile* f, size_t line, size_t column, Severity sev,
+            const std::string& id, const std::string& msg) {
+    auto it = f->suppressions.find(line);
+    if (it != f->suppressions.end() && it->second.count(id) > 0) return;
+    Diagnostic d;
+    d.file = f->path;
+    d.line = line;
+    d.column = column;
+    d.severity = sev;
+    d.check_id = id;
+    d.message = msg;
+    diags_.push_back(std::move(d));
+  }
+
+  ClassInfo* ResolveTypeClass(const MemberVar& m) {
+    for (auto it = m.type_idents.rbegin(); it != m.type_idents.rend(); ++it) {
+      if (ClassInfo* c = model_.UniqueBare(*it)) return c;
+    }
+    return nullptr;
+  }
+
+  /// Resolves a lock-construction argument (token range, parens stripped) to
+  /// a node "Class::member". Empty string when unresolvable.
+  std::string ResolveLockExpr(ClassInfo* cls,
+                              const std::map<std::string, ClassInfo*>& locals,
+                              const ScannedFile& f, size_t begin, size_t end) {
+    const std::vector<Token>& t = f.tokens;
+    std::vector<std::string> chain;  // identifiers joined by . -> ::
+    for (size_t j = begin; j < end && j < t.size(); ++j) {
+      if (t[j].kind == Token::kIdent && t[j].text != "this") {
+        chain.push_back(t[j].text);
+      }
+    }
+    if (chain.empty()) return "";
+    const std::string& member = chain.back();
+    if (chain.size() == 1) {
+      if (cls != nullptr && cls->FindMember(member) != nullptr) {
+        return cls->qualified + "::" + member;
+      }
+    } else {
+      const std::string& recv = chain[chain.size() - 2];
+      ClassInfo* k = nullptr;
+      auto lit = locals.find(recv);
+      if (lit != locals.end()) k = lit->second;
+      if (k == nullptr && cls != nullptr) {
+        if (MemberVar* rm = cls->FindMember(recv)) k = ResolveTypeClass(*rm);
+      }
+      if (k != nullptr && k->FindMember(member) != nullptr) {
+        return k->qualified + "::" + member;
+      }
+    }
+    // Fallback: a unique mutex member with this name anywhere in the model.
+    ClassInfo* only = nullptr;
+    int count = 0;
+    for (const auto& c : model_.classes) {
+      for (const auto& m : c->members) {
+        if (m.name == member && m.IsAnyMutex()) {
+          ++count;
+          only = c.get();
+        }
+      }
+    }
+    if (count == 1) return only->qualified + "::" + member;
+    return "";
+  }
+
+  void AnalyzeAllBodies() {
+    for (const auto& cls : model_.classes) {
+      for (const auto& method : cls->methods) {
+        if (method->body_file == nullptr || method->no_analysis) continue;
+        auto body = std::make_unique<BodyInfo>();
+        body->cls = cls.get();
+        body->decl = method.get();
+        body->method_key = cls->qualified + "::" + method->name;
+        BodyInfo* out = body.get();
+        bodies_.push_back(std::move(body));
+        std::vector<std::string> seed;
+        for (const std::string& r : method->requires_caps) {
+          if (cls->FindMember(r) != nullptr) {
+            seed.push_back(cls->qualified + "::" + r);
+          }
+        }
+        std::map<std::string, ClassInfo*> locals;
+        std::set<std::string> thread_vec_locals;
+        // Parameters of known class types become typed locals.
+        const std::vector<Token>& t = method->body_file->tokens;
+        if (method->params_open != 0 || method->params_close != 0) {
+          for (size_t j = method->params_open + 1;
+               j + 1 < method->params_close && j < t.size(); ++j) {
+            if (t[j].kind != Token::kIdent) continue;
+            ClassInfo* k = model_.UniqueBare(t[j].text);
+            if (k == nullptr) continue;
+            size_t p = j + 1;
+            while (p < method->params_close &&
+                   (t[p].text == "&" || t[p].text == "*" ||
+                    t[p].text == "const")) {
+              ++p;
+            }
+            if (IsIdent(t, p)) locals[t[p].text] = k;
+          }
+        }
+        AnalyzeBody(cls.get(), method->body_file, method->body_open,
+                    method->body_close, /*async=*/false, seed, locals,
+                    thread_vec_locals, out);
+      }
+    }
+  }
+
+  void AnalyzeBody(ClassInfo* cls, const ScannedFile* f, size_t open,
+                   size_t close, bool async,
+                   const std::vector<std::string>& seed_held,
+                   std::map<std::string, ClassInfo*> locals,
+                   std::set<std::string> thread_vec_locals, BodyInfo* out) {
+    const std::vector<Token>& t = f->tokens;
+    struct LockScope {
+      std::string node;
+      int depth;
+    };
+    struct ParenCtx {
+      std::string name, recv;
+      bool std_thread = false;
+    };
+    std::vector<LockScope> lock_stack;
+    std::vector<int> loop_depths;
+    std::vector<ParenCtx> parens;
+    bool pending_loop = false;
+    int depth = 0;
+
+    auto held_now = [&]() {
+      std::vector<std::string> h(seed_held);
+      for (const auto& ls : lock_stack) {
+        if (!ls.node.empty()) h.push_back(ls.node);
+      }
+      return h;
+    };
+
+    size_t i = open + 1;
+    while (i < close) {
+      const Token& tok = t[i];
+      if (tok.kind == Token::kPunct) {
+        const std::string& x = tok.text;
+        if (x == "{") {
+          ++depth;
+          if (pending_loop) {
+            loop_depths.push_back(depth);
+            pending_loop = false;
+          }
+          ++i;
+          continue;
+        }
+        if (x == "}") {
+          while (!lock_stack.empty() && lock_stack.back().depth == depth) {
+            lock_stack.pop_back();
+          }
+          if (!loop_depths.empty() && loop_depths.back() == depth) {
+            loop_depths.pop_back();
+          }
+          --depth;
+          ++i;
+          continue;
+        }
+        if (x == ";") {
+          pending_loop = false;
+          ++i;
+          continue;
+        }
+        if (x == "(") {
+          ParenCtx ctx;
+          if (i > open && IsIdent(t, i - 1) && !IsKeyword(t[i - 1].text)) {
+            ctx.name = t[i - 1].text;
+            if (i >= open + 3 &&
+                (t[i - 2].text == "." || t[i - 2].text == "->") &&
+                IsIdent(t, i - 3)) {
+              ctx.recv = t[i - 3].text;
+            }
+            if (ctx.name == "thread" && i >= open + 3 &&
+                t[i - 2].text == "::" && t[i - 3].text == "std") {
+              ctx.std_thread = true;
+            }
+          }
+          parens.push_back(ctx);
+          ++i;
+          continue;
+        }
+        if (x == ")") {
+          if (!parens.empty()) parens.pop_back();
+          ++i;
+          continue;
+        }
+        if (x == "[") {
+          if (Is(t, i + 1, "[")) {  // [[attribute]]
+            const size_t c = MatchBracket(t, i);
+            i = (c == kNpos) ? i + 1 : c + 1;
+            continue;
+          }
+          const bool subscript =
+              i > open && (IsIdent(t, i - 1) || t[i - 1].text == "]" ||
+                           t[i - 1].text == ")");
+          if (!subscript) {
+            // Lambda candidate: [caps](params)quals { body }
+            const size_t cb = MatchBracket(t, i);
+            if (cb != kNpos && cb < close) {
+              size_t k = cb + 1;
+              if (Is(t, k, "(")) {
+                const size_t pc = MatchParen(t, k);
+                if (pc == kNpos || pc > close) {
+                  ++i;
+                  continue;
+                }
+                k = pc + 1;
+              }
+              size_t lb = kNpos;
+              while (k < close) {
+                const std::string& y = t[k].text;
+                if (y == "{") {
+                  lb = k;
+                  break;
+                }
+                if (y == ";" || y == ")" || y == ",") break;
+                if (y == "(") {
+                  const size_t pc = MatchParen(t, k);
+                  if (pc == kNpos) break;
+                  k = pc + 1;
+                  continue;
+                }
+                ++k;
+              }
+              if (lb != kNpos) {
+                const size_t lb_close = MatchBrace(t, lb);
+                if (lb_close != kNpos && lb_close <= close) {
+                  bool lam_async = false;
+                  if (!parens.empty()) {
+                    const ParenCtx& c0 = parens.back();
+                    if (c0.name == "Submit" || c0.std_thread) lam_async = true;
+                    if ((c0.name == "emplace_back" ||
+                         c0.name == "push_back") &&
+                        !c0.recv.empty()) {
+                      MemberVar* mv =
+                          cls ? cls->FindMember(c0.recv) : nullptr;
+                      if ((mv != nullptr && mv->is_thread_vec) ||
+                          thread_vec_locals.count(c0.recv) > 0) {
+                        lam_async = true;
+                      }
+                    }
+                  }
+                  auto sub = std::make_unique<BodyInfo>();
+                  sub->cls = cls;
+                  sub->method_key = out->method_key + "::<lambda:" +
+                                    std::to_string(t[i].line) + ">";
+                  BodyInfo* subp = sub.get();
+                  bodies_.push_back(std::move(sub));
+                  AnalyzeBody(cls, f, lb, lb_close, async || lam_async, {},
+                              locals, thread_vec_locals, subp);
+                  i = lb_close + 1;
+                  continue;
+                }
+              }
+            }
+          }
+          ++i;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (tok.kind != Token::kIdent) {
+        ++i;
+        continue;
+      }
+      const std::string& id = tok.text;
+      if (id == "while" || id == "for") {
+        // Skip the condition/header so its semicolons cannot clear the
+        // pending-loop flag before the body begins.
+        pending_loop = true;
+        if (Is(t, i + 1, "(")) {
+          const size_t c = MatchParen(t, i + 1);
+          if (c != kNpos && c < close) {
+            i = c + 1;
+            continue;
+          }
+        }
+        ++i;
+        continue;
+      }
+      if (id == "do") {
+        pending_loop = true;
+        ++i;
+        continue;
+      }
+      if (IsLockClassName(id)) {
+        size_t k = i + 1;
+        if (Is(t, k, "<")) {
+          const size_t c = MatchAngle(t, k);
+          if (c == kNpos) {
+            ++i;
+            continue;
+          }
+          k = c + 1;
+        }
+        if (IsIdent(t, k) && (Is(t, k + 1, "(") || Is(t, k + 1, "{"))) {
+          const bool brace = Is(t, k + 1, "{");
+          const size_t argo = k + 1;
+          const size_t argc =
+              brace ? MatchBrace(t, argo) : MatchParen(t, argo);
+          if (argc != kNpos && argc <= close) {
+            size_t arg_end = argc;
+            int d2 = 0;
+            for (size_t a = argo + 1; a < argc; ++a) {
+              const std::string& ax = t[a].text;
+              if (t[a].kind != Token::kPunct) continue;
+              if (ax == "(" || ax == "[" || ax == "{") ++d2;
+              if (ax == ")" || ax == "]" || ax == "}") --d2;
+              if (ax == "," && d2 == 0) {
+                arg_end = a;
+                break;
+              }
+            }
+            const std::string node =
+                ResolveLockExpr(cls, locals, *f, argo + 1, arg_end);
+            AcqEvent ev;
+            ev.node = node;
+            ev.held = held_now();
+            ev.site = {f, t[i].line, t[i].column};
+            out->acqs.push_back(ev);
+            if (!node.empty()) out->direct.insert(node);
+            lock_stack.push_back({node, depth});
+            i = argc + 1;
+            continue;
+          }
+        }
+        ++i;
+        continue;
+      }
+      if ((id == "wait" || id == "wait_for" || id == "wait_until") &&
+          i >= open + 3 && (t[i - 1].text == "." || t[i - 1].text == "->") &&
+          IsIdent(t, i - 2) && Is(t, i + 1, "(") &&
+          model_.AnyClassHasCvMember(t[i - 2].text)) {
+        const size_t argo = i + 1;
+        const size_t argc = MatchParen(t, argo);
+        if (argc != kNpos && argc <= close) {
+          size_t nargs = (argc == argo + 1) ? 0 : 1;
+          int d2 = 0;
+          for (size_t a = argo + 1; a < argc; ++a) {
+            const std::string& ax = t[a].text;
+            if (t[a].kind != Token::kPunct) continue;
+            if (ax == "(" || ax == "[" || ax == "{") ++d2;
+            if (ax == ")" || ax == "]" || ax == "}") --d2;
+            if (ax == "," && d2 == 0) ++nargs;
+          }
+          const bool in_loop = !loop_depths.empty() || pending_loop;
+          const size_t need = (id == "wait") ? 2 : 3;
+          if (nargs < need && !in_loop) {
+            Diag(f, t[i - 2].line, t[i - 2].column, Severity::kError,
+                 "cv-wait-no-predicate",
+                 "condition-variable wait on '" + t[i - 2].text +
+                     "' has no predicate and is not inside a loop; a "
+                     "spurious wakeup proceeds with the condition unchecked");
+          }
+          i = argc + 1;
+          continue;
+        }
+      }
+      const bool qualified_prev =
+          i > open && (t[i - 1].text == "." || t[i - 1].text == "->" ||
+                       t[i - 1].text == "::");
+      // Member write detection.
+      if (cls != nullptr && !qualified_prev) {
+        MemberVar* mv = cls->FindMember(id);
+        if (mv != nullptr && !mv->is_static && !mv->is_atomic &&
+            !mv->IsAnyMutex() && !mv->is_cv && !mv->is_const) {
+          bool write = false;
+          if (i + 1 < close && t[i + 1].kind == Token::kPunct) {
+            const std::string& nxt = t[i + 1].text;
+            if (nxt == "=" ||
+                (nxt.size() >= 2 && nxt.back() == '=' && nxt != "==" &&
+                 nxt != "!=" && nxt != "<=" && nxt != ">=")) {
+              write = true;
+            }
+            if (nxt == "++" || nxt == "--") write = true;
+            if ((nxt == "." || nxt == "->") && IsIdent(t, i + 2) &&
+                Is(t, i + 3, "(") && IsMutator(t[i + 2].text)) {
+              write = true;
+            }
+          }
+          if (i > open && (t[i - 1].text == "++" || t[i - 1].text == "--")) {
+            write = true;
+          }
+          if (write && mv->guarded_by.empty()) {
+            const std::vector<std::string> held = held_now();
+            if (async && held.empty()) {
+              Diag(f, tok.line, tok.column, Severity::kError,
+                   "unguarded-async-write",
+                   "member '" + mv->name + "' of '" + cls->qualified +
+                       "' is written from a detached task (thread-pool or "
+                       "dispatcher-thread lambda) without holding any mutex "
+                       "and has no guarding capability");
+            } else {
+              for (const std::string& h : held) {
+                std::string hc, hm;
+                SplitNode(h, &hc, &hm);
+                if (hc != cls->qualified) continue;
+                MemberVar* lm = cls->FindMember(hm);
+                if (lm == nullptr || !lm->IsAnyMutex()) continue;
+                const std::string key = cls->qualified + "::" + mv->name;
+                if (guarded_by_reported_.insert(key).second) {
+                  Diag(cls->file, mv->line, mv->column, Severity::kError,
+                       "guarded-by-missing",
+                       "member '" + mv->name + "' of '" + cls->qualified +
+                           "' is written under '" + h + "' (at " + f->path +
+                           ":" + std::to_string(tok.line) +
+                           ") but has no GUARDED_BY annotation");
+                }
+                break;
+              }
+            }
+          }
+        }
+      }
+      // Typed locals (for receiver resolution) and thread-vector locals.
+      if (!qualified_prev) {
+        if (ClassInfo* k = model_.UniqueBare(id)) {
+          size_t p = i + 1;
+          if (Is(t, p, "<")) {
+            const size_t c = MatchAngle(t, p);
+            if (c != kNpos) p = c + 1;
+          }
+          while (p < close && (t[p].text == "&" || t[p].text == "*" ||
+                               t[p].text == "const")) {
+            ++p;
+          }
+          if (IsIdent(t, p) && p + 1 < close) {
+            const std::string& after = t[p + 1].text;
+            if (after == "=" || after == ";" || after == "(" ||
+                after == "{" || after == ",") {
+              locals[t[p].text] = k;
+            }
+          }
+        }
+        if (id == "vector" && Is(t, i + 1, "<")) {
+          const size_t c = MatchAngle(t, i + 1);
+          if (c != kNpos && c + 1 < close) {
+            bool has_thread = false;
+            for (size_t a = i + 2; a < c; ++a) {
+              if (t[a].text == "thread") has_thread = true;
+            }
+            if (has_thread && IsIdent(t, c + 1)) {
+              thread_vec_locals.insert(t[c + 1].text);
+            }
+          }
+        }
+      }
+      // Call events feeding the lock-order graph.
+      if (Is(t, i + 1, "(") && !IsKeyword(id) && !IsAnnotationMacro(id) &&
+          !(i > open && t[i - 1].text == "::")) {
+        std::vector<std::string> callees;
+        if (i > open && (t[i - 1].text == "." || t[i - 1].text == "->")) {
+          if (IsIdent(t, i - 2)) {
+            const std::string& recv = t[i - 2].text;
+            ClassInfo* k = nullptr;
+            auto lit = locals.find(recv);
+            if (lit != locals.end()) k = lit->second;
+            if (k == nullptr && cls != nullptr) {
+              if (MemberVar* rm = cls->FindMember(recv)) {
+                k = ResolveTypeClass(*rm);
+              }
+            }
+            if (k != nullptr && k->FindMethod(id) != nullptr) {
+              callees.push_back(k->qualified + "::" + id);
+            }
+            if (callees.empty()) {
+              ClassInfo* only = nullptr;
+              int count = 0;
+              for (const auto& c2 : model_.classes) {
+                if (c2->FindMethod(id) != nullptr) {
+                  ++count;
+                  only = c2.get();
+                }
+              }
+              if (count == 1) callees.push_back(only->qualified + "::" + id);
+            }
+          }
+        } else if (cls != nullptr && cls->FindMethod(id) != nullptr) {
+          callees.push_back(cls->qualified + "::" + id);
+        }
+        if (!callees.empty()) {
+          out->calls.push_back(
+              {callees, held_now(), {f, tok.line, tok.column}});
+        }
+      }
+      ++i;
+    }
+  }
+
+  void CheckAcquireWithoutCapability() {
+    for (const auto& c : model_.classes) {
+      if (c->has_capability || c->has_scoped_capability) continue;
+      for (const auto& m : c->methods) {
+        if (!m->has_empty_acquire) continue;
+        Diag(m->file, m->empty_acquire_line, m->empty_acquire_column,
+             Severity::kError, "acquire-without-capability",
+             "method '" + c->qualified + "::" + m->name +
+                 "' has an acquire/release annotation with no capability "
+                 "argument, but '" + c->qualified +
+                 "' is not declared CAPABILITY or SCOPED_CAPABILITY, so the "
+                 "annotation binds to nothing");
+      }
+    }
+  }
+
+  void CheckLockOrder() {
+    // Fixpoint of may-acquire over the call graph (lambdas contribute their
+    // own events but never propagate into their enclosing method: the body
+    // runs later, on another thread's stack).
+    std::map<std::string, std::set<std::string>> may;
+    for (const auto& b : bodies_) {
+      if (b->decl == nullptr) continue;
+      may[b->method_key].insert(b->direct.begin(), b->direct.end());
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& b : bodies_) {
+        if (b->decl == nullptr) continue;
+        std::set<std::string>& mine = may[b->method_key];
+        for (const CallEvent& c : b->calls) {
+          for (const std::string& callee : c.callees) {
+            auto it = may.find(callee);
+            if (it == may.end()) continue;
+            for (const std::string& n : it->second) {
+              if (mine.insert(n).second) changed = true;
+            }
+          }
+        }
+      }
+    }
+    std::map<std::pair<std::string, std::string>, Site> edges;
+    for (const auto& b : bodies_) {
+      for (const AcqEvent& e : b->acqs) {
+        if (e.node.empty()) continue;
+        for (const std::string& h : e.held) {
+          edges.emplace(std::make_pair(h, e.node), e.site);
+        }
+      }
+      for (const CallEvent& c : b->calls) {
+        if (c.held.empty()) continue;
+        for (const std::string& callee : c.callees) {
+          auto it = may.find(callee);
+          if (it == may.end()) continue;
+          for (const std::string& n : it->second) {
+            for (const std::string& h : c.held) {
+              edges.emplace(std::make_pair(h, n), c.site);
+            }
+          }
+        }
+      }
+    }
+    // Tarjan SCC (iterative) over the edge graph.
+    std::map<std::string, std::vector<std::string>> adj;
+    std::set<std::string> nodes;
+    for (const auto& [e, s] : edges) {
+      adj[e.first].push_back(e.second);
+      nodes.insert(e.first);
+      nodes.insert(e.second);
+    }
+    std::map<std::string, int> index, low;
+    std::map<std::string, bool> on_stack;
+    std::vector<std::string> stack;
+    std::vector<std::vector<std::string>> sccs;
+    int counter = 0;
+    for (const std::string& start : nodes) {
+      if (index.count(start) > 0) continue;
+      std::vector<std::pair<std::string, size_t>> frames;
+      frames.emplace_back(start, 0);
+      index[start] = low[start] = counter++;
+      stack.push_back(start);
+      on_stack[start] = true;
+      while (!frames.empty()) {
+        const std::string v = frames.back().first;
+        std::vector<std::string>& children = adj[v];
+        if (frames.back().second < children.size()) {
+          const std::string w = children[frames.back().second++];
+          if (index.count(w) == 0) {
+            index[w] = low[w] = counter++;
+            stack.push_back(w);
+            on_stack[w] = true;
+            frames.emplace_back(w, 0);
+          } else if (on_stack[w]) {
+            low[v] = std::min(low[v], index[w]);
+          }
+        } else {
+          if (low[v] == index[v]) {
+            std::vector<std::string> scc;
+            while (true) {
+              const std::string w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              scc.push_back(w);
+              if (w == v) break;
+            }
+            sccs.push_back(std::move(scc));
+          }
+          frames.pop_back();
+          if (!frames.empty()) {
+            low[frames.back().first] = std::min(low[frames.back().first],
+                                                low[v]);
+          }
+        }
+      }
+    }
+    for (std::vector<std::string>& scc : sccs) {
+      const bool self_loop =
+          scc.size() == 1 &&
+          edges.count(std::make_pair(scc[0], scc[0])) > 0;
+      if (scc.size() < 2 && !self_loop) continue;
+      std::sort(scc.begin(), scc.end());
+      const std::set<std::string> in_scc(scc.begin(), scc.end());
+      std::string desc;
+      const Site* anchor = nullptr;
+      for (const auto& [e, s] : edges) {
+        if (in_scc.count(e.first) == 0 || in_scc.count(e.second) == 0) {
+          continue;
+        }
+        if (!desc.empty()) desc += ", ";
+        desc += e.first + " -> " + e.second + " (" + s.file->path + ":" +
+                std::to_string(s.line) + ")";
+        if (anchor == nullptr) anchor = &s;
+      }
+      if (anchor == nullptr) continue;
+      Diag(anchor->file, anchor->line, anchor->column, Severity::kError,
+           "lock-order-cycle",
+           "lock-order cycle (potential deadlock): " + desc);
+    }
+  }
+
+  void CheckExcludesMissing() {
+    for (const auto& b : bodies_) {
+      const MethodDecl* d = b->decl;
+      if (d == nullptr || !d->is_public || d->is_ctor || d->is_dtor ||
+          d->no_analysis) {
+        continue;
+      }
+      for (const std::string& node : b->direct) {
+        std::string nc, nm;
+        SplitNode(node, &nc, &nm);
+        if (nc != b->cls->qualified) continue;
+        MemberVar* m = b->cls->FindMember(nm);
+        if (m == nullptr || !m->IsAnyMutex()) continue;
+        auto has = [&nm](const std::vector<std::string>& v) {
+          return std::find(v.begin(), v.end(), nm) != v.end();
+        };
+        if (has(d->requires_caps) || has(d->excludes_caps) ||
+            has(d->acquires_caps)) {
+          continue;
+        }
+        Diag(d->file, d->line, d->column, Severity::kWarning,
+             "excludes-missing",
+             "public method '" + b->method_key + "' acquires '" + node +
+                 "' but is not annotated EXCLUDES(" + nm +
+                 "); a caller already holding the lock would deadlock "
+                 "silently");
+      }
+    }
+  }
+
+  std::vector<ScannedFile>* files_;
+  Model model_;
+  std::vector<std::unique_ptr<BodyInfo>> bodies_;
+  std::vector<Diagnostic> diags_;
+  std::set<std::string> guarded_by_reported_;
+};
+
+}  // namespace
+
+bool LockcheckResult::HasErrors() const { return lint::HasErrors(diagnostics); }
+
+std::string LockcheckResult::FormatDiagnostics() const {
+  return lint::FormatDiagnostics(diagnostics);
+}
+
+LockcheckResult RunLockcheck(const std::vector<SourceFile>& files) {
+  std::vector<ScannedFile> scanned;
+  scanned.reserve(files.size());
+  for (const SourceFile& f : files) scanned.push_back(Lex(f));
+  Checker checker(&scanned);
+  LockcheckResult result;
+  result.diagnostics = checker.Run();
+  // Whole-program passes have no meaningful emission order: canonicalize
+  // outright (column is the same-line tiebreaker, never printed).
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.column, a.check_id,
+                              a.message) <
+                     std::tie(b.file, b.line, b.column, b.check_id, b.message);
+            });
+  result.diagnostics.erase(
+      std::unique(result.diagnostics.begin(), result.diagnostics.end(),
+                  [](const Diagnostic& a, const Diagnostic& b) {
+                    return a.file == b.file && a.line == b.line &&
+                           a.check_id == b.check_id && a.message == b.message;
+                  }),
+      result.diagnostics.end());
+  return result;
+}
+
+}  // namespace fnproxy::analysis

@@ -274,11 +274,12 @@ class FunctionProxy final : public net::HttpHandler {
   FunctionProxy(ProxyConfig config, const TemplateRegistry* templates,
                 net::SimulatedChannel* origin, util::SimulatedClock* clock);
 
-  net::HttpResponse Handle(const net::HttpRequest& request) override;
+  net::HttpResponse Handle(const net::HttpRequest& request) override
+      EXCLUDES(records_mu_);
 
   /// Consistent snapshot of the statistics (single pass over the atomics
   /// plus one lock acquisition for the per-query records).
-  ProxyStats stats() const;
+  ProxyStats stats() const EXCLUDES(records_mu_);
   const CacheStore& cache() const { return *cache_; }
   const ProxyConfig& config() const { return config_; }
   const net::CircuitBreaker& breaker() const { return *breaker_; }

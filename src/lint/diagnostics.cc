@@ -1,0 +1,74 @@
+#include "lint/diagnostics.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace fnproxy::lint {
+
+const char* SeverityName(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = file;
+  out += ":";
+  out += std::to_string(line);
+  out += ": ";
+  out += SeverityName(severity);
+  out += " [";
+  out += check_id;
+  out += "] ";
+  out += message;
+  return out;
+}
+
+void StabilizeDiagnosticOrder(std::vector<Diagnostic>& diagnostics) {
+  // Group key: first appearance index of each distinct file:line, so sorting
+  // by (group, column, ...) reorders only within a line and keeps the
+  // checker's cross-line emission order (which golden tests pin) intact.
+  std::map<std::pair<std::string, size_t>, size_t> group_of;
+  std::vector<size_t> groups;
+  groups.reserve(diagnostics.size());
+  for (const Diagnostic& d : diagnostics) {
+    auto [it, inserted] =
+        group_of.try_emplace({d.file, d.line}, group_of.size());
+    (void)inserted;
+    groups.push_back(it->second);
+  }
+  std::vector<size_t> order(diagnostics.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const Diagnostic& da = diagnostics[a];
+    const Diagnostic& db = diagnostics[b];
+    return std::make_tuple(groups[a], da.column, da.check_id,
+                           da.severity == Severity::kError ? 0 : 1,
+                           da.message) <
+           std::make_tuple(groups[b], db.column, db.check_id,
+                           db.severity == Severity::kError ? 0 : 1,
+                           db.message);
+  });
+  std::vector<Diagnostic> sorted;
+  sorted.reserve(diagnostics.size());
+  for (size_t i : order) sorted.push_back(std::move(diagnostics[i]));
+  diagnostics = std::move(sorted);
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    if (!out.empty()) out += "\n";
+    out += d.ToString();
+  }
+  return out;
+}
+
+}  // namespace fnproxy::lint

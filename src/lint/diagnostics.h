@@ -1,0 +1,55 @@
+#ifndef FNPROXY_LINT_DIAGNOSTICS_H_
+#define FNPROXY_LINT_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+namespace fnproxy::lint {
+
+/// Shared diagnostic plumbing for the repo's static checkers. Both
+/// `fnproxy_lint` (template files, src/lint) and `fnproxy_lockcheck`
+/// (C++ concurrency discipline, src/analysis) emit the same wire contract:
+///
+///   file:line: severity [check-id] message
+///
+/// one diagnostic per line, exit 1 on any error (with --werror, warnings
+/// fail too). See docs/FORMATS.md §9 (lint) and §12 (lockcheck).
+enum class Severity { kWarning, kError };
+
+const char* SeverityName(Severity severity);
+
+struct Diagnostic {
+  std::string file;
+  /// 1-based line of the element the finding anchors to; 0 when the finding
+  /// concerns the file as a whole.
+  size_t line = 0;
+  /// 1-based column of the anchor within its line; 0 when unknown. Never
+  /// printed — it is the tie-break key that makes the emission order of
+  /// multiple findings on one line deterministic (see
+  /// StabilizeDiagnosticOrder).
+  size_t column = 0;
+  Severity severity = Severity::kError;
+  std::string check_id;
+  std::string message;
+
+  /// "file:line: severity [check-id] message" (docs/FORMATS.md §9).
+  std::string ToString() const;
+};
+
+/// Orders findings that share a file:line by (column, check-id, severity,
+/// message) while leaving the relative order of findings on *different*
+/// lines untouched. Checkers emit in analysis-pass order, which is stable
+/// across runs but — for several findings anchored to one line — used to
+/// depend on container iteration details that differ between standard
+/// libraries; golden tests need one canonical order on every compiler.
+void StabilizeDiagnosticOrder(std::vector<Diagnostic>& diagnostics);
+
+/// True when any diagnostic has error severity.
+bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+
+/// Diagnostics joined with newlines (empty string when the list is empty).
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace fnproxy::lint
+
+#endif  // FNPROXY_LINT_DIAGNOSTICS_H_

@@ -20,37 +20,10 @@
 
 namespace fnproxy::lint {
 
-const char* SeverityName(Severity severity) {
-  return severity == Severity::kError ? "error" : "warning";
-}
-
-std::string Diagnostic::ToString() const {
-  std::string out = file;
-  out += ":";
-  out += std::to_string(line);
-  out += ": ";
-  out += SeverityName(severity);
-  out += " [";
-  out += check_id;
-  out += "] ";
-  out += message;
-  return out;
-}
-
-bool LintResult::HasErrors() const {
-  for (const Diagnostic& d : diagnostics) {
-    if (d.severity == Severity::kError) return true;
-  }
-  return false;
-}
+bool LintResult::HasErrors() const { return lint::HasErrors(diagnostics); }
 
 std::string LintResult::FormatDiagnostics() const {
-  std::string out;
-  for (const Diagnostic& d : diagnostics) {
-    if (!out.empty()) out += "\n";
-    out += d.ToString();
-  }
-  return out;
+  return lint::FormatDiagnostics(diagnostics);
 }
 
 namespace {
@@ -76,6 +49,15 @@ class Locator {
                    std::count(text_.begin(), text_.begin() + offset, '\n'));
   }
 
+  /// 1-based column of `offset` within its line.
+  size_t ColumnOfOffset(size_t offset) const {
+    offset = std::min(offset, text_.size());
+    size_t line_start = text_.rfind('\n', offset == 0 ? 0 : offset - 1);
+    if (offset == 0 || line_start == std::string_view::npos) line_start = 0;
+    else ++line_start;
+    return offset - line_start + 1;
+  }
+
   /// Byte offset of the (skip+1)-th occurrence of the open tag `<tag` at or
   /// after `from`, or npos.
   size_t FindTag(std::string_view tag, size_t from, size_t skip = 0) const {
@@ -99,6 +81,18 @@ class Locator {
   std::string_view text_;
 };
 
+/// Line + column a diagnostic anchors to. Implicitly constructible from a
+/// bare line number (column unknown) so whole-template findings can keep
+/// passing `start_line`.
+struct Anchor {
+  size_t line = 0;
+  size_t column = 0;
+
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Anchor(size_t l) : line(l) {}
+  Anchor(size_t l, size_t c) : line(l), column(c) {}
+};
+
 /// One template element being linted: its byte range in the file plus the
 /// diagnostic sink.
 struct TemplateContext {
@@ -108,32 +102,35 @@ struct TemplateContext {
   size_t end = 0;
   std::vector<Diagnostic>* diags = nullptr;
 
-  /// Line of the (skip+1)-th `<tag` inside this template; falls back to the
-  /// template's first line when the tag cannot be re-found in the raw text.
-  size_t TagLine(std::string_view tag, size_t skip = 0) const {
+  /// Anchor of the (skip+1)-th `<tag` inside this template; falls back to
+  /// the template's first line when the tag cannot be re-found in the raw
+  /// text. The column feeds the deterministic same-line ordering of
+  /// StabilizeDiagnosticOrder; it is never printed.
+  Anchor TagLine(std::string_view tag, size_t skip = 0) const {
     size_t pos = loc->FindTag(tag, start, skip);
     if (pos == std::string_view::npos || pos >= end) {
-      return loc->LineOfOffset(start);
+      return Anchor(loc->LineOfOffset(start));
     }
-    return loc->LineOfOffset(pos);
+    return Anchor(loc->LineOfOffset(pos), loc->ColumnOfOffset(pos));
   }
 
   void Add(Severity severity, std::string check_id, std::string message,
-           size_t line) const {
+           Anchor anchor) const {
     Diagnostic d;
     d.file = *path;
-    d.line = line;
+    d.line = anchor.line;
+    d.column = anchor.column;
     d.severity = severity;
     d.check_id = std::move(check_id);
     d.message = std::move(message);
     diags->push_back(std::move(d));
   }
 
-  void Error(std::string check_id, std::string message, size_t line) const {
-    Add(Severity::kError, std::move(check_id), std::move(message), line);
+  void Error(std::string check_id, std::string message, Anchor anchor) const {
+    Add(Severity::kError, std::move(check_id), std::move(message), anchor);
   }
-  void Warn(std::string check_id, std::string message, size_t line) const {
-    Add(Severity::kWarning, std::move(check_id), std::move(message), line);
+  void Warn(std::string check_id, std::string message, Anchor anchor) const {
+    Add(Severity::kWarning, std::move(check_id), std::move(message), anchor);
   }
 };
 
@@ -227,7 +224,7 @@ struct GeometryExprScope {
                               size_t tag_skip) const {
     util::StatusOr<std::unique_ptr<Expr>> parsed =
         sql::ParseExpression(Trimmed(text));
-    size_t line = ctx.TagLine(tag, tag_skip);
+    const Anchor line = ctx.TagLine(tag, tag_skip);
     if (!parsed.ok()) {
       ctx.Error("parse-error",
                 "cannot parse <" + std::string(tag) +
@@ -353,7 +350,7 @@ void LintFunctionTemplate(const XmlElement& elem, const TemplateContext& ctx,
     for (const XmlElement* p : ListChildren(*params_elem)) {
       std::string text = Trimmed(p->text());
       if (!text.empty() && text[0] == '$') text.erase(0, 1);
-      size_t line = ctx.TagLine("P", index);
+      const Anchor line = ctx.TagLine("P", index);
       if (text.empty()) {
         ctx.Error("parse-error", "empty parameter name in <Params>", line);
       } else if (!declared.insert(text).second) {
@@ -515,7 +512,7 @@ void LintFunctionTemplate(const XmlElement& elem, const TemplateContext& ctx,
         for (const XmlElement* h : ListChildren(*halfspaces)) {
           const XmlElement* normal = h->FindChild("Normal");
           const XmlElement* offset = h->FindChild("Offset");
-          size_t line = ctx.TagLine("H", h_index);
+          const Anchor line = ctx.TagLine("H", h_index);
           if (normal == nullptr || offset == nullptr) {
             ctx.Error("parse-error",
                       "halfspace needs both <Normal> and <Offset>", line);
@@ -598,7 +595,7 @@ void LintTemplateInfo(const XmlElement& elem, const TemplateContext& ctx,
               start_line);
     return;
   }
-  const size_t query_line = ctx.TagLine("QueryTemplate");
+  const Anchor query_line = ctx.TagLine("QueryTemplate");
 
   util::StatusOr<sql::SelectStatement> stmt =
       sql::ParseSelect(Trimmed(query->text()));
@@ -761,6 +758,10 @@ LintResult LintTemplateFile(const std::string& path,
       LintTemplateInfo(*item.elem, ctx, arities);
     }
   }
+  // Several findings can anchor to one line (e.g. a parameter list on a
+  // single line); canonicalize their relative order so the printed stream —
+  // and the golden tests pinning it — are identical on every compiler.
+  StabilizeDiagnosticOrder(result.diagnostics);
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "lint/diagnostics.h"
+
 namespace fnproxy::lint {
 
 /// Static analysis of template files — the registration-time counterpart of
@@ -42,23 +44,8 @@ namespace fnproxy::lint {
 ///                           infinitesimally-perturbed twins) produce
 ///                           pairwise disjoint regions — no containment or
 ///                           overlap cache hit can ever occur
-enum class Severity { kWarning, kError };
-
-const char* SeverityName(Severity severity);
-
-struct Diagnostic {
-  std::string file;
-  /// 1-based line of the element the finding anchors to; 0 when the finding
-  /// concerns the file as a whole.
-  size_t line = 0;
-  Severity severity = Severity::kError;
-  std::string check_id;
-  std::string message;
-
-  /// "file:line: severity [check-id] message" (docs/FORMATS.md §9).
-  std::string ToString() const;
-};
-
+/// Severity / Diagnostic live in lint/diagnostics.h, shared with the
+/// concurrency checker in src/analysis.
 struct LintResult {
   std::vector<Diagnostic> diagnostics;
 

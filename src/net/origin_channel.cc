@@ -106,7 +106,7 @@ OriginChannel::OriginChannel(SimulatedChannel* channel,
 
 OriginChannel::~OriginChannel() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
@@ -121,7 +121,7 @@ std::future<HttpResponse> OriginChannel::RoundTripAsync(
   std::future<HttpResponse> future = pending.promise.get_future();
   async_requests_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     queue_.push_back(std::move(pending));
   }
   cv_.notify_one();
@@ -140,8 +140,12 @@ void OriginChannel::DispatchLoop() {
   for (;;) {
     std::vector<Pending> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      // Explicit wait loop (not the predicate overload) so the thread-safety
+      // analysis sees the guarded members read with mu_ held.
+      while (!shutdown_ && queue_.empty()) {
+        cv_.wait(lock);
+      }
       if (queue_.empty()) return;  // shutdown_ and fully drained.
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();

@@ -6,12 +6,13 @@
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/http.h"
 #include "net/network.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fnproxy::net {
 
@@ -58,7 +59,8 @@ class OriginChannel {
   /// SimulatedChannel::RoundTrip (0 = none); deadline-bearing requests are
   /// never batched, so their per-request budget accounting stays exact.
   std::future<HttpResponse> RoundTripAsync(HttpRequest request,
-                                           int64_t deadline_micros = 0);
+                                           int64_t deadline_micros = 0)
+      EXCLUDES(mu_);
 
   /// Synchronous convenience: dispatch directly on the caller's thread,
   /// bypassing the queue (used when async pipelining is disabled).
@@ -90,7 +92,7 @@ class OriginChannel {
     std::promise<HttpResponse> promise;
   };
 
-  void DispatchLoop();
+  void DispatchLoop() EXCLUDES(mu_);
   bool Batchable(const Pending& pending) const;
   /// Sends `batch` (size >= 2) as one /sql/batch wire request and fulfills
   /// every member's promise. Falls back to solo dispatch when the origin
@@ -100,10 +102,10 @@ class OriginChannel {
   SimulatedChannel* channel_;
   const OriginChannelOptions options_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;
-  bool shutdown_ = false;
+  util::Mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<Pending> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> dispatchers_;
 
   std::atomic<bool> batch_supported_{true};

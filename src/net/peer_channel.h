@@ -20,6 +20,12 @@ namespace fnproxy::net {
 /// success). NoteGarbage lets the caller demote a 200 whose body failed to
 /// parse, so a faulty peer serving garbage trips the breaker just like one
 /// that drops connections.
+///
+/// Concurrency contract: PeerChannel owns no mutex. Its mutable state is
+/// the two relaxed atomic counters below plus the CircuitBreaker, which
+/// synchronizes internally (its own mu_, every public method EXCLUDES it),
+/// so any worker thread may call Allow/RoundTrip/NoteGarbage concurrently
+/// and nothing here can participate in a lock-order cycle.
 class PeerChannel {
  public:
   /// `channel` and `clock` must outlive the PeerChannel.

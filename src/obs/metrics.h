@@ -163,12 +163,12 @@ class MetricsRegistry {
   /// Renders every instrument in Prometheus text exposition format
   /// (version 0.0.4): one `# HELP` / `# TYPE` header per family, then one
   /// sample line per series (histograms expand to _bucket/_sum/_count).
-  std::string RenderPrometheus() const;
+  std::string RenderPrometheus() const EXCLUDES(mu_);
 
   /// Frozen copies of every histogram whose family name equals `name`
   /// (empty = all histograms), in registration order.
   std::vector<HistogramExport> ExportHistograms(
-      std::string_view name = {}) const;
+      std::string_view name = {}) const EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram, kCallback };

@@ -1,0 +1,106 @@
+#include "util/lock_order.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace fnproxy::util {
+namespace {
+
+struct HeldEntry {
+  const void* mutex;
+  const char* name;
+};
+
+/// Per-thread acquisition stack. A plain vector: scopes nest, and
+/// out-of-order releases are handled by removing the deepest match.
+thread_local std::vector<HeldEntry> t_held;
+
+/// Guards g_edges. A raw std::mutex (never a util::Mutex — the hooks would
+/// recurse). The table is a leaked function-local so the validator works
+/// during static destruction of late global mutexes.
+std::mutex g_mu;
+
+using EdgeKey = std::pair<const void*, const void*>;  // (earlier, later)
+
+std::map<EdgeKey, const char*>& Edges() {
+  static auto* edges = new std::map<EdgeKey, const char*>();
+  return *edges;
+}
+
+std::atomic<size_t> g_violations{0};
+std::atomic<LockOrderValidator::ViolationHandler> g_handler{nullptr};
+
+void ReportAndAbort(const char* held_name, const char* acquired_name) {
+  std::fprintf(stderr,
+               "fnproxy LockOrderValidator: lock-order inversion — '%s' "
+               "acquired while '%s' is held, but the opposite order was "
+               "observed earlier; this pair can deadlock.\n",
+               acquired_name, held_name);
+  std::abort();
+}
+
+}  // namespace
+
+void LockOrderValidator::OnAcquire(const void* mutex, const char* name) {
+  if (name == nullptr) name = "unnamed";
+  if (!t_held.empty()) {
+    // Collect violations under the table lock, fire handlers outside it.
+    std::vector<std::pair<const char*, const char*>> violations;
+    {
+      std::lock_guard<std::mutex> lock(g_mu);
+      auto& edges = Edges();
+      for (const HeldEntry& held : t_held) {
+        if (held.mutex == mutex) continue;  // re-entry is Clang TSA's job
+        if (edges.count({mutex, held.mutex}) > 0) {
+          violations.emplace_back(held.name, name);
+          continue;
+        }
+        edges.emplace(EdgeKey{held.mutex, mutex}, name);
+      }
+    }
+    for (const auto& [held_name, acquired_name] : violations) {
+      g_violations.fetch_add(1, std::memory_order_relaxed);
+      ViolationHandler handler = g_handler.load(std::memory_order_acquire);
+      (handler != nullptr ? handler : &ReportAndAbort)(held_name,
+                                                       acquired_name);
+    }
+  }
+  t_held.push_back({mutex, name});
+}
+
+void LockOrderValidator::OnRelease(const void* mutex) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LockOrderValidator::OnDestroy(const void* mutex) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto& edges = Edges();
+  for (auto it = edges.begin(); it != edges.end();) {
+    if (it->first.first == mutex || it->first.second == mutex) {
+      it = edges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+LockOrderValidator::ViolationHandler LockOrderValidator::SetViolationHandler(
+    ViolationHandler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+size_t LockOrderValidator::violation_count() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+}  // namespace fnproxy::util

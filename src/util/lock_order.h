@@ -1,0 +1,62 @@
+#ifndef FNPROXY_UTIL_LOCK_ORDER_H_
+#define FNPROXY_UTIL_LOCK_ORDER_H_
+
+#include <cstddef>
+
+namespace fnproxy::util {
+
+/// Debug-only runtime complement of tools/fnproxy_lockcheck's static
+/// lock-order graph: per-thread acquisition stacks plus a global table of
+/// first-seen pairwise acquisition directions, keyed by mutex *instance*.
+/// Acquiring B while holding A records the edge A-before-B the first time;
+/// a later acquisition of A while holding B is an inversion — the exact
+/// interleaving-independent witness of a potential deadlock — and fires the
+/// violation handler (default: report to stderr and abort, so TSan soaks
+/// and debug runs die at the first inversion instead of deadlocking once a
+/// decade).
+///
+/// The hooks in util::Mutex / util::SharedMutex are compiled in only when
+/// FNPROXY_LOCK_ORDER_VALIDATOR is defined (CMake option of the same name,
+/// default OFF; the TSan CI job turns it on). Release builds carry zero
+/// overhead — no name field, no thread-local, no global table. This class
+/// itself always compiles so the engine is unit-testable without the flag.
+///
+/// Engine cost when enabled: acquisitions with an empty held stack (the
+/// overwhelmingly common case under the repo's no-nested-own-locks
+/// convention) touch only the thread-local vector; nested acquisitions take
+/// one global std::mutex around the edge table.
+class LockOrderValidator {
+ public:
+  /// Called on an inversion with the instance names involved: `held_name`
+  /// was on the stack while `acquired_name` was acquired against the
+  /// recorded order. Names are the labels passed to OnAcquire ("unnamed"
+  /// when none). Must not re-enter the validator.
+  using ViolationHandler = void (*)(const char* held_name,
+                                    const char* acquired_name);
+
+  /// Records that `mutex` was acquired by this thread. `name` labels the
+  /// instance in reports; it must outlive the mutex (pass a literal) and
+  /// may be null.
+  static void OnAcquire(const void* mutex, const char* name);
+
+  /// Records that `mutex` was released by this thread (out-of-order release
+  /// is fine: the deepest matching stack entry is removed).
+  static void OnRelease(const void* mutex);
+
+  /// Purges every recorded edge touching `mutex`. Must be called when a
+  /// validated mutex is destroyed, or a recycled address would inherit a
+  /// dead mutex's ordering constraints.
+  static void OnDestroy(const void* mutex);
+
+  /// Replaces the violation handler, returning the previous one (null means
+  /// the built-in report-and-abort handler). Tests install a counting
+  /// handler so inversions can be asserted without dying.
+  static ViolationHandler SetViolationHandler(ViolationHandler handler);
+
+  /// Total inversions observed since process start (across all threads).
+  static size_t violation_count();
+};
+
+}  // namespace fnproxy::util
+
+#endif  // FNPROXY_UTIL_LOCK_ORDER_H_

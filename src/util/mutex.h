@@ -6,6 +6,10 @@
 
 #include "util/thread_annotations.h"
 
+#if defined(FNPROXY_LOCK_ORDER_VALIDATOR)
+#include "util/lock_order.h"
+#endif
+
 namespace fnproxy::util {
 
 /// Capability-annotated wrappers over the standard mutexes. Clang's
@@ -25,12 +29,40 @@ class CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if defined(FNPROXY_LOCK_ORDER_VALIDATOR)
+  /// Names the instance in LockOrderValidator reports. `name` must outlive
+  /// the mutex — pass a string literal.
+  explicit Mutex(const char* name) : name_(name) {}
+  ~Mutex() { LockOrderValidator::OnDestroy(this); }
+
+  void lock() ACQUIRE() {
+    mu_.lock();
+    LockOrderValidator::OnAcquire(this, name_);
+  }
+  void unlock() RELEASE() {
+    LockOrderValidator::OnRelease(this);
+    mu_.unlock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    if (acquired) LockOrderValidator::OnAcquire(this, name_);
+    return acquired;
+  }
+#else
+  /// The instance name only matters to the lock-order validator; without it
+  /// the constructor is a no-op so call sites need no #ifdef.
+  explicit Mutex(const char* /*name*/) {}
+
   void lock() ACQUIRE() { mu_.lock(); }
   void unlock() RELEASE() { mu_.unlock(); }
   bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif
 
  private:
   std::mutex mu_;
+#if defined(FNPROXY_LOCK_ORDER_VALIDATOR)
+  const char* name_ = nullptr;
+#endif
 };
 
 /// Reader–writer capability (wraps std::shared_mutex).
@@ -40,6 +72,41 @@ class CAPABILITY("shared_mutex") SharedMutex {
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
+#if defined(FNPROXY_LOCK_ORDER_VALIDATOR)
+  /// See Mutex(const char*). Shared (reader) acquisitions participate in
+  /// order tracking too: reader/writer inversions deadlock just the same.
+  explicit SharedMutex(const char* name) : name_(name) {}
+  ~SharedMutex() { LockOrderValidator::OnDestroy(this); }
+
+  void lock() ACQUIRE() {
+    mu_.lock();
+    LockOrderValidator::OnAcquire(this, name_);
+  }
+  void unlock() RELEASE() {
+    LockOrderValidator::OnRelease(this);
+    mu_.unlock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    if (acquired) LockOrderValidator::OnAcquire(this, name_);
+    return acquired;
+  }
+  void lock_shared() ACQUIRE_SHARED() {
+    mu_.lock_shared();
+    LockOrderValidator::OnAcquire(this, name_);
+  }
+  void unlock_shared() RELEASE_SHARED() {
+    LockOrderValidator::OnRelease(this);
+    mu_.unlock_shared();
+  }
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    const bool acquired = mu_.try_lock_shared();
+    if (acquired) LockOrderValidator::OnAcquire(this, name_);
+    return acquired;
+  }
+#else
+  explicit SharedMutex(const char* /*name*/) {}
+
   void lock() ACQUIRE() { mu_.lock(); }
   void unlock() RELEASE() { mu_.unlock(); }
   bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
@@ -48,9 +115,13 @@ class CAPABILITY("shared_mutex") SharedMutex {
   bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
     return mu_.try_lock_shared();
   }
+#endif
 
  private:
   std::shared_mutex mu_;
+#if defined(FNPROXY_LOCK_ORDER_VALIDATOR)
+  const char* name_ = nullptr;
+#endif
 };
 
 /// Scoped exclusive lock on a Mutex (std::lock_guard replacement the

@@ -60,7 +60,10 @@ ProxyTier::ProxyTier(const ProxyTierOptions& options,
     worker_pools_.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       auto pool = std::make_unique<WorkerPool>();
-      pool->free = options_.proxy_workers;
+      {
+        util::MutexLock lock(pool->mu);
+        pool->free = options_.proxy_workers;
+      }
       worker_pools_.push_back(std::move(pool));
     }
   }
@@ -86,13 +89,17 @@ net::HttpResponse ProxyTier::Handle(const net::HttpRequest& request) {
   // full tier cannot deadlock on its own peer lookups.
   WorkerPool& pool = *worker_pools_[index];
   {
-    std::unique_lock<std::mutex> lock(pool.mu);
-    pool.cv.wait(lock, [&pool] { return pool.free > 0; });
+    util::MutexLock lock(pool.mu);
+    // Explicit wait loop so the thread-safety analysis sees `free` read
+    // with the pool mutex held.
+    while (pool.free == 0) {
+      pool.cv.wait(lock);
+    }
     --pool.free;
   }
   net::HttpResponse response = proxies_[index]->Handle(request);
   {
-    std::lock_guard<std::mutex> lock(pool.mu);
+    util::MutexLock lock(pool.mu);
     ++pool.free;
   }
   pool.cv.notify_one();

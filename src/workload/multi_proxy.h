@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +18,8 @@
 #include "net/peer_channel.h"
 #include "obs/metrics.h"
 #include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "workload/concurrent_driver.h"
 #include "workload/experiment.h"
 #include "workload/trace.h"
@@ -119,9 +120,9 @@ class ProxyTier final : public net::HttpHandler {
 
   /// Counting semaphore for the per-proxy worker pool (wall-clock).
   struct WorkerPool {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t free = 0;
+    util::Mutex mu;
+    std::condition_variable_any cv;
+    size_t free GUARDED_BY(mu) = 0;
   };
   std::vector<std::unique_ptr<WorkerPool>> worker_pools_;
 };

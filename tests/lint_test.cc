@@ -81,9 +81,9 @@ TEST(LintDiagnosticTest, ToStringFormat) {
 TEST(LintDiagnosticTest, HasErrorsDistinguishesSeverity) {
   LintResult result;
   EXPECT_FALSE(result.HasErrors());
-  result.diagnostics.push_back({"f", 1, Severity::kWarning, "x", "m"});
+  result.diagnostics.push_back({"f", 1, 0, Severity::kWarning, "x", "m"});
   EXPECT_FALSE(result.HasErrors());
-  result.diagnostics.push_back({"f", 1, Severity::kError, "x", "m"});
+  result.diagnostics.push_back({"f", 1, 0, Severity::kError, "x", "m"});
   EXPECT_TRUE(result.HasErrors());
 }
 

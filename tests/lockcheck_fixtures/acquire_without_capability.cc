@@ -1,0 +1,15 @@
+// Fixture: an ACQUIRE() annotation with no capability argument on a type
+// that is neither CAPABILITY nor SCOPED_CAPABILITY — the annotation binds
+// to `this`, which names no capability, so it is silently meaningless.
+// Scanned by lockcheck_test, never compiled.
+#include "util/thread_annotations.h"
+
+namespace demo {
+
+class Gate {
+ public:
+  void Enter() ACQUIRE();
+  void Leave();
+};
+
+}  // namespace demo

@@ -1,0 +1,44 @@
+// Fixture: the reference locking discipline — every guarded member
+// annotated, public entry points EXCLUDES, private helpers REQUIRES, waits
+// in predicate loops. Must produce zero diagnostics. Scanned by
+// lockcheck_test, never compiled.
+#include <condition_variable>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace demo {
+
+class Worker {
+ public:
+  void Push(int v) EXCLUDES(mu_);
+  int Pop() EXCLUDES(mu_);
+
+ private:
+  void Drain() REQUIRES(mu_);
+
+  util::Mutex mu_;
+  std::condition_variable_any cv_;
+  std::vector<int> items_ GUARDED_BY(mu_);
+};
+
+void Worker::Push(int v) {
+  util::MutexLock lock(mu_);
+  items_.push_back(v);
+  cv_.notify_one();
+}
+
+int Worker::Pop() {
+  util::MutexLock lock(mu_);
+  while (items_.empty()) {
+    cv_.wait(lock);
+  }
+  int v = items_.back();
+  items_.pop_back();
+  return v;
+}
+
+void Worker::Drain() { items_.clear(); }
+
+}  // namespace demo

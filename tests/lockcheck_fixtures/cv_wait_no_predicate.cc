@@ -1,0 +1,26 @@
+// Fixture: a condition-variable wait with no predicate argument and no
+// enclosing loop — a spurious wakeup proceeds with the condition unchecked.
+// Scanned by lockcheck_test, never compiled.
+#include <condition_variable>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace demo {
+
+class Queue {
+ public:
+  void WaitNotEmpty() EXCLUDES(mu_);
+
+ private:
+  util::Mutex mu_;
+  std::condition_variable_any cv_;
+  int depth_ GUARDED_BY(mu_) = 0;
+};
+
+void Queue::WaitNotEmpty() {
+  util::MutexLock lock(mu_);
+  cv_.wait(lock);
+}
+
+}  // namespace demo

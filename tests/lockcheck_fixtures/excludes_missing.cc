@@ -1,0 +1,23 @@
+// Fixture: a public entry point takes its own mutex but is not annotated
+// EXCLUDES(mu_), so a caller already holding the lock deadlocks silently
+// instead of failing the build. Scanned by lockcheck_test, never compiled.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace demo {
+
+class Registry {
+ public:
+  void Add(int v);
+
+ private:
+  util::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+void Registry::Add(int v) {
+  util::MutexLock lock(mu_);
+  count_ += v;
+}
+
+}  // namespace demo

@@ -1,0 +1,23 @@
+// Fixture: `total_` is written while Counter's own mutex is held but
+// carries no GUARDED_BY, so Clang's per-function pass cannot defend its
+// other access sites. Scanned by lockcheck_test, never compiled.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace demo {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_);
+
+ private:
+  util::Mutex mu_;
+  long total_ = 0;
+};
+
+void Counter::Increment() {
+  util::MutexLock lock(mu_);
+  total_ += 1;
+}
+
+}  // namespace demo

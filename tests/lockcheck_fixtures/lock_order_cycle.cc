@@ -1,0 +1,47 @@
+// Fixture: two components acquire each other's mutexes in opposite orders
+// through cross-component calls — the lock-order graph has the cycle
+// A::a_mu_ -> B::b_mu_ -> A::a_mu_. Scanned by lockcheck_test, never
+// compiled.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace demo {
+
+class B;
+
+class A {
+ public:
+  void Alpha() EXCLUDES(a_mu_);
+
+ private:
+  util::Mutex a_mu_;
+  int value_ GUARDED_BY(a_mu_) = 0;
+  B* peer_ = nullptr;
+};
+
+class B {
+ public:
+  void Beta() EXCLUDES(b_mu_);
+  void Gamma() EXCLUDES(b_mu_);
+
+ private:
+  util::Mutex b_mu_;
+  A* peer_ = nullptr;
+};
+
+void A::Alpha() {
+  util::MutexLock lock(a_mu_);
+  value_ = 1;
+  peer_->Beta();
+}
+
+void B::Beta() {
+  util::MutexLock lock(b_mu_);
+}
+
+void B::Gamma() {
+  util::MutexLock lock(b_mu_);
+  peer_->Alpha();
+}
+
+}  // namespace demo

@@ -1,0 +1,21 @@
+// Fixture: a non-atomic member is written inside a lambda handed to
+// ThreadPool::Submit without holding any mutex and without a guarding
+// capability. Scanned by lockcheck_test, never compiled.
+#include "util/thread_pool.h"
+
+namespace demo {
+
+class Publisher {
+ public:
+  void Start();
+
+ private:
+  util::ThreadPool* pool_ = nullptr;
+  long published_ = 0;
+};
+
+void Publisher::Start() {
+  pool_->Submit([this] { published_ += 1; });
+}
+
+}  // namespace demo

@@ -1,0 +1,112 @@
+// Command-line driver for the whole-program concurrency checker: scans the
+// given C++ files (directories recurse; only .h/.cc are taken), runs every
+// lockcheck pass over them as one program, and prints diagnostics in the
+// shared `file:line: severity [check-id] message` format (docs/FORMATS.md
+// §12). CI runs `fnproxy_lockcheck --werror src/`.
+//
+// Exit status: 0 clean, 1 findings (errors, or warnings under --werror),
+// 2 usage error or unreadable input.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lockcheck.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--werror] <file-or-directory>...\n"
+               "Runs the whole-program concurrency checks over C++ sources.\n"
+               "Directories are scanned recursively for .h/.cc files.\n",
+               argv0);
+  return 2;
+}
+
+bool IsSourcePath(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool werror = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return Usage(argv[0]);
+
+  std::vector<std::string> paths;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(input, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(input, ec)) {
+        if (entry.is_regular_file() && IsSourcePath(entry.path())) {
+          paths.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "cannot scan directory: %s\n", input.c_str());
+        return 2;
+      }
+    } else {
+      paths.push_back(input);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<fnproxy::analysis::SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    fnproxy::analysis::SourceFile f;
+    f.path = path;
+    if (!ReadFile(path, &f.content)) {
+      std::fprintf(stderr, "cannot read file: %s\n", path.c_str());
+      return 2;
+    }
+    files.push_back(std::move(f));
+  }
+
+  const fnproxy::analysis::LockcheckResult result =
+      fnproxy::analysis::RunLockcheck(files);
+
+  size_t errors = 0, warnings = 0;
+  for (const auto& d : result.diagnostics) {
+    std::printf("%s\n", d.ToString().c_str());
+    if (d.severity == fnproxy::lint::Severity::kError) {
+      ++errors;
+    } else {
+      ++warnings;
+    }
+  }
+  std::fprintf(stderr, "fnproxy_lockcheck: %zu file(s), %zu error(s), %zu warning(s)\n",
+               files.size(), errors, warnings);
+  if (errors > 0 || (werror && warnings > 0)) return 1;
+  return 0;
+}
