@@ -10,12 +10,21 @@
 //
 //   bench_columnar_scan [--layout=row|columnar|both] [--tuples=N]
 //                       [--radius=R] [--reps=K] [--smoke] [--json[=path]]
+//                       [--encoding=auto|raw|decimal|shuffle]
 //
 // --smoke shrinks the workload for CI (also verifies the two layouts emit
 // byte-identical XML). --json appends machine-readable records to
 // BENCH_results.json (see docs/FORMATS.md).
+//
+// The tier section freezes a photometric sky table (the paper's SDSS
+// workload shape: sequential ids, small imaging-run ints, 1e-3-quantized
+// magnitudes, a low-cardinality class column) through the storage layer and
+// reports the compression ratio plus scan-on-compressed cost next to the
+// raw scan. --encoding forces the double-column policy so individual
+// encodings are measurable; the default auto policy is what the proxy runs.
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -27,6 +36,8 @@
 #include "geometry/hypersphere.h"
 #include "sql/columnar.h"
 #include "sql/table_xml.h"
+#include "storage/segment.h"
+#include "util/arena.h"
 #include "util/random.h"
 #include "util/simd.h"
 
@@ -51,6 +62,52 @@ sql::Table MakeSkyTable(size_t rows, size_t first_id, util::Random* rng) {
                   sql::Value::Double(rng->NextDouble()),
                   sql::Value::Double(rng->NextDouble()),
                   sql::Value::Double(rng->NextDouble())});
+  }
+  return table;
+}
+
+/// The photometric catalog shape the proxy actually caches: identifiers and
+/// imaging-run metadata (small ints), scan-hot coordinates (view-prepared),
+/// magnitudes quantized to millimags by the pipeline, and a low-cardinality
+/// classification string.
+sql::Table MakePhotoTable(size_t rows, util::Random* rng) {
+  sql::Table table(sql::Schema({{"objID", sql::ValueType::kInt},
+                                {"run", sql::ValueType::kInt},
+                                {"camcol", sql::ValueType::kInt},
+                                {"field", sql::ValueType::kInt},
+                                {"type", sql::ValueType::kInt},
+                                {"flags", sql::ValueType::kInt},
+                                {"ra", sql::ValueType::kDouble},
+                                {"dec", sql::ValueType::kDouble},
+                                {"u", sql::ValueType::kDouble},
+                                {"g", sql::ValueType::kDouble},
+                                {"r", sql::ValueType::kDouble},
+                                {"i", sql::ValueType::kDouble},
+                                {"z", sql::ValueType::kDouble},
+                                {"class", sql::ValueType::kString}}));
+  const char* kClasses[4] = {"STAR", "GALAXY", "QSO", "UNKNOWN"};
+  auto mag = [&] {  // millimag-quantized magnitude, the survey's precision
+    return std::round(rng->NextDouble(14.0, 25.0) * 1000.0) / 1000.0;
+  };
+  for (size_t i = 0; i < rows; ++i) {
+    table.AddRow({sql::Value::Int(static_cast<int64_t>(1237650000000 + i)),
+                  sql::Value::Int(752 + static_cast<int64_t>(i / 4096)),
+                  sql::Value::Int(static_cast<int64_t>(
+                      rng->NextDouble(1, 6.999))),
+                  sql::Value::Int(static_cast<int64_t>(
+                      rng->NextDouble(11, 800))),
+                  sql::Value::Int(static_cast<int64_t>(
+                      rng->NextDouble(0, 9.999))),
+                  sql::Value::Int(static_cast<int64_t>(
+                                      rng->NextDouble(0, 255.999))
+                                  << 16),
+                  sql::Value::Double(rng->NextDouble(130, 230)),
+                  sql::Value::Double(rng->NextDouble(0, 60)),
+                  sql::Value::Double(mag()), sql::Value::Double(mag()),
+                  sql::Value::Double(mag()), sql::Value::Double(mag()),
+                  sql::Value::Double(mag()),
+                  sql::Value::String(kClasses[static_cast<size_t>(
+                      rng->NextDouble(0, 3.999))])});
   }
   return table;
 }
@@ -127,6 +184,7 @@ int main(int argc, char** argv) {
   double radius = 8.0;
   size_t reps = 5;
   bool smoke = false;
+  std::string encoding = "auto";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--layout=", 0) == 0) {
@@ -137,12 +195,27 @@ int main(int argc, char** argv) {
       radius = std::atof(arg.c_str() + 9);
     } else if (arg.rfind("--reps=", 0) == 0) {
       reps = static_cast<size_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--encoding=", 0) == 0) {
+      encoding = arg.substr(11);
     } else if (arg == "--smoke") {
       smoke = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 1;
     }
+  }
+  storage::DoubleEncodingPolicy double_policy;
+  if (encoding == "auto") {
+    double_policy = storage::DoubleEncodingPolicy::kAuto;
+  } else if (encoding == "raw") {
+    double_policy = storage::DoubleEncodingPolicy::kRaw;
+  } else if (encoding == "decimal") {
+    double_policy = storage::DoubleEncodingPolicy::kDecimal;
+  } else if (encoding == "shuffle") {
+    double_policy = storage::DoubleEncodingPolicy::kShuffle;
+  } else {
+    std::fprintf(stderr, "--encoding must be auto, raw, decimal or shuffle\n");
+    return 1;
   }
   if (smoke) {
     tuples = std::min<size_t>(tuples, 2000);
@@ -272,6 +345,137 @@ int main(int argc, char** argv) {
                   {{"rows", scanned}});
       json.Record("kernel_scan/simd_speedup", kernel_speedup, "x",
                   {{"rows", scanned}});
+    }
+  }
+  // Tier section: freeze the photometric catalog through the storage layer,
+  // verify losslessness, and measure compression plus scan-on-compressed
+  // cost (docs/STORAGE.md). The auto policy pins the view-prepared ra/dec
+  // columns raw, so the frozen scan reads the same zero-copy layout as the
+  // hot one; forced modes lift the pin to expose each encoding's decode
+  // cost.
+  {
+    util::Random photo_rng(11);
+    sql::Table photo_rows = MakePhotoTable(tuples, &photo_rng);
+    sql::ColumnarTable photo(photo_rows);
+    const size_t kRa = 6;
+    const size_t kDec = 7;
+    (void)photo.PrepareNumericView(kRa);
+    (void)photo.PrepareNumericView(kDec);
+
+    storage::FreezeOptions freeze_options;
+    freeze_options.double_policy = double_policy;
+    freeze_options.pin_view_columns =
+        double_policy == storage::DoubleEncodingPolicy::kAuto;
+
+    auto time_ms = [&](auto&& fn) {
+      double best = 0;
+      for (size_t rep = 0; rep < reps + 1; ++rep) {  // +1 warmup
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        auto stop = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (rep > 0 && (best == 0 || ms < best)) best = ms;
+      }
+      return best;
+    };
+
+    storage::FrozenSegment segment =
+        storage::FrozenSegment::Freeze(photo, freeze_options);
+    double freeze_ms = time_ms([&] {
+      storage::FrozenSegment s =
+          storage::FrozenSegment::Freeze(photo, freeze_options);
+      if (s.num_rows() != photo.num_rows()) std::exit(1);
+    });
+    sql::ColumnarTable thawed = segment.Thaw();
+    double thaw_ms = time_ms([&] {
+      sql::ColumnarTable t = segment.Thaw();
+      if (t.num_rows() != photo.num_rows()) std::exit(1);
+    });
+    // Freezing must be lossless: the thawed table serializes
+    // byte-identically, so responses cannot observe an entry's tier.
+    if (sql::TableToXml(thawed) != sql::TableToXml(photo)) {
+      std::fprintf(stderr, "FAIL: thawed table differs from source\n");
+      return 1;
+    }
+    const double raw_bytes = static_cast<double>(photo.ByteSize());
+    const double encoded_bytes = static_cast<double>(segment.ByteSize());
+    const double ratio = raw_bytes / encoded_bytes;
+    std::printf(
+        "  freeze (%s): %zu rows x %zu cols, %.1f KB -> %.1f KB (%.2fx), "
+        "freeze %.2f ms, thaw %.2f ms\n",
+        encoding.c_str(), photo.num_rows(), photo.num_columns(),
+        raw_bytes / 1024.0, encoded_bytes / 1024.0, ratio, freeze_ms,
+        thaw_ms);
+    for (size_t c = 0; c < segment.num_columns(); ++c) {
+      std::printf("    col %-8s %s\n",
+                  segment.schema().column(c).name.c_str(),
+                  storage::ColumnEncodingName(segment.encoding(c)));
+    }
+    json.Record("columnar_scan/compression_ratio", ratio, "x",
+                {{"tuples", static_cast<double>(tuples)},
+                 {"raw_bytes", raw_bytes},
+                 {"encoded_bytes", encoded_bytes}});
+    json.Record("columnar_scan/freeze_ms", freeze_ms, "ms",
+                {{"tuples", static_cast<double>(tuples)}});
+    json.Record("columnar_scan/thaw_ms", thaw_ms, "ms",
+                {{"tuples", static_cast<double>(tuples)}});
+
+    // Scan-on-compressed: the sphere-membership kernel over ra/dec against
+    // the hot table's prepared views vs views obtained from the frozen
+    // segment (decoded fresh each rep, the cost a probe actually pays).
+    auto hot_ra = photo.numeric_view(kRa);
+    auto hot_dec = photo.numeric_view(kDec);
+    if (hot_ra.has_value() && hot_dec.has_value()) {
+      const size_t rows = photo.num_rows();
+      const double center[2] = {180.0, 30.0};
+      const double limit = (radius + geometry::kGeomEpsilon) *
+                           (radius + geometry::kGeomEpsilon);
+      std::vector<uint32_t> out(rows);
+      const size_t iters = std::max<size_t>(1, 2'000'000 / (rows + 1));
+      util::Arena arena;
+      auto scan_best = [&](auto&& make_views) {
+        double best = 0;
+        size_t count = 0;
+        for (size_t rep = 0; rep < reps + 1; ++rep) {  // +1 warmup
+          auto start = std::chrono::steady_clock::now();
+          auto views = make_views();
+          core::kernels::Column cols[2] = {
+              {views.first.data, views.first.valid},
+              {views.second.data, views.second.valid},
+          };
+          for (size_t i = 0; i < iters; ++i) {
+            count = core::kernels::SelectSphere(cols, 2, rows, center, limit,
+                                                out.data());
+          }
+          auto stop = std::chrono::steady_clock::now();
+          double ms =
+              std::chrono::duration<double, std::milli>(stop - start).count();
+          if (rep > 0 && (best == 0 || ms < best)) best = ms;
+        }
+        if (count > rows) std::exit(1);  // keep the result observable
+        return best;
+      };
+      double raw_scan_ms =
+          scan_best([&] { return std::make_pair(*hot_ra, *hot_dec); });
+      double frozen_scan_ms = scan_best([&] {
+        arena.Reset();
+        return std::make_pair(segment.DecodeNumericView(kRa, &arena),
+                              segment.DecodeNumericView(kDec, &arena));
+      });
+      double penalty = raw_scan_ms > 0 ? frozen_scan_ms / raw_scan_ms : 0;
+      std::printf(
+          "  scan-on-compressed: raw %.2f ms, frozen %.2f ms over %zux%zu "
+          "rows -> %.2fx penalty\n",
+          raw_scan_ms, frozen_scan_ms, iters, rows, penalty);
+      json.Record("columnar_scan/raw_scan_ms", raw_scan_ms, "ms",
+                  {{"rows", static_cast<double>(rows) *
+                                static_cast<double>(iters)}});
+      json.Record("columnar_scan/frozen_scan_ms", frozen_scan_ms, "ms",
+                  {{"rows", static_cast<double>(rows) *
+                                static_cast<double>(iters)}});
+      json.Record("columnar_scan/frozen_scan_penalty", penalty, "x",
+                  {{"rows", static_cast<double>(rows)}});
     }
   }
   if (json.enabled()) {

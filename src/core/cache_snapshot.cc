@@ -7,6 +7,8 @@
 #include "geometry/hypersphere.h"
 #include "geometry/polytope.h"
 #include "sql/table_xml.h"
+#include "storage/segment.h"
+#include "storage/wire.h"
 #include "util/string_util.h"
 #include "xml/xml.h"
 
@@ -173,14 +175,40 @@ StatusOr<std::string> ReadFile(const std::string& path) {
 
 }  // namespace
 
+namespace {
+
+/// Tuples of a possibly-cold entry without promoting it: hot entries hand
+/// back their live table, frozen ones decode the in-memory segment, spilled
+/// ones read and decode the on-disk segment container.
+StatusOr<sql::ColumnarTable> MaterializeResult(const CacheEntry& entry) {
+  if (entry.tier == EntryTier::kHot) return entry.result;
+  if (entry.segment != nullptr) return entry.segment->Thaw();
+  FNPROXY_ASSIGN_OR_RETURN(std::string file,
+                           storage::ReadFileToString(entry.spill_file));
+  FNPROXY_ASSIGN_OR_RETURN(std::vector<storage::Section> sections,
+                           storage::ParseSnapshotFile(file));
+  for (const storage::Section& section : sections) {
+    if (section.id != storage::kSectionEntries) continue;
+    FNPROXY_ASSIGN_OR_RETURN(storage::FrozenSegment segment,
+                             storage::FrozenSegment::Parse(section.payload));
+    return segment.Thaw();
+  }
+  return Status::ParseError("spill file has no segment section: " +
+                            entry.spill_file);
+}
+
+}  // namespace
+
 Status SaveCacheSnapshot(const CacheStore& cache, const std::string& directory) {
   std::string manifest = "<CacheSnapshot>\n";
   for (uint64_t id : cache.AllIds()) {
     std::shared_ptr<const CacheEntry> entry = cache.Find(id);
     if (entry == nullptr) continue;  // Evicted since AllIds().
     std::string file_name = "entry-" + std::to_string(id) + ".xml";
+    FNPROXY_ASSIGN_OR_RETURN(sql::ColumnarTable result,
+                             MaterializeResult(*entry));
     FNPROXY_RETURN_NOT_OK(
-        WriteFile(directory + "/" + file_name, sql::TableToXml(entry->result)));
+        WriteFile(directory + "/" + file_name, sql::TableToXml(result)));
     manifest += "  <Entry file=\"" + file_name + "\" template=\"" +
                 xml::EscapeXml(entry->template_id) + "\" nonspatial=\"" +
                 xml::EscapeXml(entry->nonspatial_fingerprint) + "\" params=\"" +

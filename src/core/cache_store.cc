@@ -3,7 +3,21 @@
 #include <cassert>
 #include <limits>
 
+#include "storage/wire.h"
+
 namespace fnproxy::core {
+
+const char* EntryTierName(EntryTier tier) {
+  switch (tier) {
+    case EntryTier::kHot:
+      return "hot";
+    case EntryTier::kFrozen:
+      return "frozen";
+    case EntryTier::kSpilled:
+      return "spilled";
+  }
+  return "?";
+}
 
 const char* ReplacementPolicyName(ReplacementPolicy policy) {
   switch (policy) {
@@ -34,6 +48,19 @@ CacheStore::CacheStore(const RegionIndexFactory& factory, size_t num_shards,
     auto shard = std::make_unique<Shard>();
     shard->description = factory();
     shards_.push_back(std::move(shard));
+  }
+}
+
+CacheStore::~CacheStore() {
+  // Destruction is single-threaded by contract; locks are taken only to
+  // satisfy the thread-safety analysis.
+  for (const auto& shard : shards_) {
+    util::ReaderMutexLock lock(shard->mu);
+    for (const auto& [id, stored] : shard->entries) {
+      if (!stored.entry->spill_file.empty()) {
+        storage::RemoveFileIfExists(stored.entry->spill_file);
+      }
+    }
   }
 }
 
@@ -77,9 +104,15 @@ uint64_t CacheStore::Insert(CacheEntry entry, size_t* comparisons) {
 uint64_t CacheStore::Insert(CacheEntry entry, size_t* comparisons,
                             std::shared_ptr<const CacheEntry>* snapshot_out) {
   assert(entry.region != nullptr);
+  assert(entry.tier != EntryTier::kSpilled);  // Admissions are hot or frozen.
   *comparisons = 0;
   if (snapshot_out != nullptr) snapshot_out->reset();
-  entry.bytes = entry.result.ByteSize() + 256;  // Entry metadata overhead.
+  // Entry metadata overhead on top of the tier's payload.
+  entry.bytes = (entry.tier == EntryTier::kHot
+                     ? entry.result.ByteSize()
+                     : (entry.segment != nullptr ? entry.segment->ByteSize()
+                                                 : 0)) +
+                256;
   if (max_bytes_ != 0 && entry.bytes > max_bytes_) {
     return 0;  // Larger than the whole cache; not cacheable.
   }
@@ -105,6 +138,9 @@ uint64_t CacheStore::Insert(CacheEntry entry, size_t* comparisons,
   geometry::Hyperrectangle bbox = entry.region->BoundingBox();
   int64_t last_access = entry.last_access_micros;
   uint64_t accesses = entry.access_count;
+  if (entry.tier == EntryTier::kFrozen) {
+    frozen_entries_.fetch_add(1, std::memory_order_relaxed);
+  }
   auto snapshot = std::make_shared<const CacheEntry>(std::move(entry));
   if (snapshot_out != nullptr) *snapshot_out = snapshot;
 
@@ -126,18 +162,227 @@ uint64_t CacheStore::Insert(CacheEntry entry, size_t* comparisons,
 bool CacheStore::Remove(uint64_t id, size_t* comparisons) {
   *comparisons = 0;
   Shard& shard = ShardFor(id);
-  size_t freed = 0;
+  std::shared_ptr<const CacheEntry> removed;
   {
     util::WriterMutexLock lock(shard.mu);
     auto it = shard.entries.find(id);
     if (it == shard.entries.end()) return false;
-    freed = it->second.entry->bytes;
+    removed = std::move(it->second.entry);
     shard.description->Remove(id, comparisons);
     shard.entries.erase(it);
   }
-  bytes_used_.fetch_sub(freed, std::memory_order_relaxed);
+  bytes_used_.fetch_sub(removed->bytes, std::memory_order_relaxed);
   num_entries_.fetch_sub(1, std::memory_order_relaxed);
+  if (removed->tier == EntryTier::kFrozen) {
+    frozen_entries_.fetch_sub(1, std::memory_order_relaxed);
+  } else if (removed->tier == EntryTier::kSpilled) {
+    spilled_entries_.fetch_sub(1, std::memory_order_relaxed);
+    spill_bytes_.fetch_sub(removed->spill_file_bytes,
+                           std::memory_order_relaxed);
+    storage::RemoveFileIfExists(removed->spill_file);
+  }
   return true;
+}
+
+bool CacheStore::SwapEntry(uint64_t id,
+                           const std::shared_ptr<const CacheEntry>& expected,
+                           std::shared_ptr<const CacheEntry> replacement) {
+  Shard& shard = ShardFor(id);
+  size_t new_bytes = replacement->bytes;
+  EntryTier new_tier = replacement->tier;
+  size_t old_bytes = 0;
+  EntryTier old_tier = EntryTier::kHot;
+  {
+    util::WriterMutexLock lock(shard.mu);
+    auto it = shard.entries.find(id);
+    if (it == shard.entries.end() || it->second.entry != expected) {
+      return false;  // Removed or already swapped by a concurrent thread.
+    }
+    old_bytes = expected->bytes;
+    old_tier = expected->tier;
+    it->second.entry = std::move(replacement);
+  }
+  if (new_bytes >= old_bytes) {
+    bytes_used_.fetch_add(new_bytes - old_bytes, std::memory_order_relaxed);
+  } else {
+    bytes_used_.fetch_sub(old_bytes - new_bytes, std::memory_order_relaxed);
+  }
+  if (old_tier == EntryTier::kFrozen) {
+    frozen_entries_.fetch_sub(1, std::memory_order_relaxed);
+  } else if (old_tier == EntryTier::kSpilled) {
+    spilled_entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (new_tier == EntryTier::kFrozen) {
+    frozen_entries_.fetch_add(1, std::memory_order_relaxed);
+  } else if (new_tier == EntryTier::kSpilled) {
+    spilled_entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+CacheEntry CacheStore::CloneMeta(const CacheEntry& entry) {
+  CacheEntry clone;
+  clone.id = entry.id;
+  clone.template_id = entry.template_id;
+  clone.nonspatial_fingerprint = entry.nonspatial_fingerprint;
+  clone.param_fingerprint = entry.param_fingerprint;
+  clone.region = entry.region->Clone();
+  clone.truncated = entry.truncated;
+  clone.last_access_micros = entry.last_access_micros;
+  clone.access_count = entry.access_count;
+  return clone;
+}
+
+std::string CacheStore::SpillPathFor(uint64_t id) const {
+  return tier_config_.spill_dir + "/entry-" + std::to_string(id) + ".seg";
+}
+
+TierSweepResult CacheStore::SweepColdEntries(int64_t now_micros) {
+  TierSweepResult result;
+  const TierConfig& cfg = tier_config_;
+  if (cfg.freeze_idle_micros <= 0 && cfg.spill_idle_micros <= 0) return result;
+
+  // Phase 1: collect demotion candidates under shared locks (snapshots keep
+  // the entries alive after release).
+  struct Candidate {
+    uint64_t id;
+    std::shared_ptr<const CacheEntry> entry;
+  };
+  std::vector<Candidate> to_freeze;
+  std::vector<Candidate> to_spill;
+  for (const auto& shard : shards_) {
+    util::ReaderMutexLock lock(shard->mu);
+    for (const auto& [id, stored] : shard->entries) {
+      int64_t idle =
+          now_micros - stored.last_access_micros.load(std::memory_order_relaxed);
+      const std::shared_ptr<const CacheEntry>& entry = stored.entry;
+      if (entry->tier == EntryTier::kHot && cfg.freeze_idle_micros > 0 &&
+          idle >= cfg.freeze_idle_micros) {
+        to_freeze.push_back({id, entry});
+      } else if (entry->tier == EntryTier::kFrozen &&
+                 cfg.spill_idle_micros > 0 && !cfg.spill_dir.empty() &&
+                 idle >= cfg.spill_idle_micros) {
+        to_spill.push_back({id, entry});
+      }
+    }
+  }
+
+  // Phase 2: encode / write outside the locks, then install with a
+  // validate-and-swap (a concurrently promoted or evicted entry loses its
+  // demotion silently). An entry touched between collection and swap may
+  // still freeze — harmless, the next tuple access thaws it.
+  for (const Candidate& c : to_freeze) {
+    auto segment = std::make_shared<const storage::FrozenSegment>(
+        storage::FrozenSegment::Freeze(c.entry->result));
+    CacheEntry demoted = CloneMeta(*c.entry);
+    demoted.tier = EntryTier::kFrozen;
+    demoted.result = sql::ColumnarTable(c.entry->result.schema());
+    demoted.segment = segment;
+    demoted.bytes = segment->ByteSize() + 256;
+    if (SwapEntry(c.id, c.entry,
+                  std::make_shared<const CacheEntry>(std::move(demoted)))) {
+      freezes_.fetch_add(1, std::memory_order_relaxed);
+      frozen_raw_bytes_.fetch_add(segment->raw_byte_size(),
+                                  std::memory_order_relaxed);
+      frozen_encoded_bytes_.fetch_add(segment->ByteSize(),
+                                      std::memory_order_relaxed);
+      ++result.frozen;
+    }
+  }
+
+  for (const Candidate& c : to_spill) {
+    std::string file = storage::BuildSnapshotFile(
+        {{storage::kSectionEntries, c.entry->segment->Serialize()}});
+    if (cfg.spill_max_bytes != 0 &&
+        spill_bytes_.load(std::memory_order_relaxed) + file.size() >
+            cfg.spill_max_bytes) {
+      break;  // Disk budget exhausted; later sweeps retry as files fault back.
+    }
+    std::string path = SpillPathFor(c.id);
+    if (!storage::WriteFileAtomic(path, file).ok()) {
+      spill_io_errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    CacheEntry demoted = CloneMeta(*c.entry);
+    demoted.tier = EntryTier::kSpilled;
+    demoted.result = sql::ColumnarTable(c.entry->segment->schema());
+    demoted.spill_file = path;
+    demoted.spill_file_bytes = file.size();
+    demoted.bytes = 256;
+    if (SwapEntry(c.id, c.entry,
+                  std::make_shared<const CacheEntry>(std::move(demoted)))) {
+      spills_.fetch_add(1, std::memory_order_relaxed);
+      spill_bytes_.fetch_add(file.size(), std::memory_order_relaxed);
+      ++result.spilled;
+    } else {
+      storage::RemoveFileIfExists(path);
+    }
+  }
+  return result;
+}
+
+std::shared_ptr<const CacheEntry> CacheStore::FindHot(uint64_t id) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::shared_ptr<const CacheEntry> snapshot = Find(id);
+    if (snapshot == nullptr) return nullptr;
+    if (snapshot->tier == EntryTier::kHot) return snapshot;
+
+    std::shared_ptr<const storage::FrozenSegment> segment = snapshot->segment;
+    if (snapshot->tier == EntryTier::kSpilled) {
+      // Fault the segment back from disk, without locks. A lost or corrupt
+      // spill file turns the entry into a miss (dropped, not served wrong).
+      auto contents = storage::ReadFileToString(snapshot->spill_file);
+      std::shared_ptr<const storage::FrozenSegment> parsed;
+      if (contents.ok()) {
+        auto sections = storage::ParseSnapshotFile(*contents);
+        if (sections.ok()) {
+          for (const storage::Section& section : *sections) {
+            if (section.id != storage::kSectionEntries) continue;
+            auto seg = storage::FrozenSegment::Parse(section.payload);
+            if (seg.ok()) {
+              parsed = std::make_shared<const storage::FrozenSegment>(
+                  std::move(*seg));
+            }
+            break;
+          }
+        }
+      }
+      if (parsed == nullptr) {
+        spill_io_errors_.fetch_add(1, std::memory_order_relaxed);
+        size_t comparisons = 0;
+        Remove(id, &comparisons);
+        return nullptr;
+      }
+      segment = std::move(parsed);
+      spill_faults_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    CacheEntry promoted = CloneMeta(*snapshot);
+    promoted.tier = EntryTier::kHot;
+    promoted.result = segment->Thaw();
+    promoted.bytes = promoted.result.ByteSize() + 256;
+    auto hot = std::make_shared<const CacheEntry>(std::move(promoted));
+    if (SwapEntry(id, snapshot, hot)) {
+      thaws_.fetch_add(1, std::memory_order_relaxed);
+      if (snapshot->tier == EntryTier::kSpilled) {
+        spill_bytes_.fetch_sub(snapshot->spill_file_bytes,
+                               std::memory_order_relaxed);
+        storage::RemoveFileIfExists(snapshot->spill_file);
+      }
+      return hot;
+    }
+    // Swap lost a race (concurrent promotion or eviction); re-read and retry.
+  }
+  // Pathological contention: give the caller a correct private hot copy
+  // without installing it.
+  std::shared_ptr<const CacheEntry> snapshot = Find(id);
+  if (snapshot == nullptr || snapshot->tier == EntryTier::kHot) return snapshot;
+  if (snapshot->segment == nullptr) return nullptr;
+  CacheEntry promoted = CloneMeta(*snapshot);
+  promoted.tier = EntryTier::kHot;
+  promoted.result = snapshot->segment->Thaw();
+  promoted.bytes = promoted.result.ByteSize() + 256;
+  return std::make_shared<const CacheEntry>(std::move(promoted));
 }
 
 std::shared_ptr<const CacheEntry> CacheStore::Find(uint64_t id) const {

@@ -13,11 +13,23 @@
 #include "index/region_index.h"
 #include "sql/columnar.h"
 #include "sql/schema.h"
+#include "storage/segment.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
 namespace fnproxy::core {
+
+/// Storage tier of a cached entry. Entries are admitted hot; the maintenance
+/// sweep demotes idle entries to compressed frozen segments and the coldest
+/// frozen segments to disk. Lookups that need tuples promote back to hot.
+enum class EntryTier : uint8_t {
+  kHot,     ///< Raw ColumnarTable in `result`; zero-cost scans.
+  kFrozen,  ///< Compressed FrozenSegment in memory; `result` is schema-only.
+  kSpilled, ///< Segment on disk at `spill_file`; faulted back on access.
+};
+
+const char* EntryTierName(EntryTier tier);
 
 /// One cached query: its identifying template + parameters, the region its
 /// embedded function selected, and the result tuples (the paper's "query
@@ -40,6 +52,17 @@ struct CacheEntry {
   /// True when the origin applied a TOP cutoff, so `result` may be missing
   /// in-region tuples: such entries may serve exact matches only.
   bool truncated = false;
+  /// Storage tier. A non-hot entry keeps `result` as a schema-only (zero
+  /// row) table, so schema compatibility checks never promote; tuple access
+  /// goes through CacheStore::FindHot, which promotes first.
+  EntryTier tier = EntryTier::kHot;
+  /// Compressed payload when tier == kFrozen (shared: a reader's snapshot
+  /// stays valid after concurrent promotion or eviction).
+  std::shared_ptr<const storage::FrozenSegment> segment;
+  /// On-disk segment container when tier == kSpilled.
+  std::string spill_file;
+  /// Size of `spill_file` on disk (the spill-budget charge).
+  size_t spill_file_bytes = 0;
   size_t bytes = 0;
   /// Access bookkeeping as of admission; live values are kept by the store
   /// (updated by Touch) so replacement works without mutating the shared
@@ -57,6 +80,26 @@ const char* ReplacementPolicyName(ReplacementPolicy policy);
 /// Builds one cache-description index instance; called once per shard.
 using RegionIndexFactory =
     std::function<std::unique_ptr<index::RegionIndex>()>;
+
+/// Storage-tier policy: idle thresholds for demotion and the disk budget for
+/// the spill tier. Zero thresholds disable the corresponding demotion.
+struct TierConfig {
+  /// Hot entries idle at least this long are frozen by the sweep.
+  int64_t freeze_idle_micros = 0;
+  /// Frozen entries idle at least this long spill to disk.
+  int64_t spill_idle_micros = 0;
+  /// Directory for spilled segment files; spilling is disabled when empty.
+  std::string spill_dir;
+  /// Cap on total spilled bytes on disk (0 = unlimited). The sweep stops
+  /// spilling when the next file would exceed it.
+  size_t spill_max_bytes = 0;
+};
+
+/// What one maintenance sweep did (for observability counters).
+struct TierSweepResult {
+  size_t frozen = 0;
+  size_t spilled = 0;
+};
 
 /// The proxy's Cache Manager: owns the entries, keeps the cache description
 /// (a RegionIndex over entry bounding boxes) in sync, enforces the byte
@@ -86,6 +129,14 @@ class CacheStore {
   CacheStore(const CacheStore&) = delete;
   CacheStore& operator=(const CacheStore&) = delete;
 
+  /// Removes any remaining spill files.
+  ~CacheStore();
+
+  /// Installs the storage-tier policy. Call during setup, before concurrent
+  /// use (the config itself is not lock-protected).
+  void set_tier_config(TierConfig config) { tier_config_ = std::move(config); }
+  const TierConfig& tier_config() const { return tier_config_; }
+
   /// Inserts a new entry (fields other than id/bytes filled by the caller);
   /// returns its id. May evict other entries to fit; an entry larger than
   /// the whole budget is not cached (returns 0). `comparisons` receives the
@@ -105,8 +156,22 @@ class CacheStore {
   bool Remove(uint64_t id, size_t* comparisons);
 
   /// Snapshot lookup: the returned entry is immutable and stays valid after
-  /// concurrent eviction. Null when the id is unknown.
+  /// concurrent eviction. Null when the id is unknown. Does NOT promote: a
+  /// cold entry comes back with a schema-only `result` (candidate probes and
+  /// schema checks must not thaw entries they end up not serving from).
   std::shared_ptr<const CacheEntry> Find(uint64_t id) const;
+
+  /// Lookup that guarantees tuples: promotes frozen/spilled entries back to
+  /// the hot tier (thaw / disk fault-back) and returns a hot snapshot. Null
+  /// when the id is unknown or a spill file is lost/corrupt (such entries
+  /// are dropped from the cache and counted in spill_io_errors()).
+  std::shared_ptr<const CacheEntry> FindHot(uint64_t id);
+
+  /// Demotes idle entries per the tier config: hot -> frozen -> spilled.
+  /// Encoding and disk I/O run outside the shard locks; the swap re-checks
+  /// entry identity, so it is safe to call from a maintenance thread while
+  /// requests are served.
+  TierSweepResult SweepColdEntries(int64_t now_micros);
 
   /// Marks an access for replacement bookkeeping.
   void Touch(uint64_t id, int64_t now_micros);
@@ -164,6 +229,34 @@ class CacheStore {
   }
   size_t num_shards() const { return shards_.size(); }
 
+  // --- Storage-tier statistics (all monotonic except the gauges). ---
+  size_t frozen_entries() const {
+    return frozen_entries_.load(std::memory_order_relaxed);
+  }
+  size_t spilled_entries() const {
+    return spilled_entries_.load(std::memory_order_relaxed);
+  }
+  size_t spill_bytes_used() const {
+    return spill_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t freezes() const { return freezes_.load(std::memory_order_relaxed); }
+  uint64_t thaws() const { return thaws_.load(std::memory_order_relaxed); }
+  uint64_t spills() const { return spills_.load(std::memory_order_relaxed); }
+  uint64_t spill_faults() const {
+    return spill_faults_.load(std::memory_order_relaxed);
+  }
+  uint64_t spill_io_errors() const {
+    return spill_io_errors_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative raw bytes of tables frozen and the encoded bytes they became
+  /// (a live compression-ratio signal for the metrics endpoint).
+  uint64_t frozen_raw_bytes() const {
+    return frozen_raw_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t frozen_encoded_bytes() const {
+    return frozen_encoded_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// All entry ids (for iteration in tests/tools). Consistent per shard,
   /// not across shards under concurrent mutation.
   std::vector<uint64_t> AllIds() const;
@@ -196,13 +289,36 @@ class CacheStore {
   /// empty. Takes shared locks one shard at a time.
   uint64_t PickVictim() const;
 
+  /// Replaces the stored snapshot for `id` with `replacement` iff the stored
+  /// pointer still equals `expected` (nobody promoted/replaced it since the
+  /// caller sampled it). Adjusts byte accounting and tier gauges; returns
+  /// whether the swap happened.
+  bool SwapEntry(uint64_t id, const std::shared_ptr<const CacheEntry>& expected,
+                 std::shared_ptr<const CacheEntry> replacement);
+
+  /// Builds the demoted/promoted twin of `entry` sharing the same identity.
+  static CacheEntry CloneMeta(const CacheEntry& entry);
+
+  std::string SpillPathFor(uint64_t id) const;
+
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t max_bytes_;
   ReplacementPolicy policy_;
+  TierConfig tier_config_;
   std::atomic<size_t> bytes_used_{0};
   std::atomic<size_t> num_entries_{0};
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<size_t> frozen_entries_{0};
+  std::atomic<size_t> spilled_entries_{0};
+  std::atomic<size_t> spill_bytes_{0};
+  std::atomic<uint64_t> freezes_{0};
+  std::atomic<uint64_t> thaws_{0};
+  std::atomic<uint64_t> spills_{0};
+  std::atomic<uint64_t> spill_faults_{0};
+  std::atomic<uint64_t> spill_io_errors_{0};
+  std::atomic<uint64_t> frozen_raw_bytes_{0};
+  std::atomic<uint64_t> frozen_encoded_bytes_{0};
   mutable std::atomic<size_t> last_description_comparisons_{0};
 };
 

@@ -16,6 +16,7 @@
 #include "index/rtree.h"
 #include "sql/printer.h"
 #include "sql/table_xml.h"
+#include "storage/wire.h"
 #include "util/logging.h"
 
 namespace fnproxy::core {
@@ -202,7 +203,42 @@ FunctionProxy::FunctionProxy(ProxyConfig config,
     origin_async_ = std::make_unique<net::OriginChannel>(origin_, async_options);
   }
   channel_retries_baseline_ = origin_->retry_stats().retries;
+  if (config_.storage.enable) {
+    TierConfig tier;
+    tier.freeze_idle_micros = config_.storage.freeze_idle_micros;
+    tier.spill_idle_micros = config_.storage.spill_idle_micros;
+    tier.spill_dir = config_.storage.spill_dir;
+    tier.spill_max_bytes = config_.storage.spill_max_bytes;
+    cache_->set_tier_config(tier);
+    if (config_.storage.background_maintenance) {
+      util::ThreadPool::Options pool_options;
+      pool_options.num_threads = 1;
+      maintenance_pool_ = std::make_unique<util::ThreadPool>(pool_options);
+    }
+  }
   RegisterInstruments();
+  if (config_.storage.enable && config_.storage.restore_on_start &&
+      !config_.storage.snapshot_path.empty()) {
+    // A missing snapshot is a cold start, not an error; anything else
+    // (corruption, bad version) is surfaced as a counter and logged, and
+    // the proxy starts cold rather than half-restored.
+    auto restored = RestoreSnapshot(config_.storage.snapshot_path);
+    if (!restored.ok() &&
+        restored.status().code() != util::StatusCode::kNotFound) {
+      snapshot_errors_.fetch_add(1, kRelaxed);
+      FNPROXY_LOG(kWarning) << "snapshot restore failed: "
+                            << restored.status().ToString();
+    }
+  }
+}
+
+FunctionProxy::~FunctionProxy() {
+  // Drain in-flight maintenance first so the shutdown snapshot sees a
+  // quiescent cache and no sweep races the spill-directory teardown.
+  maintenance_pool_.reset();
+  if (config_.storage.enable && !config_.storage.snapshot_path.empty()) {
+    WriteSnapshotAndCount();
+  }
 }
 
 void FunctionProxy::RegisterInstruments() {
@@ -326,6 +362,8 @@ void FunctionProxy::RegisterInstruments() {
       {"serialize", &ins_.phase_serialize},
       {"cache_admit", &ins_.phase_cache_admit},
       {"peer_lookup", &ins_.phase_peer_lookup},
+      {"spill", &ins_.phase_spill},
+      {"restore", &ins_.phase_restore},
   };
   for (const PhaseSlot& s : slots) {
     *s.slot = registry_.AddHistogram("fnproxy_phase_duration_micros",
@@ -352,6 +390,90 @@ void FunctionProxy::RegisterInstruments() {
                         "Entries evicted by the replacement policy",
                         /*is_counter=*/true, {},
                         [cache] { return static_cast<double>(cache->evictions()); });
+
+  // Storage tier (docs/STORAGE.md): entry counts per tier, compression
+  // ratio inputs, tier transitions, spill health, and snapshot lifecycle.
+  const char* tier_help = "Cache entries currently resident per storage tier";
+  registry_.AddCallback("fnproxy_storage_tier_entries", tier_help,
+                        /*is_counter=*/false, {{"tier", "hot"}}, [cache] {
+                          size_t total = cache->num_entries();
+                          size_t cold = cache->frozen_entries() +
+                                        cache->spilled_entries();
+                          return static_cast<double>(total > cold ? total - cold
+                                                                  : 0);
+                        });
+  registry_.AddCallback("fnproxy_storage_tier_entries", tier_help,
+                        /*is_counter=*/false, {{"tier", "frozen"}}, [cache] {
+                          return static_cast<double>(cache->frozen_entries());
+                        });
+  registry_.AddCallback("fnproxy_storage_tier_entries", tier_help,
+                        /*is_counter=*/false, {{"tier", "spilled"}}, [cache] {
+                          return static_cast<double>(cache->spilled_entries());
+                        });
+  const char* transition_help = "Entry tier transitions, by kind";
+  registry_.AddCallback("fnproxy_storage_tier_transitions_total",
+                        transition_help, /*is_counter=*/true,
+                        {{"transition", "freeze"}}, [cache] {
+                          return static_cast<double>(cache->freezes());
+                        });
+  registry_.AddCallback("fnproxy_storage_tier_transitions_total",
+                        transition_help, /*is_counter=*/true,
+                        {{"transition", "thaw"}}, [cache] {
+                          return static_cast<double>(cache->thaws());
+                        });
+  registry_.AddCallback("fnproxy_storage_tier_transitions_total",
+                        transition_help, /*is_counter=*/true,
+                        {{"transition", "spill"}}, [cache] {
+                          return static_cast<double>(cache->spills());
+                        });
+  registry_.AddCallback("fnproxy_storage_tier_transitions_total",
+                        transition_help, /*is_counter=*/true,
+                        {{"transition", "fault"}}, [cache] {
+                          return static_cast<double>(cache->spill_faults());
+                        });
+  const char* frozen_bytes_help =
+      "Bytes of frozen entries before and after columnar encoding";
+  registry_.AddCallback("fnproxy_storage_frozen_bytes", frozen_bytes_help,
+                        /*is_counter=*/false, {{"kind", "raw"}}, [cache] {
+                          return static_cast<double>(cache->frozen_raw_bytes());
+                        });
+  registry_.AddCallback("fnproxy_storage_frozen_bytes", frozen_bytes_help,
+                        /*is_counter=*/false, {{"kind", "encoded"}}, [cache] {
+                          return static_cast<double>(
+                              cache->frozen_encoded_bytes());
+                        });
+  registry_.AddCallback("fnproxy_storage_spill_bytes",
+                        "Bytes of spilled segment files on disk",
+                        /*is_counter=*/false, {}, [cache] {
+                          return static_cast<double>(cache->spill_bytes_used());
+                        });
+  registry_.AddCallback(
+      "fnproxy_storage_spill_io_errors_total",
+      "Spill files that failed to write, read, or parse (entry dropped)",
+      /*is_counter=*/true, {},
+      [cache] { return static_cast<double>(cache->spill_io_errors()); });
+  registry_.AddCallback("fnproxy_storage_sweeps_total",
+                        "Tier maintenance sweeps (freeze + spill passes) run",
+                        /*is_counter=*/true, {}, [this] {
+                          return static_cast<double>(sweeps_run_.load(kRelaxed));
+                        });
+  const char* snapshot_help = "Warm-restart snapshot writes, by outcome";
+  registry_.AddCallback("fnproxy_storage_snapshot_writes_total", snapshot_help,
+                        /*is_counter=*/true, {{"outcome", "ok"}}, [this] {
+                          return static_cast<double>(
+                              snapshots_written_.load(kRelaxed));
+                        });
+  registry_.AddCallback("fnproxy_storage_snapshot_writes_total", snapshot_help,
+                        /*is_counter=*/true, {{"outcome", "error"}}, [this] {
+                          return static_cast<double>(
+                              snapshot_errors_.load(kRelaxed));
+                        });
+  registry_.AddCallback("fnproxy_storage_restored_entries_total",
+                        "Cache entries restored from a warm-restart snapshot",
+                        /*is_counter=*/true, {}, [this] {
+                          return static_cast<double>(
+                              restored_entries_.load(kRelaxed));
+                        });
 
   net::CircuitBreaker* breaker = breaker_.get();
   registry_.AddCallback(
@@ -484,8 +606,14 @@ ProxyStats FunctionProxy::stats() const {
   s.check_micros = static_cast<int64_t>(ins_.check_micros->Value());
   s.local_eval_micros = static_cast<int64_t>(ins_.local_eval_micros->Value());
   s.merge_micros = static_cast<int64_t>(ins_.merge_micros->Value());
-  s.breaker_transitions = breaker_->transitions();
-  s.origin_retries = origin_->retry_stats().retries - channel_retries_baseline_;
+  // transitions/retries are computed live from the breaker and channel; a
+  // warm-restarted proxy adds the snapshotted baselines so the series
+  // continues where the previous process left off.
+  s.breaker_transitions =
+      breaker_->transitions() + restored_breaker_transitions_.load(kRelaxed);
+  s.origin_retries = origin_->retry_stats().retries -
+                     channel_retries_baseline_ +
+                     restored_origin_retries_.load(kRelaxed);
   {
     util::MutexLock lock(records_mu_);
     s.coverage_served = coverage_served_;
@@ -982,9 +1110,12 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
 
   switch (rel.status) {
     case RegionRelation::kEqual: {
-      // Case (a): serve the cached result directly.
+      // Case (a): serve the cached result directly. The matched snapshot
+      // may be frozen or spilled; promote it back to the hot tier first
+      // (a vanished entry degrades to the miss path below).
+      auto entry = EnsureHot(rel.matched, trace);
+      if (entry == nullptr) break;
       ins_.exact_hits->Increment();
-      const std::shared_ptr<const CacheEntry>& entry = rel.matched;
       cache_->Touch(entry->id, clock_->NowMicros());
       record->tuples_total = entry->result.num_rows();
       record->tuples_from_cache = entry->result.num_rows();
@@ -1000,8 +1131,9 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
     case RegionRelation::kContainedBy: {
       if (exact_only) break;  // Stale function-computed values; miss path.
       // Case (b): local spatial selection over the containing entry.
+      auto entry = EnsureHot(rel.matched, trace);
+      if (entry == nullptr) break;  // Entry vanished cold; miss path.
       ins_.containment_hits->Increment();
-      const std::shared_ptr<const CacheEntry>& entry = rel.matched;
       cache_->Touch(entry->id, clock_->NowMicros());
       // Columnar scan: membership kernel over the entry's pre-resolved
       // coordinate arrays, yielding a selection vector that flows through
@@ -1077,20 +1209,35 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
       // evaluating anything. That is what lets the async path issue the
       // remainder first and scan during the WAN round trip with output
       // byte-identical to the serialized order.
-      std::vector<std::shared_ptr<const CacheEntry>> used = rel.contained;
+      //
+      // Contributing entries must be tier-hot before their tuples can be
+      // sliced; promotion happens here so an unrecoverable (vanished-cold)
+      // entry simply drops out of `used` — its region is then not excluded
+      // from the remainder, and the origin supplies those tuples instead.
+      std::vector<std::shared_ptr<const CacheEntry>> contained_hot;
+      contained_hot.reserve(rel.contained.size());
+      for (const auto& entry : rel.contained) {
+        auto hot = EnsureHot(entry, trace);
+        if (hot != nullptr) contained_hot.push_back(std::move(hot));
+      }
+      std::vector<std::shared_ptr<const CacheEntry>> used = contained_hot;
       std::vector<std::shared_ptr<const CacheEntry>> scan_entries;
       if (handle_overlap) {
         for (const auto& entry : rel.overlapping) {
           bool has_coords = true;
           for (const std::string& name : ft.coordinate_columns()) {
+            // Schema survives freezing (cold entries keep a zero-row table
+            // with the full schema), so this check needs no promotion.
             if (!entry->result.schema().FindColumn(name).has_value()) {
               has_coords = false;
               break;
             }
           }
           if (!has_coords) continue;  // Same skip the probe scan would take.
-          scan_entries.push_back(entry);
-          used.push_back(entry);
+          auto hot = EnsureHot(entry, trace);
+          if (hot == nullptr) continue;  // Vanished cold; remainder covers it.
+          scan_entries.push_back(hot);
+          used.push_back(std::move(hot));
         }
       }
 
@@ -1138,7 +1285,7 @@ HttpResponse FunctionProxy::HandleActive(const HttpRequest& request,
         // eval cost is observed directly below — the same value the
         // serialized path's clock delta yields.
         obs::ScopedSpan eval(trace, "local_eval", clock_);
-        for (const auto& entry : rel.contained) {
+        for (const auto& entry : contained_hot) {
           cache_->Touch(entry->id, clock_->NowMicros());
           // Contained regions lie fully inside the query: their result files
           // are merged wholesale, with no per-tuple spatial filtering.
@@ -1518,14 +1665,22 @@ HttpResponse FunctionProxy::HandlePeerLookup(const HttpRequest& request) {
   ChargeMicros(DescriptionCostMicros(rel.description_comparisons) +
                config_.costs.per_relation_check_us *
                    static_cast<double>(rel.regions_checked));
+  // Peer serves hand the full entry body across the wire, so a frozen or
+  // spilled match is promoted first; a vanished-cold entry falls through
+  // to the flight/miss logic below (no peer hit, no wrong data).
   if (rel.status == RegionRelation::kEqual) {
-    cache_->Touch(rel.matched->id, clock_->NowMicros());
-    return serve(*rel.matched, "hit");
-  }
-  if (rel.status == RegionRelation::kContainedBy && !exact_only &&
-      !rel.matched->truncated) {
-    cache_->Touch(rel.matched->id, clock_->NowMicros());
-    return serve(*rel.matched, "hit");
+    auto hot = EnsureHot(rel.matched, nullptr);
+    if (hot != nullptr) {
+      cache_->Touch(hot->id, clock_->NowMicros());
+      return serve(*hot, "hit");
+    }
+  } else if (rel.status == RegionRelation::kContainedBy && !exact_only &&
+             !rel.matched->truncated) {
+    auto hot = EnsureHot(rel.matched, nullptr);
+    if (hot != nullptr) {
+      cache_->Touch(hot->id, clock_->NowMicros());
+      return serve(*hot, "hit");
+    }
   }
 
   // No covering entry. Fold the prober into this proxy's single-flight
@@ -1774,6 +1929,324 @@ std::optional<HttpResponse> FunctionProxy::ProbePeer(
   return Respond(served, *final_selection, trace);
 }
 
+// --- Storage tier (docs/STORAGE.md) -----------------------------------------
+
+std::shared_ptr<const CacheEntry> FunctionProxy::EnsureHot(
+    const std::shared_ptr<const CacheEntry>& entry, obs::QueryTrace* trace) {
+  if (entry == nullptr || entry->tier == EntryTier::kHot) return entry;
+  obs::ScopedSpan span(trace, "restore", clock_, ins_.phase_restore);
+  span.AddAttr("tier", EntryTierName(entry->tier));
+  auto hot = cache_->FindHot(entry->id);
+  if (hot == nullptr) return nullptr;
+  // Decoding the frozen columns is the real work of a promotion; charge it
+  // on the virtual clock like every other proxy-side computation.
+  ChargeMicros(config_.costs.per_frozen_tuple_thaw_us *
+               static_cast<double>(hot->result.num_rows()));
+  span.AddAttr("rows", std::to_string(hot->result.num_rows()));
+  return hot;
+}
+
+void FunctionProxy::MaybeRunMaintenance() {
+  const StorageTierConfig& st = config_.storage;
+  if (!st.enable) return;
+  const uint64_t tick = maintenance_ticks_.fetch_add(1, kRelaxed) + 1;
+  const bool want_sweep =
+      st.sweep_every_requests > 0 && tick % st.sweep_every_requests == 0;
+  const bool want_snapshot = st.snapshot_every_requests > 0 &&
+                             !st.snapshot_path.empty() &&
+                             tick % st.snapshot_every_requests == 0;
+  if (!want_sweep && !want_snapshot) return;
+  const int64_t now = clock_->NowMicros();
+  if (maintenance_pool_ == nullptr) {
+    if (want_sweep) RunTierSweep(now);
+    if (want_snapshot) WriteSnapshotAndCount();
+    return;
+  }
+  // Background lane: at most one sweep and one snapshot queued or running.
+  // The tasks touch only atomics and internally locked state (cache_,
+  // records_mu_), so they are safe off the request threads.
+  if (want_sweep && !sweep_scheduled_.exchange(true, kRelaxed)) {
+    bool queued = maintenance_pool_->Submit([this, now] {
+      RunTierSweep(now);
+      sweep_scheduled_.store(false, kRelaxed);
+    });
+    if (!queued) sweep_scheduled_.store(false, kRelaxed);
+  }
+  if (want_snapshot && !snapshot_scheduled_.exchange(true, kRelaxed)) {
+    bool queued = maintenance_pool_->Submit([this] {
+      WriteSnapshotAndCount();
+      snapshot_scheduled_.store(false, kRelaxed);
+    });
+    if (!queued) snapshot_scheduled_.store(false, kRelaxed);
+  }
+}
+
+void FunctionProxy::RunTierSweep(int64_t now_micros) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  TierSweepResult swept = cache_->SweepColdEntries(now_micros);
+  sweeps_run_.fetch_add(1, kRelaxed);
+  if (swept.frozen > 0 || swept.spilled > 0) {
+    // Wall time, not virtual: the sweep runs off the request lane, and its
+    // cost is real compression/IO work rather than modeled latency.
+    const auto wall_micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    ins_.phase_spill->Observe(wall_micros);
+  }
+}
+
+void FunctionProxy::WriteSnapshotAndCount() {
+  util::Status status = WriteSnapshot(config_.storage.snapshot_path);
+  if (status.ok()) {
+    snapshots_written_.fetch_add(1, kRelaxed);
+  } else {
+    snapshot_errors_.fetch_add(1, kRelaxed);
+    FNPROXY_LOG(kWarning) << "snapshot write failed: " << status.ToString();
+  }
+}
+
+std::vector<obs::Counter*> FunctionProxy::SnapshotCounters() const {
+  return {
+      ins_.requests,
+      ins_.template_requests,
+      ins_.exact_hits,
+      ins_.containment_hits,
+      ins_.region_containments,
+      ins_.overlaps_handled,
+      ins_.misses,
+      ins_.origin_form_requests,
+      ins_.origin_sql_requests,
+      ins_.origin_failures,
+      ins_.breaker_open_rejections,
+      ins_.degraded_full,
+      ins_.degraded_partial,
+      ins_.degraded_unavailable,
+      ins_.inflight_collapsed,
+      ins_.shed_overload,
+      ins_.shed_origin_backlog,
+      ins_.shed_deadline,
+      ins_.deadline_exceeded,
+      ins_.peer_lookup_hit,
+      ins_.peer_lookup_flight,
+      ins_.peer_lookup_lead,
+      ins_.peer_lookup_miss,
+      ins_.peer_lookup_error,
+      ins_.peer_lookup_breaker_open,
+      ins_.peer_failures,
+      ins_.peer_entries_pushed,
+      ins_.peer_entries_received,
+      ins_.peer_flight_joins,
+      ins_.check_micros,
+      ins_.local_eval_micros,
+      ins_.merge_micros,
+  };
+}
+
+namespace {
+/// Version written into the META section; readers reject newer majors.
+constexpr uint32_t kProxySnapshotVersion = 2;
+
+uint8_t PackRecordFlags(const QueryRecord& r) {
+  uint8_t flags = 0;
+  if (r.handled_by_template) flags |= 1u << 0;
+  if (r.contacted_origin) flags |= 1u << 1;
+  if (r.failed) flags |= 1u << 2;
+  if (r.degraded) flags |= 1u << 3;
+  if (r.collapsed) flags |= 1u << 4;
+  if (r.shed) flags |= 1u << 5;
+  if (r.peer_hit) flags |= 1u << 6;
+  if (r.peer_degraded) flags |= 1u << 7;
+  return flags;
+}
+
+void UnpackRecordFlags(uint8_t flags, QueryRecord* r) {
+  r->handled_by_template = (flags & (1u << 0)) != 0;
+  r->contacted_origin = (flags & (1u << 1)) != 0;
+  r->failed = (flags & (1u << 2)) != 0;
+  r->degraded = (flags & (1u << 3)) != 0;
+  r->collapsed = (flags & (1u << 4)) != 0;
+  r->shed = (flags & (1u << 5)) != 0;
+  r->peer_hit = (flags & (1u << 6)) != 0;
+  r->peer_degraded = (flags & (1u << 7)) != 0;
+}
+}  // namespace
+
+util::Status FunctionProxy::WriteSnapshot(const std::string& path) const {
+  storage::ByteWriter meta;
+  meta.PutU32(kProxySnapshotVersion);
+  meta.PutU8(static_cast<uint8_t>(config_.mode));
+  meta.PutZigzag(clock_->NowMicros());
+
+  // ENTRIES: every cache entry as a frozen segment. Hot entries are frozen
+  // on the way out (view-prepared columns stay raw and are re-prepared on
+  // restore); spilled entries contribute their on-disk segment payload.
+  storage::ByteWriter bodies;
+  uint64_t written = 0;
+  for (uint64_t id : cache_->AllIds()) {
+    auto entry = cache_->Find(id);
+    if (entry == nullptr) continue;
+    std::string segment_bytes;
+    if (entry->tier == EntryTier::kHot) {
+      segment_bytes = storage::FrozenSegment::Freeze(entry->result).Serialize();
+    } else if (entry->segment != nullptr) {
+      segment_bytes = entry->segment->Serialize();
+    } else {
+      auto file = storage::ReadFileToString(entry->spill_file);
+      if (!file.ok()) continue;  // Lost spill file: drop from the snapshot.
+      auto sections = storage::ParseSnapshotFile(*file);
+      if (!sections.ok()) continue;
+      for (const storage::Section& section : *sections) {
+        if (section.id == storage::kSectionEntries) {
+          segment_bytes.assign(section.payload);
+          break;
+        }
+      }
+      if (segment_bytes.empty()) continue;
+    }
+    bodies.PutString(entry->template_id);
+    bodies.PutString(entry->nonspatial_fingerprint);
+    bodies.PutString(entry->param_fingerprint);
+    bodies.PutString(RegionToXml(*entry->region));
+    bodies.PutU8(entry->truncated ? 1 : 0);
+    bodies.PutZigzag(entry->last_access_micros);
+    bodies.PutVarint(entry->access_count);
+    bodies.PutString(segment_bytes);
+    ++written;
+  }
+  storage::ByteWriter entries;
+  entries.PutVarint(written);
+  entries.PutBytes(bodies.bytes().data(), bodies.size());
+
+  // STATS: instrument values plus the live-computed series and the
+  // per-query records — everything /proxy/stats renders, so a restarted
+  // proxy reproduces the writer's XML byte for byte.
+  storage::ByteWriter stats_w;
+  std::vector<obs::Counter*> counters = SnapshotCounters();
+  stats_w.PutVarint(counters.size());
+  for (obs::Counter* counter : counters) stats_w.PutVarint(counter->Value());
+  stats_w.PutVarint(origin_->retry_stats().retries - channel_retries_baseline_ +
+                    restored_origin_retries_.load(kRelaxed));
+  stats_w.PutVarint(breaker_->transitions() +
+                    restored_breaker_transitions_.load(kRelaxed));
+  {
+    util::MutexLock lock(records_mu_);
+    stats_w.PutDouble(coverage_served_);
+    stats_w.PutVarint(records_.size());
+    for (const QueryRecord& record : records_) {
+      stats_w.PutU8(static_cast<uint8_t>(record.status));
+      stats_w.PutU8(PackRecordFlags(record));
+      stats_w.PutDouble(record.coverage);
+      stats_w.PutVarint(record.tuples_total);
+      stats_w.PutVarint(record.tuples_from_cache);
+    }
+  }
+
+  std::string file = storage::BuildSnapshotFile({
+      {storage::kSectionMeta, meta.Release()},
+      {storage::kSectionEntries, entries.Release()},
+      {storage::kSectionStats, stats_w.Release()},
+  });
+  return storage::WriteFileAtomic(path, file);
+}
+
+util::StatusOr<size_t> FunctionProxy::RestoreSnapshot(const std::string& path) {
+  auto file = storage::ReadFileToString(path);
+  if (!file.ok()) return file.status();
+  auto sections = storage::ParseSnapshotFile(*file);
+  if (!sections.ok()) return sections.status();
+
+  const storage::Section* meta = nullptr;
+  const storage::Section* entries = nullptr;
+  const storage::Section* stats = nullptr;
+  for (const storage::Section& section : *sections) {
+    if (section.id == storage::kSectionMeta) meta = &section;
+    if (section.id == storage::kSectionEntries) entries = &section;
+    if (section.id == storage::kSectionStats) stats = &section;
+  }
+  if (meta == nullptr) {
+    return Status::InvalidArgument("snapshot has no META section");
+  }
+  storage::ByteReader meta_reader(meta->payload);
+  const uint32_t version = meta_reader.GetU32();
+  if (!meta_reader.ok() || version == 0 ||
+      version > kProxySnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+
+  size_t restored = 0;
+  if (entries != nullptr) {
+    storage::ByteReader reader(entries->payload);
+    const uint64_t count = reader.GetVarint();
+    for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+      CacheEntry entry;
+      entry.template_id = reader.GetString();
+      entry.nonspatial_fingerprint = reader.GetString();
+      entry.param_fingerprint = reader.GetString();
+      const std::string region_xml = reader.GetString();
+      entry.truncated = reader.GetU8() != 0;
+      entry.last_access_micros = reader.GetZigzag();
+      entry.access_count = reader.GetVarint();
+      const std::string segment_bytes = reader.GetString();
+      if (!reader.ok()) break;
+      auto region = RegionFromXml(region_xml);
+      if (!region.ok()) return region.status();
+      auto segment = storage::FrozenSegment::Parse(segment_bytes);
+      if (!segment.ok()) return segment.status();
+      entry.region = std::move(*region);
+      entry.segment = std::make_shared<const storage::FrozenSegment>(
+          std::move(*segment));
+      // Restored entries come up frozen — the schema is available for
+      // relationship checks immediately, and the first serving access
+      // thaws (and re-prepares coordinate views) through FindHot.
+      entry.tier = EntryTier::kFrozen;
+      entry.result = sql::ColumnarTable(entry.segment->schema());
+      size_t comparisons = 0;
+      if (cache_->Insert(std::move(entry), &comparisons) != 0) ++restored;
+    }
+    if (!reader.ok()) {
+      return Status::ParseError("truncated snapshot ENTRIES section");
+    }
+  }
+
+  if (stats != nullptr) {
+    storage::ByteReader reader(stats->payload);
+    std::vector<obs::Counter*> counters = SnapshotCounters();
+    const uint64_t count = reader.GetVarint();
+    for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+      const uint64_t value = reader.GetVarint();
+      // Older snapshots carry fewer slots; newer ones carry slots this
+      // build does not know, which are read and dropped.
+      if (i < counters.size()) counters[i]->Increment(value);
+    }
+    restored_origin_retries_.fetch_add(reader.GetVarint(), kRelaxed);
+    restored_breaker_transitions_.fetch_add(reader.GetVarint(), kRelaxed);
+    const double coverage = reader.GetDouble();
+    const uint64_t record_count = reader.GetVarint();
+    std::vector<QueryRecord> restored_records;
+    restored_records.reserve(record_count);
+    for (uint64_t i = 0; i < record_count && reader.ok(); ++i) {
+      QueryRecord record;
+      record.status = static_cast<RegionRelation>(reader.GetU8());
+      UnpackRecordFlags(reader.GetU8(), &record);
+      record.coverage = reader.GetDouble();
+      record.tuples_total = reader.GetVarint();
+      record.tuples_from_cache = reader.GetVarint();
+      restored_records.push_back(record);
+    }
+    if (!reader.ok()) {
+      return Status::ParseError("truncated snapshot STATS section");
+    }
+    util::MutexLock lock(records_mu_);
+    coverage_served_ += coverage;
+    records_.insert(records_.end(), restored_records.begin(),
+                    restored_records.end());
+  }
+
+  restored_entries_.fetch_add(restored, kRelaxed);
+  return restored;
+}
+
 HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
   // Reserved admin endpoints: answered from proxy state, never forwarded,
   // never counted as query traffic.
@@ -1787,6 +2260,7 @@ HttpResponse FunctionProxy::Handle(const HttpRequest& request) {
 
   if (has_peers_) ReapExpiredPeerFlights();
   ins_.requests->Increment();
+  MaybeRunMaintenance();
 
   // Admission control: hard shed above max_queue_depth, before any real
   // work — an overloaded proxy that answers 503 fast keeps its goodput.

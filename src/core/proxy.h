@@ -25,6 +25,7 @@
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+#include "util/thread_pool.h"
 
 namespace fnproxy::core {
 
@@ -72,6 +73,46 @@ struct ProxyCostModel {
   double per_merge_tuple_us = 20.0;
   double per_response_tuple_us = 5.0;
   double per_origin_response_tuple_us = 10.0;
+  /// Promoting a frozen/spilled entry back to the hot tier decodes its
+  /// compressed columns; far cheaper than the XML-parse-dominated cached
+  /// scan, but not free.
+  double per_frozen_tuple_thaw_us = 2.0;
+};
+
+/// The tiered result store (docs/STORAGE.md): idle entries are compressed
+/// into frozen columnar segments, the coldest frozen segments spill to disk,
+/// and the whole cache (plus the stats baseline) can be snapshotted for a
+/// warm restart.
+struct StorageTierConfig {
+  /// Master switch; off = every entry stays hot (pre-tiering behavior).
+  bool enable = false;
+  /// Idle time (virtual micros since last access) before a hot entry is
+  /// compressed in place. 0 disables freezing.
+  int64_t freeze_idle_micros = 2'000'000;
+  /// Idle time before a frozen entry's segment moves to the spill
+  /// directory. 0 (or an empty spill_dir) disables spilling.
+  int64_t spill_idle_micros = 10'000'000;
+  /// Directory receiving spilled segment files (one file per entry). Must
+  /// exist; shared directories need distinct proxies' files to coexist, so
+  /// point each proxy at its own subdirectory.
+  std::string spill_dir;
+  /// Bytes of spill files kept on disk; a sweep stops spilling at the cap.
+  /// 0 = unlimited.
+  size_t spill_max_bytes = 64ull << 20;
+  /// A tier sweep (freeze + spill pass) runs every N handled requests.
+  /// 0 disables periodic sweeps (they can still be driven via snapshots).
+  uint64_t sweep_every_requests = 64;
+  /// Snapshot file for warm restarts. When set, the proxy restores from it
+  /// at construction (if it exists and restore_on_start) and writes it at
+  /// clean shutdown; snapshot_every_requests adds periodic background
+  /// writes so a crash loses at most that window.
+  std::string snapshot_path;
+  bool restore_on_start = true;
+  uint64_t snapshot_every_requests = 0;
+  /// Run sweeps and periodic snapshots on a dedicated maintenance thread
+  /// (keeps compression and spill I/O off the request lane). Off = inline
+  /// in Handle(), which keeps single-threaded traces deterministic.
+  bool background_maintenance = true;
 };
 
 struct ProxyConfig {
@@ -141,6 +182,8 @@ struct ProxyConfig {
   /// outlive the proxy). `run_trace --trace-out=PATH` plugs a JSONL writer
   /// in here for offline analysis.
   obs::TraceSink* trace_sink = nullptr;
+  /// Tiered storage: freeze / spill / warm-restart snapshots.
+  StorageTierConfig storage;
 };
 
 /// Per-query bookkeeping used by the experiment harness. Cache efficiency is
@@ -273,6 +316,9 @@ class FunctionProxy final : public net::HttpHandler {
   /// `templates`, `origin` and `clock` must outlive the proxy.
   FunctionProxy(ProxyConfig config, const TemplateRegistry* templates,
                 net::SimulatedChannel* origin, util::SimulatedClock* clock);
+  /// Drains the maintenance thread, then writes the clean-shutdown snapshot
+  /// when config().storage.snapshot_path is set.
+  ~FunctionProxy() override;
 
   net::HttpResponse Handle(const net::HttpRequest& request) override
       EXCLUDES(records_mu_);
@@ -311,6 +357,19 @@ class FunctionProxy final : public net::HttpHandler {
   /// Warm-starts the cache from a snapshot; returns entries restored.
   /// Passive-mode items are not persisted (they are raw response bodies).
   util::StatusOr<size_t> LoadCache(const std::string& directory);
+
+  /// Writes a warm-restart snapshot (docs/FORMATS.md §13): every cache
+  /// entry as a compressed frozen segment plus the statistics baseline
+  /// (counters, per-query records, coverage) needed to make a restarted
+  /// proxy's /proxy/stats XML byte-identical to the writer's. Atomic
+  /// (tmp + rename); safe to call concurrently with traffic.
+  util::Status WriteSnapshot(const std::string& path) const
+      EXCLUDES(records_mu_);
+  /// Restores entries + stats baseline from a WriteSnapshot file. Intended
+  /// for a freshly constructed proxy (counters are *incremented* by the
+  /// snapshot values); returns the number of cache entries restored.
+  util::StatusOr<size_t> RestoreSnapshot(const std::string& path)
+      EXCLUDES(records_mu_);
 
  private:
   struct PassiveItem {
@@ -376,6 +435,10 @@ class FunctionProxy final : public net::HttpHandler {
     obs::Histogram* phase_serialize = nullptr;
     obs::Histogram* phase_cache_admit = nullptr;
     obs::Histogram* phase_peer_lookup = nullptr;
+    /// Storage tier: sweep (freeze+spill) wall time and on-demand
+    /// promotion (thaw / spill fault-back) virtual time.
+    obs::Histogram* phase_spill = nullptr;
+    obs::Histogram* phase_restore = nullptr;
     /// Relationship-check cost by resulting relation, indexed by
     /// geometry::RegionRelation.
     obs::Histogram* region_compare[5] = {};
@@ -577,6 +640,28 @@ class FunctionProxy final : public net::HttpHandler {
     clock_->Advance(static_cast<int64_t>(micros));
   }
 
+  /// Returns a tier-hot version of `entry` whose `result` holds tuples,
+  /// promoting (thaw / spill fault-back) through the cache when the
+  /// relationship check handed back a frozen or spilled snapshot. Null when
+  /// the entry vanished and its tuples are unrecoverable (treat as a
+  /// miss). Charges thaw cost and records the `restore` phase.
+  std::shared_ptr<const CacheEntry> EnsureHot(
+      const std::shared_ptr<const CacheEntry>& entry, obs::QueryTrace* trace);
+
+  /// Periodic storage maintenance driven off the request count: tier
+  /// sweeps (freeze + spill) and background snapshot writes, dispatched to
+  /// the maintenance thread when background_maintenance is on.
+  void MaybeRunMaintenance();
+  /// One freeze/spill pass over the cache; records the `spill` phase (wall
+  /// time — runs off the virtual-clock request lane).
+  void RunTierSweep(int64_t now_micros);
+  /// WriteSnapshot + outcome counters (shared by the periodic writer and
+  /// the clean-shutdown path).
+  void WriteSnapshotAndCount() EXCLUDES(records_mu_);
+  /// The counters persisted in a snapshot's STATS section, in wire order.
+  /// Append-only: reordering or removing a slot breaks old snapshots.
+  std::vector<obs::Counter*> SnapshotCounters() const;
+
   ProxyConfig config_;
   const TemplateRegistry* templates_;
   net::SimulatedChannel* origin_;
@@ -618,6 +703,26 @@ class FunctionProxy final : public net::HttpHandler {
   mutable util::Mutex records_mu_;
   std::vector<QueryRecord> records_ GUARDED_BY(records_mu_);
   double coverage_served_ GUARDED_BY(records_mu_) = 0.0;
+
+  // --- Storage tier (docs/STORAGE.md) ---------------------------------------
+  /// Single maintenance worker for sweeps and periodic snapshots (created
+  /// only when storage.enable && background_maintenance). Tasks touch only
+  /// atomics and internally locked state (cache_, records_mu_), per the
+  /// repo's async-capture rules.
+  std::unique_ptr<util::ThreadPool> maintenance_pool_;
+  std::atomic<uint64_t> maintenance_ticks_{0};
+  /// At most one sweep / one snapshot queued or running at a time.
+  std::atomic<bool> sweep_scheduled_{false};
+  std::atomic<bool> snapshot_scheduled_{false};
+  std::atomic<uint64_t> sweeps_run_{0};
+  std::atomic<uint64_t> snapshots_written_{0};
+  std::atomic<uint64_t> snapshot_errors_{0};
+  std::atomic<uint64_t> restored_entries_{0};
+  /// Stats carried over from the snapshotted process: origin_retries and
+  /// breaker_transitions are computed live from the channel/breaker, so a
+  /// restarted proxy adds these baselines to keep /proxy/stats continuous.
+  std::atomic<uint64_t> restored_origin_retries_{0};
+  std::atomic<uint64_t> restored_breaker_transitions_{0};
 };
 
 }  // namespace fnproxy::core

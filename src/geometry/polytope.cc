@@ -10,7 +10,9 @@ namespace fnproxy::geometry {
 Polytope::Polytope(std::vector<Halfspace> halfspaces, std::vector<Point> vertices)
     : halfspaces_(std::move(halfspaces)), vertices_(std::move(vertices)) {
   assert(!halfspaces_.empty());
-  assert(!vertices_.empty());
+  // vertices_ may be empty: an H-representation-only polytope supports
+  // ContainsPoint (all the membership kernels need); the vertex-based
+  // queries below assert when they actually require the V-representation.
 }
 
 Polytope Polytope::FromRectangle(const Hyperrectangle& rect) {
@@ -29,7 +31,7 @@ Polytope Polytope::FromRectangle(const Hyperrectangle& rect) {
 }
 
 util::Status Polytope::Validate() const {
-  size_t d = vertices_[0].size();
+  size_t d = dimensions();
   for (const Point& v : vertices_) {
     if (v.size() != d) {
       return util::Status::InvalidArgument("polytope vertices differ in dimension");
@@ -53,7 +55,10 @@ util::Status Polytope::Validate() const {
   return util::Status::Ok();
 }
 
-size_t Polytope::dimensions() const { return vertices_[0].size(); }
+size_t Polytope::dimensions() const {
+  return vertices_.empty() ? halfspaces_[0].normal.size()
+                           : vertices_[0].size();
+}
 
 bool Polytope::ContainsPoint(const Point& p) const {
   for (const Halfspace& h : halfspaces_) {
@@ -67,6 +72,7 @@ bool Polytope::ContainsPoint(const Point& p) const {
 }
 
 Hyperrectangle Polytope::BoundingBox() const {
+  assert(!vertices_.empty());
   size_t d = dimensions();
   Point lo = vertices_[0];
   Point hi = vertices_[0];
@@ -80,6 +86,7 @@ Hyperrectangle Polytope::BoundingBox() const {
 }
 
 Point Polytope::Support(const Point& dir) const {
+  assert(!vertices_.empty());
   const Point* best = &vertices_[0];
   double best_dot = Dot(*best, dir);
   for (const Point& v : vertices_) {

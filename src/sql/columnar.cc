@@ -583,6 +583,31 @@ Table ColumnarTable::ToTable() const {
   return table;
 }
 
+ColumnarTable ColumnarTable::FromColumns(Schema schema, size_t num_rows,
+                                         std::vector<ColumnData> columns) {
+  ColumnarTable table(std::move(schema));
+  assert(columns.size() == table.columns_.size());
+  table.num_rows_ = num_rows;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    ColumnData& src = columns[i];
+    ColumnStore& dst = table.columns_[i];
+    dst.kind = src.kind;
+    dst.ints = std::move(src.ints);
+    dst.doubles = std::move(src.doubles);
+    dst.bools = std::move(src.bools);
+    dst.codes = std::move(src.codes);
+    dst.dict = std::move(src.dict);
+    dst.mixed = std::move(src.mixed);
+    dst.nulls = std::move(src.nulls);
+    dst.dict_index.reserve(dst.dict.size());
+    for (size_t code = 0; code < dst.dict.size(); ++code) {
+      dst.dict_index.emplace(dst.dict[code], static_cast<uint32_t>(code));
+    }
+    if (src.prepare_view) (void)table.PrepareNumericView(i);
+  }
+  return table;
+}
+
 ColumnarTable::NumericView ColumnarTable::BuildNumericView(
     size_t col, std::vector<double>* value_storage,
     std::vector<uint64_t>* valid_storage) const {

@@ -85,6 +85,37 @@ class ColumnarTable {
   /// Lossless conversion back to the row-wise representation.
   Table ToTable() const;
 
+  /// Direct column payloads for rebuilding a table without per-cell appends
+  /// (the storage tier's thaw path). Field meanings mirror the internal
+  /// column storage for each kind; unused vectors stay empty.
+  struct ColumnData {
+    StorageKind kind = StorageKind::kAllNull;
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+    std::vector<uint8_t> bools;
+    std::vector<uint32_t> codes;
+    std::vector<std::string> dict;
+    std::vector<Value> mixed;
+    std::vector<uint64_t> nulls;
+    /// Re-prepare the numeric view after installation (frozen segments
+    /// record which columns the proxy had prepared at admission).
+    bool prepare_view = false;
+  };
+
+  /// Installs fully-built columns directly (the inverse of the Raw*
+  /// accessors). The caller guarantees each payload matches its `kind` and
+  /// `num_rows`; dictionary indexes and prepared views are rebuilt here, so
+  /// a thawed table is bit-identical to the one that was frozen.
+  static ColumnarTable FromColumns(Schema schema, size_t num_rows,
+                                   std::vector<ColumnData> columns);
+
+  /// True when PrepareNumericView ran for `col` on this table.
+  bool view_prepared(size_t col) const { return columns_[col].view_prepared; }
+  /// Exact values of a kMixed column (NULL cells hold their stored Value).
+  const std::vector<Value>& RawMixed(size_t col) const {
+    return columns_[col].mixed;
+  }
+
   StorageKind storage_kind(size_t col) const { return columns_[col].kind; }
   bool CellIsNull(size_t row, size_t col) const;
   /// Materializes one cell (exact value, including kMixed oddities).

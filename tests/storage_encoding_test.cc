@@ -1,0 +1,283 @@
+// Encoding oracle tests for the frozen-segment layer (docs/STORAGE.md):
+// every encoder is checked against the raw hot table it came from. Freezing
+// must be lossless and bit-exact — the thawed table serializes to the same
+// XML bytes, numeric views agree value-for-value, and the wire form
+// round-trips through Serialize/Parse — for randomized tables and for the
+// corner shapes (all-NULL columns, empty tables, degenerate dictionaries,
+// mixed-type fallback columns) that each encoder handles specially.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sql/columnar.h"
+#include "sql/table_xml.h"
+#include "storage/segment.h"
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace fnproxy::storage {
+namespace {
+
+using sql::ColumnarTable;
+using sql::Schema;
+using sql::Table;
+using sql::Value;
+using sql::ValueType;
+
+/// Asserts the full lossless contract for one table under one option set:
+/// thaw identity, wire round trip, and numeric-view agreement.
+void ExpectLossless(const ColumnarTable& source, const FreezeOptions& options,
+                    const char* label) {
+  SCOPED_TRACE(label);
+  FrozenSegment segment = FrozenSegment::Freeze(source, options);
+  ASSERT_EQ(segment.num_rows(), source.num_rows());
+  ASSERT_EQ(segment.num_columns(), source.num_columns());
+
+  ColumnarTable thawed = segment.Thaw();
+  EXPECT_EQ(sql::TableToXml(thawed), sql::TableToXml(source));
+
+  auto parsed = FrozenSegment::Parse(segment.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(sql::TableToXml(parsed->Thaw()), sql::TableToXml(source));
+
+  // Decoded numeric views must agree bit-for-bit with the hot column's
+  // (NaN compares by payload here: both sides decode the same stored bits).
+  util::Arena arena;
+  for (size_t c = 0; c < source.num_columns(); ++c) {
+    if (source.schema().column(c).type != ValueType::kDouble) continue;
+    ColumnarTable hot_copy = source;
+    if (!hot_copy.PrepareNumericView(c).ok()) continue;
+    auto hot = hot_copy.numeric_view(c);
+    ASSERT_TRUE(hot.has_value());
+    ColumnarTable::NumericView frozen = segment.DecodeNumericView(c, &arena);
+    // A null validity pointer means the column is dense (all rows valid).
+    const auto valid_bit = [](const uint64_t* valid, size_t row) {
+      return valid == nullptr || ((valid[row / 64] >> (row % 64)) & 1) != 0;
+    };
+    for (size_t row = 0; row < source.num_rows(); ++row) {
+      const bool frozen_valid = valid_bit(frozen.valid, row);
+      const bool hot_valid = valid_bit(hot->valid, row);
+      ASSERT_EQ(frozen_valid, hot_valid) << "row " << row;
+      if (!hot_valid) continue;
+      ASSERT_EQ(std::memcmp(&frozen.data[row], &hot->data[row],
+                            sizeof(double)),
+                0)
+          << "row " << row << ": " << frozen.data[row] << " vs "
+          << hot->data[row];
+    }
+  }
+}
+
+void ExpectLosslessUnderAllPolicies(const Table& rows, const char* label) {
+  ColumnarTable source(rows);
+  for (DoubleEncodingPolicy policy :
+       {DoubleEncodingPolicy::kAuto, DoubleEncodingPolicy::kRaw,
+        DoubleEncodingPolicy::kDecimal, DoubleEncodingPolicy::kShuffle}) {
+    FreezeOptions options;
+    options.double_policy = policy;
+    options.pin_view_columns = false;
+    ExpectLossless(source, options, label);
+  }
+}
+
+TEST(StorageEncodingTest, SequentialIntsPickDelta) {
+  Table rows(Schema({{"objID", ValueType::kInt}}));
+  for (int64_t i = 0; i < 500; ++i) {
+    rows.AddRow({Value::Int(1237650000000 + i)});
+  }
+  ColumnarTable source(rows);
+  FrozenSegment segment = FrozenSegment::Freeze(source);
+  EXPECT_EQ(segment.encoding(0), ColumnEncoding::kDeltaInt);
+  EXPECT_LT(segment.ByteSize(), source.ByteSize());
+  ExpectLosslessUnderAllPolicies(rows, "sequential ints");
+}
+
+TEST(StorageEncodingTest, QuantizedDoublesPickDecimal) {
+  util::Random rng(3);
+  Table rows(Schema({{"mag", ValueType::kDouble}}));
+  for (size_t i = 0; i < 500; ++i) {
+    rows.AddRow({Value::Double(
+        std::round(rng.NextDouble(14.0, 25.0) * 1000.0) / 1000.0)});
+  }
+  ColumnarTable source(rows);
+  FrozenSegment segment = FrozenSegment::Freeze(source);
+  EXPECT_EQ(segment.encoding(0), ColumnEncoding::kDecimalDouble);
+  EXPECT_LT(segment.ByteSize(), source.ByteSize());
+  ExpectLosslessUnderAllPolicies(rows, "quantized doubles");
+}
+
+TEST(StorageEncodingTest, ViewColumnsStayRawUnderAutoPin) {
+  util::Random rng(4);
+  Table rows(Schema({{"ra", ValueType::kDouble}}));
+  for (size_t i = 0; i < 200; ++i) {
+    rows.AddRow({Value::Double(
+        std::round(rng.NextDouble(130, 230) * 100.0) / 100.0)});
+  }
+  ColumnarTable source(rows);
+  ASSERT_TRUE(source.PrepareNumericView(0).ok());
+  FrozenSegment pinned = FrozenSegment::Freeze(source);
+  EXPECT_EQ(pinned.encoding(0), ColumnEncoding::kRawDouble);
+  // The pinned raw column scans zero-copy.
+  EXPECT_TRUE(pinned.numeric_view(0).has_value());
+
+  FreezeOptions unpinned;
+  unpinned.pin_view_columns = false;
+  FrozenSegment packed = FrozenSegment::Freeze(source, unpinned);
+  EXPECT_EQ(packed.encoding(0), ColumnEncoding::kDecimalDouble);
+  EXPECT_EQ(sql::TableToXml(packed.Thaw()), sql::TableToXml(source));
+}
+
+TEST(StorageEncodingTest, DictStringsRoundTrip) {
+  Table rows(Schema({{"class", ValueType::kString}}));
+  // Degenerate dictionary shapes: empties, duplicates of "", a single
+  // dominant code, XML-hostile bytes.
+  const char* kValues[] = {"STAR", "", "STAR", "GALAXY", "", "<&>\"'",
+                           "STAR", "line\nbreak", "STAR", "STAR"};
+  for (int rep = 0; rep < 40; ++rep) {
+    for (const char* v : kValues) rows.AddRow({Value::String(v)});
+  }
+  ColumnarTable source(rows);
+  FrozenSegment segment = FrozenSegment::Freeze(source);
+  EXPECT_EQ(segment.encoding(0), ColumnEncoding::kDictString);
+  EXPECT_LT(segment.ByteSize(), source.ByteSize());
+  ExpectLosslessUnderAllPolicies(rows, "dict strings");
+}
+
+TEST(StorageEncodingTest, AllNullColumnHasNoPayload) {
+  Table rows(Schema({{"a", ValueType::kDouble}, {"b", ValueType::kString}}));
+  for (size_t i = 0; i < 100; ++i) rows.AddRow({Value::Null(), Value::Null()});
+  ColumnarTable source(rows);
+  FrozenSegment segment = FrozenSegment::Freeze(source);
+  EXPECT_EQ(segment.encoding(0), ColumnEncoding::kAllNull);
+  EXPECT_EQ(segment.encoding(1), ColumnEncoding::kAllNull);
+  ExpectLosslessUnderAllPolicies(rows, "all-null");
+}
+
+TEST(StorageEncodingTest, EmptyTableRoundTrips) {
+  Table rows(Schema({{"objID", ValueType::kInt}, {"ra", ValueType::kDouble}}));
+  ExpectLosslessUnderAllPolicies(rows, "empty table");
+  ColumnarTable source(rows);
+  FrozenSegment segment = FrozenSegment::Freeze(source);
+  EXPECT_EQ(segment.num_rows(), 0u);
+  auto parsed = FrozenSegment::Parse(segment.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_columns(), 2u);
+}
+
+TEST(StorageEncodingTest, BoolsPackToBits) {
+  util::Random rng(5);
+  Table rows(Schema({{"flag", ValueType::kBool}}));
+  for (size_t i = 0; i < 300; ++i) {
+    rows.AddRow({rng.NextUint64(10) == 0
+                     ? Value::Null()
+                     : Value::Bool(rng.NextUint64(2) == 0)});
+  }
+  ColumnarTable source(rows);
+  FrozenSegment segment = FrozenSegment::Freeze(source);
+  EXPECT_EQ(segment.encoding(0), ColumnEncoding::kPackedBool);
+  ExpectLosslessUnderAllPolicies(rows, "packed bools");
+}
+
+TEST(StorageEncodingTest, MixedColumnsUseTaggedFallback) {
+  Table rows(Schema({{"m", ValueType::kInt}}));
+  rows.AddRow({Value::Int(7)});
+  rows.AddRow({Value::String("not an int")});
+  rows.AddRow({Value::Double(2.5)});
+  rows.AddRow({Value::Null()});
+  rows.AddRow({Value::Bool(true)});
+  ColumnarTable source(rows);
+  FrozenSegment segment = FrozenSegment::Freeze(source);
+  EXPECT_EQ(segment.encoding(0), ColumnEncoding::kTaggedMixed);
+  ExpectLosslessUnderAllPolicies(rows, "mixed fallback");
+}
+
+TEST(StorageEncodingTest, AdversarialDoublesStayBitExact) {
+  // Values the decimal encoder must either represent exactly or route
+  // through its exception list / a different encoding: NaNs, signed zeros,
+  // denormals, huge magnitudes, 2^53 neighbors.
+  Table rows(Schema({{"x", ValueType::kDouble}}));
+  const double kDoubles[] = {
+      0.0, -0.0, 1.0, -1.0, 0.5, 1e6, 1e-7, 123456.789, 1e15, 1e308, 5e-324,
+      -2.5e-10, std::numeric_limits<double>::quiet_NaN(),
+      -std::numeric_limits<double>::quiet_NaN(), 9007199254740992.0,
+      9007199254740993.0, std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity()};
+  util::Random rng(6);
+  for (int rep = 0; rep < 30; ++rep) {
+    for (double v : kDoubles) rows.AddRow({Value::Double(v)});
+    rows.AddRow({Value::Null()});
+    rows.AddRow({Value::Double(rng.NextDouble(-1e3, 1e3))});
+  }
+  ExpectLosslessUnderAllPolicies(rows, "adversarial doubles");
+}
+
+TEST(StorageEncodingTest, RandomizedTablesAcrossAllPolicies) {
+  util::Random rng(99);
+  static const ValueType kTypes[] = {ValueType::kInt, ValueType::kDouble,
+                                     ValueType::kBool, ValueType::kString};
+  for (int iter = 0; iter < 25; ++iter) {
+    const size_t num_cols = 1 + rng.NextUint64(5);
+    std::vector<sql::Column> cols;
+    for (size_t c = 0; c < num_cols; ++c) {
+      cols.push_back(
+          {"c" + std::to_string(c), kTypes[rng.NextUint64(4)]});
+    }
+    Table rows((Schema(cols)));
+    const size_t num_rows = rng.NextUint64(200);
+    for (size_t r = 0; r < num_rows; ++r) {
+      std::vector<Value> row;
+      for (size_t c = 0; c < num_cols; ++c) {
+        const uint64_t roll = rng.NextUint64(10);
+        if (roll == 0) {
+          row.push_back(Value::Null());
+          continue;
+        }
+        switch (cols[c].type) {
+          case ValueType::kInt:
+            row.push_back(Value::Int(
+                static_cast<int64_t>(rng.NextUint64(1000000)) - 500000));
+            break;
+          case ValueType::kDouble:
+            row.push_back(
+                roll == 1
+                    ? Value::Double(rng.NextDouble(-1e12, 1e12))
+                    : Value::Double(std::round(rng.NextDouble(-100, 100) *
+                                               1000.0) /
+                                    1000.0));
+            break;
+          case ValueType::kBool:
+            row.push_back(Value::Bool(rng.NextUint64(2) == 0));
+            break;
+          case ValueType::kString:
+            row.push_back(Value::String(
+                rng.NextUint64(3) == 0 ? ""
+                                       : "s" + std::to_string(
+                                                   rng.NextUint64(8))));
+            break;
+          default:
+            row.push_back(Value::Null());
+        }
+      }
+      rows.AddRow(std::move(row));
+    }
+    ExpectLosslessUnderAllPolicies(
+        rows, ("random iter " + std::to_string(iter)).c_str());
+  }
+}
+
+TEST(StorageEncodingTest, ParseRejectsCorruptSegments) {
+  Table rows(Schema({{"objID", ValueType::kInt}}));
+  for (int64_t i = 0; i < 50; ++i) rows.AddRow({Value::Int(i)});
+  FrozenSegment segment = FrozenSegment::Freeze(ColumnarTable(rows));
+  std::string wire = segment.Serialize();
+  EXPECT_FALSE(FrozenSegment::Parse(wire.substr(0, wire.size() / 2)).ok());
+  EXPECT_FALSE(FrozenSegment::Parse("").ok());
+}
+
+}  // namespace
+}  // namespace fnproxy::storage

@@ -1,0 +1,316 @@
+// Warm-restart snapshot tests (docs/FORMATS.md §13, docs/STORAGE.md):
+// the checksummed container detects a corrupted byte in any section, and a
+// proxy restored from a snapshot is observationally identical to the proxy
+// that wrote it — /proxy/stats renders byte-identically, and subsequent
+// queries serve from the restored cache with responses matching a
+// never-restarted oracle, without an origin round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/sky_catalog.h"
+#include "core/proxy.h"
+#include "net/network.h"
+#include "server/sky_functions.h"
+#include "server/web_app.h"
+#include "sql/table_xml.h"
+#include "storage/wire.h"
+#include "workload/experiment.h"
+
+namespace fnproxy::core {
+namespace {
+
+using net::HttpRequest;
+using net::HttpResponse;
+
+// --- Container-level properties --------------------------------------------
+
+TEST(SnapshotContainerTest, RoundTripsSections) {
+  std::string file = storage::BuildSnapshotFile(
+      {{storage::kSectionMeta, "meta-bytes"},
+       {storage::kSectionEntries, std::string("entry\0payload", 13)},
+       {storage::kSectionStats, ""}});
+  auto sections = storage::ParseSnapshotFile(file);
+  ASSERT_TRUE(sections.ok()) << sections.status().ToString();
+  ASSERT_EQ(sections->size(), 3u);
+  EXPECT_EQ((*sections)[0].id, storage::kSectionMeta);
+  EXPECT_EQ((*sections)[0].payload, "meta-bytes");
+  EXPECT_EQ((*sections)[1].payload, std::string("entry\0payload", 13));
+  EXPECT_EQ((*sections)[2].payload, "");
+}
+
+TEST(SnapshotContainerTest, DetectsOneCorruptByteInEverySection) {
+  const std::string file = storage::BuildSnapshotFile(
+      {{storage::kSectionMeta, "0123456789"},
+       {storage::kSectionEntries, std::string(300, 'e')},
+       {storage::kSectionStats, "stats-payload"}});
+  // Flip one byte inside each section's payload region; the per-section
+  // checksum must catch each one.
+  for (const std::string& needle :
+       {std::string("0123456789"), std::string(300, 'e'),
+        std::string("stats-payload")}) {
+    std::string corrupt = file;
+    size_t pos = corrupt.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    corrupt[pos + needle.size() / 2] ^= 0x40;
+    auto sections = storage::ParseSnapshotFile(corrupt);
+    EXPECT_FALSE(sections.ok());
+  }
+}
+
+TEST(SnapshotContainerTest, RejectsTruncationAndBadMagic) {
+  const std::string file = storage::BuildSnapshotFile(
+      {{storage::kSectionEntries, std::string(100, 'x')}});
+  for (size_t keep : {size_t{0}, size_t{4}, size_t{12}, file.size() - 1}) {
+    EXPECT_FALSE(storage::ParseSnapshotFile(file.substr(0, keep)).ok())
+        << "kept " << keep << " bytes";
+  }
+  std::string bad_magic = file;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(storage::ParseSnapshotFile(bad_magic).ok());
+}
+
+TEST(SnapshotContainerTest, SkipsUnknownSections) {
+  // Forward compatibility: a newer writer may add sections; an older reader
+  // must still see the ones it knows.
+  std::string file = storage::BuildSnapshotFile(
+      {{storage::kSectionMeta, "m"}, {uint32_t{999}, "future bytes"}});
+  auto sections = storage::ParseSnapshotFile(file);
+  ASSERT_TRUE(sections.ok());
+  ASSERT_EQ(sections->size(), 2u);
+  EXPECT_EQ((*sections)[1].id, 999u);
+}
+
+// --- Proxy warm restart -----------------------------------------------------
+
+HttpRequest RadialRequest(double ra, double dec, double radius) {
+  HttpRequest request;
+  request.path = "/radial";
+  request.query_params["ra"] = std::to_string(ra);
+  request.query_params["dec"] = std::to_string(dec);
+  request.query_params["radius"] = std::to_string(radius);
+  return request;
+}
+
+/// Origin environment shared by every proxy in a test; each proxy gets its
+/// own simulated channel so origin-traffic counters are per proxy.
+class SnapshotProxyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog::SkyCatalogConfig config;
+    config.num_objects = 8000;
+    config.num_clusters = 5;
+    config.seed = 42;
+    config.ra_min = 175.0;
+    config.ra_max = 205.0;
+    config.dec_min = 25.0;
+    config.dec_max = 50.0;
+    db_ = new server::Database();
+    db_->AddTable("PhotoPrimary", catalog::GenerateSkyCatalog(config));
+    grid_ = new server::SkyGrid(db_->FindTable("PhotoPrimary"));
+    db_->RegisterTableFunction(server::MakeGetNearbyObjEq(grid_));
+    db_->scalar_functions()->Register(
+        "fPhotoFlags",
+        [](const std::vector<sql::Value>& args)
+            -> util::StatusOr<sql::Value> {
+          FNPROXY_ASSIGN_OR_RETURN(
+              int64_t bit, catalog::PhotoFlagValue(args.at(0).AsString()));
+          return sql::Value::Int(bit);
+        });
+    templates_ = new TemplateRegistry();
+    ASSERT_TRUE(templates_
+                    ->RegisterFunctionTemplateXml(
+                        workload::kNearbyObjEqTemplateXml)
+                    .ok());
+    auto qt = QueryTemplate::Create("radial", "/radial",
+                                    workload::kRadialTemplateSql);
+    ASSERT_TRUE(qt.ok());
+    ASSERT_TRUE(templates_->RegisterQueryTemplate(std::move(*qt)).ok());
+  }
+  static void TearDownTestSuite() {
+    delete templates_;
+    delete grid_;
+    delete db_;
+    templates_ = nullptr;
+    grid_ = nullptr;
+    db_ = nullptr;
+  }
+
+  void SetUp() override {
+    clock_ = std::make_unique<util::SimulatedClock>();
+    app_ = std::make_unique<server::OriginWebApp>(db_, clock_.get());
+    ASSERT_TRUE(
+        app_->RegisterForm("/radial", workload::kRadialTemplateSql).ok());
+    snapshot_path_ = ::testing::TempDir() + "/fnproxy_snapshot_test_" +
+                     ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name() +
+                     ".bin";
+    std::remove(snapshot_path_.c_str());
+  }
+  void TearDown() override { std::remove(snapshot_path_.c_str()); }
+
+  /// A proxy over its own channel; storage enabled, deterministic inline
+  /// maintenance, snapshot at `snapshot_path_`.
+  struct Node {
+    std::unique_ptr<net::SimulatedChannel> channel;
+    std::unique_ptr<FunctionProxy> proxy;
+  };
+
+  Node MakeNode(bool restore, bool enable_storage = true) {
+    Node node;
+    node.channel = std::make_unique<net::SimulatedChannel>(
+        app_.get(), net::LinkConfig{0.0, 1e9}, clock_.get());
+    ProxyConfig config;
+    config.mode = CachingMode::kActiveFull;
+    config.storage.enable = enable_storage;
+    config.storage.background_maintenance = false;
+    config.storage.snapshot_path = snapshot_path_;
+    config.storage.restore_on_start = restore;
+    node.proxy = std::make_unique<FunctionProxy>(config, templates_,
+                                                 node.channel.get(),
+                                                 clock_.get());
+    return node;
+  }
+
+  static server::Database* db_;
+  static server::SkyGrid* grid_;
+  static TemplateRegistry* templates_;
+
+  std::unique_ptr<util::SimulatedClock> clock_;
+  std::unique_ptr<server::OriginWebApp> app_;
+  std::string snapshot_path_;
+};
+
+server::Database* SnapshotProxyTest::db_ = nullptr;
+server::SkyGrid* SnapshotProxyTest::grid_ = nullptr;
+TemplateRegistry* SnapshotProxyTest::templates_ = nullptr;
+
+std::vector<HttpRequest> WarmupSequence() {
+  return {
+      RadialRequest(180.0, 30.0, 20.0),  // Miss (fills cache).
+      RadialRequest(180.0, 30.0, 20.0),  // Exact repeat.
+      RadialRequest(180.05, 30.0, 8.0),  // Contained.
+      RadialRequest(195.0, 40.0, 15.0),  // Second region.
+      RadialRequest(195.0, 40.0, 25.0),  // Contains (region containment).
+  };
+}
+
+TEST_F(SnapshotProxyTest, RestoredProxyRendersIdenticalStats) {
+  Node writer = MakeNode(/*restore=*/false);
+  for (const HttpRequest& request : WarmupSequence()) {
+    HttpResponse response = writer.proxy->Handle(request);
+    ASSERT_TRUE(response.ok()) << response.body;
+  }
+  const std::string want_stats = writer.proxy->stats().ToXml();
+  ASSERT_TRUE(writer.proxy->WriteSnapshot(snapshot_path_).ok());
+
+  Node restored = MakeNode(/*restore=*/true);
+  // The restored process continues the writer's statistics series: the
+  // /proxy/stats rendering must be byte-identical before any new traffic.
+  EXPECT_EQ(restored.proxy->stats().ToXml(), want_stats);
+}
+
+TEST_F(SnapshotProxyTest, RestoredProxyServesWarmWithoutOrigin) {
+  std::vector<HttpRequest> warmup = WarmupSequence();
+  std::vector<HttpRequest> probes = {
+      RadialRequest(180.0, 30.0, 20.0),   // Exact vs restored entry.
+      RadialRequest(180.02, 30.0, 6.0),   // Contained in restored entry.
+      RadialRequest(195.0, 40.0, 25.0),   // Exact vs second entry.
+  };
+
+  // Oracle: one proxy sees warmup + probes with no restart.
+  Node oracle = MakeNode(/*restore=*/false, /*enable_storage=*/false);
+  std::vector<std::string> want;
+  for (const HttpRequest& request : warmup) {
+    ASSERT_TRUE(oracle.proxy->Handle(request).ok());
+  }
+  for (const HttpRequest& request : probes) {
+    HttpResponse response = oracle.proxy->Handle(request);
+    ASSERT_TRUE(response.ok());
+    want.push_back(response.body);
+  }
+
+  // Writer runs the warmup and snapshots.
+  Node writer = MakeNode(/*restore=*/false);
+  for (const HttpRequest& request : warmup) {
+    ASSERT_TRUE(writer.proxy->Handle(request).ok());
+  }
+  ASSERT_TRUE(writer.proxy->WriteSnapshot(snapshot_path_).ok());
+
+  // The restored proxy must answer every probe byte-identically to the
+  // oracle without contacting the origin.
+  Node restored = MakeNode(/*restore=*/true);
+  const uint64_t origin_before =
+      restored.proxy->stats().origin_form_requests +
+      restored.proxy->stats().origin_sql_requests;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    HttpResponse response = restored.proxy->Handle(probes[i]);
+    ASSERT_TRUE(response.ok()) << response.body;
+    EXPECT_EQ(response.body, want[i]) << "probe " << i;
+  }
+  ProxyStats after = restored.proxy->stats();
+  EXPECT_EQ(after.origin_form_requests + after.origin_sql_requests,
+            origin_before)
+      << "restored proxy contacted the origin";
+}
+
+TEST_F(SnapshotProxyTest, CorruptSnapshotIsRejectedAndProxyStartsCold) {
+  Node writer = MakeNode(/*restore=*/false);
+  for (const HttpRequest& request : WarmupSequence()) {
+    ASSERT_TRUE(writer.proxy->Handle(request).ok());
+  }
+  ASSERT_TRUE(writer.proxy->WriteSnapshot(snapshot_path_).ok());
+
+  // Corrupt one byte in the middle of the file (inside a section payload).
+  {
+    std::fstream file(snapshot_path_,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.good());
+    file.seekg(0, std::ios::end);
+    const std::streamoff size = file.tellg();
+    ASSERT_GT(size, 64);
+    file.seekp(size / 2);
+    char byte = 0;
+    file.seekg(size / 2);
+    file.read(&byte, 1);
+    byte ^= 0x10;
+    file.seekp(size / 2);
+    file.write(&byte, 1);
+  }
+
+  // Startup restore fails closed: the proxy logs, starts cold, and still
+  // serves correctly from the origin.
+  Node restored = MakeNode(/*restore=*/true);
+  EXPECT_EQ(restored.proxy->stats().requests, 0u);
+  HttpResponse response = restored.proxy->Handle(RadialRequest(180, 30, 20));
+  EXPECT_TRUE(response.ok()) << response.body;
+  ProxyStats stats = restored.proxy->stats();
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST_F(SnapshotProxyTest, DestructorWritesCleanShutdownSnapshot) {
+  {
+    Node writer = MakeNode(/*restore=*/false);
+    for (const HttpRequest& request : WarmupSequence()) {
+      ASSERT_TRUE(writer.proxy->Handle(request).ok());
+    }
+    // No explicit WriteSnapshot: the proxy's destructor writes it.
+  }
+  auto contents = storage::ReadFileToString(snapshot_path_);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  auto sections = storage::ParseSnapshotFile(*contents);
+  ASSERT_TRUE(sections.ok()) << sections.status().ToString();
+  EXPECT_EQ(sections->size(), 3u);
+
+  Node restored = MakeNode(/*restore=*/true);
+  EXPECT_GT(restored.proxy->stats().requests, 0u);
+}
+
+}  // namespace
+}  // namespace fnproxy::core

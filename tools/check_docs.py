@@ -15,6 +15,11 @@ Two gates, run from the repo root (CI's docs job):
    every name registered in src/ must be documented in the catalog — so
    the doc can neither drift ahead of the code nor fall behind it.
 
+3. Encoding catalog. docs/STORAGE.md documents every frozen-segment
+   column encoding by its wire name (the ColumnEncodingName strings in
+   src/storage/segment.cc). Adding an encoder without a byte-layout doc,
+   or documenting one that no longer exists, fails the check.
+
 Usage:
   check_docs.py [--root DIR]
 """
@@ -119,18 +124,63 @@ def check_metric_catalog(root):
     return errors
 
 
+ENCODING_NAME_RE = re.compile(r'return "([a-z0-9_]+)";')
+
+
+def check_encoding_catalog(root):
+    errors = []
+    doc_path = root / "docs" / "STORAGE.md"
+    if not doc_path.exists():
+        return [f"missing storage doc: {doc_path.relative_to(root)}"]
+    segment_cc = root / "src" / "storage" / "segment.cc"
+    text = segment_cc.read_text(encoding="utf-8")
+    # The wire names live in ColumnEncodingName's switch, before the next
+    # function body.
+    switch = text.split("ColumnEncodingName", 1)[1].split("\n}\n", 1)[0]
+    implemented = set(ENCODING_NAME_RE.findall(switch))
+    if not implemented:
+        return [f"could not extract encoding names from {segment_cc}"]
+
+    doc_text = doc_path.read_text(encoding="utf-8")
+    documented = {
+        name
+        for name in re.findall(r"`([a-z0-9_]+)`", doc_text)
+        if name in implemented or name.endswith(("_int", "_double",
+                                                 "_string", "_bool",
+                                                 "_mixed", "_null"))
+    }
+    for name in sorted(documented - implemented):
+        errors.append(
+            f"docs/STORAGE.md documents encoding '{name}' that "
+            "src/storage/segment.cc does not implement"
+        )
+    for name in sorted(implemented - documented):
+        errors.append(
+            f"src/storage/segment.cc implements encoding '{name}' but "
+            "docs/STORAGE.md does not document it"
+        )
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--root", default=".")
     args = parser.parse_args()
     root = pathlib.Path(args.root).resolve()
 
-    errors = check_links(root) + check_metric_catalog(root)
+    errors = (
+        check_links(root)
+        + check_metric_catalog(root)
+        + check_encoding_catalog(root)
+    )
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     if errors:
         sys.exit(f"{len(errors)} documentation problem(s)")
-    print("docs ok: links resolve, metric catalog matches src/")
+    print(
+        "docs ok: links resolve, metric catalog matches src/, "
+        "encoding catalog matches segment.cc"
+    )
 
 
 if __name__ == "__main__":

@@ -4,6 +4,7 @@
 //
 //   run_trace <trace-file> [scheme] [cache-bytes] [--fault-profile=<name>]
 //             [--threads=N] [--proxies=N] [--trace-out=PATH]
+//             [--snapshot-out=PATH] [--snapshot-in=PATH] [--expect-first-warm]
 //
 // scheme: nc | pc | full | region | containment   (default: full)
 // cache-bytes: result-store budget, 0 = unlimited (default).
@@ -16,6 +17,13 @@
 //   profile; see docs/FORMATS.md.
 // trace-out: write one JSON span tree per query (JSONL) to PATH; the schema
 //   is documented in docs/OBSERVABILITY.md.
+// snapshot-out: enable the storage tier and write a warm-restart snapshot
+//   (docs/FORMATS.md §13) at clean shutdown.
+// snapshot-in: restore cache + stats from a snapshot before replaying (the
+//   warm-restart half of the round trip; single-threaded replays only).
+// expect-first-warm: exit nonzero unless the first query of this replay was
+//   answered from the (restored) cache without an origin round trip — the
+//   CI warm-restart smoke check.
 // fault-profile:
 //   healthy — no faults (default); the pipeline behaves as before.
 //   flaky   — intermittent 500s, connection drops, garbage bodies and
@@ -64,6 +72,9 @@ void PrintPhases(const std::vector<obs::PhaseBreakdown>& phases) {
 int main(int argc, char** argv) {
   std::string fault_profile = "healthy";
   std::string trace_out;
+  std::string snapshot_out;
+  std::string snapshot_in;
+  bool expect_first_warm = false;
   size_t num_threads = 1;
   size_t num_proxies = 1;
   std::vector<const char*> positional;
@@ -78,6 +89,12 @@ int main(int argc, char** argv) {
       if (num_proxies == 0) num_proxies = 1;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--snapshot-out=", 15) == 0) {
+      snapshot_out = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--snapshot-in=", 14) == 0) {
+      snapshot_in = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--expect-first-warm") == 0) {
+      expect_first_warm = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -86,12 +103,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: run_trace <trace-file> [nc|pc|full|region|containment]"
                  " [cache-bytes] [--fault-profile=healthy|flaky|outage]"
-                 " [--threads=N] [--proxies=N] [--trace-out=PATH]\n");
+                 " [--threads=N] [--proxies=N] [--trace-out=PATH]"
+                 " [--snapshot-out=PATH] [--snapshot-in=PATH]"
+                 " [--expect-first-warm]\n");
     return 2;
   }
   if ((num_threads > 1 || num_proxies > 1) && fault_profile != "healthy") {
     std::fprintf(stderr,
                  "--threads/--proxies > 1 require --fault-profile=healthy\n");
+    return 2;
+  }
+  if ((!snapshot_out.empty() || !snapshot_in.empty() || expect_first_warm) &&
+      (num_threads > 1 || num_proxies > 1)) {
+    std::fprintf(stderr,
+                 "--snapshot-out/--snapshot-in/--expect-first-warm drive the "
+                 "single-threaded replay only\n");
+    return 2;
+  }
+  if (!snapshot_out.empty() && !snapshot_in.empty() &&
+      snapshot_out != snapshot_in) {
+    std::fprintf(stderr,
+                 "--snapshot-in and --snapshot-out must name the same file "
+                 "when both are given\n");
     return 2;
   }
   if (fault_profile != "healthy" && fault_profile != "flaky" &&
@@ -256,6 +289,14 @@ int main(int argc, char** argv) {
   options.proxy.mode = mode;
   options.proxy.max_cache_bytes = cache_bytes;
   options.proxy.trace_sink = trace_writer.get();
+  if (!snapshot_out.empty() || !snapshot_in.empty()) {
+    options.proxy.storage.enable = true;
+    // Inline maintenance keeps the single-threaded replay deterministic.
+    options.proxy.storage.background_maintenance = false;
+    options.proxy.storage.snapshot_path =
+        snapshot_out.empty() ? snapshot_in : snapshot_out;
+    options.proxy.storage.restore_on_start = !snapshot_in.empty();
+  }
   if (fault_profile != "healthy") {
     // An unreliable origin warrants retries and a breaker.
     options.proxy.breaker.enabled = true;
@@ -312,6 +353,26 @@ int main(int argc, char** argv) {
   std::printf("final cache:         %zu entries, %.1f MB\n",
               result.cache_entries_final,
               static_cast<double>(result.cache_bytes_final) / (1024 * 1024));
+  if (!snapshot_out.empty()) {
+    std::printf("snapshot:            will be written to %s at shutdown\n",
+                snapshot_out.c_str());
+  }
+  if (expect_first_warm) {
+    // stats.records = [restored records..., this replay's records]; the
+    // first record of this replay sits queries.size() from the end.
+    if (stats.records.size() < trace->queries.size()) {
+      std::fprintf(stderr, "expect-first-warm: missing query records\n");
+      return 1;
+    }
+    const core::QueryRecord& first =
+        stats.records[stats.records.size() - trace->queries.size()];
+    const bool warm = first.handled_by_template && !first.failed &&
+                      !first.contacted_origin;
+    std::printf("first query:         %s\n",
+                warm ? "warm (served from restored cache, no origin trip)"
+                     : "COLD (origin contacted)");
+    if (!warm) return 1;
+  }
   PrintPhases(result.phases);
   if (fault_profile != "healthy") {
     std::printf(
